@@ -1,0 +1,105 @@
+//! E5 — the Section 3.5 axis routines as micro-benchmarks: label-computed
+//! axes (rUID) against DOM traversal, plus order/ancestry decisions.
+
+use bench::{all_ruid_labels, default_partition, xmark_tree};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruid::prelude::*;
+
+fn bench_axes(c: &mut Criterion) {
+    let doc = xmark_tree(10_000, 42);
+    let root = doc.root_element().unwrap();
+    let scheme = Ruid2Scheme::build(&doc, &default_partition());
+    let nodes: Vec<NodeId> = doc.descendants(root).collect();
+    let labels = all_ruid_labels(&doc, &scheme);
+    // A spread of sample positions.
+    let sample: Vec<usize> = (0..nodes.len()).step_by(97).collect();
+
+    let mut group = c.benchmark_group("e5_axes");
+
+    group.bench_function("rchildren", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &i in &sample {
+                acc += scheme.rchildren(&labels[i]).len();
+            }
+            acc
+        })
+    });
+    group.bench_function("dom_children", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &i in &sample {
+                acc += doc.children(nodes[i]).count();
+            }
+            acc
+        })
+    });
+    group.bench_function("rdescendants", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &i in &sample {
+                acc += scheme.rdescendants(&labels[i]).len();
+            }
+            acc
+        })
+    });
+    group.bench_function("dom_descendants", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &i in &sample {
+                acc += doc.descendants(nodes[i]).count() - 1;
+            }
+            acc
+        })
+    });
+    group.bench_function("rsiblings", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &i in &sample {
+                acc += scheme.rpsiblings(&labels[i]).len();
+                acc += scheme.rfsiblings(&labels[i]).len();
+            }
+            acc
+        })
+    });
+    group.bench_function("rlca", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for pair in sample.windows(2) {
+                acc += scheme.rlca(&labels[pair[0]], &labels[pair[1]]).global;
+            }
+            acc
+        })
+    });
+    group.bench_function("cmp_order_labels", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for pair in sample.windows(2) {
+                acc += scheme.cmp_order(&labels[pair[0]], &labels[pair[1]]) as i32;
+            }
+            acc
+        })
+    });
+    group.bench_function("cmp_order_dom_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for pair in sample.windows(2) {
+                acc += doc.cmp_document_order(nodes[pair[0]], nodes[pair[1]]) as i32;
+            }
+            acc
+        })
+    });
+    group.bench_function("is_ancestor_labels", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for pair in sample.windows(2) {
+                acc += usize::from(scheme.label_is_ancestor(&labels[pair[0]], &labels[pair[1]]));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_axes);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E3 — parent-identifier computation cost (Observation 2 of the paper:
+//! rUID's `rparent` is more involved than the original UID's formula, but
+//! since everything lives in main memory "the distinction is not
+//! significant").
+
+use bench::{default_partition, standard_tree};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ruid::prelude::*;
+use ruid::{DeweyScheme, MultiRuidScheme, UidScheme};
+
+fn bench_parent(c: &mut Criterion) {
+    let doc = standard_tree(20_000, 42);
+    let root = doc.root_element().unwrap();
+    let nodes: Vec<NodeId> = doc.descendants(root).collect();
+
+    let uid = UidScheme::build(&doc);
+    let dewey = DeweyScheme::build(&doc);
+    let ruid2 = Ruid2Scheme::build(&doc, &default_partition());
+    let multi3 = MultiRuidScheme::build_with_levels(&doc, &default_partition(), 3);
+
+    let uid_labels: Vec<_> = nodes.iter().map(|&n| uid.label_of(n)).collect();
+    let dewey_labels: Vec<_> = nodes.iter().map(|&n| dewey.label_of(n)).collect();
+    let ruid_labels: Vec<_> = nodes.iter().map(|&n| ruid2.label_of(n)).collect();
+    let multi_labels: Vec<_> = nodes.iter().map(|&n| multi3.label_of(n)).collect();
+
+    let mut group = c.benchmark_group("e3_parent");
+    group.bench_function("uid_bigint", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for l in &uid_labels {
+                acc += usize::from(uid.parent_label(l).is_some());
+            }
+            acc
+        })
+    });
+    group.bench_function("dewey", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for l in &dewey_labels {
+                acc += usize::from(l.parent().is_some());
+            }
+            acc
+        })
+    });
+    group.bench_function("ruid2_rparent", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for l in &ruid_labels {
+                acc += usize::from(ruid2.rparent(l).is_some());
+            }
+            acc
+        })
+    });
+    group.bench_function("ruid3_multilevel", |b| {
+        b.iter_batched(
+            || multi_labels.clone(),
+            |labels| {
+                let mut acc = 0usize;
+                for l in &labels {
+                    acc += usize::from(multi3.parent_label(l).is_some());
+                }
+                acc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // Full ancestor chains (the rancestor routine).
+    group.bench_function("ruid2_ancestor_chain", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for l in &ruid_labels {
+                acc += ruid2.rancestors(l).len();
+            }
+            acc
+        })
+    });
+    group.bench_function("tree_ancestor_chain", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &n in &nodes {
+                acc += doc.ancestors(n).count();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parent);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E4 — XPath query evaluation (Observation 3): tree walking vs original
+//! UID labels vs rUID labels vs rUID + element-name index (the paper's
+//! condition-first strategy).
+
+use bench::xmark_tree;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruid::prelude::*;
+use ruid::{NameIndex, NameIndexed, UidScheme};
+
+const QUERIES: &[&str] = &[
+    "/regions/europe/item",
+    "//item/name",
+    "//person[address]/name",
+    "//open_auction[bidder/increase > 10]",
+    "//item[location = 'asia']",
+];
+
+fn bench_queries(c: &mut Criterion) {
+    let doc = xmark_tree(10_000, 42);
+    let uid_scheme = UidScheme::build(&doc);
+    let ruid_scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    let index = NameIndex::build(&doc);
+
+    let tree_eval = Evaluator::new(&doc, TreeAxes::new(&doc));
+    let uid_eval = Evaluator::new(&doc, UidAxes::new(&uid_scheme));
+    let ruid_eval = Evaluator::new(&doc, RuidAxes::new(&ruid_scheme));
+    let indexed_eval =
+        Evaluator::new(&doc, NameIndexed::new(RuidAxes::new(&ruid_scheme), &doc, &index));
+
+    let mut group = c.benchmark_group("e4_query_suite");
+    group.sample_size(10);
+    group.bench_function("tree", |b| {
+        b.iter(|| QUERIES.iter().map(|q| tree_eval.query(q).unwrap().len()).sum::<usize>())
+    });
+    group.bench_function("uid", |b| {
+        b.iter(|| QUERIES.iter().map(|q| uid_eval.query(q).unwrap().len()).sum::<usize>())
+    });
+    group.bench_function("ruid", |b| {
+        b.iter(|| QUERIES.iter().map(|q| ruid_eval.query(q).unwrap().len()).sum::<usize>())
+    });
+    group.bench_function("ruid_name_indexed", |b| {
+        b.iter(|| QUERIES.iter().map(|q| indexed_eval.query(q).unwrap().len()).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

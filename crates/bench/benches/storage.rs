@@ -1,0 +1,66 @@
+//! E10 — identifier-sorted storage (Sections 2.1 and 4): point lookups,
+//! area range scans, and subtree retrieval, monolithic vs partitioned.
+
+use bench::{default_partition, xmark_tree};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruid::prelude::*;
+use ruid::{PartitionedStore, XmlStore};
+
+fn bench_storage(c: &mut Criterion) {
+    let doc = xmark_tree(10_000, 42);
+    let root = doc.root_element().unwrap();
+    let scheme = Ruid2Scheme::build(&doc, &default_partition());
+    let mut store = XmlStore::in_memory();
+    store.load_document(&doc, &scheme);
+    let partitioned = PartitionedStore::load(&doc, &scheme, 8);
+
+    let labels: Vec<Ruid2> =
+        doc.descendants(root).step_by(13).map(|n| scheme.label_of(n)).collect();
+    let areas: Vec<u64> = scheme.ktable().rows().iter().map(|r| r.global).collect();
+    let mid_area = areas[areas.len() / 2];
+
+    let mut group = c.benchmark_group("e10_storage");
+    group.bench_function("point_lookup_monolithic", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for l in &labels {
+                hits += usize::from(store.get(l).is_some());
+            }
+            hits
+        })
+    });
+    group.bench_function("point_lookup_partitioned", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for l in &labels {
+                hits += usize::from(partitioned.get(l).is_some());
+            }
+            hits
+        })
+    });
+    group.bench_function("area_scan_monolithic", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for &g in areas.iter().step_by(7) {
+                rows += store.scan_area(g).len();
+            }
+            rows
+        })
+    });
+    group.bench_function("subtree_scan_monolithic", |b| {
+        b.iter(|| store.scan_subtree(&scheme, mid_area).0.len())
+    });
+    group.bench_function("subtree_scan_partitioned", |b| {
+        b.iter(|| partitioned.scan_subtree(&scheme, mid_area).0.len())
+    });
+    group.bench_function("load_document", |b| {
+        b.iter(|| {
+            let mut s = XmlStore::in_memory();
+            s.load_document(&doc, &scheme)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

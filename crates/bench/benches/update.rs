@@ -1,0 +1,83 @@
+//! E1 — structural update cost (Fig. 1 / Section 3.2): time to apply one
+//! insertion near the root, where the original UID relabels almost the
+//! whole document and rUID only one area.
+
+use bench::{default_partition, standard_tree};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ruid::prelude::*;
+use ruid::{DeweyScheme, UidScheme};
+
+const N: usize = 10_000;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_insert_near_root");
+    group.sample_size(20);
+
+    group.bench_function("uid", |b| {
+        b.iter_batched(
+            || {
+                let doc = standard_tree(N, 7);
+                let scheme = UidScheme::build(&doc);
+                (doc, scheme)
+            },
+            |(mut doc, mut scheme)| {
+                let root = doc.root_element().unwrap();
+                let first = doc.first_child(root).unwrap();
+                let new = doc.create_element("new");
+                doc.insert_before(first, new);
+                scheme.on_insert(&doc, new)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("dewey", |b| {
+        b.iter_batched(
+            || {
+                let doc = standard_tree(N, 7);
+                let scheme = DeweyScheme::build(&doc);
+                (doc, scheme)
+            },
+            |(mut doc, mut scheme)| {
+                let root = doc.root_element().unwrap();
+                let first = doc.first_child(root).unwrap();
+                let new = doc.create_element("new");
+                doc.insert_before(first, new);
+                scheme.on_insert(&doc, new)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("ruid2", |b| {
+        b.iter_batched(
+            || {
+                let doc = standard_tree(N, 7);
+                let scheme = Ruid2Scheme::build(&doc, &default_partition());
+                (doc, scheme)
+            },
+            |(mut doc, mut scheme)| {
+                let root = doc.root_element().unwrap();
+                let first = doc.first_child(root).unwrap();
+                let new = doc.create_element("new");
+                doc.insert_before(first, new);
+                scheme.on_insert(&doc, new)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    // Construction cost for context: what a "full rebuild" costs and what
+    // rUID's locality saves.
+    let doc = standard_tree(N, 9);
+    let mut group = c.benchmark_group("e1_full_build");
+    group.sample_size(20);
+    group.bench_function("uid", |b| b.iter(|| UidScheme::build(&doc)));
+    group.bench_function("dewey", |b| b.iter(|| DeweyScheme::build(&doc)));
+    group.bench_function("ruid2", |b| b.iter(|| Ruid2Scheme::build(&doc, &default_partition())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_build);
+criterion_main!(benches);

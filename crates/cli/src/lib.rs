@@ -1,0 +1,201 @@
+//! Implementation of the `ruid-xml` command-line tool.
+//!
+//! ```text
+//! ruid-xml stats  <file.xml>                       tree + numbering statistics
+//! ruid-xml label  <file.xml> [--depth D] [--limit N]   print labels and table K
+//! ruid-xml query  <file.xml> <xpath> [--engine E]  run an XPath query
+//! ruid-xml axes   <file.xml> <xpath>               show every axis of the first match
+//! ruid-xml parent <file.xml> <g> <l> <r>           rparent() of an identifier
+//! ```
+
+use ruid::prelude::*;
+use ruid::{NameIndex, NameIndexed, Ruid2, UidScheme};
+
+/// The usage banner printed on argument errors.
+pub const USAGE: &str = "usage:
+  ruid-xml stats  <file.xml>
+  ruid-xml label  <file.xml> [--depth D] [--limit N]
+  ruid-xml query  <file.xml> <xpath> [--engine tree|uid|ruid|indexed]
+  ruid-xml axes   <file.xml> <xpath>
+  ruid-xml parent <file.xml> <global> <local> <true|false>";
+
+/// Dispatches one invocation; `args` excludes the program name.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "stats" => stats(args.get(1).ok_or("missing file")?),
+        "label" => label(&args[1..]),
+        "query" => query(&args[1..]),
+        "axes" => axes(&args[1..]),
+        "parent" => parent(&args[1..]),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Document, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Document::parse(&text).map_err(|e| format!("parse error in {path}: {e}"))
+}
+
+/// Parses `--flag value` style options out of an argument list.
+fn option<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let doc = load(path)?;
+    let root = doc.root_element().ok_or("document has no root element")?;
+    let tree = TreeStats::collect(&doc, root);
+    println!("file            : {path}");
+    println!("nodes           : {}", tree.node_count);
+    println!("elements        : {}", tree.element_count);
+    println!("max fan-out     : {}", tree.max_fanout);
+    println!("max depth       : {}", tree.max_depth);
+    println!("avg fan-out     : {:.2}", tree.avg_fanout());
+    println!("distinct names  : {}", doc.names().len());
+    for d in [2usize, 3, 4] {
+        match Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(d)) {
+            Ok(scheme) => println!(
+                "rUID by-depth {d} : {} areas, κ = {}, K = {} bytes, label ≤ {} bits",
+                scheme.area_count(),
+                scheme.kappa(),
+                scheme.ktable().memory_bytes(),
+                scheme.label_width_bits()
+            ),
+            Err(e) => println!("rUID by-depth {d} : {e}"),
+        }
+    }
+    let uid = UidScheme::build(&doc);
+    println!(
+        "original UID    : k = {}, largest identifier needs {} bits",
+        uid.k(),
+        uid.bits_required()
+    );
+    Ok(())
+}
+
+fn label(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file")?;
+    let depth: usize = option(args, "--depth").map_or(Ok(3), str::parse).map_err(
+        |e: std::num::ParseIntError| e.to_string(),
+    )?;
+    let limit: usize = option(args, "--limit").map_or(Ok(40), str::parse).map_err(
+        |e: std::num::ParseIntError| e.to_string(),
+    )?;
+    let doc = load(path)?;
+    let root = doc.root_element().ok_or("document has no root element")?;
+    let scheme = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(depth))
+        .map_err(|e| e.to_string())?;
+    println!("κ = {}, {} areas; table K:", scheme.kappa(), scheme.area_count());
+    for row in scheme.ktable().rows().iter().take(limit) {
+        println!("  global {:>6}  local {:>6}  fan-out {:>4}", row.global, row.local, row.fanout);
+    }
+    if scheme.ktable().len() > limit {
+        println!("  ... {} more rows", scheme.ktable().len() - limit);
+    }
+    println!();
+    for node in doc.descendants(root).take(limit) {
+        let l = scheme.label_of(node);
+        let name = doc
+            .tag_name(node)
+            .map(|t| format!("<{t}>"))
+            .unwrap_or_else(|| format!("{:?}", doc.string_value(node)));
+        println!("{:<30} {l}", format!("{}{name}", "  ".repeat(doc.depth(node) - 1)));
+    }
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file")?;
+    let xpath = args.get(1).ok_or("missing XPath expression")?;
+    let engine = option(args, "--engine").unwrap_or("indexed");
+    let doc = load(path)?;
+    let scheme = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(3))
+        .map_err(|e| e.to_string())?;
+    let uid_scheme;
+    let index;
+    let started = std::time::Instant::now();
+    let hits = match engine {
+        "tree" => Evaluator::new(&doc, TreeAxes::new(&doc)).query(xpath)?,
+        "uid" => {
+            uid_scheme = UidScheme::build(&doc);
+            Evaluator::new(&doc, UidAxes::new(&uid_scheme)).query(xpath)?
+        }
+        "ruid" => Evaluator::new(&doc, RuidAxes::new(&scheme)).query(xpath)?,
+        "indexed" => {
+            index = NameIndex::build(&doc);
+            Evaluator::new(&doc, NameIndexed::new(RuidAxes::new(&scheme), &doc, &index))
+                .query(xpath)?
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    let elapsed = started.elapsed();
+    for &node in hits.iter().take(20) {
+        println!("{:<18} {}", scheme.label_of(node), doc.subtree_to_xml_string(node));
+    }
+    if hits.len() > 20 {
+        println!("... {} more", hits.len() - 20);
+    }
+    eprintln!("{} hits in {elapsed:.2?} (engine: {engine})", hits.len());
+    Ok(())
+}
+
+fn axes(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file")?;
+    let xpath = args.get(1).ok_or("missing XPath expression")?;
+    let doc = load(path)?;
+    let scheme = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(3))
+        .map_err(|e| e.to_string())?;
+    let hits = Evaluator::new(&doc, RuidAxes::new(&scheme)).query(xpath)?;
+    let &node = hits.first().ok_or("no match")?;
+    let l = scheme.label_of(node);
+    println!("context: {l} = {}", doc.subtree_to_xml_string(node));
+    let show = |name: &str, labels: Vec<Ruid2>| {
+        let rendered: Vec<String> = labels.iter().take(8).map(Ruid2::to_string).collect();
+        println!(
+            "{name:<22} [{}{}] ({} nodes)",
+            rendered.join(", "),
+            if labels.len() > 8 { ", ..." } else { "" },
+            labels.len()
+        );
+    };
+    show("ancestors", scheme.rancestors(&l));
+    show("children", scheme.rchildren(&l));
+    show("descendants", scheme.rdescendants(&l));
+    show("preceding-siblings", scheme.rpsiblings(&l));
+    show("following-siblings", scheme.rfsiblings(&l));
+    show("preceding", scheme.rpreceding(&l));
+    show("following", scheme.rfollowing(&l));
+    Ok(())
+}
+
+fn parent(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file")?;
+    let global: u64 = args.get(1).ok_or("missing global index")?.parse().map_err(
+        |e: std::num::ParseIntError| e.to_string(),
+    )?;
+    let local: u64 = args.get(2).ok_or("missing local index")?.parse().map_err(
+        |e: std::num::ParseIntError| e.to_string(),
+    )?;
+    let is_root: bool = args.get(3).ok_or("missing root flag")?.parse().map_err(
+        |e: std::str::ParseBoolError| e.to_string(),
+    )?;
+    let doc = load(path)?;
+    let scheme = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(3))
+        .map_err(|e| e.to_string())?;
+    let label = Ruid2::new(global, local, is_root);
+    let node = scheme.node_of(&label).ok_or_else(|| format!("no node carries {label}"))?;
+    println!("{label} = {}", doc.subtree_to_xml_string(node));
+    match scheme.rparent(&label) {
+        Some(p) => {
+            let pnode = scheme.node_of(&p).expect("parent label must resolve");
+            println!("rparent -> {p} = {}", doc.subtree_to_xml_string(pnode));
+        }
+        None => println!("rparent -> (tree root has no parent)"),
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Integration tests for the `ruid-xml` command dispatcher.
+
+use std::path::PathBuf;
+
+use ruid_cli::run;
+
+fn sample_file() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruid-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sample.xml");
+    std::fs::write(
+        &path,
+        "<catalog><book id=\"b1\"><title>A</title><price>35</price></book>\
+         <book id=\"b2\"><title>B</title><price>20</price></book></catalog>",
+    )
+    .unwrap();
+    path
+}
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn stats_runs() {
+    let file = sample_file();
+    run(&args(&["stats", file.to_str().unwrap()])).unwrap();
+}
+
+#[test]
+fn label_runs_with_options() {
+    let file = sample_file();
+    run(&args(&["label", file.to_str().unwrap(), "--depth", "2", "--limit", "5"])).unwrap();
+}
+
+#[test]
+fn query_all_engines_agree_on_success() {
+    let file = sample_file();
+    for engine in ["tree", "uid", "ruid", "indexed"] {
+        run(&args(&[
+            "query",
+            file.to_str().unwrap(),
+            "//book[price > 25]/title",
+            "--engine",
+            engine,
+        ]))
+        .unwrap_or_else(|e| panic!("engine {engine}: {e}"));
+    }
+}
+
+#[test]
+fn axes_and_parent_run() {
+    let file = sample_file();
+    run(&args(&["axes", file.to_str().unwrap(), "//title"])).unwrap();
+    // The tree root's identifier always exists.
+    run(&args(&["parent", file.to_str().unwrap(), "1", "1", "true"])).unwrap();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let file = sample_file();
+    let f = file.to_str().unwrap();
+    assert!(run(&[]).is_err());
+    assert!(run(&args(&["bogus"])).is_err());
+    assert!(run(&args(&["stats"])).is_err());
+    assert!(run(&args(&["stats", "/nonexistent/file.xml"])).is_err());
+    assert!(run(&args(&["query", f])).is_err());
+    assert!(run(&args(&["query", f, "//title", "--engine", "warp"])).is_err());
+    assert!(run(&args(&["query", f, "///"])).is_err());
+    assert!(run(&args(&["parent", f, "9999", "9999", "false"])).is_err());
+    assert!(run(&args(&["parent", f, "x", "1", "false"])).is_err());
+    assert!(run(&args(&["axes", f, "//nosuch"])).is_err());
+}
+
+#[test]
+fn malformed_xml_is_an_error() {
+    let dir = std::env::temp_dir().join(format!("ruid-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.xml");
+    std::fs::write(&path, "<a><b></a>").unwrap();
+    let err = run(&args(&["stats", path.to_str().unwrap()])).unwrap_err();
+    assert!(err.contains("parse error"), "{err}");
+}

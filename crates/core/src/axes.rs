@@ -1,0 +1,183 @@
+//! The XPath axis routines of Section 3.5, computed on labels.
+//!
+//! Every routine here works from a label plus the in-memory global
+//! parameters (κ, table K) and the label→node map; none touches the
+//! document tree. Candidate child slots are generated arithmetically
+//! (`[(α-1)k + 2, αk + 1]` inside the area), classified as area roots by a
+//! K probe, and filtered for existence against the label set — exactly the
+//! paper's `rchildren` recipe. The preceding/following axes use Lemma 2/3
+//! (ancestor-path projection) and Fig. 10's lowest-common-ancestor routine.
+
+use schemes::NumberingScheme;
+
+use crate::label::Ruid2;
+use crate::scheme::Ruid2Scheme;
+
+impl Ruid2Scheme {
+    /// `rancestor`: strict ancestors of `label`, nearest first, by repeated
+    /// [`Ruid2Scheme::rparent`].
+    pub fn rancestors(&self, label: &Ruid2) -> Vec<Ruid2> {
+        let mut out = Vec::new();
+        let mut cur = *label;
+        while let Some(p) = self.rparent(&cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The candidate child slots of `label`: `(area, local fan-out, first
+    /// slot)`. The node's children occupy local indices
+    /// `first .. first + k` of `area` (existence not implied).
+    pub fn child_slots(&self, label: &Ruid2) -> (u64, u64, u64) {
+        let area = self.child_area(label);
+        let k = self.ktable().fanout(area);
+        // An area root is local index 1 inside its own area; an interior
+        // node's slot is its local index.
+        let parent_local = if label.is_root { 1 } else { label.local };
+        let first = (parent_local - 1) * k + 2;
+        (area, k, first)
+    }
+
+    /// `rchildren`: the labels of the existing children of `label`'s node,
+    /// in document order.
+    pub fn rchildren(&self, label: &Ruid2) -> Vec<Ruid2> {
+        let (area, k, first) = self.child_slots(label);
+        let mut out = Vec::with_capacity(k as usize);
+        for i in first..first + k {
+            if let Some(candidate) = self.occupant(area, i) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
+    /// The label occupying slot `local` of `area`, if any: an area root
+    /// (found through table K) or an interior node (found in the label set).
+    pub fn occupant(&self, area: u64, local: u64) -> Option<Ruid2> {
+        if let Some(root_global) = self.ktable().area_rooted_at(area, local, self.kappa()) {
+            return Some(Ruid2::new(root_global, local, true));
+        }
+        let candidate = Ruid2::new(area, local, false);
+        self.node_of(&candidate).map(|_| candidate)
+    }
+
+    /// `rdescendant`: all strict descendants of `label`'s node, in document
+    /// order, by recursive slot expansion.
+    pub fn rdescendants(&self, label: &Ruid2) -> Vec<Ruid2> {
+        let mut out = Vec::new();
+        let mut stack: Vec<Ruid2> = self.rchildren(label);
+        stack.reverse();
+        while let Some(l) = stack.pop() {
+            out.push(l);
+            let kids = self.rchildren(&l);
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+
+    /// `rpsibling`: preceding siblings of `label`'s node, nearest first
+    /// (reverse document order, matching the XPath axis).
+    pub fn rpsiblings(&self, label: &Ruid2) -> Vec<Ruid2> {
+        let Some(parent) = self.rparent(label) else { return Vec::new() };
+        let (area, _k, first) = self.child_slots(&parent);
+        let mut out = Vec::new();
+        for i in (first..label.local).rev() {
+            if let Some(c) = self.occupant(area, i) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// `rfsibling`: following siblings of `label`'s node, in document order.
+    pub fn rfsiblings(&self, label: &Ruid2) -> Vec<Ruid2> {
+        let Some(parent) = self.rparent(label) else { return Vec::new() };
+        let (area, k, first) = self.child_slots(&parent);
+        let mut out = Vec::new();
+        for i in label.local + 1..first + k {
+            if let Some(c) = self.occupant(area, i) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// The lowest common ancestor of two labels (Fig. 10's chain-comparison
+    /// routine). May be one of the inputs.
+    pub fn rlca(&self, a: &Ruid2, b: &Ruid2) -> Ruid2 {
+        let mut ca: Vec<Ruid2> = std::iter::once(*a).chain(self.rancestors(a)).collect();
+        let mut cb: Vec<Ruid2> = std::iter::once(*b).chain(self.rancestors(b)).collect();
+        ca.reverse();
+        cb.reverse();
+        debug_assert_eq!(ca.first(), cb.first(), "labels from different numberings");
+        let mut lca = ca[0];
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            if x == y {
+                lca = *x;
+            } else {
+                break;
+            }
+        }
+        lca
+    }
+
+    /// `rpreceding`: every node that precedes `label`'s node in document
+    /// order and is not one of its ancestors, in document order. Lemma 2:
+    /// these are exactly the full subtrees hanging off earlier sibling slots
+    /// along the ancestor path.
+    pub fn rpreceding(&self, label: &Ruid2) -> Vec<Ruid2> {
+        let mut path: Vec<Ruid2> = std::iter::once(*label).chain(self.rancestors(label)).collect();
+        path.reverse(); // root .. label
+        let mut out = Vec::new();
+        for pair in path.windows(2) {
+            let (anc, on_path) = (pair[0], pair[1]);
+            let (area, _k, first) = self.child_slots(&anc);
+            for i in first..on_path.local {
+                if let Some(s) = self.occupant(area, i) {
+                    out.push(s);
+                    out.extend(self.rdescendants(&s));
+                }
+            }
+        }
+        out
+    }
+
+    /// `rfollowing`: every node that follows `label`'s node in document
+    /// order (no descendants), in document order: right-sibling subtrees of
+    /// the node first, then of its parent, and so on up.
+    pub fn rfollowing(&self, label: &Ruid2) -> Vec<Ruid2> {
+        let mut out = Vec::new();
+        let mut cur = *label;
+        loop {
+            for s in self.rfsiblings(&cur) {
+                out.push(s);
+                out.extend(self.rdescendants(&s));
+            }
+            match self.rparent(&cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// All frame areas whose subtree lies under area `global` (strict frame
+    /// descendants), found by probing K's child ranges — the bulk step of
+    /// the paper's area-based `rdescendant` and the storage layer's
+    /// partition pruning.
+    pub fn frame_descendant_areas(&self, global: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut stack = vec![global];
+        while let Some(g) = stack.pop() {
+            for row in self.ktable().areas_under(g, self.kappa()) {
+                out.push(row.global);
+                stack.push(row.global);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}

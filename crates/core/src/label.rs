@@ -1,0 +1,128 @@
+//! The 2-level rUID label (Definition 3 of the paper).
+
+use std::fmt;
+
+/// A full 2-level rUID: `(global, local, is_root)`.
+///
+/// * For a **non-root** node, `global` is the index of the UID-local area
+///   containing the node and `local` is its index inside that area.
+/// * For an **area-root** node, `global` is the index of *its own* area and
+///   `local` is its index as a leaf in the *upper* area.
+/// * The tree root is `(1, 1, true)`.
+///
+/// The derived `Ord` is the paper's **storage order** — "sorted first by the
+/// global index, and then by local index" (Section 2.1) — which is what the
+/// storage layer keys on. It is *not* document order; use
+/// [`crate::Ruid2Scheme::cmp_order`] for that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ruid2 {
+    /// Global index (frame UID of the area).
+    pub global: u64,
+    /// Local index (in the own area, or the upper area for roots).
+    pub local: u64,
+    /// Root indicator: `true` iff the node is the root of a UID-local area.
+    pub is_root: bool,
+}
+
+impl Ruid2 {
+    /// The identifier of the root of the main XML tree (Definition 3).
+    pub const TREE_ROOT: Ruid2 = Ruid2 { global: 1, local: 1, is_root: true };
+
+    /// Convenience constructor.
+    pub const fn new(global: u64, local: u64, is_root: bool) -> Self {
+        Ruid2 { global, local, is_root }
+    }
+
+    /// Whether this is the identifier of the main tree's root.
+    pub fn is_tree_root(&self) -> bool {
+        *self == Self::TREE_ROOT
+    }
+
+    /// Fixed storage footprint in bytes (two u64 indices + one flag byte),
+    /// reported by the E2 storage comparison.
+    pub const ENCODED_LEN: usize = 17;
+
+    /// Serializes to a fixed-width little-endian byte key whose
+    /// lexicographic order... is **not** meaningful; use
+    /// [`Ruid2::storage_key`] for ordered keys.
+    pub fn to_bytes(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[..8].copy_from_slice(&self.global.to_le_bytes());
+        out[8..16].copy_from_slice(&self.local.to_le_bytes());
+        out[16] = u8::from(self.is_root);
+        out
+    }
+
+    /// Decodes [`Ruid2::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; Self::ENCODED_LEN]) -> Self {
+        Ruid2 {
+            global: u64::from_le_bytes(bytes[..8].try_into().expect("slice of 8")),
+            local: u64::from_le_bytes(bytes[8..16].try_into().expect("slice of 8")),
+            is_root: bytes[16] != 0,
+        }
+    }
+
+    /// Big-endian composite key `(global, local, is_root)` whose bytewise
+    /// lexicographic order equals the derived `Ord` — the storage layer's
+    /// sort key.
+    pub fn storage_key(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[..8].copy_from_slice(&self.global.to_be_bytes());
+        out[8..16].copy_from_slice(&self.local.to_be_bytes());
+        out[16] = u8::from(self.is_root);
+        out
+    }
+}
+
+impl fmt::Display for Ruid2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.global, self.local, self.is_root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_root_constant() {
+        assert!(Ruid2::TREE_ROOT.is_tree_root());
+        assert!(!Ruid2::new(1, 2, true).is_tree_root());
+        assert!(!Ruid2::new(1, 1, false).is_tree_root());
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        for label in [
+            Ruid2::TREE_ROOT,
+            Ruid2::new(10, 9, true),
+            Ruid2::new(2, 7, false),
+            Ruid2::new(u64::MAX, u64::MAX, false),
+        ] {
+            assert_eq!(Ruid2::from_bytes(&label.to_bytes()), label);
+        }
+    }
+
+    #[test]
+    fn storage_key_order_matches_ord() {
+        let labels = [
+            Ruid2::new(1, 1, true),
+            Ruid2::new(1, 2, false),
+            Ruid2::new(2, 1, false),
+            Ruid2::new(2, 7, false),
+            Ruid2::new(2, 7, true),
+            Ruid2::new(10, 1, false),
+        ];
+        for a in &labels {
+            for b in &labels {
+                assert_eq!(a.storage_key().cmp(&b.storage_key()), a.cmp(b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Ruid2::new(2, 7, false).to_string(), "(2, 7, false)");
+        assert_eq!(Ruid2::new(10, 9, true).to_string(), "(10, 9, true)");
+    }
+}

@@ -1,0 +1,233 @@
+//! The l-level recursive rUID of Section 2.4 (Definition 4).
+//!
+//! When the frame of a 2-level numbering is itself too large — too many
+//! areas for the κ-ary global index, or a table K too big to pin — the frame
+//! is treated as a tree in its own right and partitioned again, recursively.
+//! A node's l-level identifier is
+//!
+//! ```text
+//! { θ, (α_{l-1}, β_{l-1}), ..., (α_1, β_1) }
+//! ```
+//!
+//! where `(α_1, β_1)` locates the node inside its level-1 UID-local area and
+//! each higher pair locates that area's root one frame up; `θ` is the plain
+//! UID at the top level. "In practice this requires only a few levels to
+//! encode a large XML tree": see [`MultiRuidScheme::levels`] and experiment
+//! E8.
+//!
+//! The multilevel scheme targets *scalability*; structural updates are the
+//! 2-level scheme's job ([`crate::Ruid2Scheme`]), so this type is
+//! construction + read-only navigation (parent, ancestry, document order).
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+use schemes::kary;
+use schemes::NumberingScheme;
+use xmldom::{Document, NodeId};
+
+use crate::label::Ruid2;
+use crate::partition::PartitionConfig;
+use crate::scheme::Ruid2Scheme;
+
+/// An l-level rUID (Definition 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MultiRuid {
+    /// The original UID at the top level.
+    pub theta: u64,
+    /// `(α, β)` pairs from level l-1 down to level 1; `path.len() + 1` is
+    /// the number of levels.
+    pub path: Vec<(u64, bool)>,
+}
+
+impl MultiRuid {
+    /// Number of levels this identifier spans (a 2-level identifier has
+    /// `levels() == 2`).
+    pub fn levels(&self) -> usize {
+        self.path.len() + 1
+    }
+}
+
+impl fmt::Display for MultiRuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}", self.theta)?;
+        for (alpha, beta) in &self.path {
+            write!(f, ", ({alpha}, {beta})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One level of the recursive construction. Level 0 numbers the base
+/// document; level i numbers the frame of level i-1 (one node per level-i-1
+/// area).
+struct Level {
+    scheme: Ruid2Scheme,
+    /// The tree this level numbers. Level 0 borrows the caller's document,
+    /// so this is `None` there.
+    frame_doc: Option<Document>,
+    /// For levels >= 1: this level's tree node for a level-(i-1) area global.
+    node_of_global: HashMap<u64, NodeId>,
+    /// For levels >= 1: the level-(i-1) area global a tree node represents
+    /// (dense by [`NodeId::index`]).
+    global_of_node: Vec<u64>,
+}
+
+/// A multilevel rUID numbering of one document subtree.
+pub struct MultiRuidScheme {
+    levels: Vec<Level>,
+}
+
+impl MultiRuidScheme {
+    /// Builds levels until the top frame has at most `max_frame_areas`
+    /// areas (at least 2 levels; at most 8, far beyond any real document).
+    pub fn build(doc: &Document, config: &PartitionConfig, max_frame_areas: usize) -> Self {
+        let max_frame_areas = max_frame_areas.max(1);
+        let base = Ruid2Scheme::build(doc, config);
+        let mut levels = vec![Level {
+            scheme: base,
+            frame_doc: None,
+            node_of_global: HashMap::new(),
+            global_of_node: Vec::new(),
+        }];
+        while levels.last().expect("at least one level").scheme.area_count() > max_frame_areas
+            && levels.len() < 8
+        {
+            let next = Self::lift(&levels.last().expect("at least one level").scheme, config);
+            levels.push(next);
+        }
+        MultiRuidScheme { levels }
+    }
+
+    /// Builds exactly `levels` levels (2 = plain [`Ruid2Scheme`] wrapped).
+    pub fn build_with_levels(doc: &Document, config: &PartitionConfig, levels: usize) -> Self {
+        assert!(levels >= 2, "a multilevel rUID has at least 2 levels");
+        let base = Ruid2Scheme::build(doc, config);
+        let mut out = vec![Level {
+            scheme: base,
+            frame_doc: None,
+            node_of_global: HashMap::new(),
+            global_of_node: Vec::new(),
+        }];
+        for _ in 2..levels {
+            let next = Self::lift(&out.last().expect("at least one level").scheme, config);
+            out.push(next);
+        }
+        MultiRuidScheme { levels: out }
+    }
+
+    /// Materializes `scheme`'s frame as a document and numbers it.
+    fn lift(scheme: &Ruid2Scheme, config: &PartitionConfig) -> Level {
+        let mut fdoc = Document::new();
+        let mut node_of_global: HashMap<u64, NodeId> = HashMap::new();
+        // K rows sorted by global; a frame parent's global is always smaller
+        // than its children's, so one ascending pass builds the tree, and
+        // ascending globals under one parent are sibling document order.
+        for row in scheme.ktable().rows() {
+            let node = fdoc.create_element("area");
+            match kary::parent_u64(row.global, scheme.kappa()) {
+                None => {
+                    let root = fdoc.root();
+                    fdoc.append_child(root, node);
+                }
+                Some(pg) => {
+                    let parent = node_of_global[&pg];
+                    fdoc.append_child(parent, node);
+                }
+            }
+            node_of_global.insert(row.global, node);
+        }
+        let lifted = Ruid2Scheme::build(&fdoc, config);
+        let mut global_of_node = vec![0u64; fdoc.arena_len()];
+        for (&g, &n) in &node_of_global {
+            global_of_node[n.index()] = g;
+        }
+        Level { scheme: lifted, frame_doc: Some(fdoc), node_of_global, global_of_node }
+    }
+
+    /// Number of levels (2 when the base frame was already small enough).
+    pub fn levels(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// The base (level-1) 2-level scheme.
+    pub fn base(&self) -> &Ruid2Scheme {
+        &self.levels[0].scheme
+    }
+
+    /// The l-level identifier of a base-document node.
+    pub fn label_of(&self, node: NodeId) -> MultiRuid {
+        let base = self.levels[0].scheme.label_of(node);
+        self.encode(base)
+    }
+
+    /// Re-encodes a level-1 (2-level) label into the full l-level form.
+    pub fn encode(&self, base: Ruid2) -> MultiRuid {
+        let mut path = vec![(base.local, base.is_root)];
+        let mut g = base.global;
+        for level in &self.levels[1..] {
+            let fnode = level.node_of_global[&g];
+            let lab = level.scheme.label_of(fnode);
+            path.push((lab.local, lab.is_root));
+            g = lab.global;
+        }
+        path.reverse();
+        MultiRuid { theta: g, path }
+    }
+
+    /// Decodes an l-level identifier back to the level-1 label (the inverse
+    /// of [`MultiRuidScheme::encode`]); `None` if no such node exists.
+    pub fn decode(&self, label: &MultiRuid) -> Option<Ruid2> {
+        if label.path.len() != self.levels.len() {
+            return None;
+        }
+        let mut g = label.theta;
+        for (level, &(alpha, beta)) in self.levels[1..].iter().rev().zip(&label.path) {
+            let lab = Ruid2::new(g, alpha, beta);
+            let fnode = level.scheme.node_of(&lab)?;
+            g = level.global_of_node[fnode.index()];
+        }
+        let &(alpha, beta) = label.path.last().expect("path is non-empty");
+        Some(Ruid2::new(g, alpha, beta))
+    }
+
+    /// The base-document node carrying `label`.
+    pub fn node_of(&self, label: &MultiRuid) -> Option<NodeId> {
+        let base = self.decode(label)?;
+        self.levels[0].scheme.node_of(&base)
+    }
+
+    /// Parent identifier from the label alone (all level tables are
+    /// memory-resident). `None` for the tree root.
+    pub fn parent_label(&self, label: &MultiRuid) -> Option<MultiRuid> {
+        let base = self.decode(label)?;
+        let parent = self.levels[0].scheme.rparent(&base)?;
+        Some(self.encode(parent))
+    }
+
+    /// `true` iff `a` labels a strict ancestor of `b`'s node.
+    pub fn is_ancestor(&self, a: &MultiRuid, b: &MultiRuid) -> bool {
+        match (self.decode(a), self.decode(b)) {
+            (Some(a), Some(b)) => self.levels[0].scheme.label_is_ancestor(&a, &b),
+            _ => false,
+        }
+    }
+
+    /// Document order of two labels.
+    pub fn cmp_order(&self, a: &MultiRuid, b: &MultiRuid) -> Ordering {
+        let a = self.decode(a).expect("label from this numbering");
+        let b = self.decode(b).expect("label from this numbering");
+        self.levels[0].scheme.cmp_order(&a, &b)
+    }
+
+    /// The frame document of level `i` (1-based above the base), if built.
+    pub fn frame_doc(&self, i: usize) -> Option<&Document> {
+        self.levels.get(i).and_then(|l| l.frame_doc.as_ref())
+    }
+
+    /// Total memory of all level tables (κ/K analogue for l levels).
+    pub fn tables_memory_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.scheme.ktable().memory_bytes()).sum()
+    }
+}

@@ -1,0 +1,506 @@
+//! The 2-level rUID scheme: construction (the algorithm of the paper's
+//! Fig. 3) and the label-arithmetic core (`rparent`, ancestry, document
+//! order).
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use schemes::kary;
+use schemes::{NumberingScheme, RelabelStats};
+use xmldom::{Document, NodeId};
+
+use crate::label::Ruid2;
+use crate::partition::{Partition, PartitionConfig};
+use crate::table::{AreaEntry, KTable};
+
+/// The parent computation of the paper's Fig. 6, as a pure function of the
+/// global parameters (κ, K). Returns `None` for the tree root.
+///
+/// # Panics
+/// Panics if the label references an area missing from `ktable` — labels and
+/// table must come from the same numbering.
+pub fn rparent_with(kappa: u64, ktable: &KTable, label: &Ruid2) -> Option<Ruid2> {
+    if label.is_tree_root() {
+        return None;
+    }
+    // Step 1-5: the area holding the parent.
+    let g = if label.is_root {
+        kary::parent_u64(label.global, kappa)
+            .expect("non-tree-root area root must have an upper area")
+    } else {
+        label.global
+    };
+    // Step 6-7: local k-ary parent inside that area.
+    let k = ktable.fanout(g);
+    let l = kary::parent_u64(label.local, k)
+        .expect("a non-root label's local index is at least 2");
+    // Step 8-13: landing on local index 1 means the parent is the area root,
+    // whose public local index lives in the *upper* area (table K).
+    if l == 1 {
+        let entry = ktable.get(g).unwrap_or_else(|| panic!("area {g} not in table K"));
+        Some(Ruid2::new(g, entry.local, true))
+    } else {
+        Some(Ruid2::new(g, l, false))
+    }
+}
+
+/// Why a numbering could not be built: a u64 k-ary index overflowed.
+///
+/// The original UID scheme overflows by design on large trees (Section 1 of
+/// the paper); rUID inherits the limit *per level* — a frame deeper than
+/// ~64/log2(κ) levels, or an absurdly deep single area, exceeds u64. The fix
+/// is the paper's: partition finer, or add a level
+/// ([`crate::MultiRuidScheme`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The κ-ary enumeration of the frame exceeded u64.
+    FrameOverflow {
+        /// The frame fan-out in use.
+        kappa: u64,
+    },
+    /// The local enumeration of one area exceeded u64.
+    LocalOverflow {
+        /// The area's global index.
+        area: u64,
+        /// The area's enumeration fan-out.
+        fanout: u64,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::FrameOverflow { kappa } => write!(
+                f,
+                "frame enumeration overflowed u64 (kappa = {kappa}): the frame is too \
+                 large/deep for a 2-level rUID; use a multilevel numbering or a coarser \
+                 partition"
+            ),
+            BuildError::LocalOverflow { area, fanout } => write!(
+                f,
+                "local enumeration of area {area} overflowed u64 (fan-out {fanout}): \
+                 partition finer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A 2-level rUID numbering of one document subtree.
+///
+/// Holds the global parameters (κ and the table K — the only state the
+/// label-arithmetic needs) plus the label tables that tie labels to
+/// [`NodeId`]s.
+#[derive(Debug, Clone)]
+pub struct Ruid2Scheme {
+    root: NodeId,
+    kappa: u64,
+    ktable: KTable,
+    /// Dense label table by [`NodeId::index`].
+    labels: Vec<Option<Ruid2>>,
+    /// Reverse mapping (labels are unique including the root flag).
+    nodes: HashMap<Ruid2, NodeId>,
+    /// Area global index -> area root node.
+    area_roots: HashMap<u64, NodeId>,
+    /// Dense area-root flag by [`NodeId::index`].
+    is_area_root: Vec<bool>,
+    /// Kept so rebuilds reuse the same policy.
+    config: PartitionConfig,
+}
+
+impl Ruid2Scheme {
+    /// Builds the numbering for the subtree under the document's root
+    /// element (or the document node when there is no element).
+    pub fn build(doc: &Document, config: &PartitionConfig) -> Self {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        Self::build_at(doc, root, config)
+    }
+
+    /// Builds the numbering for the subtree rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if the frame or an area is so large that a u64 k-ary index
+    /// overflows (see [`Ruid2Scheme::try_build_at`] for the checked form);
+    /// partition finer or use [`crate::MultiRuidScheme`] for such documents.
+    pub fn build_at(doc: &Document, root: NodeId, config: &PartitionConfig) -> Self {
+        Self::try_build_at(doc, root, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`Ruid2Scheme::build`]: reports enumeration overflow instead
+    /// of panicking — the trigger condition for going multilevel.
+    pub fn try_build(doc: &Document, config: &PartitionConfig) -> Result<Self, BuildError> {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        Self::try_build_at(doc, root, config)
+    }
+
+    /// Checked [`Ruid2Scheme::build_at`].
+    pub fn try_build_at(
+        doc: &Document,
+        root: NodeId,
+        config: &PartitionConfig,
+    ) -> Result<Self, BuildError> {
+        let partition = Partition::compute(doc, root, config);
+        Self::try_from_partition(doc, &partition, config)
+    }
+
+    /// Builds the numbering from an explicit partition.
+    ///
+    /// # Panics
+    /// Panics on enumeration overflow; see
+    /// [`Ruid2Scheme::try_from_partition`].
+    pub fn from_partition(doc: &Document, partition: &Partition, config: &PartitionConfig) -> Self {
+        Self::try_from_partition(doc, partition, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`Ruid2Scheme::from_partition`].
+    pub fn try_from_partition(
+        doc: &Document,
+        partition: &Partition,
+        config: &PartitionConfig,
+    ) -> Result<Self, BuildError> {
+        let root = partition.root();
+        let kappa = partition.frame_max_fanout(doc);
+        let mut scheme = Ruid2Scheme {
+            root,
+            kappa,
+            ktable: KTable::new(),
+            labels: vec![None; doc.arena_len()],
+            nodes: HashMap::new(),
+            area_roots: HashMap::new(),
+            is_area_root: vec![false; doc.arena_len()],
+            config: *config,
+        };
+
+        // Step (2) of Fig. 3: enumerate the frame with a κ-ary tree to get
+        // the global indices.
+        let mut global_of: HashMap<NodeId, u64> = HashMap::new();
+        global_of.insert(root, 1);
+        let mut frame_stack = vec![(root, 1u64)];
+        while let Some((r, g)) = frame_stack.pop() {
+            scheme.area_roots.insert(g, r);
+            scheme.set_area_root_flag(r);
+            for (j, child_root) in partition.frame_children(doc, r).into_iter().enumerate() {
+                let cg = kary::child_u64(g, kappa, j as u64 + 1)
+                    .ok_or(BuildError::FrameOverflow { kappa })?;
+                global_of.insert(child_root, cg);
+                frame_stack.push((child_root, cg));
+            }
+        }
+
+        // Steps (4)-(14): enumerate each area locally and compose labels.
+        // root_local[g] = the area root's index in its upper area.
+        let mut root_local: HashMap<u64, u64> = HashMap::new();
+        root_local.insert(1, 1);
+        let mut fanouts: HashMap<u64, u64> = HashMap::new();
+        for (&r, &g) in &global_of {
+            let members = partition.area_members(doc, r);
+            // Local fan-out: over nodes whose children belong to this area
+            // (the root and interior members; boundary roots' children live
+            // in their own areas).
+            let k = members
+                .iter()
+                .filter(|&&m| m == r || !partition.is_area_root(m))
+                .map(|&m| doc.children(m).count())
+                .max()
+                .unwrap_or(0)
+                .max(1) as u64;
+            fanouts.insert(g, k);
+            // DFS assigning local indices; the area root is 1.
+            let mut stack: Vec<(NodeId, u64)> = vec![(r, 1)];
+            while let Some((n, local)) = stack.pop() {
+                if n != r && partition.is_area_root(n) {
+                    // Boundary root: record its leaf index in this area.
+                    let ng = global_of[&n];
+                    root_local.insert(ng, local);
+                    continue;
+                }
+                if n != r {
+                    scheme.set_label(n, Ruid2::new(g, local, false));
+                }
+                for (j, c) in doc.children(n).enumerate() {
+                    let cl = kary::child_u64(local, k, j as u64 + 1)
+                        .ok_or(BuildError::LocalOverflow { area: g, fanout: k })?;
+                    stack.push((c, cl));
+                }
+            }
+        }
+
+        // Compose area-root labels and the table K.
+        let mut rows = Vec::with_capacity(global_of.len());
+        for (&r, &g) in &global_of {
+            let local = root_local[&g];
+            scheme.set_label(r, Ruid2::new(g, local, true));
+            rows.push(AreaEntry { global: g, local, fanout: fanouts[&g] });
+        }
+        scheme.ktable = KTable::from_rows(rows);
+        Ok(scheme)
+    }
+
+    /// The frame fan-out κ.
+    pub fn kappa(&self) -> u64 {
+        self.kappa
+    }
+
+    /// The global parameter table K.
+    pub fn ktable(&self) -> &KTable {
+        &self.ktable
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes are labelled (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of UID-local areas.
+    pub fn area_count(&self) -> usize {
+        self.area_roots.len()
+    }
+
+    /// The node that is the root of area `global`.
+    pub fn area_root_node(&self, global: u64) -> Option<NodeId> {
+        self.area_roots.get(&global).copied()
+    }
+
+    /// The partition policy this scheme was built with.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Whether `node` is an area root under this numbering.
+    pub fn is_area_root(&self, node: NodeId) -> bool {
+        self.is_area_root.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Bits needed per label component if globals and locals are stored as
+    /// minimal-width integers (+1 for the root flag) — E2's storage metric.
+    pub fn label_width_bits(&self) -> u64 {
+        let max_global = self.nodes.keys().map(|l| l.global).max().unwrap_or(1);
+        let max_local = self.nodes.keys().map(|l| l.local).max().unwrap_or(1);
+        (64 - max_global.leading_zeros() as u64) + (64 - max_local.leading_zeros() as u64) + 1
+    }
+
+    /// Rebuilds the numbering from scratch with the stored partition
+    /// policy, reporting how many existing labels changed. Updates keep the
+    /// numbering *correct* indefinitely, but after heavy churn the areas
+    /// drift from the configured policy (grown fan-outs, retired globals);
+    /// an occasional repartition restores the invariants the policy was
+    /// chosen for.
+    pub fn repartition(&mut self, doc: &Document) -> Result<RelabelStats, BuildError> {
+        let fresh = Ruid2Scheme::try_build_at(doc, self.root, &self.config)?;
+        let mut stats = RelabelStats::default();
+        for node in doc.descendants(self.root) {
+            let old = self.stored_label(node);
+            let new = fresh.stored_label(node);
+            if old != new {
+                stats.relabeled += 1;
+            }
+        }
+        stats.full_rebuild = true;
+        *self = fresh;
+        Ok(stats)
+    }
+
+    /// The parent computation of Fig. 6 (`None` for the tree root). Pure
+    /// label arithmetic over the in-memory κ and K — no tree access.
+    pub fn rparent(&self, label: &Ruid2) -> Option<Ruid2> {
+        rparent_with(self.kappa, &self.ktable, label)
+    }
+
+    /// The area whose inside holds `label`'s children: the node's own area
+    /// for an area root, the containing area otherwise. (In both cases this
+    /// is the `global` field, by Definition 3.)
+    pub fn child_area(&self, label: &Ruid2) -> u64 {
+        label.global
+    }
+
+    /// The local slot index of `label` within the area that contains it as a
+    /// member (for area roots: the upper area).
+    pub fn slot_local(&self, label: &Ruid2) -> u64 {
+        label.local
+    }
+
+    /// `true` iff `a` labels a strict ancestor of `b`'s node, from labels
+    /// alone.
+    pub fn label_is_ancestor(&self, a: &Ruid2, b: &Ruid2) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.is_tree_root() {
+            return true;
+        }
+        // Frame pre-filter: a's subtree lies inside area a.global's subtree,
+        // so b's area must be that area or a frame descendant of it.
+        let a_area = a.global;
+        let b_area = b.global;
+        if a_area != b_area && !kary::is_ancestor_u64(a_area, b_area, self.kappa) {
+            return false;
+        }
+        let mut cur = *b;
+        while let Some(p) = self.rparent(&cur) {
+            if p == *a {
+                return true;
+            }
+            // Once the climb leaves a's area subtree the answer is fixed.
+            if p.global != a_area && !kary::is_ancestor_u64(a_area, p.global, self.kappa) {
+                return false;
+            }
+            cur = p;
+        }
+        false
+    }
+
+    /// Document order of two labels, from labels alone (κ and K only).
+    ///
+    /// Fast path: Lemma 3 — when the two areas are distinct and neither is a
+    /// frame ancestor of the other, the frame order of the global indices
+    /// decides. Otherwise the ancestor chains (via `rparent`) are compared
+    /// at their divergence point, where sibling slots order numerically.
+    pub fn cmp_order(&self, a: &Ruid2, b: &Ruid2) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        if a.global != b.global
+            && !kary::is_ancestor_u64(a.global, b.global, self.kappa)
+            && !kary::is_ancestor_u64(b.global, a.global, self.kappa)
+        {
+            return self.cmp_frame_order(a.global, b.global);
+        }
+        // Chains from the tree root down to each label.
+        let chain = |start: &Ruid2| {
+            let mut v = vec![*start];
+            let mut cur = *start;
+            while let Some(p) = self.rparent(&cur) {
+                v.push(p);
+                cur = p;
+            }
+            v.reverse();
+            v
+        };
+        let ca = chain(a);
+        let cb = chain(b);
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            if x == y {
+                continue;
+            }
+            // x and y are children of the same node, hence sibling slots in
+            // the same area: their local indices order them (Lemma 2).
+            return x.local.cmp(&y.local);
+        }
+        // Prefix: the shorter chain labels an ancestor, which precedes.
+        ca.len().cmp(&cb.len())
+    }
+
+    /// Document order of two *distinct, non-nested* areas in the frame
+    /// (Lemma 3): compare the κ-ary chains of the global indices.
+    fn cmp_frame_order(&self, ga: u64, gb: u64) -> Ordering {
+        debug_assert_ne!(ga, gb);
+        let chain = |start: u64| {
+            let mut v = vec![start];
+            let mut cur = start;
+            while let Some(p) = kary::parent_u64(cur, self.kappa) {
+                v.push(p);
+                cur = p;
+            }
+            v.reverse();
+            v
+        };
+        let ca = chain(ga);
+        let cb = chain(gb);
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        ca.len().cmp(&cb.len())
+    }
+
+    pub(crate) fn set_label(&mut self, node: NodeId, label: Ruid2) {
+        let idx = node.index();
+        if self.labels.len() <= idx {
+            self.labels.resize(idx + 1, None);
+        }
+        self.labels[idx] = Some(label);
+        self.nodes.insert(label, node);
+    }
+
+    pub(crate) fn set_area_root_flag(&mut self, node: NodeId) {
+        let idx = node.index();
+        if self.is_area_root.len() <= idx {
+            self.is_area_root.resize(idx + 1, false);
+        }
+        self.is_area_root[idx] = true;
+    }
+
+    pub(crate) fn stored_label(&self, node: NodeId) -> Option<Ruid2> {
+        self.labels.get(node.index()).and_then(|l| *l)
+    }
+
+    pub(crate) fn take_label(&mut self, node: NodeId) -> Option<Ruid2> {
+        let old = self.labels.get_mut(node.index()).and_then(Option::take);
+        if let Some(old) = old {
+            if self.nodes.get(&old) == Some(&node) {
+                self.nodes.remove(&old);
+            }
+        }
+        old
+    }
+
+    pub(crate) fn ktable_mut(&mut self) -> &mut KTable {
+        &mut self.ktable
+    }
+
+    pub(crate) fn area_roots_mut(&mut self) -> &mut HashMap<u64, NodeId> {
+        &mut self.area_roots
+    }
+}
+
+impl NumberingScheme for Ruid2Scheme {
+    type Label = Ruid2;
+
+    fn scheme_name(&self) -> &'static str {
+        "ruid2"
+    }
+
+    fn numbering_root(&self) -> NodeId {
+        self.root
+    }
+
+    fn label_of(&self, node: NodeId) -> Ruid2 {
+        self.stored_label(node).expect("node is not labelled")
+    }
+
+    fn node_of(&self, label: &Ruid2) -> Option<NodeId> {
+        self.nodes.get(label).copied()
+    }
+
+    fn supports_parent_computation(&self) -> bool {
+        true
+    }
+
+    fn parent_label(&self, label: &Ruid2) -> Option<Ruid2> {
+        self.rparent(label)
+    }
+
+    fn is_ancestor(&self, a: &Ruid2, b: &Ruid2) -> bool {
+        self.label_is_ancestor(a, b)
+    }
+
+    fn cmp_order(&self, a: &Ruid2, b: &Ruid2) -> Ordering {
+        Ruid2Scheme::cmp_order(self, a, b)
+    }
+
+    fn on_insert(&mut self, doc: &Document, new_node: NodeId) -> RelabelStats {
+        crate::update::on_insert(self, doc, new_node)
+    }
+
+    fn on_delete(&mut self, doc: &Document, old_parent: NodeId, removed: NodeId) -> RelabelStats {
+        crate::update::on_delete(self, doc, old_parent, removed)
+    }
+}

@@ -1,0 +1,227 @@
+//! The global parameter table **K** (Section 2.1 of the paper).
+//!
+//! One row per UID-local area, sorted by global index: the area's global
+//! index, the local index of the area's root in the *upper* area, and the
+//! maximal fan-out used to enumerate the area. κ and K are the only state
+//! `rparent` and the axis routines need, and they are small enough to pin in
+//! main memory — that is the paper's "no I/O" argument.
+
+use schemes::kary;
+
+/// One row of the table K.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaEntry {
+    /// Global index of the area (frame UID of its root).
+    pub global: u64,
+    /// Local index of the area's root within the upper area (1 for the
+    /// root area).
+    pub local: u64,
+    /// Fan-out of the k-ary tree enumerating this area's inside.
+    pub fanout: u64,
+}
+
+/// The table K: rows sorted by global index, binary-searchable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KTable {
+    rows: Vec<AreaEntry>,
+}
+
+impl KTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from rows (sorts them by global index).
+    ///
+    /// # Panics
+    /// Panics if two rows share a global index.
+    pub fn from_rows(mut rows: Vec<AreaEntry>) -> Self {
+        rows.sort_by_key(|r| r.global);
+        for pair in rows.windows(2) {
+            assert_ne!(pair[0].global, pair[1].global, "duplicate area global index");
+        }
+        KTable { rows }
+    }
+
+    /// Number of areas.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, sorted by global index.
+    pub fn rows(&self) -> &[AreaEntry] {
+        &self.rows
+    }
+
+    /// The row for area `global`, if present. O(log |K|).
+    pub fn get(&self, global: u64) -> Option<&AreaEntry> {
+        self.rows
+            .binary_search_by_key(&global, |r| r.global)
+            .ok()
+            .map(|i| &self.rows[i])
+    }
+
+    /// Local fan-out of area `global`.
+    ///
+    /// # Panics
+    /// Panics if the area is unknown — labels must only reference areas in K.
+    pub fn fanout(&self, global: u64) -> u64 {
+        self.get(global).unwrap_or_else(|| panic!("area {global} not in table K")).fanout
+    }
+
+    /// Inserts or replaces a row.
+    pub fn upsert(&mut self, entry: AreaEntry) {
+        match self.rows.binary_search_by_key(&entry.global, |r| r.global) {
+            Ok(i) => self.rows[i] = entry,
+            Err(i) => self.rows.insert(i, entry),
+        }
+    }
+
+    /// Removes the row for area `global`; returns whether it existed.
+    pub fn remove(&mut self, global: u64) -> bool {
+        match self.rows.binary_search_by_key(&global, |r| r.global) {
+            Ok(i) => {
+                self.rows.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Areas whose root's frame parent is `upper` (their globals fall in the
+    /// κ-ary child range of `upper`), in global order. This is the K-probe
+    /// the paper's `rchildren` routine performs: "if there exists θ' in L1
+    /// such that (θ', i) is found in K as the global and local indices of a
+    /// row".
+    pub fn areas_under(&self, upper: u64, kappa: u64) -> &[AreaEntry] {
+        let Some((lo, hi)) = kary::children_range_u64(upper, kappa) else {
+            return &[];
+        };
+        let start = self.rows.partition_point(|r| r.global < lo);
+        let end = self.rows.partition_point(|r| r.global <= hi);
+        &self.rows[start..end]
+    }
+
+    /// The area rooted at the node with local index `local` inside area
+    /// `upper`, if that child slot holds an area root.
+    pub fn area_rooted_at(&self, upper: u64, local: u64, kappa: u64) -> Option<u64> {
+        self.areas_under(upper, kappa).iter().find(|r| r.local == local).map(|r| r.global)
+    }
+
+    /// In-memory footprint of the table in bytes (the paper's "small-size
+    /// global information").
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<AreaEntry>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 5 table (for the 2-level rUID of Fig. 4), κ = 4:
+    ///
+    /// | global | local | fan-out |
+    /// |--------|-------|---------|
+    /// | 1      | 1     | 4       |
+    /// | 2      | 2     | 2       |
+    /// | 3      | 4     | 3       |
+    /// | 10     | 3     | 2       |
+    /// | 12     | 2     | 2       |
+    /// | 13     | 4     | 2       |
+    ///
+    /// (Six UID-local areas; see `tests/paper_examples.rs` for the exact
+    /// numbers from Example 2, which exercise rows 2, 3 and 10.)
+    fn fig5() -> KTable {
+        KTable::from_rows(vec![
+            AreaEntry { global: 1, local: 1, fanout: 4 },
+            AreaEntry { global: 2, local: 2, fanout: 2 },
+            AreaEntry { global: 3, local: 4, fanout: 3 },
+            AreaEntry { global: 10, local: 3, fanout: 2 },
+            AreaEntry { global: 12, local: 2, fanout: 2 },
+            AreaEntry { global: 13, local: 4, fanout: 2 },
+        ])
+    }
+
+    #[test]
+    fn lookup() {
+        let k = fig5();
+        assert_eq!(k.len(), 6);
+        assert_eq!(k.get(3).unwrap().fanout, 3);
+        assert_eq!(k.get(3).unwrap().local, 4);
+        assert_eq!(k.get(4), None);
+        assert_eq!(k.fanout(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in table K")]
+    fn unknown_area_panics() {
+        fig5().fanout(99);
+    }
+
+    #[test]
+    fn from_rows_sorts() {
+        let k = KTable::from_rows(vec![
+            AreaEntry { global: 10, local: 3, fanout: 2 },
+            AreaEntry { global: 2, local: 2, fanout: 2 },
+        ]);
+        assert_eq!(k.rows()[0].global, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_global_panics() {
+        KTable::from_rows(vec![
+            AreaEntry { global: 2, local: 2, fanout: 2 },
+            AreaEntry { global: 2, local: 3, fanout: 4 },
+        ]);
+    }
+
+    #[test]
+    fn upsert_and_remove() {
+        let mut k = fig5();
+        k.upsert(AreaEntry { global: 3, local: 4, fanout: 5 });
+        assert_eq!(k.fanout(3), 5);
+        assert_eq!(k.len(), 6);
+        k.upsert(AreaEntry { global: 7, local: 1, fanout: 2 });
+        assert_eq!(k.len(), 7);
+        assert!(k.remove(7));
+        assert!(!k.remove(7));
+        assert_eq!(k.len(), 6);
+    }
+
+    #[test]
+    fn areas_under_frame_parent() {
+        let k = fig5();
+        // κ = 4: children of frame node 3 occupy globals 10..=13.
+        let under3: Vec<u64> = k.areas_under(3, 4).iter().map(|r| r.global).collect();
+        assert_eq!(under3, vec![10, 12, 13]);
+        // Children of frame node 1 occupy globals 2..=5.
+        let under1: Vec<u64> = k.areas_under(1, 4).iter().map(|r| r.global).collect();
+        assert_eq!(under1, vec![2, 3]);
+        assert!(k.areas_under(2, 4).is_empty()); // globals 6..=9: none
+    }
+
+    #[test]
+    fn area_rooted_at_slot() {
+        let k = fig5();
+        // Inside area 3, local index 4 is the root of area... local 4 under
+        // upper area 3: row (13, 4) matches.
+        assert_eq!(k.area_rooted_at(3, 4, 4), Some(13));
+        assert_eq!(k.area_rooted_at(3, 3, 4), Some(10));
+        assert_eq!(k.area_rooted_at(3, 9, 4), None);
+        assert_eq!(k.area_rooted_at(1, 2, 4), Some(2));
+    }
+
+    #[test]
+    fn memory_is_small() {
+        let k = fig5();
+        assert_eq!(k.memory_bytes(), 6 * std::mem::size_of::<AreaEntry>());
+    }
+}

@@ -1,0 +1,143 @@
+//! The l-level recursive construction (Section 2.4 / Definition 4):
+//! encode/decode round trips (invariant I5), navigation at 3+ levels, and
+//! the Example 3 decomposition shape.
+
+use ruid_core::{MultiRuid, MultiRuidScheme, PartitionConfig, Ruid2Scheme};
+use schemes::NumberingScheme;
+use xmldom::NodeId;
+use xmlgen::{random_tree, TreeGenConfig};
+
+fn sample_doc(nodes: usize, seed: u64) -> xmldom::Document {
+    random_tree(&TreeGenConfig { nodes, max_fanout: 4, depth_bias: 0.2, seed, ..Default::default() })
+}
+
+#[test]
+fn two_level_wrapping() {
+    let doc = sample_doc(100, 1);
+    let m = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 2);
+    assert_eq!(m.levels(), 2);
+    // 2-level MultiRuid carries exactly the Ruid2 content.
+    let base = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+    for n in doc.descendants(doc.root_element().unwrap()) {
+        let flat = base.label_of(n);
+        let multi = m.label_of(n);
+        assert_eq!(multi.theta, flat.global);
+        assert_eq!(multi.path, vec![(flat.local, flat.is_root)]);
+        assert_eq!(multi.levels(), 2);
+    }
+}
+
+#[test]
+fn encode_decode_round_trip_three_levels() {
+    let doc = sample_doc(500, 2);
+    let m = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 3);
+    assert_eq!(m.levels(), 3);
+    for n in doc.descendants(doc.root_element().unwrap()) {
+        let label = m.label_of(n);
+        assert_eq!(label.levels(), 3);
+        assert_eq!(m.node_of(&label), Some(n), "round trip of {label}");
+    }
+}
+
+#[test]
+fn decode_rejects_wrong_shape() {
+    let doc = sample_doc(100, 3);
+    let m = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 3);
+    // Too few levels.
+    assert_eq!(m.decode(&MultiRuid { theta: 1, path: vec![(1, true)] }), None);
+    // Nonexistent slot.
+    assert_eq!(
+        m.node_of(&MultiRuid { theta: 999, path: vec![(1, true), (1, true)] }),
+        None
+    );
+}
+
+#[test]
+fn parent_chain_matches_dom_at_three_levels() {
+    let doc = sample_doc(400, 4);
+    let m = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 3);
+    let root = doc.root_element().unwrap();
+    for n in doc.descendants(root) {
+        let label = m.label_of(n);
+        let parent = m.parent_label(&label);
+        let expected = if n == root {
+            None
+        } else {
+            doc.parent(n).map(|p| m.label_of(p))
+        };
+        assert_eq!(parent, expected, "parent of {label}");
+    }
+}
+
+#[test]
+fn order_and_ancestry_at_three_levels() {
+    let doc = sample_doc(300, 5);
+    let m = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 3);
+    let nodes: Vec<NodeId> = doc.descendants(doc.root_element().unwrap()).collect();
+    for (i, &a) in nodes.iter().enumerate().step_by(7) {
+        for (j, &b) in nodes.iter().enumerate().step_by(5) {
+            let la = m.label_of(a);
+            let lb = m.label_of(b);
+            assert_eq!(m.cmp_order(&la, &lb), i.cmp(&j));
+            assert_eq!(m.is_ancestor(&la, &lb), doc.is_ancestor_of(a, b));
+        }
+    }
+}
+
+#[test]
+fn auto_leveling_until_frame_fits() {
+    let doc = sample_doc(2000, 6);
+    // Tiny areas => big frame => extra levels kick in.
+    let m = MultiRuidScheme::build(&doc, &PartitionConfig::by_depth(1), 20);
+    assert!(m.levels() >= 3, "levels = {}", m.levels());
+    // Still correct.
+    let root = doc.root_element().unwrap();
+    for n in doc.descendants(root).step_by(17) {
+        let label = m.label_of(n);
+        assert_eq!(m.node_of(&label), Some(n));
+    }
+    // The top frame is genuinely small.
+    let top_levels = m.levels() - 2;
+    let top_frame = m.frame_doc(top_levels).expect("lifted frame exists");
+    assert!(top_frame.node_count() > 1);
+}
+
+#[test]
+fn auto_leveling_stops_at_two_when_small() {
+    let doc = sample_doc(50, 7);
+    let m = MultiRuidScheme::build(&doc, &PartitionConfig::by_depth(3), 1000);
+    assert_eq!(m.levels(), 2);
+}
+
+/// Example 3's decomposition direction: a 2-level label {g, (a, true)}
+/// whose global g is re-encoded by the upper level into (g', a', b') yields
+/// the 3-level {g', (a', b'), (a, true)} — i.e. the base pair is preserved
+/// verbatim and only the area identification deepens.
+#[test]
+fn example3_decomposition_shape() {
+    let doc = sample_doc(600, 8);
+    let two = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 2);
+    let three = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 3);
+    for n in doc.descendants(doc.root_element().unwrap()).step_by(13) {
+        let l2 = two.label_of(n);
+        let l3 = three.label_of(n);
+        // The level-1 pair (α1, β1) is identical in both encodings.
+        assert_eq!(l2.path.last(), l3.path.last(), "base pair preserved for {l2} vs {l3}");
+        assert_eq!(l3.levels(), 3);
+    }
+}
+
+#[test]
+fn display_format() {
+    let label = MultiRuid { theta: 2, path: vec![(4, false), (7, true)] };
+    assert_eq!(label.to_string(), "{2, (4, false), (7, true)}");
+    assert_eq!(label.levels(), 3);
+}
+
+#[test]
+fn tables_memory_reported() {
+    let doc = sample_doc(500, 9);
+    let m = MultiRuidScheme::build_with_levels(&doc, &PartitionConfig::by_depth(2), 3);
+    assert!(m.tables_memory_bytes() > 0);
+    assert!(m.base().area_count() > 1);
+}

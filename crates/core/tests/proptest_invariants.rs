@@ -1,0 +1,159 @@
+//! Property-based tests of the DESIGN.md invariants I1–I4 on
+//! proptest-generated trees and edit scripts.
+
+use proptest::prelude::*;
+use ruid_core::{PartitionConfig, PartitionStrategy, Ruid2Scheme};
+use schemes::NumberingScheme;
+use xmldom::{Document, NodeId};
+
+/// A tree shape as a parent vector: entry i (for node i+1) is the index of
+/// its parent among nodes 0..=i. Always a valid tree.
+fn arb_parent_vec(max_nodes: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(any::<proptest::sample::Index>(), 0..max_nodes).prop_map(
+        |choices| {
+            choices
+                .into_iter()
+                .enumerate()
+                .map(|(i, idx)| idx.index(i + 1))
+                .collect()
+        },
+    )
+}
+
+fn build_doc(parents: &[usize]) -> (Document, Vec<NodeId>) {
+    let mut doc = Document::new();
+    let root = doc.create_element("n0");
+    let doc_root = doc.root();
+    doc.append_child(doc_root, root);
+    let mut nodes = vec![root];
+    for (i, &p) in parents.iter().enumerate() {
+        let node = doc.create_element(&format!("n{}", i + 1));
+        doc.append_child(nodes[p], node);
+        nodes.push(node);
+    }
+    (doc, nodes)
+}
+
+fn arb_config() -> impl Strategy<Value = PartitionConfig> {
+    prop_oneof![
+        (1usize..6).prop_map(PartitionConfig::by_depth),
+        (2usize..40).prop_map(PartitionConfig::by_area_size),
+        (1usize..6).prop_map(|d| PartitionConfig {
+            strategy: PartitionStrategy::ByDepth(d),
+            fanout_adjustment: false,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// I1 + I2 + I3: parent, order and ancestry from labels alone agree
+    /// with the tree, for arbitrary shapes and partition configs.
+    #[test]
+    fn prop_static_invariants(parents in arb_parent_vec(60), config in arb_config()) {
+        let (doc, nodes) = build_doc(&parents);
+        let Ok(scheme) = Ruid2Scheme::try_build(&doc, &config) else {
+            // Deep degenerate shapes may overflow; that is a documented,
+            // typed outcome, not a correctness failure.
+            return Ok(());
+        };
+        scheme.check_consistency(&doc).map_err(TestCaseError::fail)?;
+        for (i, &a) in nodes.iter().enumerate() {
+            let la = scheme.label_of(a);
+            // I1 via check_consistency; spot-check I2/I3 against the tree.
+            for &b in nodes.iter().skip(i + 1).step_by(3) {
+                let lb = scheme.label_of(b);
+                prop_assert_eq!(
+                    scheme.label_is_ancestor(&la, &lb),
+                    doc.is_ancestor_of(a, b)
+                );
+                prop_assert_eq!(
+                    scheme.cmp_order(&la, &lb),
+                    doc.cmp_document_order(a, b)
+                );
+            }
+        }
+    }
+
+    /// Axis routines agree with the DOM on arbitrary shapes.
+    #[test]
+    fn prop_axes_match_dom(parents in arb_parent_vec(40), config in arb_config()) {
+        let (doc, nodes) = build_doc(&parents);
+        let Ok(scheme) = Ruid2Scheme::try_build(&doc, &config) else { return Ok(()) };
+        for &n in nodes.iter().step_by(2) {
+            let l = scheme.label_of(n);
+            let children: Vec<_> = doc.children(n).map(|c| scheme.label_of(c)).collect();
+            prop_assert_eq!(scheme.rchildren(&l), children);
+            let descendants: Vec<_> =
+                doc.descendants(n).skip(1).map(|c| scheme.label_of(c)).collect();
+            prop_assert_eq!(scheme.rdescendants(&l), descendants);
+            let fsib: Vec<_> =
+                doc.following_siblings(n).map(|c| scheme.label_of(c)).collect();
+            prop_assert_eq!(scheme.rfsiblings(&l), fsib);
+        }
+    }
+
+    /// I4: invariants survive random edit scripts (inserts + deletes), and
+    /// updates never force a frame change.
+    #[test]
+    fn prop_update_invariants(
+        parents in arb_parent_vec(30),
+        config in arb_config(),
+        script in proptest::collection::vec(
+            (any::<proptest::sample::Index>(), any::<proptest::sample::Index>(), 0u8..4),
+            1..25
+        ),
+    ) {
+        let (mut doc, _) = build_doc(&parents);
+        let Ok(mut scheme) = Ruid2Scheme::try_build(&doc, &config) else { return Ok(()) };
+        let root = doc.root_element().unwrap();
+        for (step, (target_idx, _unused, op)) in script.into_iter().enumerate() {
+            let attached: Vec<NodeId> = doc.descendants(root).collect();
+            let target = attached[target_idx.index(attached.len())];
+            match op {
+                0 => {
+                    let new = doc.create_element("ins");
+                    doc.append_child(target, new);
+                    scheme.on_insert(&doc, new);
+                }
+                1 if target != root => {
+                    let new = doc.create_element("ins");
+                    doc.insert_before(target, new);
+                    scheme.on_insert(&doc, new);
+                }
+                2 if target != root => {
+                    let new = doc.create_element("ins");
+                    doc.insert_after(target, new);
+                    scheme.on_insert(&doc, new);
+                }
+                3 if target != root => {
+                    let parent = doc.parent(target).unwrap();
+                    doc.detach(target);
+                    scheme.on_delete(&doc, parent, target);
+                }
+                _ => {
+                    let new = doc.create_element("ins");
+                    doc.append_child(target, new);
+                    scheme.on_insert(&doc, new);
+                }
+            }
+            scheme
+                .check_consistency(&doc)
+                .map_err(|e| TestCaseError::fail(format!("step {step}: {e}")))?;
+        }
+        // Final relational sweep.
+        let nodes: Vec<NodeId> = doc.descendants(root).collect();
+        for (i, &a) in nodes.iter().enumerate().step_by(2) {
+            for (j, &b) in nodes.iter().enumerate().step_by(3) {
+                let la = scheme.label_of(a);
+                let lb = scheme.label_of(b);
+                prop_assert_eq!(scheme.cmp_order(&la, &lb), i.cmp(&j));
+                prop_assert_eq!(
+                    scheme.label_is_ancestor(&la, &lb),
+                    doc.is_ancestor_of(a, b)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Correctness of the 2-level rUID against the document tree as ground
+//! truth: invariants I1 (parent), I2 (document order), I3 (ancestry) of
+//! DESIGN.md, plus the axis routines of Section 3.5.
+
+use ruid_core::{PartitionConfig, PartitionStrategy, Ruid2Scheme};
+use schemes::NumberingScheme;
+use xmldom::{Document, NodeId};
+use xmlgen::{random_tree, FanoutDist, TreeGenConfig};
+
+fn configs() -> Vec<PartitionConfig> {
+    vec![
+        PartitionConfig::by_depth(1),
+        PartitionConfig::by_depth(2),
+        PartitionConfig::by_depth(3),
+        PartitionConfig::by_area_size(5),
+        PartitionConfig::by_area_size(20),
+        PartitionConfig::single_area(),
+        PartitionConfig {
+            strategy: PartitionStrategy::ByDepth(2),
+            fanout_adjustment: false,
+        },
+    ]
+}
+
+fn docs() -> Vec<Document> {
+    let mut docs = vec![
+        Document::parse("<a/>").unwrap(),
+        Document::parse("<a><b/></a>").unwrap(),
+        Document::parse("<a><b><c><d><e/></d></c></b></a>").unwrap(),
+        Document::parse("<a><b/><c/><d/><e/><f/></a>").unwrap(),
+        Document::parse("<a><b><e><g/><h/></e></b><c/><d><f/></d></a>").unwrap(),
+    ];
+    for (i, fanout) in [FanoutDist::Uniform, FanoutDist::Geometric(0.4), FanoutDist::Zipf(1.1)]
+        .into_iter()
+        .enumerate()
+    {
+        docs.push(random_tree(&TreeGenConfig {
+            nodes: 300,
+            max_fanout: 6,
+            fanout,
+            depth_bias: 0.3,
+            seed: 100 + i as u64,
+            ..Default::default()
+        }));
+    }
+    docs.push(xmlgen::deep_tree(20, 3));
+    docs.push(xmlgen::xmark::generate(&xmlgen::xmark::XmarkConfig::default()));
+    docs
+}
+
+/// Every stored label satisfies the trait's parent/reverse-mapping checks.
+#[test]
+fn consistency_on_all_shapes() {
+    for (d, doc) in docs().iter().enumerate() {
+        for (c, config) in configs().iter().enumerate() {
+            let scheme = Ruid2Scheme::build(doc, config);
+            scheme
+                .check_consistency(doc)
+                .unwrap_or_else(|e| panic!("doc #{d}, config #{c}: {e}"));
+        }
+    }
+}
+
+/// The tree root always carries (1, 1, true).
+#[test]
+fn tree_root_label() {
+    for doc in &docs() {
+        let scheme = Ruid2Scheme::build(doc, &PartitionConfig::default());
+        let root = doc.root_element().unwrap();
+        assert!(scheme.label_of(root).is_tree_root());
+    }
+}
+
+/// I3: label-only ancestry equals tree ancestry (exhaustive on small docs).
+#[test]
+fn ancestry_matches_dom() {
+    for doc in docs().iter().take(5) {
+        for config in &configs() {
+            let scheme = Ruid2Scheme::build(doc, config);
+            let nodes: Vec<NodeId> =
+                doc.descendants(doc.root_element().unwrap()).collect();
+            for &a in &nodes {
+                for &b in &nodes {
+                    let la = scheme.label_of(a);
+                    let lb = scheme.label_of(b);
+                    assert_eq!(
+                        scheme.label_is_ancestor(&la, &lb),
+                        doc.is_ancestor_of(a, b),
+                        "{la} anc {lb}? (config {config:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// I2: label-only document order equals preorder position (exhaustive on
+/// small docs, sampled on large ones).
+#[test]
+fn order_matches_dom() {
+    for doc in &docs() {
+        let scheme = Ruid2Scheme::build(doc, &PartitionConfig::by_depth(2));
+        let nodes: Vec<NodeId> = doc.descendants(doc.root_element().unwrap()).collect();
+        let step = (nodes.len() / 40).max(1);
+        for (i, &a) in nodes.iter().enumerate().step_by(step) {
+            for (j, &b) in nodes.iter().enumerate().step_by(step) {
+                let la = scheme.label_of(a);
+                let lb = scheme.label_of(b);
+                assert_eq!(scheme.cmp_order(&la, &lb), i.cmp(&j), "{la} vs {lb}");
+            }
+        }
+    }
+}
+
+/// Axis routines agree with DOM traversal on every node of mid-size docs.
+#[test]
+fn axes_match_dom() {
+    for doc in docs().iter().take(6) {
+        for config in [PartitionConfig::by_depth(2), PartitionConfig::by_area_size(4)] {
+            let scheme = Ruid2Scheme::build(doc, &config);
+            let root = doc.root_element().unwrap();
+            for n in doc.descendants(root) {
+                let l = scheme.label_of(n);
+                let expect =
+                    |it: Vec<NodeId>| it.iter().map(|&x| scheme.label_of(x)).collect::<Vec<_>>();
+
+                let children = expect(doc.children(n).collect());
+                assert_eq!(scheme.rchildren(&l), children, "children of {l}");
+
+                let descendants = expect(doc.descendants(n).skip(1).collect());
+                assert_eq!(scheme.rdescendants(&l), descendants, "descendants of {l}");
+
+                let ancestors = expect(
+                    doc.ancestors(n).take_while(|&a| a != doc.root()).collect(),
+                );
+                assert_eq!(scheme.rancestors(&l), ancestors, "ancestors of {l}");
+
+                let fsib = expect(doc.following_siblings(n).collect());
+                assert_eq!(scheme.rfsiblings(&l), fsib, "following siblings of {l}");
+
+                let psib = expect(doc.preceding_siblings(n).collect());
+                assert_eq!(scheme.rpsiblings(&l), psib, "preceding siblings of {l}");
+            }
+        }
+    }
+}
+
+/// rpreceding / rfollowing partition the document around each node.
+#[test]
+fn preceding_following_partition() {
+    let doc = random_tree(&TreeGenConfig { nodes: 120, max_fanout: 4, seed: 5, ..Default::default() });
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+    let root = doc.root_element().unwrap();
+    let all: Vec<NodeId> = doc.descendants(root).collect();
+    for (i, &n) in all.iter().enumerate().step_by(7) {
+        let l = scheme.label_of(n);
+        let preceding = scheme.rpreceding(&l);
+        let following = scheme.rfollowing(&l);
+        // Expected: document order positions, minus ancestors/descendants.
+        let expected_prec: Vec<_> = all[..i]
+            .iter()
+            .filter(|&&x| !doc.is_ancestor_of(x, n))
+            .map(|&x| scheme.label_of(x))
+            .collect();
+        let expected_foll: Vec<_> = all[i + 1..]
+            .iter()
+            .filter(|&&x| !doc.is_ancestor_of(n, x))
+            .map(|&x| scheme.label_of(x))
+            .collect();
+        assert_eq!(preceding, expected_prec, "preceding of {l}");
+        assert_eq!(following, expected_foll, "following of {l}");
+        // Partition property: preceding + ancestors + self + descendants +
+        // following covers the document exactly.
+        let total = preceding.len()
+            + scheme.rancestors(&l).len()
+            + 1
+            + scheme.rdescendants(&l).len()
+            + following.len();
+        assert_eq!(total, all.len());
+    }
+}
+
+/// LCA routine (Fig. 10) against the DOM.
+#[test]
+fn lca_matches_dom() {
+    let doc = random_tree(&TreeGenConfig { nodes: 150, max_fanout: 5, seed: 9, ..Default::default() });
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    let root = doc.root_element().unwrap();
+    let nodes: Vec<NodeId> = doc.descendants(root).collect();
+    for (i, &a) in nodes.iter().enumerate().step_by(11) {
+        for (j, &b) in nodes.iter().enumerate().step_by(13) {
+            let _ = (i, j);
+            let la = scheme.label_of(a);
+            let lb = scheme.label_of(b);
+            let lca = scheme.rlca(&la, &lb);
+            let expected = scheme.label_of(doc.lowest_common_ancestor(a, b));
+            assert_eq!(lca, expected, "lca({la}, {lb})");
+        }
+    }
+}
+
+/// The fan-out adjustment keeps identifiers narrow: with adjustment, κ is
+/// bounded by the tree fan-out on a pathological shape.
+#[test]
+fn kappa_bounded_with_adjustment() {
+    let doc = random_tree(&TreeGenConfig {
+        nodes: 400,
+        max_fanout: 3,
+        depth_bias: 0.5,
+        seed: 11,
+        ..Default::default()
+    });
+    let stats = xmldom::TreeStats::collect(&doc, doc.root_element().unwrap());
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    assert!(scheme.kappa() <= stats.max_fanout.max(1) as u64);
+}
+
+/// Single-area partition degenerates to the original UID on u64: the labels
+/// are (1, uid, false) with the tree root (1, 1, true).
+#[test]
+fn single_area_degenerates_to_uid() {
+    let doc = Document::parse("<a><b><d/><e/></b><c/></a>").unwrap();
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::single_area());
+    assert_eq!(scheme.area_count(), 1);
+    assert_eq!(scheme.kappa(), 1);
+    let root = doc.root_element().unwrap();
+    assert!(scheme.label_of(root).is_tree_root());
+    let uid = schemes::uid::UidScheme::build(&doc);
+    for n in doc.descendants(root).skip(1) {
+        let r = scheme.label_of(n);
+        assert_eq!(r.global, 1);
+        assert!(!r.is_root);
+        assert_eq!(Some(r.local), uid.label_of(n).to_u64());
+    }
+}
+
+/// Frame descendant areas computed from K match the partition structure.
+#[test]
+fn frame_descendant_areas() {
+    let doc = random_tree(&TreeGenConfig { nodes: 200, max_fanout: 4, seed: 21, ..Default::default() });
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+    // For each area root, every node of a frame-descendant area must be a
+    // DOM descendant of that root.
+    for row in scheme.ktable().rows() {
+        let root_node = scheme.area_root_node(row.global).unwrap();
+        for sub in scheme.frame_descendant_areas(row.global) {
+            let sub_node = scheme.area_root_node(sub).unwrap();
+            assert!(
+                doc.is_ancestor_of(root_node, sub_node),
+                "area {sub} should hang under area {}",
+                row.global
+            );
+        }
+    }
+    // The root area's frame descendants are all other areas.
+    assert_eq!(
+        scheme.frame_descendant_areas(1).len(),
+        scheme.area_count() - 1
+    );
+}
+
+/// Labels are compact (E2's point): on a 300-node tree with small areas no
+/// component needs more than 32 bits.
+#[test]
+fn labels_stay_narrow() {
+    let doc = random_tree(&TreeGenConfig { nodes: 300, max_fanout: 6, seed: 2, ..Default::default() });
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+    assert!(scheme.label_width_bits() <= 65);
+}

@@ -1,0 +1,240 @@
+//! Containment (start, end, level) interval labels, as used for relational
+//! containment joins (paper citation \[11\], Zhang et al., SIGMOD 2001).
+//!
+//! Each node receives a half-open position interval: `start` is taken when
+//! the node is entered, `end` when it is left, from one global counter.
+//! `a` contains (is an ancestor of) `b` iff `start(a) < start(b)` and
+//! `end(b) < end(a)`; adding `level` lets a *parent-child* test run without
+//! the tree (`ancestor && level difference == 1`), which is what the
+//! relational XML-storage systems of the time shipped.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use xmldom::{Document, NodeId};
+
+use crate::traits::{NumberingScheme, RelabelStats};
+
+/// A (start, end, level) interval label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanLabel {
+    /// Position at which the node is entered.
+    pub start: u64,
+    /// Position at which the node is left (`> start`).
+    pub end: u64,
+    /// Depth below the numbering root (root = 0).
+    pub level: u32,
+}
+
+impl SpanLabel {
+    /// Whether `self`'s interval strictly contains `other`'s.
+    pub fn contains(&self, other: &SpanLabel) -> bool {
+        self.start < other.start && other.end < self.end
+    }
+
+    /// Whether `self` labels the parent of `other`'s node.
+    pub fn is_parent_of(&self, other: &SpanLabel) -> bool {
+        self.contains(other) && self.level + 1 == other.level
+    }
+}
+
+impl Ord for SpanLabel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.start.cmp(&other.start)
+    }
+}
+
+impl PartialOrd for SpanLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Containment labelling of one document subtree.
+#[derive(Debug, Clone)]
+pub struct ContainmentScheme {
+    root: NodeId,
+    labels: Vec<Option<SpanLabel>>,
+    by_start: HashMap<u64, NodeId>,
+    last_diff: usize,
+}
+
+impl ContainmentScheme {
+    /// Labels the subtree under the document's root element.
+    pub fn build(doc: &Document) -> Self {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        Self::build_at(doc, root)
+    }
+
+    /// Labels the subtree rooted at `root`.
+    pub fn build_at(doc: &Document, root: NodeId) -> Self {
+        let mut scheme = ContainmentScheme {
+            root,
+            labels: Vec::new(),
+            by_start: HashMap::new(),
+            last_diff: 0,
+        };
+        scheme.assign(doc);
+        scheme.last_diff = 0;
+        scheme
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.by_start.len()
+    }
+
+    /// Whether no nodes are labelled (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.by_start.is_empty()
+    }
+
+    fn set_label(&mut self, node: NodeId, label: SpanLabel) {
+        let idx = node.index();
+        if self.labels.len() <= idx {
+            self.labels.resize(idx + 1, None);
+        }
+        self.labels[idx] = Some(label);
+        self.by_start.insert(label.start, node);
+    }
+
+    /// Recompute-and-diff, as for pre/post: interval positions are global.
+    fn assign(&mut self, doc: &Document) {
+        let old = std::mem::take(&mut self.labels);
+        self.by_start.clear();
+        let mut counter = 0u64;
+        let mut stack: Vec<(NodeId, u32, bool, u64)> = vec![(self.root, 0, false, 0)];
+        while let Some((node, level, visited, start)) = stack.pop() {
+            if visited {
+                counter += 1;
+                self.set_label(node, SpanLabel { start, end: counter, level });
+            } else {
+                counter += 1;
+                stack.push((node, level, true, counter));
+                let kids: Vec<_> = doc.children(node).collect();
+                for &c in kids.iter().rev() {
+                    stack.push((c, level + 1, false, 0));
+                }
+            }
+        }
+        self.last_diff = 0;
+        for (idx, old_label) in old.iter().enumerate() {
+            if let Some(old_label) = old_label {
+                if let Some(new_label) = self.labels.get(idx).and_then(|l| l.as_ref()) {
+                    if new_label != old_label {
+                        self.last_diff += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_diff(&mut self) -> usize {
+        std::mem::take(&mut self.last_diff)
+    }
+}
+
+impl NumberingScheme for ContainmentScheme {
+    type Label = SpanLabel;
+
+    fn scheme_name(&self) -> &'static str {
+        "containment"
+    }
+
+    fn numbering_root(&self) -> NodeId {
+        self.root
+    }
+
+    fn label_of(&self, node: NodeId) -> SpanLabel {
+        self.labels.get(node.index()).and_then(|l| *l).expect("node is not labelled")
+    }
+
+    fn node_of(&self, label: &SpanLabel) -> Option<NodeId> {
+        let node = self.by_start.get(&label.start).copied()?;
+        (self.label_of(node) == *label).then_some(node)
+    }
+
+    fn supports_parent_computation(&self) -> bool {
+        false
+    }
+
+    fn parent_label(&self, _label: &SpanLabel) -> Option<SpanLabel> {
+        None
+    }
+
+    fn is_ancestor(&self, a: &SpanLabel, b: &SpanLabel) -> bool {
+        a.contains(b)
+    }
+
+    fn cmp_order(&self, a: &SpanLabel, b: &SpanLabel) -> Ordering {
+        a.start.cmp(&b.start)
+    }
+
+    fn on_insert(&mut self, doc: &Document, _new_node: NodeId) -> RelabelStats {
+        self.assign(doc);
+        RelabelStats { relabeled: self.take_diff(), dropped: 0, full_rebuild: false }
+    }
+
+    fn on_delete(&mut self, doc: &Document, _old_parent: NodeId, removed: NodeId) -> RelabelStats {
+        let dropped = doc.descendants(removed).count();
+        self.assign(doc);
+        RelabelStats { relabeled: self.take_diff(), dropped, full_rebuild: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_of_small_tree() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let s = ContainmentScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.first_child(b).unwrap();
+        let d = doc.next_sibling(b).unwrap();
+        assert_eq!(s.label_of(a), SpanLabel { start: 1, end: 8, level: 0 });
+        assert_eq!(s.label_of(b), SpanLabel { start: 2, end: 5, level: 1 });
+        assert_eq!(s.label_of(c), SpanLabel { start: 3, end: 4, level: 2 });
+        assert_eq!(s.label_of(d), SpanLabel { start: 6, end: 7, level: 1 });
+        s.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn containment_relations() {
+        let doc = Document::parse("<a><b><c/><d/></b><e><f/></e></a>").unwrap();
+        let s = ContainmentScheme::build(&doc);
+        let nodes: Vec<_> = doc.descendants(doc.root_element().unwrap()).collect();
+        for (i, &x) in nodes.iter().enumerate() {
+            for (j, &y) in nodes.iter().enumerate() {
+                let lx = s.label_of(x);
+                let ly = s.label_of(y);
+                assert_eq!(s.is_ancestor(&lx, &ly), doc.is_ancestor_of(x, y));
+                assert_eq!(s.cmp_order(&lx, &ly), i.cmp(&j));
+                let is_parent = doc.parent(y) == Some(x);
+                assert_eq!(lx.is_parent_of(&ly), is_parent);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_diffs() {
+        let mut doc = Document::parse("<a><b/><c/></a>").unwrap();
+        let mut s = ContainmentScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let new = doc.create_element("n");
+        doc.insert_after(b, new);
+        let stats = s.on_insert(&doc, new);
+        // a's end shifts, c shifts: 2 relabels.
+        assert_eq!(stats.relabeled, 2);
+        s.check_consistency(&doc).unwrap();
+
+        doc.detach(new);
+        let stats = s.on_delete(&doc, a, new);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.relabeled, 2);
+        s.check_consistency(&doc).unwrap();
+    }
+}

@@ -1,0 +1,303 @@
+//! Dewey order labels: each node is labelled by the path of 1-based sibling
+//! ordinals from the numbering root (whose label is `1`).
+//!
+//! Dewey is the classic prefix scheme the paper's related work contrasts
+//! with: the parent label is the label minus its last component, ancestry is
+//! the prefix relation, and document order is lexicographic order. Like the
+//! original UID, a plain (non-ORDPATH) Dewey relabels every right sibling's
+//! subtree on insertion — but unlike UID the damage never propagates outside
+//! the parent's subtree and there is no fan-out overflow.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+use xmldom::{Document, NodeId};
+
+use crate::traits::{NumberingScheme, RelabelStats};
+
+/// A Dewey path label, e.g. `1.3.2`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeweyLabel(Vec<u32>);
+
+impl DeweyLabel {
+    /// The label components (always non-empty; the root is `[1]`).
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Depth below the numbering root (root = 0).
+    pub fn depth(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// Parent label (prefix), `None` for the root.
+    pub fn parent(&self) -> Option<DeweyLabel> {
+        if self.0.len() > 1 {
+            Some(DeweyLabel(self.0[..self.0.len() - 1].to_vec()))
+        } else {
+            None
+        }
+    }
+
+    /// Child label with ordinal `j` (1-based).
+    pub fn child(&self, j: u32) -> DeweyLabel {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(j);
+        DeweyLabel(v)
+    }
+
+    /// Whether `self` is a strict prefix of `other`.
+    pub fn is_prefix_of(&self, other: &DeweyLabel) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Storage size in bytes (4 bytes per component) — reported by E2.
+    pub fn byte_len(&self) -> usize {
+        self.0.len() * 4
+    }
+}
+
+impl fmt::Debug for DeweyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dewey(")?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for DeweyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dewey labelling of one document subtree.
+#[derive(Debug, Clone)]
+pub struct DeweyScheme {
+    root: NodeId,
+    labels: Vec<Option<DeweyLabel>>,
+    nodes: HashMap<DeweyLabel, NodeId>,
+}
+
+impl DeweyScheme {
+    /// Labels the subtree under the document's root element.
+    pub fn build(doc: &Document) -> Self {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        Self::build_at(doc, root)
+    }
+
+    /// Labels the subtree rooted at `root`.
+    pub fn build_at(doc: &Document, root: NodeId) -> Self {
+        let mut scheme = DeweyScheme { root, labels: Vec::new(), nodes: HashMap::new() };
+        scheme.assign_subtree(doc, root, DeweyLabel(vec![1]));
+        scheme
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes are labelled (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total bytes across all stored labels (E2's storage-cost metric).
+    pub fn total_label_bytes(&self) -> usize {
+        self.nodes.keys().map(DeweyLabel::byte_len).sum()
+    }
+
+    fn set_label(&mut self, node: NodeId, label: DeweyLabel) {
+        let idx = node.index();
+        if self.labels.len() <= idx {
+            self.labels.resize(idx + 1, None);
+        }
+        self.labels[idx] = Some(label.clone());
+        self.nodes.insert(label, node);
+    }
+
+    fn stored_label(&self, node: NodeId) -> Option<&DeweyLabel> {
+        self.labels.get(node.index()).and_then(|l| l.as_ref())
+    }
+
+    fn assign_subtree(&mut self, doc: &Document, node: NodeId, label: DeweyLabel) {
+        let mut stack = vec![(node, label)];
+        while let Some((n, l)) = stack.pop() {
+            for (j, child) in doc.children(n).enumerate() {
+                stack.push((child, l.child(j as u32 + 1)));
+            }
+            self.set_label(n, l);
+        }
+    }
+
+    fn renumber_subtree(
+        &mut self,
+        doc: &Document,
+        node: NodeId,
+        label: DeweyLabel,
+        stats: &mut RelabelStats,
+    ) {
+        let old = self.stored_label(node).cloned();
+        if old.as_ref() == Some(&label) {
+            return;
+        }
+        if let Some(old) = &old {
+            if self.nodes.get(old) == Some(&node) {
+                self.nodes.remove(old);
+            }
+            stats.relabeled += 1;
+        }
+        self.set_label(node, label.clone());
+        for (j, child) in doc.children(node).enumerate() {
+            self.renumber_subtree(doc, child, label.child(j as u32 + 1), stats);
+        }
+    }
+}
+
+impl NumberingScheme for DeweyScheme {
+    type Label = DeweyLabel;
+
+    fn scheme_name(&self) -> &'static str {
+        "dewey"
+    }
+
+    fn numbering_root(&self) -> NodeId {
+        self.root
+    }
+
+    fn label_of(&self, node: NodeId) -> DeweyLabel {
+        self.stored_label(node).cloned().expect("node is not labelled")
+    }
+
+    fn node_of(&self, label: &DeweyLabel) -> Option<NodeId> {
+        self.nodes.get(label).copied()
+    }
+
+    fn supports_parent_computation(&self) -> bool {
+        true
+    }
+
+    fn parent_label(&self, label: &DeweyLabel) -> Option<DeweyLabel> {
+        label.parent()
+    }
+
+    fn is_ancestor(&self, a: &DeweyLabel, b: &DeweyLabel) -> bool {
+        a.is_prefix_of(b)
+    }
+
+    fn cmp_order(&self, a: &DeweyLabel, b: &DeweyLabel) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn on_insert(&mut self, doc: &Document, new_node: NodeId) -> RelabelStats {
+        let mut stats = RelabelStats::default();
+        let parent = doc.parent(new_node).expect("inserted node must have a parent");
+        let parent_label = self.label_of(parent);
+        for (j, child) in doc.children(parent).enumerate() {
+            self.renumber_subtree(doc, child, parent_label.child(j as u32 + 1), &mut stats);
+        }
+        stats
+    }
+
+    fn on_delete(&mut self, doc: &Document, old_parent: NodeId, removed: NodeId) -> RelabelStats {
+        let mut stats = RelabelStats::default();
+        for n in doc.descendants(removed) {
+            if let Some(old) = self.labels.get_mut(n.index()).and_then(Option::take) {
+                if self.nodes.get(&old) == Some(&n) {
+                    self.nodes.remove(&old);
+                }
+                stats.dropped += 1;
+            }
+        }
+        let parent_label = self.label_of(old_parent);
+        for (j, child) in doc.children(old_parent).enumerate() {
+            self.renumber_subtree(doc, child, parent_label.child(j as u32 + 1), &mut stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_of_small_tree() {
+        let doc = Document::parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let scheme = DeweyScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.first_child(b).unwrap();
+        let d = doc.next_sibling(c).unwrap();
+        let e = doc.next_sibling(b).unwrap();
+        assert_eq!(scheme.label_of(a).to_string(), "1");
+        assert_eq!(scheme.label_of(b).to_string(), "1.1");
+        assert_eq!(scheme.label_of(c).to_string(), "1.1.1");
+        assert_eq!(scheme.label_of(d).to_string(), "1.1.2");
+        assert_eq!(scheme.label_of(e).to_string(), "1.2");
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn parent_prefix_order() {
+        let doc = Document::parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let scheme = DeweyScheme::build(&doc);
+        let nodes: Vec<_> = doc.descendants(doc.root_element().unwrap()).collect();
+        for (i, &x) in nodes.iter().enumerate() {
+            for (j, &y) in nodes.iter().enumerate() {
+                let lx = scheme.label_of(x);
+                let ly = scheme.label_of(y);
+                assert_eq!(scheme.cmp_order(&lx, &ly), i.cmp(&j));
+                assert_eq!(scheme.is_ancestor(&lx, &ly), doc.is_ancestor_of(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_relabels_only_right_sibling_subtrees() {
+        let mut doc = Document::parse("<a><b><x/><y/></b><c><z/></c><d/></a>").unwrap();
+        let mut scheme = DeweyScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let new = doc.create_element("new");
+        doc.insert_after(b, new);
+        let stats = scheme.on_insert(&doc, new);
+        // Relabelled: c, z, d — not b's subtree.
+        assert_eq!(stats.relabeled, 3);
+        assert_eq!(scheme.label_of(new).to_string(), "1.2");
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn delete_drops_and_shifts() {
+        let mut doc = Document::parse("<a><b><x/></b><c/><d><z/></d></a>").unwrap();
+        let mut scheme = DeweyScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        doc.detach(b);
+        let stats = scheme.on_delete(&doc, a, b);
+        assert_eq!(stats.dropped, 2); // b, x
+        assert_eq!(stats.relabeled, 3); // c, d, z
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn label_display_and_bytes() {
+        let l = DeweyLabel(vec![1, 12, 3]);
+        assert_eq!(l.to_string(), "1.12.3");
+        assert_eq!(l.byte_len(), 12);
+        assert_eq!(l.depth(), 2);
+        assert_eq!(l.parent().unwrap().to_string(), "1.12");
+        assert!(l.parent().unwrap().is_prefix_of(&l));
+        assert!(!l.is_prefix_of(&l));
+    }
+}

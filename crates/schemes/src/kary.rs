@@ -1,0 +1,254 @@
+//! Pure k-ary enumeration arithmetic shared by the UID family.
+//!
+//! A complete k-ary tree numbered 1, 2, 3, ... level by level, left to right
+//! satisfies (paper, formula (1)):
+//!
+//! ```text
+//! parent(i)      = (i - 2) / k + 1          (integer division, i >= 2)
+//! children(p)    = [(p - 1) k + 2 , p k + 1]
+//! j-th child(p)  = (p - 1) k + 1 + j        (1-based j)
+//! ```
+//!
+//! These functions are provided both for `u64` (used by rUID's per-level
+//! indices, which by construction stay small) and for [`ubig::Uint`] (used by
+//! the original-UID baseline, whose identifiers overflow machine words).
+//! The `u64` variants are checked: they return `None` on overflow, which is
+//! exactly the signal the multilevel construction uses to add a level.
+
+use ubig::Uint;
+
+/// Parent identifier, `None` for the root (i == 1).
+///
+/// # Panics
+/// Panics if `i == 0` (identifiers start at 1) or `k == 0`.
+pub fn parent_u64(i: u64, k: u64) -> Option<u64> {
+    assert!(i >= 1, "identifiers start at 1");
+    assert!(k >= 1, "fan-out must be at least 1");
+    if i == 1 {
+        None
+    } else {
+        Some((i - 2) / k + 1)
+    }
+}
+
+/// Identifier of the `j`-th (1-based) child of `p`, or `None` on overflow.
+pub fn child_u64(p: u64, k: u64, j: u64) -> Option<u64> {
+    debug_assert!(j >= 1 && j <= k, "child ordinal out of range");
+    (p - 1).checked_mul(k)?.checked_add(1)?.checked_add(j)
+}
+
+/// Inclusive identifier range of the children of `p`, or `None` on overflow.
+pub fn children_range_u64(p: u64, k: u64) -> Option<(u64, u64)> {
+    let lo = child_u64(p, k, 1)?;
+    let hi = child_u64(p, k, k)?;
+    Some((lo, hi))
+}
+
+/// 1-based ordinal of `i` among its siblings.
+///
+/// # Panics
+/// Panics for the root.
+pub fn sibling_rank_u64(i: u64, k: u64) -> u64 {
+    let p = parent_u64(i, k).expect("root has no sibling rank");
+    i - ((p - 1) * k + 1)
+}
+
+/// Level of identifier `i` in the k-ary tree: the root is level 0. Level ℓ
+/// occupies identifiers `(k^ℓ - 1)/(k - 1) + 1 ..= (k^(ℓ+1) - 1)/(k - 1)`
+/// (for k >= 2). O(level) by repeated parent steps — identifiers on real
+/// trees are shallow.
+pub fn level_u64(mut i: u64, k: u64) -> u32 {
+    let mut level = 0;
+    while let Some(p) = parent_u64(i, k) {
+        i = p;
+        level += 1;
+    }
+    level
+}
+
+/// Whether `a` is a strict ancestor of `b` in the k-ary enumeration.
+pub fn is_ancestor_u64(a: u64, b: u64, k: u64) -> bool {
+    if a >= b {
+        // Level-order numbering: ancestors always have smaller identifiers.
+        return false;
+    }
+    let mut cur = b;
+    while let Some(p) = parent_u64(cur, k) {
+        if p == a {
+            return true;
+        }
+        if p <= a {
+            return false;
+        }
+        cur = p;
+    }
+    false
+}
+
+/// Number of nodes a complete k-ary tree of height `h` holds, i.e. the
+/// largest identifier of level `h`: `sum_{i=0..=h} k^i`.
+pub fn capacity(k: u64, h: u32) -> Uint {
+    let mut total = Uint::zero();
+    let mut pow = Uint::one();
+    for _ in 0..=h {
+        total += &pow;
+        pow = pow.mul_u64(k);
+    }
+    total
+}
+
+// --- Uint variants (original UID's oversized identifiers) ----------------
+
+/// Parent identifier for big identifiers, `None` for the root.
+pub fn parent_uint(i: &Uint, k: u64) -> Option<Uint> {
+    if *i <= 1u64 {
+        assert!(!i.is_zero(), "identifiers start at 1");
+        return None;
+    }
+    let (q, _) = (i - 2u64).div_rem_u64(k);
+    Some(q + 1u64)
+}
+
+/// `j`-th (1-based) child of `p` for big identifiers.
+pub fn child_uint(p: &Uint, k: u64, j: u64) -> Uint {
+    debug_assert!(j >= 1 && j <= k, "child ordinal out of range");
+    (p - 1u64) * k + 1u64 + Uint::from(j)
+}
+
+/// 1-based sibling ordinal of big identifier `i`.
+pub fn sibling_rank_uint(i: &Uint, k: u64) -> u64 {
+    let p = parent_uint(i, k).expect("root has no sibling rank");
+    let base = (&p - 1u64) * k + 1u64;
+    (i - &base).to_u64().expect("sibling rank exceeds fan-out?")
+}
+
+/// Whether big identifier `a` is a strict ancestor of `b`.
+pub fn is_ancestor_uint(a: &Uint, b: &Uint, k: u64) -> bool {
+    if a >= b {
+        return false;
+    }
+    let mut cur = b.clone();
+    while let Some(p) = parent_uint(&cur, k) {
+        if p == *a {
+            return true;
+        }
+        if p <= *a {
+            return false;
+        }
+        cur = p;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_paper_figure_1a() {
+        // Fig. 1(a): 3-ary tree; node 2's children are 5, 6, 7; node 3's are
+        // 8, 9, 10; node 8's children start at 23.
+        let k = 3;
+        assert_eq!(children_range_u64(2, k), Some((5, 7)));
+        assert_eq!(children_range_u64(3, k), Some((8, 10)));
+        assert_eq!(child_u64(8, k, 2), Some(24));
+        assert_eq!(parent_u64(23, k), Some(8));
+        assert_eq!(parent_u64(26, k), Some(9));
+        assert_eq!(parent_u64(27, k), Some(9));
+        assert_eq!(parent_u64(5, k), Some(2));
+        assert_eq!(parent_u64(1, k), None);
+    }
+
+    #[test]
+    fn child_parent_round_trip() {
+        for k in 1..=7u64 {
+            for p in 1..=50u64 {
+                for j in 1..=k {
+                    let c = child_u64(p, k, j).unwrap();
+                    assert_eq!(parent_u64(c, k), Some(p), "k={k} p={p} j={j}");
+                    assert_eq!(sibling_rank_u64(c, k), j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert_eq!(child_u64(u64::MAX / 2, 3, 1), None);
+        assert_eq!(children_range_u64(u64::MAX, 2, ), None);
+    }
+
+    #[test]
+    fn levels() {
+        let k = 3;
+        assert_eq!(level_u64(1, k), 0);
+        for i in 2..=4 {
+            assert_eq!(level_u64(i, k), 1);
+        }
+        for i in 5..=13 {
+            assert_eq!(level_u64(i, k), 2);
+        }
+        assert_eq!(level_u64(14, k), 3);
+    }
+
+    #[test]
+    fn ancestor_u64() {
+        let k = 3;
+        assert!(is_ancestor_u64(1, 23, k));
+        assert!(is_ancestor_u64(8, 23, k));
+        assert!(is_ancestor_u64(2, 5, k));
+        assert!(!is_ancestor_u64(2, 8, k));
+        assert!(!is_ancestor_u64(23, 8, k));
+        assert!(!is_ancestor_u64(5, 5, k));
+    }
+
+    #[test]
+    fn capacity_small() {
+        assert_eq!(capacity(2, 0), Uint::from(1u64));
+        assert_eq!(capacity(2, 2), Uint::from(7u64)); // 1 + 2 + 4
+        assert_eq!(capacity(3, 3), Uint::from(40u64)); // 1 + 3 + 9 + 27
+        assert_eq!(capacity(1, 4), Uint::from(5u64)); // degenerate chain
+    }
+
+    #[test]
+    fn capacity_overflows_u64_quickly() {
+        // A 100-ary tree of height 10 already exceeds u64: this is the
+        // paper's overflow argument in one line.
+        assert!(capacity(100, 10).bits() > 64);
+    }
+
+    #[test]
+    fn uint_variants_agree_with_u64() {
+        let k = 5;
+        for p in 1..=30u64 {
+            for j in 1..=k {
+                let c64 = child_u64(p, k, j).unwrap();
+                let cu = child_uint(&Uint::from(p), k, j);
+                assert_eq!(cu, Uint::from(c64));
+                assert_eq!(parent_uint(&cu, k), Some(Uint::from(p)));
+                assert_eq!(sibling_rank_uint(&cu, k), j);
+            }
+        }
+        assert_eq!(parent_uint(&Uint::one(), 4), None);
+        assert!(is_ancestor_uint(&Uint::from(8u64), &Uint::from(23u64), 3));
+        assert!(!is_ancestor_uint(&Uint::from(9u64), &Uint::from(23u64), 3));
+    }
+
+    #[test]
+    fn deep_uint_chain() {
+        // Walk 200 levels down the leftmost path of a 50-ary tree and back.
+        let k = 50;
+        let mut id = Uint::one();
+        for _ in 0..200 {
+            id = child_uint(&id, k, 1);
+        }
+        assert!(id.bits() > 1000);
+        let mut up = id;
+        let mut steps = 0;
+        while let Some(p) = parent_uint(&up, k) {
+            up = p;
+            steps += 1;
+        }
+        assert_eq!(steps, 200);
+    }
+}

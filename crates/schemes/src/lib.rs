@@ -1,0 +1,30 @@
+//! Baseline structural numbering schemes for XML trees.
+//!
+//! The rUID paper positions its contribution against a family of earlier
+//! schemes; this crate implements the ones the paper builds on or cites so
+//! the workspace's experiments can compare against them:
+//!
+//! * [`uid`] — the **original UID** scheme of Lee, Yoo, Yoon, Berra (1996):
+//!   the tree is embedded in a complete k-ary tree and numbered level by
+//!   level, so `parent(i) = (i-2)/k + 1`. Identifiers are big integers
+//!   ([`ubig::Uint`]) because they grow like `k^depth` — exactly the overflow
+//!   problem Section 1 of the paper describes.
+//! * [`dewey`] — Dewey order labels (path of sibling ordinals), the classic
+//!   prefix scheme the related-work section contrasts with.
+//! * [`prepost`] — Dietz's preorder/postorder pairs (paper citation \[3\]).
+//! * [`containment`] — (start, end, level) containment intervals as used for
+//!   relational containment joins (paper citation \[11\]).
+//!
+//! All schemes implement [`NumberingScheme`], which exposes label lookup,
+//! label-only relationship tests, and structural-update relabelling with
+//! cost accounting ([`RelabelStats`]) — the quantity experiment E1 measures.
+
+pub mod containment;
+pub mod dewey;
+pub mod kary;
+pub mod prepost;
+pub mod uid;
+
+mod traits;
+
+pub use traits::{NumberingScheme, RelabelStats};

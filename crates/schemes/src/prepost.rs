@@ -1,0 +1,248 @@
+//! Dietz's preorder/postorder numbering (paper citation \[3\]).
+//!
+//! Each node stores its preorder and postorder traversal ranks; `a` is an
+//! ancestor of `b` iff `pre(a) < pre(b)` and `post(a) > post(b)`. Document
+//! order is preorder rank. The scheme decides ancestry in O(1) but — unlike
+//! the UID family — cannot *compute* the parent's identifier from a label,
+//! and an insertion shifts the ranks of, on average, half the document.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use xmldom::{Document, NodeId};
+
+use crate::traits::{NumberingScheme, RelabelStats};
+
+/// A (preorder, postorder) rank pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrePostLabel {
+    /// Preorder rank (1-based).
+    pub pre: u64,
+    /// Postorder rank (1-based).
+    pub post: u64,
+}
+
+impl Ord for PrePostLabel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.pre.cmp(&other.pre).then(self.post.cmp(&other.post))
+    }
+}
+
+impl PartialOrd for PrePostLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Pre/post labelling of one document subtree.
+#[derive(Debug, Clone)]
+pub struct PrePostScheme {
+    root: NodeId,
+    labels: Vec<Option<PrePostLabel>>,
+    by_pre: HashMap<u64, NodeId>,
+    /// Relabel count of the most recent [`PrePostScheme::assign`] pass.
+    last_diff: usize,
+}
+
+impl PrePostScheme {
+    /// Labels the subtree under the document's root element.
+    pub fn build(doc: &Document) -> Self {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        Self::build_at(doc, root)
+    }
+
+    /// Labels the subtree rooted at `root`.
+    pub fn build_at(doc: &Document, root: NodeId) -> Self {
+        let mut scheme =
+            PrePostScheme { root, labels: Vec::new(), by_pre: HashMap::new(), last_diff: 0 };
+        scheme.assign(doc);
+        scheme.last_diff = 0;
+        scheme
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.by_pre.len()
+    }
+
+    /// Whether no nodes are labelled (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.by_pre.is_empty()
+    }
+
+    fn set_label(&mut self, node: NodeId, label: PrePostLabel) {
+        let idx = node.index();
+        if self.labels.len() <= idx {
+            self.labels.resize(idx + 1, None);
+        }
+        self.labels[idx] = Some(label);
+        self.by_pre.insert(label.pre, node);
+    }
+
+    /// Recomputes both ranks for the whole subtree. Pre/post ranks are a
+    /// global property, so updates are handled by recompute-and-diff: that
+    /// *is* the scheme's update cost, which experiment E1 measures.
+    fn assign(&mut self, doc: &Document) {
+        let old = std::mem::take(&mut self.labels);
+        self.by_pre.clear();
+        let mut pre = 0u64;
+        let mut post = 0u64;
+        // Iterative pre/post computation: push (node, visited) frames.
+        let mut pre_of: Vec<(NodeId, u64)> = Vec::new();
+        let mut stack: Vec<(NodeId, bool)> = vec![(self.root, false)];
+        while let Some((node, visited)) = stack.pop() {
+            if visited {
+                post += 1;
+                let pre_rank = pre_of.pop().expect("post without pre").1;
+                self.set_label(node, PrePostLabel { pre: pre_rank, post });
+            } else {
+                pre += 1;
+                pre_of.push((node, pre));
+                stack.push((node, true));
+                // Children pushed right-to-left so the leftmost pops first.
+                let kids: Vec<_> = doc.children(node).collect();
+                for &c in kids.iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        // Diff against the old table for relabel accounting.
+        self.last_diff = 0;
+        for (idx, old_label) in old.iter().enumerate() {
+            if let Some(old_label) = old_label {
+                match self.labels.get(idx).and_then(|l| l.as_ref()) {
+                    Some(new_label) if new_label == old_label => {}
+                    Some(_) => self.last_diff += 1,
+                    None => {} // dropped; counted by the caller
+                }
+            }
+        }
+    }
+}
+
+impl PrePostScheme {
+    fn take_diff(&mut self) -> usize {
+        std::mem::take(&mut self.last_diff)
+    }
+}
+
+impl NumberingScheme for PrePostScheme {
+    type Label = PrePostLabel;
+
+    fn scheme_name(&self) -> &'static str {
+        "prepost"
+    }
+
+    fn numbering_root(&self) -> NodeId {
+        self.root
+    }
+
+    fn label_of(&self, node: NodeId) -> PrePostLabel {
+        self.labels
+            .get(node.index())
+            .and_then(|l| *l)
+            .expect("node is not labelled")
+    }
+
+    fn node_of(&self, label: &PrePostLabel) -> Option<NodeId> {
+        let node = self.by_pre.get(&label.pre).copied()?;
+        (self.label_of(node) == *label).then_some(node)
+    }
+
+    fn supports_parent_computation(&self) -> bool {
+        false
+    }
+
+    fn parent_label(&self, _label: &PrePostLabel) -> Option<PrePostLabel> {
+        None
+    }
+
+    fn is_ancestor(&self, a: &PrePostLabel, b: &PrePostLabel) -> bool {
+        a.pre < b.pre && a.post > b.post
+    }
+
+    fn cmp_order(&self, a: &PrePostLabel, b: &PrePostLabel) -> Ordering {
+        a.pre.cmp(&b.pre)
+    }
+
+    fn on_insert(&mut self, doc: &Document, _new_node: NodeId) -> RelabelStats {
+        self.assign(doc);
+        RelabelStats { relabeled: self.take_diff(), dropped: 0, full_rebuild: false }
+    }
+
+    fn on_delete(&mut self, doc: &Document, _old_parent: NodeId, removed: NodeId) -> RelabelStats {
+        let dropped = doc.descendants(removed).count();
+        self.assign(doc);
+        RelabelStats { relabeled: self.take_diff(), dropped, full_rebuild: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_of_small_tree() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let s = PrePostScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let c = doc.first_child(b).unwrap();
+        let d = doc.next_sibling(b).unwrap();
+        assert_eq!(s.label_of(a), PrePostLabel { pre: 1, post: 4 });
+        assert_eq!(s.label_of(b), PrePostLabel { pre: 2, post: 2 });
+        assert_eq!(s.label_of(c), PrePostLabel { pre: 3, post: 1 });
+        assert_eq!(s.label_of(d), PrePostLabel { pre: 4, post: 3 });
+        s.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn ancestry_and_order() {
+        let doc = Document::parse("<a><b><c/><d/></b><e><f/></e></a>").unwrap();
+        let s = PrePostScheme::build(&doc);
+        let nodes: Vec<_> = doc.descendants(doc.root_element().unwrap()).collect();
+        for (i, &x) in nodes.iter().enumerate() {
+            for (j, &y) in nodes.iter().enumerate() {
+                let lx = s.label_of(x);
+                let ly = s.label_of(y);
+                assert_eq!(s.is_ancestor(&lx, &ly), doc.is_ancestor_of(x, y));
+                assert_eq!(s.cmp_order(&lx, &ly), i.cmp(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_shifts_global_ranks() {
+        let mut doc = Document::parse("<a><b/><c/><d/></a>").unwrap();
+        let mut s = PrePostScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        let new = doc.create_element("new");
+        doc.insert_after(b, new);
+        let stats = s.on_insert(&doc, new);
+        // a's post changes; c and d shift in both ranks: 3 relabels.
+        assert_eq!(stats.relabeled, 3);
+        s.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn no_parent_computation() {
+        let doc = Document::parse("<a><b/></a>").unwrap();
+        let s = PrePostScheme::build(&doc);
+        assert!(!s.supports_parent_computation());
+        let b = doc.first_child(doc.root_element().unwrap()).unwrap();
+        assert_eq!(s.parent_label(&s.label_of(b)), None);
+    }
+
+    #[test]
+    fn delete_reports_drops() {
+        let mut doc = Document::parse("<a><b><x/><y/></b><c/></a>").unwrap();
+        let mut s = PrePostScheme::build(&doc);
+        let a = doc.root_element().unwrap();
+        let b = doc.first_child(a).unwrap();
+        doc.detach(b);
+        let stats = s.on_delete(&doc, a, b);
+        assert_eq!(stats.dropped, 3);
+        s.check_consistency(&doc).unwrap();
+    }
+}

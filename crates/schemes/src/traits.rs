@@ -1,0 +1,107 @@
+//! The common interface all numbering schemes implement.
+
+use std::cmp::Ordering;
+use std::fmt::Debug;
+
+use xmldom::{Document, NodeId};
+
+/// Cost accounting for a structural update, the quantity the paper's update
+/// robustness argument (Section 3.2) is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelabelStats {
+    /// Existing nodes whose identifier changed (the new node's own label
+    /// assignment is not counted).
+    pub relabeled: usize,
+    /// Labels of deleted nodes that were dropped.
+    pub dropped: usize,
+    /// Whether the scheme had to renumber the entire document (e.g. the
+    /// original UID when the maximal fan-out overflows).
+    pub full_rebuild: bool,
+}
+
+impl RelabelStats {
+    /// Merges the cost of another operation into this one.
+    pub fn merge(&mut self, other: RelabelStats) {
+        self.relabeled += other.relabeled;
+        self.dropped += other.dropped;
+        self.full_rebuild |= other.full_rebuild;
+    }
+}
+
+/// A structural numbering scheme over one [`Document`].
+///
+/// A scheme assigns every attached node a label such that hierarchical
+/// relationships can be decided from labels alone (to the extent the scheme
+/// supports it). Schemes hold their own label tables; after the caller
+/// mutates the document it must call [`NumberingScheme::on_insert`] /
+/// [`NumberingScheme::on_delete`] so the tables stay consistent.
+pub trait NumberingScheme {
+    /// The label type.
+    type Label: Clone + Ord + Debug;
+
+    /// Short scheme name for reports ("uid", "ruid2", ...).
+    fn scheme_name(&self) -> &'static str;
+
+    /// The node the numbering starts from (label tables cover exactly its
+    /// subtree; usually the document's root element).
+    fn numbering_root(&self) -> NodeId;
+
+    /// The label of an attached node.
+    ///
+    /// # Panics
+    /// May panic if `node` is detached or from another document.
+    fn label_of(&self, node: NodeId) -> Self::Label;
+
+    /// Reverse lookup: the node currently carrying `label`.
+    fn node_of(&self, label: &Self::Label) -> Option<NodeId>;
+
+    /// Whether [`NumberingScheme::parent_label`] is computable from the label
+    /// alone (the headline property of the UID family; false for pre/post).
+    fn supports_parent_computation(&self) -> bool;
+
+    /// Parent's label computed **from the label alone** (no tree access),
+    /// `None` for the root or when unsupported.
+    fn parent_label(&self, label: &Self::Label) -> Option<Self::Label>;
+
+    /// `true` iff `a` labels a strict ancestor of the node labelled `b`,
+    /// decided from labels alone.
+    fn is_ancestor(&self, a: &Self::Label, b: &Self::Label) -> bool;
+
+    /// Document order of the labelled nodes, decided from labels alone.
+    fn cmp_order(&self, a: &Self::Label, b: &Self::Label) -> Ordering;
+
+    /// Updates label tables after `new_node` was structurally inserted into
+    /// `doc`, returning how many existing labels changed.
+    fn on_insert(&mut self, doc: &Document, new_node: NodeId) -> RelabelStats;
+
+    /// Updates label tables after the subtree rooted at `removed` was
+    /// detached from under `old_parent`.
+    fn on_delete(&mut self, doc: &Document, old_parent: NodeId, removed: NodeId) -> RelabelStats;
+
+    /// Checks every stored label against the document structure; used by
+    /// tests and debug assertions. Returns the first violation description.
+    fn check_consistency(&self, doc: &Document) -> Result<(), String> {
+        let root = self.numbering_root();
+        for node in doc.descendants(root) {
+            let label = self.label_of(node);
+            if let Some(found) = self.node_of(&label) {
+                if found != node {
+                    return Err(format!("label {label:?} maps to {found:?}, not {node:?}"));
+                }
+            } else {
+                return Err(format!("label {label:?} of {node:?} has no reverse mapping"));
+            }
+            if self.supports_parent_computation() {
+                let expected =
+                    if node == root { None } else { doc.parent(node).map(|p| self.label_of(p)) };
+                let computed = self.parent_label(&label);
+                if computed != expected {
+                    return Err(format!(
+                        "parent_label({label:?}) = {computed:?}, expected {expected:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,487 @@
+//! The original UID numbering scheme (Lee, Yoo, Yoon, Berra 1996), the
+//! baseline the rUID paper extends.
+//!
+//! The XML tree is embedded in a complete k-ary tree, k being the maximal
+//! fan-out of any node. Nodes — including the virtual padding children — are
+//! numbered 1, 2, 3, ... level by level, left to right, so
+//! `parent(i) = (i-2)/k + 1` (formula (1) of the paper). Identifiers are
+//! [`ubig::Uint`] because they grow like `k^depth`: the overflow the paper's
+//! Section 1 complains about is intrinsic to the scheme, not an
+//! implementation detail.
+//!
+//! Structural updates are handled the way the paper describes them:
+//! inserting a node shifts every right sibling — and, because child labels
+//! are derived from parent labels, *their entire subtrees* — one position to
+//! the right; growing the document's fan-out beyond k forces a full
+//! renumbering with a larger k ([`RelabelStats::full_rebuild`]).
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use ubig::Uint;
+use xmldom::{Document, NodeId, TreeStats};
+
+use crate::kary;
+use crate::traits::{NumberingScheme, RelabelStats};
+
+/// Original UID labelling of one document subtree.
+#[derive(Debug, Clone)]
+pub struct UidScheme {
+    /// Enumeration fan-out (>= 1).
+    k: u64,
+    /// Root of the numbered subtree (label 1).
+    root: NodeId,
+    /// Dense label table indexed by [`NodeId::index`].
+    labels: Vec<Option<Uint>>,
+    /// Reverse mapping.
+    nodes: HashMap<Uint, NodeId>,
+}
+
+impl UidScheme {
+    /// Numbers the subtree under the document's root element (or the document
+    /// node when there is no element).
+    pub fn build(doc: &Document) -> Self {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        Self::build_at(doc, root)
+    }
+
+    /// Numbers the subtree rooted at `root` with k = its maximal fan-out.
+    pub fn build_at(doc: &Document, root: NodeId) -> Self {
+        let stats = TreeStats::collect(doc, root);
+        let k = stats.max_fanout.max(1) as u64;
+        Self::build_with_k(doc, root, k)
+    }
+
+    /// Numbers the subtree rooted at `root` with an explicit fan-out `k`.
+    ///
+    /// # Panics
+    /// Panics if any node has more than `k` children.
+    pub fn build_with_k(doc: &Document, root: NodeId, k: u64) -> Self {
+        assert!(k >= 1, "fan-out must be at least 1");
+        let mut scheme =
+            UidScheme { k, root, labels: Vec::new(), nodes: HashMap::new() };
+        scheme.assign_subtree(doc, root, Uint::one());
+        scheme
+    }
+
+    /// The enumeration fan-out.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Root of the numbered subtree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Largest identifier currently assigned (root-only tree: 1).
+    pub fn max_label(&self) -> Uint {
+        self.nodes.keys().max().cloned().unwrap_or_else(Uint::one)
+    }
+
+    /// Bits needed to store the largest assigned identifier — the storage
+    /// cost experiment E2 reports.
+    pub fn bits_required(&self) -> u64 {
+        self.max_label().bits()
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes are labelled (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Labels of the children of the node labelled `parent` would occupy
+    /// this identifier range (paper: `[(p-1)k + 2, pk + 1]`).
+    pub fn children_range(&self, parent: &Uint) -> (Uint, Uint) {
+        (kary::child_uint(parent, self.k, 1), kary::child_uint(parent, self.k, self.k))
+    }
+
+    fn set_label(&mut self, node: NodeId, label: Uint) {
+        let idx = node.index();
+        if self.labels.len() <= idx {
+            self.labels.resize(idx + 1, None);
+        }
+        self.labels[idx] = Some(label.clone());
+        self.nodes.insert(label, node);
+    }
+
+    fn stored_label(&self, node: NodeId) -> Option<&Uint> {
+        self.labels.get(node.index()).and_then(|l| l.as_ref())
+    }
+
+    /// Assigns labels to the whole subtree of `node`, rooted at `label`.
+    fn assign_subtree(&mut self, doc: &Document, node: NodeId, label: Uint) {
+        let mut stack = vec![(node, label)];
+        while let Some((n, l)) = stack.pop() {
+            for (j, child) in doc.children(n).enumerate() {
+                let child_label = kary::child_uint(&l, self.k, j as u64 + 1);
+                stack.push((child, child_label));
+            }
+            self.set_label(n, l);
+        }
+    }
+
+    /// Recomputes the subtree of `node` under `label`, counting changes and
+    /// skipping subtrees whose root label is unchanged (child labels depend
+    /// only on the parent label and local structure).
+    fn renumber_subtree(
+        &mut self,
+        doc: &Document,
+        node: NodeId,
+        label: Uint,
+        stats: &mut RelabelStats,
+    ) {
+        let old = self.stored_label(node).cloned();
+        if old.as_ref() == Some(&label) {
+            return;
+        }
+        if let Some(old) = &old {
+            // Remove the stale reverse entry only if it still points here
+            // (another node may already have claimed this identifier).
+            if self.nodes.get(old) == Some(&node) {
+                self.nodes.remove(old);
+            }
+            stats.relabeled += 1;
+        }
+        self.set_label(node, label.clone());
+        for (j, child) in doc.children(node).enumerate() {
+            let child_label = kary::child_uint(&label, self.k, j as u64 + 1);
+            self.renumber_subtree(doc, child, child_label, stats);
+        }
+    }
+
+    /// Drops the labels of a detached subtree.
+    fn drop_subtree(&mut self, doc: &Document, node: NodeId, stats: &mut RelabelStats) {
+        for n in doc.descendants(node) {
+            if let Some(old) = self.labels.get_mut(n.index()).and_then(Option::take) {
+                if self.nodes.get(&old) == Some(&n) {
+                    self.nodes.remove(&old);
+                }
+                stats.dropped += 1;
+            }
+        }
+    }
+
+    /// Full renumbering with a fresh fan-out; used when an insert overflows k.
+    fn rebuild(&mut self, doc: &Document, stats: &mut RelabelStats) {
+        let tree_stats = TreeStats::collect(doc, self.root);
+        self.k = tree_stats.max_fanout.max(1) as u64;
+        let old_labels = std::mem::take(&mut self.labels);
+        self.nodes.clear();
+        self.assign_subtree(doc, self.root, Uint::one());
+        // Count how many previously-labelled nodes changed identifier.
+        for (idx, old) in old_labels.iter().enumerate() {
+            if let Some(old) = old {
+                if self.labels.get(idx).and_then(|l| l.as_ref()) != Some(old) {
+                    stats.relabeled += 1;
+                }
+            }
+        }
+        stats.full_rebuild = true;
+    }
+}
+
+impl NumberingScheme for UidScheme {
+    type Label = Uint;
+
+    fn scheme_name(&self) -> &'static str {
+        "uid"
+    }
+
+    fn numbering_root(&self) -> NodeId {
+        self.root
+    }
+
+    fn label_of(&self, node: NodeId) -> Uint {
+        self.stored_label(node).cloned().expect("node is not labelled")
+    }
+
+    fn node_of(&self, label: &Uint) -> Option<NodeId> {
+        self.nodes.get(label).copied()
+    }
+
+    fn supports_parent_computation(&self) -> bool {
+        true
+    }
+
+    fn parent_label(&self, label: &Uint) -> Option<Uint> {
+        kary::parent_uint(label, self.k)
+    }
+
+    fn is_ancestor(&self, a: &Uint, b: &Uint) -> bool {
+        kary::is_ancestor_uint(a, b, self.k)
+    }
+
+    fn cmp_order(&self, a: &Uint, b: &Uint) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        // Paths to the enumeration root; divergence point decides (the
+        // paper's Fig. 10 routine).
+        let chain = |start: &Uint| {
+            let mut v = vec![start.clone()];
+            let mut cur = start.clone();
+            while let Some(p) = kary::parent_uint(&cur, self.k) {
+                v.push(p.clone());
+                cur = p;
+            }
+            v.reverse();
+            v
+        };
+        let ca = chain(a);
+        let cb = chain(b);
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                // Siblings under a common parent are numbered left to right,
+                // so numeric order is sibling order.
+                ord => return ord,
+            }
+        }
+        // One chain is a prefix of the other: the shorter labels an ancestor,
+        // and ancestors precede descendants in document order.
+        ca.len().cmp(&cb.len())
+    }
+
+    fn on_insert(&mut self, doc: &Document, new_node: NodeId) -> RelabelStats {
+        let mut stats = RelabelStats::default();
+        let parent = doc.parent(new_node).expect("inserted node must have a parent");
+        let parent_label = self.label_of(parent);
+        let fanout = doc.children(parent).count() as u64;
+        if fanout > self.k {
+            // The paper's overflow case: "the modification of k results in an
+            // overhaul of the identifier system".
+            self.rebuild(doc, &mut stats);
+            return stats;
+        }
+        // Shift: renumber every child subtree of the parent; unchanged left
+        // siblings short-circuit in renumber_subtree.
+        for (j, child) in doc.children(parent).enumerate() {
+            let child_label = kary::child_uint(&parent_label, self.k, j as u64 + 1);
+            self.renumber_subtree(doc, child, child_label, &mut stats);
+        }
+        // The new node's own assignment is not counted: renumber_subtree only
+        // counts nodes that carried a previous label, and new_node had none.
+        stats
+    }
+
+    fn on_delete(&mut self, doc: &Document, old_parent: NodeId, removed: NodeId) -> RelabelStats {
+        let mut stats = RelabelStats::default();
+        self.drop_subtree(doc, removed, &mut stats);
+        let parent_label = self.label_of(old_parent);
+        for (j, child) in doc.children(old_parent).enumerate() {
+            let child_label = kary::child_uint(&parent_label, self.k, j as u64 + 1);
+            self.renumber_subtree(doc, child, child_label, &mut stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the tree of the paper's Fig. 1(a): a 3-ary enumeration with
+    /// real nodes 1; 2, 3; 5, 8, 9; 14, 23, 26, 27.
+    ///
+    /// Structure: root r has children a (rank 1) and b (rank 2); a has one
+    /// child a1 (rank 1); b has children b1 (rank 1) and b2 (rank 2);
+    /// a1 has one child x (rank 1); b1 has one child y (rank 3);
+    /// wait — Fig. 1 is reproduced more simply below from the identifier
+    /// set itself.
+    fn fig1_doc() -> (Document, Vec<NodeId>) {
+        // Identifiers in Fig. 1(a): 1, 2, 3, 5, 8, 9, 14, 23, 26, 27 (k=3).
+        //   1 -> children 2..4        (real: 2, 3)
+        //   2 -> children 5..7        (real: 5)
+        //   3 -> children 8..10       (real: 8, 9)
+        //   5 -> children 14..16      (real: 14)
+        //   8 -> children 23..25      (real: 23)
+        //   9 -> children 26..28      (real: 26, 27)
+        let mut doc = Document::new();
+        let root = doc.create_element("n1");
+        let d = doc.root();
+        doc.append_child(d, root);
+        let n2 = doc.create_element("n2");
+        let n3 = doc.create_element("n3");
+        doc.append_child(root, n2);
+        doc.append_child(root, n3);
+        let n5 = doc.create_element("n5");
+        doc.append_child(n2, n5);
+        let n8 = doc.create_element("n8");
+        let n9 = doc.create_element("n9");
+        doc.append_child(n3, n8);
+        doc.append_child(n3, n9);
+        let n14 = doc.create_element("n14");
+        doc.append_child(n5, n14);
+        let n23 = doc.create_element("n23");
+        doc.append_child(n8, n23);
+        let n26 = doc.create_element("n26");
+        let n27 = doc.create_element("n27");
+        doc.append_child(n9, n26);
+        doc.append_child(n9, n27);
+        (doc, vec![root, n2, n3, n5, n8, n9, n14, n23, n26, n27])
+    }
+
+    fn label(s: &UidScheme, n: NodeId) -> u64 {
+        s.label_of(n).to_u64().unwrap()
+    }
+
+    #[test]
+    fn fig1a_labels() {
+        let (doc, nodes) = fig1_doc();
+        // Fig. 1 uses k = 3 even though the sample tree's real fan-out is 2:
+        // the virtual third children pad each level.
+        let scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+        let expected = [1u64, 2, 3, 5, 8, 9, 14, 23, 26, 27];
+        for (node, want) in nodes.iter().zip(expected) {
+            assert_eq!(label(&scheme, *node), want);
+        }
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn fig1b_insertion_renumbering() {
+        // "Suppose that a node is inserted between nodes 2 and 3. ... The
+        // previous nodes 3, 8, 9, 23, 26 and 27 are re-numerated as nodes
+        // 4, 11, 12, 32, 35, and 36."
+        let (mut doc, nodes) = fig1_doc();
+        let mut scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+        let new = doc.create_element("new");
+        doc.insert_after(nodes[1], new); // between old nodes 2 and 3
+        let stats = scheme.on_insert(&doc, new);
+        assert!(!stats.full_rebuild);
+        assert_eq!(stats.relabeled, 6, "exactly the six nodes of Fig. 1(b)");
+        assert_eq!(label(&scheme, new), 3);
+        let renumbered = [nodes[2], nodes[4], nodes[5], nodes[7], nodes[8], nodes[9]];
+        let expected = [4u64, 11, 12, 32, 35, 36];
+        for (node, want) in renumbered.iter().zip(expected) {
+            assert_eq!(label(&scheme, *node), want);
+        }
+        // Unchanged: 1, 2, 5, 14.
+        for (node, want) in [(nodes[0], 1u64), (nodes[1], 2), (nodes[3], 5), (nodes[6], 14)] {
+            assert_eq!(label(&scheme, node), want);
+        }
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn overflow_insert_triggers_full_rebuild() {
+        // "If another node is inserted behind the new node 4 in Fig. 1(b),
+        // the entire tree must be re-numerated."
+        let (mut doc, nodes) = fig1_doc();
+        let mut scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+        let n1 = doc.create_element("x");
+        doc.insert_after(nodes[1], n1);
+        scheme.on_insert(&doc, n1);
+        let n2 = doc.create_element("y");
+        doc.insert_after(n1, n2);
+        let stats = scheme.on_insert(&doc, n2);
+        assert!(stats.full_rebuild, "fan-out grew past k=3");
+        assert_eq!(scheme.k(), 4);
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn delete_shifts_left() {
+        let (mut doc, nodes) = fig1_doc();
+        let mut scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+        // Delete node 2 (subtree {2, 5, 14}); node 3's subtree shifts left.
+        let parent = doc.parent(nodes[1]).unwrap();
+        doc.detach(nodes[1]);
+        let stats = scheme.on_delete(&doc, parent, nodes[1]);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.relabeled, 6, "3's subtree of six nodes moved");
+        assert_eq!(label(&scheme, nodes[2]), 2);
+        assert_eq!(label(&scheme, nodes[4]), 5);
+        assert_eq!(label(&scheme, nodes[5]), 6);
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn parent_and_ancestor_from_labels() {
+        let (doc, nodes) = fig1_doc();
+        let scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+        for &n in &nodes {
+            let l = scheme.label_of(n);
+            let via_label = scheme.parent_label(&l);
+            let via_tree = doc
+                .parent(n)
+                .filter(|&p| p != doc.root())
+                .map(|p| scheme.label_of(p));
+            assert_eq!(via_label, via_tree);
+        }
+        for &a in &nodes {
+            for &b in &nodes {
+                let la = scheme.label_of(a);
+                let lb = scheme.label_of(b);
+                assert_eq!(scheme.is_ancestor(&la, &lb), doc.is_ancestor_of(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn order_matches_document_order() {
+        let (doc, nodes) = fig1_doc();
+        let scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+        for &a in &nodes {
+            for &b in &nodes {
+                let la = scheme.label_of(a);
+                let lb = scheme.label_of(b);
+                assert_eq!(
+                    scheme.cmp_order(&la, &lb),
+                    doc.cmp_document_order(a, b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_picks_max_fanout() {
+        let doc = Document::parse("<a><b/><c/><d/><e><f/><g/></e></a>").unwrap();
+        let scheme = UidScheme::build(&doc);
+        assert_eq!(scheme.k(), 4);
+        scheme.check_consistency(&doc).unwrap();
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let doc = Document::parse("<a/>").unwrap();
+        let scheme = UidScheme::build(&doc);
+        assert_eq!(scheme.k(), 1);
+        assert_eq!(scheme.len(), 1);
+        let l = scheme.label_of(doc.root_element().unwrap());
+        assert_eq!(l.to_u64(), Some(1));
+        assert_eq!(scheme.parent_label(&l), None);
+    }
+
+    #[test]
+    fn deep_tree_overflows_u64() {
+        // Observation 1 of the paper: trees with a high degree of recursion
+        // exhaust the identifier space. Depth 80, fan-out 4: labels need
+        // ~160 bits.
+        let mut doc = Document::new();
+        let mut cur = doc.create_element("root");
+        let d = doc.root();
+        doc.append_child(d, cur);
+        let root = cur;
+        for _ in 0..80 {
+            // Give each level fan-out 4; descend through the last child.
+            let mut last = cur;
+            for _ in 0..4 {
+                last = doc.create_element("n");
+                doc.append_child(cur, last);
+            }
+            cur = last;
+        }
+        let scheme = UidScheme::build_at(&doc, root);
+        assert_eq!(scheme.k(), 4);
+        assert!(scheme.bits_required() > 64, "bits = {}", scheme.bits_required());
+        scheme.check_consistency(&doc).unwrap();
+    }
+}

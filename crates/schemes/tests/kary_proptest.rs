@@ -1,0 +1,78 @@
+//! Property tests for the shared k-ary enumeration arithmetic — the formula
+//! every scheme in the UID family stands on.
+
+use proptest::prelude::*;
+use schemes::kary;
+use ubig::Uint;
+
+proptest! {
+    /// parent(child(p, j)) == p, for u64 and Uint alike.
+    #[test]
+    fn prop_child_parent_round_trip(p in 1u64..1_000_000, k in 1u64..1_000, j_seed in any::<u64>()) {
+        let j = j_seed % k + 1;
+        if let Some(c) = kary::child_u64(p, k, j) {
+            prop_assert_eq!(kary::parent_u64(c, k), Some(p));
+            prop_assert_eq!(kary::sibling_rank_u64(c, k), j);
+        }
+        let cp = kary::child_uint(&Uint::from(p), k, j);
+        prop_assert_eq!(kary::parent_uint(&cp, k), Some(Uint::from(p)));
+        prop_assert_eq!(kary::sibling_rank_uint(&cp, k), j);
+    }
+
+    /// Children ranges of distinct parents never overlap.
+    #[test]
+    fn prop_child_ranges_disjoint(p in 1u64..100_000, k in 1u64..100) {
+        let (lo1, hi1) = kary::children_range_u64(p, k).unwrap();
+        let (lo2, hi2) = kary::children_range_u64(p + 1, k).unwrap();
+        prop_assert!(hi1 < lo2, "ranges [{lo1},{hi1}] and [{lo2},{hi2}] overlap");
+        prop_assert_eq!(hi1 - lo1 + 1, k);
+        prop_assert_eq!(hi2 - lo2 + 1, k);
+    }
+
+    /// Ancestry is consistent with repeated parent steps, and levels add up.
+    #[test]
+    fn prop_ancestor_matches_parent_chain(i in 2u64..1_000_000, k in 2u64..50) {
+        let mut chain = vec![i];
+        let mut cur = i;
+        while let Some(p) = kary::parent_u64(cur, k) {
+            chain.push(p);
+            cur = p;
+        }
+        prop_assert_eq!(*chain.last().unwrap(), 1);
+        prop_assert_eq!(kary::level_u64(i, k) as usize, chain.len() - 1);
+        for (d, &a) in chain.iter().enumerate().skip(1) {
+            prop_assert!(kary::is_ancestor_u64(a, i, k), "{a} should be an ancestor of {i}");
+            prop_assert_eq!(kary::level_u64(a, k) as usize, chain.len() - 1 - d);
+        }
+        // Not self-ancestor; larger identifiers are never ancestors.
+        prop_assert!(!kary::is_ancestor_u64(i, i, k));
+        prop_assert!(!kary::is_ancestor_u64(i + 1, i, k));
+    }
+
+    /// capacity(k, h) = 1 + k * capacity(k, h-1) (the geometric recurrence).
+    #[test]
+    fn prop_capacity_recurrence(k in 1u64..200, h in 1u32..30) {
+        let expected = kary::capacity(k, h - 1).mul_u64(k).add_u64(1);
+        prop_assert_eq!(kary::capacity(k, h), expected);
+    }
+
+    /// Uint and u64 agree wherever u64 does not overflow.
+    #[test]
+    fn prop_uint_u64_agree(p in 1u64..1_000_000, k in 1u64..1_000) {
+        for j in [1, k / 2 + 1, k] {
+            if let Some(c) = kary::child_u64(p, k, j) {
+                prop_assert_eq!(kary::child_uint(&Uint::from(p), k, j), Uint::from(c));
+            }
+        }
+    }
+}
+
+#[test]
+fn sibling_of_same_parent_not_ancestor() {
+    // Deterministic check for the sibling case skipped above.
+    let k = 4;
+    let a = kary::child_u64(7, k, 2).unwrap();
+    let b = kary::child_u64(7, k, 3).unwrap();
+    assert!(!kary::is_ancestor_u64(a, b, k));
+    assert!(!kary::is_ancestor_u64(b, a, k));
+}

@@ -1,0 +1,612 @@
+//! The [`Uint`] type: a normalized little-endian vector of `u64` limbs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Number of bits per limb.
+const LIMB_BITS: u32 = 64;
+
+/// Largest power of ten that fits in a `u64`, used for decimal conversion.
+/// `10^19 < 2^64 < 10^20`.
+const DEC_CHUNK: u64 = 10_000_000_000_000_000_000;
+const DEC_CHUNK_DIGITS: usize = 19;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` never has a trailing (most-significant) zero limb, so
+/// zero is represented by an empty vector and comparisons can short-circuit
+/// on limb count.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Uint {
+    limbs: Vec<u64>,
+}
+
+/// Error returned by [`Uint::from_str`] for malformed decimal input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUintError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse Uint from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid decimal digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseUintError {}
+
+impl Uint {
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        Uint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Uint { limbs: vec![1] }
+    }
+
+    /// Builds a `Uint` from raw little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Uint { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * u64::from(LIMB_BITS)
+                    + u64::from(LIMB_BITS - top.leading_zeros())
+            }
+        }
+    }
+
+    /// The value as a `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u128::from(self.limbs[0])),
+            2 => Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Little-endian byte encoding without trailing zero bytes.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in &self.limbs {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Decodes a value produced by [`Uint::to_le_bytes`]. Accepts any
+    /// little-endian byte string (trailing zeros are fine).
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(buf));
+        }
+        Uint::from_limbs(limbs)
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &Uint) -> Uint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &a) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self + small` without allocating a second `Uint`.
+    pub fn add_u64(&self, small: u64) -> Uint {
+        let mut out = self.limbs.clone();
+        let mut carry = small;
+        for limb in out.iter_mut() {
+            if carry == 0 {
+                break;
+            }
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            carry = u64::from(c);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` on underflow.
+    pub fn checked_sub(&self, other: &Uint) -> Option<Uint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0, "underflow despite ordering check");
+        Some(Uint::from_limbs(out))
+    }
+
+    /// `self - small`, or `None` on underflow.
+    pub fn checked_sub_u64(&self, small: u64) -> Option<Uint> {
+        if self.limbs.len() <= 1 {
+            return self.limbs.first().copied().unwrap_or(0).checked_sub(small).map(Uint::from);
+        }
+        let mut out = self.limbs.clone();
+        let mut borrow = small;
+        for limb in out.iter_mut() {
+            if borrow == 0 {
+                break;
+            }
+            let (d, b) = limb.overflowing_sub(borrow);
+            *limb = d;
+            borrow = u64::from(b);
+        }
+        debug_assert_eq!(borrow, 0, "multi-limb value cannot underflow a u64");
+        Some(Uint::from_limbs(out))
+    }
+
+    /// `self * small`.
+    pub fn mul_u64(&self, small: u64) -> Uint {
+        if small == 0 || self.is_zero() {
+            return Uint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &limb in &self.limbs {
+            let prod = u128::from(limb) * u128::from(small) + u128::from(carry);
+            out.push(prod as u64);
+            carry = (prod >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// Full schoolbook multiplication. Identifier arithmetic only multiplies
+    /// by small fan-outs, so the quadratic algorithm is more than enough.
+    pub fn mul_ref(&self, other: &Uint) -> Uint {
+        if self.is_zero() || other.is_zero() {
+            return Uint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j])
+                    + u128::from(a) * u128::from(b)
+                    + u128::from(carry);
+                out[i + j] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            out[i + other.limbs.len()] = carry;
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `(self / small, self % small)`.
+    ///
+    /// # Panics
+    /// Panics if `small == 0`.
+    pub fn div_rem_u64(&self, small: u64) -> (Uint, u64) {
+        assert!(small != 0, "division by zero");
+        if small == 1 {
+            return (self.clone(), 0);
+        }
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (u128::from(rem) << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(small)) as u64;
+            rem = (cur % u128::from(small)) as u64;
+        }
+        (Uint::from_limbs(out), rem)
+    }
+
+    /// `(self / other, self % other)` by bit-wise long division.
+    ///
+    /// Quadratic in the bit length; only used in tests and capacity analysis,
+    /// never on the identifier hot path (which divides by a small fan-out via
+    /// [`Uint::div_rem_u64`]).
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &Uint) -> (Uint, Uint) {
+        assert!(!other.is_zero(), "division by zero");
+        if let Some(d) = other.to_u64() {
+            let (q, r) = self.div_rem_u64(d);
+            return (q, Uint::from(r));
+        }
+        if self < other {
+            return (Uint::zero(), self.clone());
+        }
+        let shift = self.bits() - other.bits();
+        let mut rem = self.clone();
+        let mut quot = Uint::zero();
+        let mut divisor = other.shl_bits(shift);
+        for s in (0..=shift).rev() {
+            if let Some(next) = rem.checked_sub(&divisor) {
+                rem = next;
+                quot = quot.set_bit(s);
+            }
+            divisor = divisor.shr_bits(1);
+        }
+        (quot, rem)
+    }
+
+    /// `self << bits`.
+    pub fn shl_bits(&self, bits: u64) -> Uint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / u64::from(LIMB_BITS)) as usize;
+        let bit_shift = (bits % u64::from(LIMB_BITS)) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = limb >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self >> bits`.
+    pub fn shr_bits(&self, bits: u64) -> Uint {
+        if self.is_zero() {
+            return Uint::zero();
+        }
+        let limb_shift = (bits / u64::from(LIMB_BITS)) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Uint::zero();
+        }
+        let bit_shift = (bits % u64::from(LIMB_BITS)) as u32;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Uint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = src.get(i + 1).map_or(0, |&l| l << (LIMB_BITS - bit_shift));
+            out.push(lo | hi);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// Returns `self` with bit `bit` set.
+    fn set_bit(&self, bit: u64) -> Uint {
+        let idx = (bit / u64::from(LIMB_BITS)) as usize;
+        let mut limbs = self.limbs.clone();
+        if limbs.len() <= idx {
+            limbs.resize(idx + 1, 0);
+        }
+        limbs[idx] |= 1u64 << (bit % u64::from(LIMB_BITS));
+        Uint::from_limbs(limbs)
+    }
+
+    /// `self ^ exp` by square-and-multiply. `0^0 == 1` by convention.
+    pub fn pow(&self, mut exp: u64) -> Uint {
+        let mut base = self.clone();
+        let mut acc = Uint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// Decimal digit count (`1` for zero).
+    pub fn decimal_digits(&self) -> usize {
+        self.to_string().len()
+    }
+}
+
+impl From<u64> for Uint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Uint::zero()
+        } else {
+            Uint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for Uint {
+    fn from(v: u128) -> Self {
+        Uint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<u32> for Uint {
+    fn from(v: u32) -> Self {
+        Uint::from(u64::from(v))
+    }
+}
+
+impl Ord for Uint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Uint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for Uint {
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+impl PartialOrd<u64> for Uint {
+    fn partial_cmp(&self, other: &u64) -> Option<Ordering> {
+        match self.to_u64() {
+            Some(v) => v.partial_cmp(other),
+            None => Some(Ordering::Greater),
+        }
+    }
+}
+
+impl fmt::Display for Uint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 19 decimal digits at a time.
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(DEC_CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().map(|c| c.to_string()).unwrap_or_default();
+        for chunk in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:0width$}", width = DEC_CHUNK_DIGITS));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for Uint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uint({self})")
+    }
+}
+
+impl FromStr for Uint {
+    type Err = ParseUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseUintError { kind: ParseErrorKind::Empty });
+        }
+        let mut acc = Uint::zero();
+        for c in s.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or(ParseUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            acc = acc.mul_u64(10).add_u64(u64::from(d));
+        }
+        Ok(acc)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $imp:ident) => {
+        impl $trait<&Uint> for &Uint {
+            type Output = Uint;
+            fn $method(self, rhs: &Uint) -> Uint {
+                self.$imp(rhs)
+            }
+        }
+        impl $trait<Uint> for Uint {
+            type Output = Uint;
+            fn $method(self, rhs: Uint) -> Uint {
+                (&self).$imp(&rhs)
+            }
+        }
+        impl $trait<&Uint> for Uint {
+            type Output = Uint;
+            fn $method(self, rhs: &Uint) -> Uint {
+                (&self).$imp(rhs)
+            }
+        }
+        impl $trait<Uint> for &Uint {
+            type Output = Uint;
+            fn $method(self, rhs: Uint) -> Uint {
+                self.$imp(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Mul, mul, mul_ref);
+
+impl Sub<&Uint> for &Uint {
+    type Output = Uint;
+    fn sub(self, rhs: &Uint) -> Uint {
+        self.checked_sub(rhs).expect("Uint subtraction underflow")
+    }
+}
+
+impl Sub<Uint> for Uint {
+    type Output = Uint;
+    fn sub(self, rhs: Uint) -> Uint {
+        &self - &rhs
+    }
+}
+
+impl Sub<&Uint> for Uint {
+    type Output = Uint;
+    fn sub(self, rhs: &Uint) -> Uint {
+        &self - rhs
+    }
+}
+
+impl Add<u64> for &Uint {
+    type Output = Uint;
+    fn add(self, rhs: u64) -> Uint {
+        self.add_u64(rhs)
+    }
+}
+
+impl Add<u64> for Uint {
+    type Output = Uint;
+    fn add(self, rhs: u64) -> Uint {
+        self.add_u64(rhs)
+    }
+}
+
+impl Sub<u64> for &Uint {
+    type Output = Uint;
+    fn sub(self, rhs: u64) -> Uint {
+        self.checked_sub_u64(rhs).expect("Uint subtraction underflow")
+    }
+}
+
+impl Sub<u64> for Uint {
+    type Output = Uint;
+    fn sub(self, rhs: u64) -> Uint {
+        &self - rhs
+    }
+}
+
+impl Mul<u64> for &Uint {
+    type Output = Uint;
+    fn mul(self, rhs: u64) -> Uint {
+        self.mul_u64(rhs)
+    }
+}
+
+impl Mul<u64> for Uint {
+    type Output = Uint;
+    fn mul(self, rhs: u64) -> Uint {
+        self.mul_u64(rhs)
+    }
+}
+
+impl AddAssign<&Uint> for Uint {
+    fn add_assign(&mut self, rhs: &Uint) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl AddAssign<u64> for Uint {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.add_u64(rhs);
+    }
+}
+
+impl SubAssign<u64> for Uint {
+    fn sub_assign(&mut self, rhs: u64) {
+        *self = self.checked_sub_u64(rhs).expect("Uint subtraction underflow");
+    }
+}
+
+impl MulAssign<u64> for Uint {
+    fn mul_assign(&mut self, rhs: u64) {
+        *self = self.mul_u64(rhs);
+    }
+}
+
+impl Shl<u64> for &Uint {
+    type Output = Uint;
+    fn shl(self, bits: u64) -> Uint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &Uint {
+    type Output = Uint;
+    fn shr(self, bits: u64) -> Uint {
+        self.shr_bits(bits)
+    }
+}
+
+impl Sum for Uint {
+    fn sum<I: Iterator<Item = Uint>>(iter: I) -> Uint {
+        iter.fold(Uint::zero(), |acc, v| acc.add_ref(&v))
+    }
+}

@@ -1,0 +1,87 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A 1-based line/column position in the XML source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextPos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl fmt::Display for TextPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// A specific token was required.
+    Expected(&'static str),
+    /// A tag or attribute name was malformed.
+    InvalidName,
+    /// Close tag does not match the open tag.
+    MismatchedTag {
+        /// Name on the open tag.
+        expected: String,
+        /// Name found on the close tag.
+        found: String,
+    },
+    /// `&...;` reference was malformed or names an unsupported entity.
+    InvalidReference(String),
+    /// A character reference names an invalid code point.
+    InvalidCharRef(u32),
+    /// Document contains more than one root element.
+    MultipleRootElements,
+    /// Non-whitespace content outside the root element.
+    JunkAfterRoot,
+    /// The document has no root element.
+    NoRootElement,
+    /// An attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// Literal `<` in an attribute value or other forbidden character.
+    ForbiddenChar(char),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::Expected(t) => write!(f, "expected {t}"),
+            ParseErrorKind::InvalidName => write!(f, "invalid XML name"),
+            ParseErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            ParseErrorKind::InvalidReference(r) => write!(f, "invalid entity reference &{r};"),
+            ParseErrorKind::InvalidCharRef(c) => write!(f, "invalid character reference #{c}"),
+            ParseErrorKind::MultipleRootElements => write!(f, "multiple root elements"),
+            ParseErrorKind::JunkAfterRoot => write!(f, "content after root element"),
+            ParseErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            ParseErrorKind::ForbiddenChar(c) => write!(f, "forbidden character {c:?}"),
+        }
+    }
+}
+
+/// A parse failure at a position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where it went wrong.
+    pub pos: TextPos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.pos)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,120 @@
+//! Traversal iterators over [`Document`] trees.
+
+use crate::tree::{Document, NodeId};
+
+/// Iterator over the children of a node, in document order.
+#[derive(Debug, Clone)]
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Children<'a> {
+    pub(crate) fn new(doc: &'a Document, first: Option<NodeId>) -> Self {
+        Children { doc, next: first }
+    }
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Preorder iterator over a subtree, including its root.
+#[derive(Debug, Clone)]
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    start: NodeId,
+    next: Option<NodeId>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(doc: &'a Document, start: NodeId) -> Self {
+        Descendants { doc, start, next: Some(start) }
+    }
+
+    /// Advances from `cur` in preorder without leaving the `start` subtree.
+    fn advance(&self, cur: NodeId) -> Option<NodeId> {
+        if let Some(c) = self.doc.first_child(cur) {
+            return Some(c);
+        }
+        let mut at = cur;
+        loop {
+            if at == self.start {
+                return None;
+            }
+            if let Some(s) = self.doc.next_sibling(at) {
+                return Some(s);
+            }
+            at = self.doc.parent(at)?;
+        }
+    }
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.advance(cur);
+        Some(cur)
+    }
+}
+
+/// Iterator over strict ancestors, nearest first.
+#[derive(Debug, Clone)]
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(doc: &'a Document, first: Option<NodeId>) -> Self {
+        Ancestors { doc, next: first }
+    }
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Iterator over siblings in one direction (forward = following, backward =
+/// preceding).
+#[derive(Debug, Clone)]
+pub struct Siblings<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+    forward: bool,
+}
+
+impl<'a> Siblings<'a> {
+    pub(crate) fn forward(doc: &'a Document, first: Option<NodeId>) -> Self {
+        Siblings { doc, next: first, forward: true }
+    }
+
+    pub(crate) fn backward(doc: &'a Document, first: Option<NodeId>) -> Self {
+        Siblings { doc, next: first, forward: false }
+    }
+}
+
+impl Iterator for Siblings<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next =
+            if self.forward { self.doc.next_sibling(cur) } else { self.doc.prev_sibling(cur) };
+        Some(cur)
+    }
+}

@@ -1,0 +1,190 @@
+//! XML serialization with entity escaping and optional pretty-printing.
+//!
+//! Like the parser, the serializer is iterative (explicit work stack), so
+//! arbitrarily deep documents serialize without exhausting the call stack.
+
+use std::fmt::Write as _;
+
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// Knobs for [`Document::to_xml_string_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerializeOptions {
+    /// Indent nested elements by this many spaces per level. `None` (default)
+    /// emits compact output that round-trips exactly under default
+    /// [`crate::ParseOptions`].
+    pub indent: Option<usize>,
+    /// Emit an `<?xml version="1.0"?>` declaration first.
+    pub declaration: bool,
+}
+
+/// One unit of pending serialization work.
+enum Work {
+    /// Emit a node (and push its children / close tag).
+    Open(NodeId, usize, SerializeOptions),
+    /// Emit a close tag.
+    Close(NodeId, usize, SerializeOptions),
+    /// Emit a line break (pretty-printing separator).
+    Newline,
+}
+
+impl Document {
+    /// Serializes the whole document compactly.
+    pub fn to_xml_string(&self) -> String {
+        self.to_xml_string_with(SerializeOptions::default())
+    }
+
+    /// Serializes the whole document with explicit options.
+    pub fn to_xml_string_with(&self, options: SerializeOptions) -> String {
+        let mut out = String::new();
+        if options.declaration {
+            out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if options.indent.is_some() {
+                out.push('\n');
+            }
+        }
+        for child in self.children(self.root()) {
+            self.write_subtree(&mut out, child, options, 0);
+            if options.indent.is_some() {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes a single subtree compactly.
+    pub fn subtree_to_xml_string(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.write_subtree(&mut out, id, SerializeOptions::default(), 0);
+        out
+    }
+
+    fn write_subtree(
+        &self,
+        out: &mut String,
+        id: NodeId,
+        options: SerializeOptions,
+        level: usize,
+    ) {
+        let mut stack: Vec<Work> = vec![Work::Open(id, level, options)];
+        while let Some(work) = stack.pop() {
+            match work {
+                Work::Open(id, level, options) => self.write_open(out, id, level, options, &mut stack),
+                Work::Close(id, level, options) => {
+                    if options.indent.is_some() {
+                        out.push('\n');
+                        self.write_indent(out, options, level);
+                    }
+                    out.push_str("</");
+                    out.push_str(self.tag_name(id).expect("close tag of an element"));
+                    out.push('>');
+                }
+                Work::Newline => out.push('\n'),
+            }
+        }
+    }
+
+    fn write_open(
+        &self,
+        out: &mut String,
+        id: NodeId,
+        level: usize,
+        options: SerializeOptions,
+        stack: &mut Vec<Work>,
+    ) {
+        match self.kind(id) {
+            NodeKind::Document => {
+                let kids: Vec<NodeId> = self.children(id).collect();
+                for &child in kids.iter().rev() {
+                    stack.push(Work::Open(child, level, options));
+                }
+            }
+            NodeKind::Element { name, attributes } => {
+                self.write_indent(out, options, level);
+                let tag = self.name_text(*name);
+                out.push('<');
+                out.push_str(tag);
+                for attr in attributes {
+                    out.push(' ');
+                    out.push_str(self.name_text(attr.name));
+                    out.push_str("=\"");
+                    escape_attr(out, &attr.value);
+                    out.push('"');
+                }
+                if self.first_child(id).is_none() {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                // Mixed content (any text child) is always written compactly
+                // so pretty-printing cannot corrupt text.
+                let mixed =
+                    self.children(id).any(|c| matches!(self.kind(c), NodeKind::Text(_)));
+                let inner = if mixed {
+                    SerializeOptions { indent: None, ..options }
+                } else {
+                    options
+                };
+                stack.push(Work::Close(id, level, inner));
+                let kids: Vec<NodeId> = self.children(id).collect();
+                for &child in kids.iter().rev() {
+                    stack.push(Work::Open(child, level + 1, inner));
+                    if inner.indent.is_some() {
+                        stack.push(Work::Newline);
+                    }
+                }
+            }
+            NodeKind::Text(t) => {
+                escape_text(out, t);
+            }
+            NodeKind::Comment(c) => {
+                self.write_indent(out, options, level);
+                let _ = write!(out, "<!--{c}-->");
+            }
+            NodeKind::ProcessingInstruction { target, data } => {
+                self.write_indent(out, options, level);
+                if data.is_empty() {
+                    let _ = write!(out, "<?{target}?>");
+                } else {
+                    let _ = write!(out, "<?{target} {data}?>");
+                }
+            }
+        }
+    }
+
+    fn write_indent(&self, out: &mut String, options: SerializeOptions, level: usize) {
+        if let Some(width) = options.indent {
+            // Only indent when we are at the start of a fresh line.
+            if out.ends_with('\n') {
+                for _ in 0..level * width {
+                    out.push(' ');
+                }
+            }
+        }
+    }
+}
+
+fn escape_text(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Tree shape statistics.
+//!
+//! The rUID construction is driven by tree topology: the original UID scheme
+//! needs the global maximal fan-out, the rUID partitioner wants per-area
+//! fan-outs and depth information, and the scalability experiment (E2)
+//! reasons about `max_fanout ^ max_depth`. [`TreeStats`] gathers all of it in
+//! one preorder pass.
+
+use crate::tree::{Document, NodeId};
+
+/// Shape statistics of a subtree, computed by [`TreeStats::collect`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TreeStats {
+    /// Nodes in the subtree (including the root of the subtree).
+    pub node_count: usize,
+    /// Element nodes in the subtree.
+    pub element_count: usize,
+    /// Maximal number of children of any node.
+    pub max_fanout: usize,
+    /// Maximal depth relative to the subtree root (root itself = 0).
+    pub max_depth: usize,
+    /// Number of leaves (nodes without children).
+    pub leaf_count: usize,
+    /// Sum of children counts over internal nodes (for average fan-out).
+    pub internal_child_sum: usize,
+    /// Number of internal (non-leaf) nodes.
+    pub internal_count: usize,
+}
+
+impl TreeStats {
+    /// Gathers statistics for the subtree rooted at `root`.
+    pub fn collect(doc: &Document, root: NodeId) -> TreeStats {
+        let mut stats = TreeStats::default();
+        // Preorder walk tracking depth explicitly (descendants() does not
+        // expose depth).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some((node, depth)) = stack.pop() {
+            stats.node_count += 1;
+            if doc.is_element(node) {
+                stats.element_count += 1;
+            }
+            stats.max_depth = stats.max_depth.max(depth);
+            let mut fanout = 0usize;
+            for child in doc.children(node) {
+                fanout += 1;
+                stack.push((child, depth + 1));
+            }
+            if fanout == 0 {
+                stats.leaf_count += 1;
+            } else {
+                stats.internal_count += 1;
+                stats.internal_child_sum += fanout;
+                stats.max_fanout = stats.max_fanout.max(fanout);
+            }
+        }
+        stats
+    }
+
+    /// Average fan-out over internal nodes, 0.0 for a single-node tree.
+    pub fn avg_fanout(&self) -> f64 {
+        if self.internal_count == 0 {
+            0.0
+        } else {
+            self.internal_child_sum as f64 / self.internal_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_tree() {
+        let doc = Document::parse("<a><b><d/><e/></b><c/></a>").unwrap();
+        let root_elem = doc.root_element().unwrap();
+        let stats = TreeStats::collect(&doc, root_elem);
+        assert_eq!(stats.node_count, 5);
+        assert_eq!(stats.element_count, 5);
+        assert_eq!(stats.max_fanout, 2);
+        assert_eq!(stats.max_depth, 2);
+        assert_eq!(stats.leaf_count, 3);
+        assert_eq!(stats.internal_count, 2);
+        assert!((stats.avg_fanout() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_single_node() {
+        let doc = Document::parse("<only/>").unwrap();
+        let stats = TreeStats::collect(&doc, doc.root_element().unwrap());
+        assert_eq!(stats.node_count, 1);
+        assert_eq!(stats.max_fanout, 0);
+        assert_eq!(stats.max_depth, 0);
+        assert_eq!(stats.leaf_count, 1);
+        assert_eq!(stats.avg_fanout(), 0.0);
+    }
+
+    #[test]
+    fn stats_count_text_nodes() {
+        let doc = Document::parse("<a>hello<b>world</b></a>").unwrap();
+        let stats = TreeStats::collect(&doc, doc.root_element().unwrap());
+        assert_eq!(stats.node_count, 4); // a, text, b, text
+        assert_eq!(stats.element_count, 2);
+        assert_eq!(stats.max_fanout, 2);
+    }
+}

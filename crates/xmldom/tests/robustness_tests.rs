@@ -1,0 +1,153 @@
+//! Parser robustness: arbitrary input must never panic — it either parses
+//! or returns a positioned error. Plus targeted pathological inputs.
+
+use proptest::prelude::*;
+use xmldom::{Document, ParseOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Totally arbitrary strings: no panics, ever.
+    #[test]
+    fn prop_never_panics_on_arbitrary_input(input in ".{0,300}") {
+        let _ = Document::parse(&input);
+    }
+
+    /// XML-flavoured soup: strings biased toward markup characters hit the
+    /// parser's interesting branches far more often.
+    #[test]
+    fn prop_never_panics_on_markup_soup(
+        parts in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "<", ">", "</", "/>", "<a", "<a>", "</a>", "a", "=", "\"", "'",
+                "<!--", "-->", "<![CDATA[", "]]>", "<?", "?>", "&", ";", "&lt;",
+                "&#65;", "&#x41;", "&#xD800;", " ", "\n", "<!DOCTYPE", "[", "]",
+                "x=\"1\"", "日本",
+            ]),
+            0..40,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = Document::parse(&input);
+        let _ = Document::parse_with(&input, ParseOptions {
+            keep_whitespace_text: true,
+            keep_comments: false,
+            keep_pis: false,
+        });
+    }
+
+    /// Whatever parses must serialize and re-parse to an equal tree.
+    #[test]
+    fn prop_accepted_input_round_trips(
+        parts in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "<a>", "</a>", "<b/>", "text", "&amp;", "<c x=\"1\">", "</c>",
+                "<!--n-->", "<![CDATA[raw]]>",
+            ]),
+            0..20,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(doc) = Document::parse(&input) {
+            let out = doc.to_xml_string();
+            let doc2 = Document::parse(&out).expect("serializer output must parse");
+            prop_assert!(doc.subtree_eq(doc.root(), &doc2, doc2.root()),
+                "{input:?} -> {out:?}");
+        }
+    }
+}
+
+#[test]
+fn pathological_nesting_depth() {
+    // 20k-deep nesting: the parser recurses per element, so this both
+    // checks correctness and documents the practical depth budget.
+    let depth = 20_000;
+    let mut src = String::with_capacity(depth * 7);
+    for _ in 0..depth {
+        src.push_str("<d>");
+    }
+    for _ in 0..depth {
+        src.push_str("</d>");
+    }
+    let doc = Document::parse(&src).unwrap();
+    assert_eq!(doc.node_count(), depth + 1);
+}
+
+#[test]
+fn huge_attribute_and_text() {
+    let big = "x".repeat(1 << 20);
+    let src = format!("<a v=\"{big}\">{big}</a>");
+    let doc = Document::parse(&src).unwrap();
+    let a = doc.root_element().unwrap();
+    assert_eq!(doc.attribute(a, "v").unwrap().len(), 1 << 20);
+    assert_eq!(doc.string_value(a).len(), 1 << 20);
+}
+
+#[test]
+fn many_attributes() {
+    let mut src = String::from("<a");
+    for i in 0..1_000 {
+        src.push_str(&format!(" a{i}=\"{i}\""));
+    }
+    src.push_str("/>");
+    let doc = Document::parse(&src).unwrap();
+    let a = doc.root_element().unwrap();
+    assert_eq!(doc.attributes(a).len(), 1_000);
+    assert_eq!(doc.attribute(a, "a999"), Some("999"));
+}
+
+#[test]
+fn deeply_broken_inputs_error_cleanly() {
+    for src in [
+        "<", "<a", "<a ", "<a x", "<a x=", "<a x=\"", "<a x=\"1\"", "<a>",
+        "</a>", "<a></b>", "<a><![CDATA[", "<a><!--", "<a>&", "<a>&#;</a>",
+        "<a>&#xFFFFFFFF;</a>", "<?", "<!DOCTYPE", "\u{0}", "<\u{0}>",
+    ] {
+        assert!(Document::parse(src).is_err(), "{src:?} should not parse");
+    }
+}
+
+#[test]
+fn crlf_and_tabs_in_content() {
+    let doc = Document::parse("<a>line1\r\nline2\tend</a>").unwrap();
+    assert_eq!(doc.string_value(doc.root_element().unwrap()), "line1\r\nline2\tend");
+}
+
+#[test]
+fn deep_document_serializes_iteratively() {
+    // The serializer, like the parser, must survive pathological depth.
+    let depth = 20_000;
+    let mut src = String::with_capacity(depth * 7);
+    for _ in 0..depth {
+        src.push_str("<d>");
+    }
+    for _ in 0..depth {
+        src.push_str("</d>");
+    }
+    let doc = Document::parse(&src).unwrap();
+    let out = doc.to_xml_string();
+    // The innermost (empty) element serializes self-closing.
+    let expected =
+        format!("{}<d/>{}", "<d>".repeat(depth - 1), "</d>".repeat(depth - 1));
+    assert_eq!(out, expected);
+    // Pretty-printing the same document also survives.
+    let pretty = doc.to_xml_string_with(xmldom::SerializeOptions {
+        indent: Some(1),
+        declaration: false,
+    });
+    assert!(pretty.lines().count() > depth);
+}
+
+#[test]
+fn cdata_coalesces_with_adjacent_text() {
+    // Regression caught by the round-trip property: adjacent character
+    // data (CDATA/text in any order) must form one text node.
+    let doc = Document::parse("<c>pre<![CDATA[raw]]>post</c>").unwrap();
+    let c = doc.root_element().unwrap();
+    assert_eq!(doc.children(c).count(), 1);
+    assert_eq!(doc.string_value(c), "prerawpost");
+    let doc = Document::parse("<c><![CDATA[a]]> <![CDATA[b]]></c>").unwrap();
+    let c = doc.root_element().unwrap();
+    assert_eq!(doc.children(c).count(), 1);
+    assert_eq!(doc.string_value(c), "a b");
+}

@@ -1,0 +1,301 @@
+//! Structural tests for the arena tree: links, mutation, traversal, order.
+
+use std::cmp::Ordering;
+
+use xmldom::{Document, NodeKind};
+
+/// Builds `<r><a><a1/><a2/></a><b/><c><c1/></c></r>` and returns handles.
+fn sample() -> (Document, Vec<xmldom::NodeId>) {
+    let mut doc = Document::new();
+    let r = doc.create_element("r");
+    let root = doc.root();
+    doc.append_child(root, r);
+    let a = doc.create_element("a");
+    let b = doc.create_element("b");
+    let c = doc.create_element("c");
+    doc.append_child(r, a);
+    doc.append_child(r, b);
+    doc.append_child(r, c);
+    let a1 = doc.create_element("a1");
+    let a2 = doc.create_element("a2");
+    doc.append_child(a, a1);
+    doc.append_child(a, a2);
+    let c1 = doc.create_element("c1");
+    doc.append_child(c, c1);
+    (doc, vec![r, a, b, c, a1, a2, c1])
+}
+
+#[test]
+fn sibling_links_consistent() {
+    let (doc, ids) = sample();
+    let [r, a, b, c, a1, a2, _c1] = ids[..] else { unreachable!() };
+    assert_eq!(doc.first_child(r), Some(a));
+    assert_eq!(doc.last_child(r), Some(c));
+    assert_eq!(doc.next_sibling(a), Some(b));
+    assert_eq!(doc.next_sibling(b), Some(c));
+    assert_eq!(doc.next_sibling(c), None);
+    assert_eq!(doc.prev_sibling(c), Some(b));
+    assert_eq!(doc.prev_sibling(a), None);
+    assert_eq!(doc.parent(a1), Some(a));
+    assert_eq!(doc.parent(r), Some(doc.root()));
+    assert_eq!(doc.parent(doc.root()), None);
+    assert_eq!(doc.next_sibling(a1), Some(a2));
+}
+
+#[test]
+fn children_iteration_order() {
+    let (doc, ids) = sample();
+    let [r, a, b, c, ..] = ids[..] else { unreachable!() };
+    let kids: Vec<_> = doc.children(r).collect();
+    assert_eq!(kids, vec![a, b, c]);
+}
+
+#[test]
+fn descendants_preorder() {
+    let (doc, ids) = sample();
+    let [r, a, b, c, a1, a2, c1] = ids[..] else { unreachable!() };
+    let all: Vec<_> = doc.descendants(r).collect();
+    assert_eq!(all, vec![r, a, a1, a2, b, c, c1]);
+    // Subtree iteration stays inside the subtree.
+    let sub: Vec<_> = doc.descendants(a).collect();
+    assert_eq!(sub, vec![a, a1, a2]);
+}
+
+#[test]
+fn ancestors_and_depth() {
+    let (doc, ids) = sample();
+    let [r, a, _b, _c, a1, ..] = ids[..] else { unreachable!() };
+    let anc: Vec<_> = doc.ancestors(a1).collect();
+    assert_eq!(anc, vec![a, r, doc.root()]);
+    assert_eq!(doc.depth(doc.root()), 0);
+    assert_eq!(doc.depth(r), 1);
+    assert_eq!(doc.depth(a1), 3);
+}
+
+#[test]
+fn sibling_axes() {
+    let (doc, ids) = sample();
+    let [_r, a, b, c, ..] = ids[..] else { unreachable!() };
+    assert_eq!(doc.following_siblings(a).collect::<Vec<_>>(), vec![b, c]);
+    assert_eq!(doc.preceding_siblings(c).collect::<Vec<_>>(), vec![b, a]);
+    assert_eq!(doc.child_index(a), 0);
+    assert_eq!(doc.child_index(c), 2);
+}
+
+#[test]
+fn insert_before_and_after() {
+    let (mut doc, ids) = sample();
+    let [r, a, b, _c, ..] = ids[..] else { unreachable!() };
+    let x = doc.create_element("x");
+    doc.insert_before(b, x);
+    let y = doc.create_element("y");
+    doc.insert_after(b, y);
+    let names: Vec<_> =
+        doc.children(r).map(|n| doc.tag_name(n).unwrap().to_owned()).collect();
+    assert_eq!(names, vec!["a", "x", "b", "y", "c"]);
+    // Insert at the very front.
+    let w = doc.create_element("w");
+    doc.insert_before(a, w);
+    assert_eq!(doc.first_child(r), Some(w));
+    assert_eq!(doc.prev_sibling(a), Some(w));
+}
+
+#[test]
+fn detach_middle_and_edges() {
+    let (mut doc, ids) = sample();
+    let [r, a, b, c, ..] = ids[..] else { unreachable!() };
+    doc.detach(b);
+    assert_eq!(doc.children(r).collect::<Vec<_>>(), vec![a, c]);
+    assert!(!doc.is_attached(b));
+    doc.detach(a);
+    assert_eq!(doc.first_child(r), Some(c));
+    doc.detach(c);
+    assert_eq!(doc.first_child(r), None);
+    assert_eq!(doc.last_child(r), None);
+    // Detached node can be re-attached.
+    doc.append_child(r, b);
+    assert_eq!(doc.children(r).collect::<Vec<_>>(), vec![b]);
+    // Detach of already-detached node is a no-op.
+    doc.detach(a);
+    assert!(!doc.is_attached(a));
+}
+
+#[test]
+#[should_panic(expected = "already attached")]
+fn double_attach_panics() {
+    let (mut doc, ids) = sample();
+    let [r, a, ..] = ids[..] else { unreachable!() };
+    doc.append_child(r, a);
+}
+
+#[test]
+#[should_panic(expected = "cannot detach the document root")]
+fn detach_root_panics() {
+    let (mut doc, _) = sample();
+    doc.detach(doc.root());
+}
+
+#[test]
+fn ancestor_queries() {
+    let (doc, ids) = sample();
+    let [r, a, b, _c, a1, ..] = ids[..] else { unreachable!() };
+    assert!(doc.is_ancestor_of(r, a1));
+    assert!(doc.is_ancestor_of(a, a1));
+    assert!(!doc.is_ancestor_of(a1, a));
+    assert!(!doc.is_ancestor_of(a, a));
+    assert!(!doc.is_ancestor_of(b, a1));
+    assert_eq!(doc.lowest_common_ancestor(a1, b), r);
+    assert_eq!(doc.lowest_common_ancestor(a1, a), a);
+    assert_eq!(doc.lowest_common_ancestor(a1, a1), a1);
+}
+
+#[test]
+fn document_order_matches_preorder() {
+    let (doc, ids) = sample();
+    let r = ids[0];
+    let order: Vec<_> = doc.descendants(r).collect();
+    for (i, &x) in order.iter().enumerate() {
+        for (j, &y) in order.iter().enumerate() {
+            let expected = i.cmp(&j);
+            assert_eq!(doc.cmp_document_order(x, y), expected, "{x:?} vs {y:?}");
+        }
+    }
+}
+
+#[test]
+fn attributes_set_get_replace() {
+    let mut doc = Document::new();
+    let r = doc.create_element("r");
+    let root = doc.root();
+    doc.append_child(root, r);
+    assert_eq!(doc.attribute(r, "id"), None);
+    doc.set_attribute(r, "id", "1");
+    doc.set_attribute(r, "class", "x");
+    assert_eq!(doc.attribute(r, "id"), Some("1"));
+    doc.set_attribute(r, "id", "2");
+    assert_eq!(doc.attribute(r, "id"), Some("2"));
+    assert_eq!(doc.attributes(r).len(), 2);
+}
+
+#[test]
+fn string_value_concatenates_text() {
+    let doc = Document::parse("<a>one<b>two</b><c>three</c></a>").unwrap();
+    let a = doc.root_element().unwrap();
+    assert_eq!(doc.string_value(a), "onetwothree");
+}
+
+#[test]
+fn subtree_eq_detects_differences() {
+    let d1 = Document::parse("<a x=\"1\"><b>t</b></a>").unwrap();
+    let d2 = Document::parse("<a x=\"1\"><b>t</b></a>").unwrap();
+    let d3 = Document::parse("<a x=\"2\"><b>t</b></a>").unwrap();
+    let d4 = Document::parse("<a x=\"1\"><b>u</b></a>").unwrap();
+    let d5 = Document::parse("<a x=\"1\"><b>t</b><c/></a>").unwrap();
+    assert!(d1.subtree_eq(d1.root(), &d2, d2.root()));
+    assert!(!d1.subtree_eq(d1.root(), &d3, d3.root()));
+    assert!(!d1.subtree_eq(d1.root(), &d4, d4.root()));
+    assert!(!d1.subtree_eq(d1.root(), &d5, d5.root()));
+}
+
+#[test]
+fn node_kind_accessors() {
+    let doc =
+        Document::parse("<?pi data?><!--note--><a>text</a>").unwrap();
+    let root = doc.root();
+    let kids: Vec<_> = doc.children(root).collect();
+    assert_eq!(kids.len(), 3);
+    assert!(matches!(doc.kind(kids[0]), NodeKind::ProcessingInstruction { .. }));
+    assert!(matches!(doc.kind(kids[1]), NodeKind::Comment(_)));
+    assert!(matches!(doc.kind(kids[2]), NodeKind::Element { .. }));
+    assert_eq!(doc.root_element(), Some(kids[2]));
+    let text = doc.first_child(kids[2]).unwrap();
+    assert_eq!(doc.text(text), Some("text"));
+    assert_eq!(doc.tag_name(text), None);
+}
+
+#[test]
+fn cmp_document_order_equal() {
+    let (doc, ids) = sample();
+    assert_eq!(doc.cmp_document_order(ids[1], ids[1]), Ordering::Equal);
+}
+
+#[test]
+fn nth_child() {
+    let (doc, ids) = sample();
+    let [r, a, b, c, ..] = ids[..] else { unreachable!() };
+    assert_eq!(doc.nth_child(r, 0), Some(a));
+    assert_eq!(doc.nth_child(r, 1), Some(b));
+    assert_eq!(doc.nth_child(r, 2), Some(c));
+    assert_eq!(doc.nth_child(r, 3), None);
+}
+
+#[test]
+fn pretty_serialization_layout() {
+    let doc = Document::parse("<a><b><c/></b><!--note--><?pi d?><d>text</d></a>").unwrap();
+    let pretty = doc.to_xml_string_with(xmldom::SerializeOptions {
+        indent: Some(2),
+        declaration: false,
+    });
+    let lines: Vec<&str> = pretty.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            "<a>",
+            "  <b>",
+            "    <c/>",
+            "  </b>",
+            "  <!--note-->",
+            "  <?pi d?>",
+            "  <d>text</d>", // mixed content stays compact
+            "</a>",
+        ]
+    );
+    // Pretty output re-parses to the same tree (whitespace dropped).
+    let back = Document::parse(&pretty).unwrap();
+    assert!(doc.subtree_eq(doc.root(), &back, back.root()));
+}
+
+#[test]
+fn declaration_emitted_once() {
+    let doc = Document::parse("<a/>").unwrap();
+    let s = doc.to_xml_string_with(xmldom::SerializeOptions {
+        indent: None,
+        declaration: true,
+    });
+    assert_eq!(s, "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+#[test]
+fn append_text_merges_content() {
+    let mut doc = Document::new();
+    let root = doc.root();
+    let e = doc.create_element("e");
+    doc.append_child(root, e);
+    let t = doc.create_text("hello");
+    doc.append_child(e, t);
+    doc.append_text(t, " world");
+    assert_eq!(doc.text(t), Some("hello world"));
+    assert_eq!(doc.string_value(e), "hello world");
+}
+
+#[test]
+#[should_panic(expected = "append_text on non-text node")]
+fn append_text_rejects_elements() {
+    let mut doc = Document::new();
+    let e = doc.create_element("e");
+    doc.append_text(e, "nope");
+}
+
+#[test]
+fn detached_subtree_keeps_internal_structure() {
+    let mut doc = Document::parse("<a><b><c/><d/></b><e/></a>").unwrap();
+    let a = doc.root_element().unwrap();
+    let b = doc.first_child(a).unwrap();
+    doc.detach(b);
+    // The detached subtree is still navigable from its root.
+    assert_eq!(doc.descendants(b).count(), 3);
+    assert_eq!(doc.children(b).count(), 2);
+    assert!(doc.parent(b).is_none());
+    // And can be serialized standalone.
+    assert_eq!(doc.subtree_to_xml_string(b), "<b><c/><d/></b>");
+}

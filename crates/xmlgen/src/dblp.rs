@@ -1,0 +1,123 @@
+//! A DBLP-style bibliography generator: the shallow-but-enormously-wide
+//! regime (the real DBLP root has hundreds of thousands of children), which
+//! maximizes the fan-out k of the original UID scheme.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmldom::Document;
+
+/// Scale knobs for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct DblpConfig {
+    /// Number of publication records under the root.
+    pub publications: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig { publications: 100, seed: 42 }
+    }
+}
+
+const VENUES: [&str; 6] = ["VLDB", "SIGMOD", "ICDE", "EDBT", "CIKM", "WISE"];
+const SURNAMES: [&str; 10] =
+    ["Kha", "Yoshikawa", "Uemura", "Lee", "Moon", "Dietz", "Zhang", "Suciu", "Widom", "Abiteboul"];
+const TOPICS: [&str; 8] = [
+    "Numbering Schemes",
+    "Path Indexing",
+    "Query Processing",
+    "Structural Joins",
+    "Semistructured Data",
+    "Version Management",
+    "Containment Queries",
+    "Schema Extraction",
+];
+
+/// Generates a DBLP-style document: `<dblp>` with `publications` records,
+/// each alternating between `article` and `inproceedings`.
+pub fn generate(config: &DblpConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut doc = Document::new();
+    let dblp = doc.create_element("dblp");
+    let root = doc.root();
+    doc.append_child(root, dblp);
+    for i in 0..config.publications {
+        let kind = if i % 2 == 0 { "article" } else { "inproceedings" };
+        let publication = doc.create_element(kind);
+        doc.append_child(dblp, publication);
+        doc.set_attribute(publication, "key", &format!("{}/{i}", kind));
+        let n_authors = rng.gen_range(1..4);
+        for _ in 0..n_authors {
+            let author = doc.create_element("author");
+            doc.append_child(publication, author);
+            let name = format!(
+                "{}. {}",
+                (b'A' + rng.gen_range(0..26u8)) as char,
+                SURNAMES[rng.gen_range(0..SURNAMES.len())]
+            );
+            let t = doc.create_text(&name);
+            doc.append_child(author, t);
+        }
+        let title = doc.create_element("title");
+        doc.append_child(publication, title);
+        let text = format!(
+            "On {} for XML Data ({i})",
+            TOPICS[rng.gen_range(0..TOPICS.len())]
+        );
+        let t = doc.create_text(&text);
+        doc.append_child(title, t);
+        let year = doc.create_element("year");
+        doc.append_child(publication, year);
+        let t = doc.create_text(&format!("{}", rng.gen_range(1996..2003)));
+        doc.append_child(year, t);
+        let venue_tag = if i % 2 == 0 { "journal" } else { "booktitle" };
+        let venue = doc.create_element(venue_tag);
+        doc.append_child(publication, venue);
+        let t = doc.create_text(VENUES[rng.gen_range(0..VENUES.len())]);
+        doc.append_child(venue, t);
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::TreeStats;
+
+    #[test]
+    fn wide_flat_shape() {
+        let doc = generate(&DblpConfig { publications: 200, seed: 1 });
+        let root = doc.root_element().unwrap();
+        let stats = TreeStats::collect(&doc, root);
+        // Root fan-out dominates every other fan-out.
+        assert_eq!(doc.children(root).count(), 200);
+        assert_eq!(stats.max_fanout, 200);
+        assert!(stats.max_depth <= 3);
+    }
+
+    #[test]
+    fn records_alternate_kinds() {
+        let doc = generate(&DblpConfig { publications: 4, seed: 1 });
+        let root = doc.root_element().unwrap();
+        let kinds: Vec<_> =
+            doc.children(root).map(|c| doc.tag_name(c).unwrap().to_owned()).collect();
+        assert_eq!(kinds, vec!["article", "inproceedings", "article", "inproceedings"]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&DblpConfig::default());
+        let b = generate(&DblpConfig::default());
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn round_trips_through_xml() {
+        let doc = generate(&DblpConfig { publications: 10, seed: 9 });
+        let xml = doc.to_xml_string();
+        let back = Document::parse(&xml).unwrap();
+        assert!(doc.subtree_eq(doc.root(), &back, back.root()));
+    }
+}

@@ -1,0 +1,291 @@
+//! Parameterized random element trees.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmldom::{Document, NodeId};
+
+/// How many children an internal node receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FanoutDist {
+    /// Uniform on `1..=max_fanout`.
+    Uniform,
+    /// Every internal node gets exactly `max_fanout` children (budget
+    /// permitting).
+    Fixed,
+    /// Geometric with success probability `p`: mostly small fan-outs with a
+    /// long tail up to `max_fanout`. This is the "disparity in fan-outs"
+    /// regime of Section 3.1.
+    Geometric(f64),
+    /// Zipf-like with exponent `s` over `1..=max_fanout`.
+    Zipf(f64),
+}
+
+/// How element names are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NameStrategy {
+    /// One name per depth level: `lvl0`, `lvl1`, ... (recursive schemas).
+    ByDepth,
+    /// Uniformly from a vocabulary.
+    FromVocabulary(Vec<String>),
+}
+
+/// Configuration for [`random_tree`].
+#[derive(Debug, Clone)]
+pub struct TreeGenConfig {
+    /// Total element count, including the root (>= 1).
+    pub nodes: usize,
+    /// Upper bound on any node's fan-out (>= 1).
+    pub max_fanout: usize,
+    /// Fan-out distribution.
+    pub fanout: FanoutDist,
+    /// Probability that a subtree's remaining budget is funnelled into a
+    /// single child (0.0 = balanced/bushy, towards 1.0 = deep/chain-like).
+    pub depth_bias: f64,
+    /// Element naming.
+    pub names: NameStrategy,
+    /// RNG seed; equal seeds give identical documents.
+    pub seed: u64,
+}
+
+impl Default for TreeGenConfig {
+    fn default() -> Self {
+        TreeGenConfig {
+            nodes: 1000,
+            max_fanout: 8,
+            fanout: FanoutDist::Uniform,
+            depth_bias: 0.0,
+            names: NameStrategy::ByDepth,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random element tree according to `config`.
+///
+/// The returned document contains exactly `config.nodes` elements (plus the
+/// document node) and respects `max_fanout`.
+///
+/// # Panics
+/// Panics if `nodes == 0` or `max_fanout == 0`.
+pub fn random_tree(config: &TreeGenConfig) -> Document {
+    assert!(config.nodes >= 1, "need at least the root element");
+    assert!(config.max_fanout >= 1, "max_fanout must be at least 1");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut doc = Document::new();
+    let root = create_named(&mut doc, config, 0, &mut rng);
+    let doc_root = doc.root();
+    doc.append_child(doc_root, root);
+    grow(&mut doc, root, config.nodes - 1, 1, config, &mut rng);
+    doc
+}
+
+fn create_named(
+    doc: &mut Document,
+    config: &TreeGenConfig,
+    depth: usize,
+    rng: &mut StdRng,
+) -> NodeId {
+    match &config.names {
+        NameStrategy::ByDepth => doc.create_element(&format!("lvl{depth}")),
+        NameStrategy::FromVocabulary(vocab) => {
+            let name = &vocab[rng.gen_range(0..vocab.len())];
+            doc.create_element(name)
+        }
+    }
+}
+
+/// Creates exactly `budget` descendants under `parent`.
+fn grow(
+    doc: &mut Document,
+    parent: NodeId,
+    budget: usize,
+    depth: usize,
+    config: &TreeGenConfig,
+    rng: &mut StdRng,
+) {
+    if budget == 0 {
+        return;
+    }
+    let fanout = sample_fanout(config, rng).min(budget).min(config.max_fanout).max(1);
+    // Split the remaining budget among the children.
+    let remaining = budget - fanout;
+    let shares = split_budget(remaining, fanout, config.depth_bias, rng);
+    for share in shares {
+        let child = create_named(doc, config, depth, rng);
+        doc.append_child(parent, child);
+        grow(doc, child, share, depth + 1, config, rng);
+    }
+}
+
+fn sample_fanout(config: &TreeGenConfig, rng: &mut StdRng) -> usize {
+    let max = config.max_fanout;
+    match config.fanout {
+        FanoutDist::Uniform => rng.gen_range(1..=max),
+        FanoutDist::Fixed => max,
+        FanoutDist::Geometric(p) => {
+            let p = p.clamp(0.01, 0.99);
+            let mut f = 1usize;
+            while f < max && rng.gen::<f64>() > p {
+                f += 1;
+            }
+            f
+        }
+        FanoutDist::Zipf(s) => {
+            // Inverse-CDF sampling over 1..=max with weights 1/i^s.
+            let total: f64 = (1..=max).map(|i| (i as f64).powf(-s)).sum();
+            let mut u = rng.gen::<f64>() * total;
+            for i in 1..=max {
+                u -= (i as f64).powf(-s);
+                if u <= 0.0 {
+                    return i;
+                }
+            }
+            max
+        }
+    }
+}
+
+/// Splits `total` into `parts` non-negative shares.
+fn split_budget(total: usize, parts: usize, depth_bias: f64, rng: &mut StdRng) -> Vec<usize> {
+    let mut shares = vec![0usize; parts];
+    if total == 0 {
+        return shares;
+    }
+    if rng.gen::<f64>() < depth_bias {
+        // Funnel everything into one child: produces deep trees.
+        shares[rng.gen_range(0..parts)] = total;
+        return shares;
+    }
+    // Exponential-weight proportional split (a Dirichlet(1,...,1) sample).
+    let weights: Vec<f64> = (0..parts).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+    let sum: f64 = weights.iter().sum();
+    let mut assigned = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        let share = ((w / sum) * total as f64).floor() as usize;
+        shares[i] = share;
+        assigned += share;
+    }
+    // Distribute the rounding remainder.
+    let mut i = 0;
+    while assigned < total {
+        shares[i % parts] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    shares
+}
+
+/// A "high degree of recursion" tree (Observation 1 of the paper): `depth`
+/// levels, every node on the spine has `fanout` children, the last of which
+/// carries the next level. Node count is `depth * fanout + 1`; the original
+/// UID's largest identifier is about `fanout^depth`.
+pub fn deep_tree(depth: usize, fanout: usize) -> Document {
+    assert!(fanout >= 1, "fanout must be at least 1");
+    let mut doc = Document::new();
+    let root = doc.create_element("lvl0");
+    let doc_root = doc.root();
+    doc.append_child(doc_root, root);
+    let mut spine = root;
+    for level in 1..=depth {
+        let mut last = spine;
+        for _ in 0..fanout {
+            last = doc.create_element(&format!("lvl{level}"));
+            doc.append_child(spine, last);
+        }
+        spine = last;
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::TreeStats;
+
+    #[test]
+    fn exact_node_count() {
+        for nodes in [1usize, 2, 10, 257, 1000] {
+            let config = TreeGenConfig { nodes, ..Default::default() };
+            let doc = random_tree(&config);
+            let stats = TreeStats::collect(&doc, doc.root_element().unwrap());
+            assert_eq!(stats.node_count, nodes, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn respects_max_fanout() {
+        for dist in [
+            FanoutDist::Uniform,
+            FanoutDist::Fixed,
+            FanoutDist::Geometric(0.3),
+            FanoutDist::Zipf(1.2),
+        ] {
+            let config = TreeGenConfig {
+                nodes: 500,
+                max_fanout: 5,
+                fanout: dist,
+                ..Default::default()
+            };
+            let doc = random_tree(&config);
+            let stats = TreeStats::collect(&doc, doc.root_element().unwrap());
+            assert!(stats.max_fanout <= 5, "dist={dist:?}");
+            assert_eq!(stats.node_count, 500);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let config = TreeGenConfig { nodes: 300, seed: 7, ..Default::default() };
+        let a = random_tree(&config);
+        let b = random_tree(&config);
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+        let c = random_tree(&TreeGenConfig { seed: 8, ..config });
+        assert!(!a.subtree_eq(a.root(), &c, c.root()));
+    }
+
+    #[test]
+    fn depth_bias_deepens() {
+        let base = TreeGenConfig { nodes: 2000, max_fanout: 4, seed: 3, ..Default::default() };
+        let bushy = random_tree(&TreeGenConfig { depth_bias: 0.0, ..base.clone() });
+        let deep = random_tree(&TreeGenConfig { depth_bias: 0.9, ..base });
+        let bushy_depth =
+            TreeStats::collect(&bushy, bushy.root_element().unwrap()).max_depth;
+        let deep_depth = TreeStats::collect(&deep, deep.root_element().unwrap()).max_depth;
+        assert!(
+            deep_depth > bushy_depth * 2,
+            "depth bias should deepen: {deep_depth} vs {bushy_depth}"
+        );
+    }
+
+    #[test]
+    fn vocabulary_names() {
+        let config = TreeGenConfig {
+            nodes: 100,
+            names: NameStrategy::FromVocabulary(vec!["a".into(), "b".into()]),
+            ..Default::default()
+        };
+        let doc = random_tree(&config);
+        for n in doc.descendants(doc.root_element().unwrap()) {
+            let name = doc.tag_name(n).unwrap();
+            assert!(name == "a" || name == "b");
+        }
+    }
+
+    #[test]
+    fn deep_tree_shape() {
+        let doc = deep_tree(10, 3);
+        let root = doc.root_element().unwrap();
+        let stats = TreeStats::collect(&doc, root);
+        assert_eq!(stats.node_count, 31);
+        assert_eq!(stats.max_depth, 10);
+        assert_eq!(stats.max_fanout, 3);
+    }
+
+    #[test]
+    fn deep_tree_degenerate() {
+        let doc = deep_tree(5, 1);
+        let stats = TreeStats::collect(&doc, doc.root_element().unwrap());
+        assert_eq!(stats.node_count, 6);
+        assert_eq!(stats.max_depth, 5);
+    }
+}

@@ -1,0 +1,313 @@
+//! An XMark-style auction-site document generator.
+//!
+//! XMark (Schmidt et al., VLDB 2002) was the standard XML benchmark of the
+//! paper's period. This generator reproduces its characteristic shape — a
+//! `site` root with regions/items, people, open and closed auctions, and
+//! categories, mixing elements, attributes and text — at a configurable
+//! scale, deterministically from a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmldom::{Document, NodeId};
+
+/// Scale knobs for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkConfig {
+    /// Number of items per region (6 regions).
+    pub items_per_region: usize,
+    /// Number of registered people.
+    pub people: usize,
+    /// Number of open auctions.
+    pub open_auctions: usize,
+    /// Number of closed auctions.
+    pub closed_auctions: usize,
+    /// Number of categories.
+    pub categories: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// A configuration whose document has roughly `target_nodes` nodes.
+    /// One scale unit contributes ≈ 120 nodes: 6 items ≈ 78, 2 people ≈ 20,
+    /// one open auction ≈ 12, one closed auction ≈ 9, half a category ≈ 2.
+    pub fn scaled_to(target_nodes: usize, seed: u64) -> Self {
+        // Proportions loosely follow XMark's factor mix.
+        let unit = (target_nodes / 120).max(1);
+        XmarkConfig {
+            items_per_region: unit.max(1),
+            people: unit * 2,
+            open_auctions: unit,
+            closed_auctions: unit,
+            categories: (unit / 2).max(1),
+            seed,
+        }
+    }
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            items_per_region: 10,
+            people: 25,
+            open_auctions: 12,
+            closed_auctions: 8,
+            categories: 5,
+            seed: 42,
+        }
+    }
+}
+
+const REGIONS: [&str; 6] =
+    ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const WORDS: [&str; 16] = [
+    "gold", "vintage", "rare", "mint", "boxed", "signed", "classic", "limited", "original",
+    "antique", "restored", "premium", "sealed", "graded", "curious", "heavy",
+];
+
+const FIRST_NAMES: [&str; 8] =
+    ["Ada", "Brian", "Chen", "Dana", "Emil", "Fatima", "Goro", "Hana"];
+const LAST_NAMES: [&str; 8] =
+    ["Ito", "Kumar", "Lee", "Moreau", "Novak", "Okafor", "Petit", "Quinn"];
+
+/// Generates an XMark-style document.
+pub fn generate(config: &XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut doc = Document::new();
+    let site = doc.create_element("site");
+    let root = doc.root();
+    doc.append_child(root, site);
+
+    // <regions> with items.
+    let regions = child(&mut doc, site, "regions");
+    let mut item_no = 0usize;
+    for region_name in REGIONS {
+        let region = child(&mut doc, regions, region_name);
+        for _ in 0..config.items_per_region {
+            gen_item(&mut doc, region, item_no, config, &mut rng);
+            item_no += 1;
+        }
+    }
+
+    // <people>.
+    let people = child(&mut doc, site, "people");
+    for i in 0..config.people {
+        gen_person(&mut doc, people, i, &mut rng);
+    }
+
+    // <open_auctions>.
+    let open = child(&mut doc, site, "open_auctions");
+    for i in 0..config.open_auctions {
+        gen_open_auction(&mut doc, open, i, config, &mut rng);
+    }
+
+    // <closed_auctions>.
+    let closed = child(&mut doc, site, "closed_auctions");
+    for i in 0..config.closed_auctions {
+        gen_closed_auction(&mut doc, closed, i, config, &mut rng);
+    }
+
+    // <categories>.
+    let categories = child(&mut doc, site, "categories");
+    for i in 0..config.categories {
+        let cat = child(&mut doc, categories, "category");
+        doc.set_attribute(cat, "id", &format!("category{i}"));
+        text_child(&mut doc, cat, "name", &phrase(&mut rng, 2));
+        text_child(&mut doc, cat, "description", &phrase(&mut rng, 6));
+    }
+
+    doc
+}
+
+fn child(doc: &mut Document, parent: NodeId, name: &str) -> NodeId {
+    let node = doc.create_element(name);
+    doc.append_child(parent, node);
+    node
+}
+
+fn text_child(doc: &mut Document, parent: NodeId, name: &str, text: &str) -> NodeId {
+    let node = child(doc, parent, name);
+    let t = doc.create_text(text);
+    doc.append_child(node, t);
+    node
+}
+
+fn phrase(rng: &mut StdRng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+fn gen_item(doc: &mut Document, region: NodeId, no: usize, config: &XmarkConfig, rng: &mut StdRng) {
+    let item = child(doc, region, "item");
+    doc.set_attribute(item, "id", &format!("item{no}"));
+    text_child(doc, item, "location", REGIONS[rng.gen_range(0..REGIONS.len())]);
+    text_child(doc, item, "quantity", &format!("{}", rng.gen_range(1..5)));
+    text_child(doc, item, "name", &phrase(rng, 3));
+    let payment = text_child(doc, item, "payment", "Creditcard");
+    let _ = payment;
+    let desc = child(doc, item, "description");
+    text_child(doc, desc, "text", &phrase(rng, 8));
+    let incat = child(doc, item, "incategory");
+    doc.set_attribute(
+        incat,
+        "category",
+        &format!("category{}", rng.gen_range(0..config.categories.max(1))),
+    );
+}
+
+fn gen_person(doc: &mut Document, people: NodeId, no: usize, rng: &mut StdRng) {
+    let person = child(doc, people, "person");
+    doc.set_attribute(person, "id", &format!("person{no}"));
+    let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+    text_child(doc, person, "name", &format!("{first} {last}"));
+    text_child(
+        doc,
+        person,
+        "emailaddress",
+        &format!("mailto:{}.{}@example.org", first.to_lowercase(), last.to_lowercase()),
+    );
+    if rng.gen_bool(0.6) {
+        let address = child(doc, person, "address");
+        text_child(doc, address, "street", &format!("{} Main St", rng.gen_range(1..99)));
+        text_child(doc, address, "city", "Ikoma");
+        text_child(doc, address, "country", "Japan");
+    }
+    if rng.gen_bool(0.4) {
+        let profile = child(doc, person, "profile");
+        doc.set_attribute(profile, "income", &format!("{}", rng.gen_range(20000..90000)));
+        let interest = child(doc, profile, "interest");
+        doc.set_attribute(interest, "category", &format!("category{}", rng.gen_range(0..5)));
+    }
+}
+
+fn gen_open_auction(
+    doc: &mut Document,
+    open: NodeId,
+    no: usize,
+    config: &XmarkConfig,
+    rng: &mut StdRng,
+) {
+    let auction = child(doc, open, "open_auction");
+    doc.set_attribute(auction, "id", &format!("open_auction{no}"));
+    text_child(doc, auction, "initial", &format!("{:.2}", rng.gen_range(1.0..100.0)));
+    let bidders = rng.gen_range(0..4);
+    for _ in 0..bidders {
+        let bidder = child(doc, auction, "bidder");
+        text_child(doc, bidder, "date", &date(rng));
+        let personref = child(doc, bidder, "personref");
+        doc.set_attribute(
+            personref,
+            "person",
+            &format!("person{}", rng.gen_range(0..config.people.max(1))),
+        );
+        text_child(doc, bidder, "increase", &format!("{:.2}", rng.gen_range(1.0..20.0)));
+    }
+    text_child(doc, auction, "current", &format!("{:.2}", rng.gen_range(1.0..500.0)));
+    let itemref = child(doc, auction, "itemref");
+    doc.set_attribute(
+        itemref,
+        "item",
+        &format!("item{}", rng.gen_range(0..(config.items_per_region * REGIONS.len()).max(1))),
+    );
+}
+
+fn gen_closed_auction(
+    doc: &mut Document,
+    closed: NodeId,
+    no: usize,
+    config: &XmarkConfig,
+    rng: &mut StdRng,
+) {
+    let auction = child(doc, closed, "closed_auction");
+    doc.set_attribute(auction, "id", &format!("closed_auction{no}"));
+    let seller = child(doc, auction, "seller");
+    doc.set_attribute(
+        seller,
+        "person",
+        &format!("person{}", rng.gen_range(0..config.people.max(1))),
+    );
+    let buyer = child(doc, auction, "buyer");
+    doc.set_attribute(
+        buyer,
+        "person",
+        &format!("person{}", rng.gen_range(0..config.people.max(1))),
+    );
+    text_child(doc, auction, "price", &format!("{:.2}", rng.gen_range(1.0..500.0)));
+    text_child(doc, auction, "date", &date(rng));
+}
+
+fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..13),
+        rng.gen_range(1..29),
+        rng.gen_range(1998..2003)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::TreeStats;
+
+    #[test]
+    fn generates_expected_sections() {
+        let doc = generate(&XmarkConfig::default());
+        let site = doc.root_element().unwrap();
+        assert_eq!(doc.tag_name(site), Some("site"));
+        let sections: Vec<_> =
+            doc.children(site).map(|c| doc.tag_name(c).unwrap().to_owned()).collect();
+        assert_eq!(
+            sections,
+            vec!["regions", "people", "open_auctions", "closed_auctions", "categories"]
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&XmarkConfig::default());
+        let b = generate(&XmarkConfig::default());
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn scaled_config_hits_target_roughly() {
+        let config = XmarkConfig::scaled_to(10_000, 1);
+        let doc = generate(&config);
+        let stats = TreeStats::collect(&doc, doc.root_element().unwrap());
+        assert!(
+            stats.node_count > 5_000 && stats.node_count < 20_000,
+            "node_count = {}",
+            stats.node_count
+        );
+    }
+
+    #[test]
+    fn serializes_and_reparses() {
+        let doc = generate(&XmarkConfig::default());
+        let xml = doc.to_xml_string();
+        let back = Document::parse(&xml).unwrap();
+        assert!(doc.subtree_eq(doc.root(), &back, back.root()));
+    }
+
+    #[test]
+    fn items_have_ids() {
+        let doc = generate(&XmarkConfig::default());
+        let mut items = 0;
+        for n in doc.descendants(doc.root_element().unwrap()) {
+            if doc.tag_name(n) == Some("item") {
+                assert!(doc.attribute(n, "id").unwrap().starts_with("item"));
+                items += 1;
+            }
+        }
+        assert_eq!(items, 60);
+    }
+}

@@ -1,0 +1,517 @@
+//! A B+-tree over fixed-width keys.
+//!
+//! Keys are the 17-byte [`ruid_core::Ruid2::storage_key`] encoding
+//! (big-endian global, big-endian local, root flag), so the leaf chain
+//! enumerates records "sorted first by the global index, and then by local
+//! index" — the paper's storage order. Values are fixed 8-byte record
+//! pointers (or any caller-chosen u64).
+//!
+//! Deletion is lazy: entries are removed but nodes are not rebalanced.
+//! Separators stay valid bounds, so lookups remain correct; space is
+//! reclaimed on rebuild. (The workloads here are build-heavy and
+//! scan-heavy, matching the paper's experiments.)
+
+use crate::pager::{PageId, Pager, PAGE_SIZE};
+
+/// Key width: the `Ruid2` storage key.
+pub const KEY_LEN: usize = 17;
+/// A tree key.
+pub type Key = [u8; KEY_LEN];
+
+const VAL_LEN: usize = 8;
+const CHILD_LEN: usize = 4;
+const HEADER: usize = 8;
+const LEAF_ENTRY: usize = KEY_LEN + VAL_LEN; // 25
+const INT_ENTRY: usize = KEY_LEN + CHILD_LEN; // 21
+/// Max entries per leaf page.
+pub const LEAF_CAP: usize = (PAGE_SIZE - HEADER) / LEAF_ENTRY;
+/// Max separators per internal page.
+pub const INT_CAP: usize = (PAGE_SIZE - HEADER) / INT_ENTRY;
+const NO_PAGE: u32 = u32::MAX;
+
+const TYPE_LEAF: u8 = 0;
+const TYPE_INTERNAL: u8 = 1;
+
+/// A B+-tree over a pager.
+pub struct BPlusTree<P: Pager> {
+    pager: P,
+    root: PageId,
+    len: usize,
+}
+
+impl<P: Pager> BPlusTree<P> {
+    /// Creates an empty tree that owns `pager`.
+    pub fn new(mut pager: P) -> Self {
+        let root = pager.allocate();
+        let mut page = [0u8; PAGE_SIZE];
+        init_leaf(&mut page);
+        pager.write_page(root, &page);
+        BPlusTree { pager, root, len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of allocated pages (tree size metric).
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Height of the tree (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut page = [0u8; PAGE_SIZE];
+        let mut cur = self.root;
+        loop {
+            self.pager.read_page(cur, &mut page);
+            if page[0] == TYPE_LEAF {
+                return h;
+            }
+            cur = PageId(read_u32(&page, 4));
+            h += 1;
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &Key) -> Option<u64> {
+        let mut page = [0u8; PAGE_SIZE];
+        self.descend(key, &mut page);
+        let n = nkeys(&page);
+        match leaf_search(&page, n, key) {
+            Ok(i) => Some(read_u64(&page, leaf_val_off(i))),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: Key, value: u64) -> Option<u64> {
+        let (old, split) = self.insert_rec(self.root, &key, value);
+        if let Some((sep, right)) = split {
+            // Grow a new root.
+            let mut page = [0u8; PAGE_SIZE];
+            page[0] = TYPE_INTERNAL;
+            write_u16(&mut page, 2, 1);
+            write_u32(&mut page, 4, self.root.0);
+            page[HEADER..HEADER + KEY_LEN].copy_from_slice(&sep);
+            write_u32(&mut page, HEADER + KEY_LEN, right.0);
+            let new_root = self.pager.allocate();
+            self.pager.write_page(new_root, &page);
+            self.root = new_root;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a key; returns its value if present.
+    pub fn remove(&mut self, key: &Key) -> Option<u64> {
+        // Descend remembering the path is unnecessary for lazy deletion.
+        let mut page = [0u8; PAGE_SIZE];
+        let leaf = self.descend(key, &mut page);
+        let n = nkeys(&page);
+        let i = leaf_search(&page, n, key).ok()?;
+        let value = read_u64(&page, leaf_val_off(i));
+        // Shift entries left.
+        let start = leaf_key_off(i);
+        let end = leaf_key_off(n);
+        page.copy_within(start + LEAF_ENTRY..end, start);
+        write_u16(&mut page, 2, (n - 1) as u16);
+        self.pager.write_page(leaf, &page);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// All `(key, value)` pairs with `start <= key <= end`, in key order.
+    pub fn range(&self, start: &Key, end: &Key) -> Vec<(Key, u64)> {
+        let mut out = Vec::new();
+        let mut page = [0u8; PAGE_SIZE];
+        self.descend(start, &mut page);
+        loop {
+            let n = nkeys(&page);
+            let from = match leaf_search(&page, n, start) {
+                Ok(i) | Err(i) => i,
+            };
+            for i in from..n {
+                let mut key = [0u8; KEY_LEN];
+                key.copy_from_slice(&page[leaf_key_off(i)..leaf_key_off(i) + KEY_LEN]);
+                if key > *end {
+                    return out;
+                }
+                out.push((key, read_u64(&page, leaf_val_off(i))));
+            }
+            let next = read_u32(&page, 4);
+            if next == NO_PAGE {
+                return out;
+            }
+            self.pager.read_page(PageId(next), &mut page);
+        }
+    }
+
+    /// Every entry in key order.
+    pub fn scan_all(&self) -> Vec<(Key, u64)> {
+        self.range(&[0u8; KEY_LEN], &[0xFFu8; KEY_LEN])
+    }
+
+    /// Walks to the leaf that would hold `key`, leaving it in `page`.
+    fn descend(&self, key: &Key, page: &mut [u8; PAGE_SIZE]) -> PageId {
+        let mut cur = self.root;
+        self.pager.read_page(cur, page);
+        while page[0] == TYPE_INTERNAL {
+            let n = nkeys(page);
+            let idx = internal_child_index(page, n, key);
+            cur = PageId(internal_child(page, idx));
+            self.pager.read_page(cur, page);
+        }
+        cur
+    }
+
+    /// Recursive insert; returns (replaced value, split info).
+    fn insert_rec(&mut self, node: PageId, key: &Key, value: u64) -> (Option<u64>, Option<(Key, PageId)>) {
+        let mut page = [0u8; PAGE_SIZE];
+        self.pager.read_page(node, &mut page);
+        if page[0] == TYPE_LEAF {
+            return self.leaf_insert(node, &mut page, key, value);
+        }
+        let n = nkeys(&page);
+        let idx = internal_child_index(&page, n, key);
+        let child = PageId(internal_child(&page, idx));
+        let (old, split) = self.insert_rec(child, key, value);
+        let Some((sep, right)) = split else { return (old, None) };
+        // Insert (sep, right) after child idx; separators stay sorted.
+        // Re-read: the recursive call may have dirtied our buffer reuse.
+        self.pager.read_page(node, &mut page);
+        let n = nkeys(&page);
+        if n < INT_CAP {
+            internal_insert_at(&mut page, n, idx, &sep, right.0);
+            self.pager.write_page(node, &page);
+            return (old, None);
+        }
+        // Split the internal node.
+        let mut seps: Vec<(Key, u32)> = (0..n)
+            .map(|i| {
+                let mut k = [0u8; KEY_LEN];
+                k.copy_from_slice(&page[int_key_off(i)..int_key_off(i) + KEY_LEN]);
+                (k, read_u32(&page, int_key_off(i) + KEY_LEN))
+            })
+            .collect();
+        seps.insert(idx, (sep, right.0));
+        let child0 = read_u32(&page, 4);
+        let mid = seps.len() / 2;
+        let (promoted, right_child0) = (seps[mid].0, seps[mid].1);
+        // Left node: seps[..mid].
+        let mut left = [0u8; PAGE_SIZE];
+        left[0] = TYPE_INTERNAL;
+        write_u16(&mut left, 2, mid as u16);
+        write_u32(&mut left, 4, child0);
+        for (i, (k, c)) in seps[..mid].iter().enumerate() {
+            left[int_key_off(i)..int_key_off(i) + KEY_LEN].copy_from_slice(k);
+            write_u32(&mut left, int_key_off(i) + KEY_LEN, *c);
+        }
+        // Right node: seps[mid+1..].
+        let right_entries = &seps[mid + 1..];
+        let mut rpage = [0u8; PAGE_SIZE];
+        rpage[0] = TYPE_INTERNAL;
+        write_u16(&mut rpage, 2, right_entries.len() as u16);
+        write_u32(&mut rpage, 4, right_child0);
+        for (i, (k, c)) in right_entries.iter().enumerate() {
+            rpage[int_key_off(i)..int_key_off(i) + KEY_LEN].copy_from_slice(k);
+            write_u32(&mut rpage, int_key_off(i) + KEY_LEN, *c);
+        }
+        let right_id = self.pager.allocate();
+        self.pager.write_page(node, &left);
+        self.pager.write_page(right_id, &rpage);
+        (old, Some((promoted, right_id)))
+    }
+
+    fn leaf_insert(
+        &mut self,
+        node: PageId,
+        page: &mut [u8; PAGE_SIZE],
+        key: &Key,
+        value: u64,
+    ) -> (Option<u64>, Option<(Key, PageId)>) {
+        let n = nkeys(page);
+        match leaf_search(page, n, key) {
+            Ok(i) => {
+                let old = read_u64(page, leaf_val_off(i));
+                write_u64(page, leaf_val_off(i), value);
+                self.pager.write_page(node, page);
+                (Some(old), None)
+            }
+            Err(i) if n < LEAF_CAP => {
+                let start = leaf_key_off(i);
+                let end = leaf_key_off(n);
+                page.copy_within(start..end, start + LEAF_ENTRY);
+                page[start..start + KEY_LEN].copy_from_slice(key);
+                write_u64(page, leaf_val_off(i), value);
+                write_u16(page, 2, (n + 1) as u16);
+                self.pager.write_page(node, page);
+                (None, None)
+            }
+            Err(i) => {
+                // Split: gather entries, insert, redistribute half and half.
+                let mut entries: Vec<(Key, u64)> = (0..n)
+                    .map(|j| {
+                        let mut k = [0u8; KEY_LEN];
+                        k.copy_from_slice(&page[leaf_key_off(j)..leaf_key_off(j) + KEY_LEN]);
+                        (k, read_u64(page, leaf_val_off(j)))
+                    })
+                    .collect();
+                entries.insert(i, (*key, value));
+                let mid = entries.len() / 2;
+                let next = read_u32(page, 4);
+                let right_id = self.pager.allocate();
+
+                let mut left = [0u8; PAGE_SIZE];
+                init_leaf(&mut left);
+                write_u16(&mut left, 2, mid as u16);
+                write_u32(&mut left, 4, right_id.0);
+                for (j, (k, v)) in entries[..mid].iter().enumerate() {
+                    left[leaf_key_off(j)..leaf_key_off(j) + KEY_LEN].copy_from_slice(k);
+                    write_u64(&mut left, leaf_val_off(j), *v);
+                }
+                let mut rpage = [0u8; PAGE_SIZE];
+                init_leaf(&mut rpage);
+                write_u16(&mut rpage, 2, (entries.len() - mid) as u16);
+                write_u32(&mut rpage, 4, next);
+                for (j, (k, v)) in entries[mid..].iter().enumerate() {
+                    rpage[leaf_key_off(j)..leaf_key_off(j) + KEY_LEN].copy_from_slice(k);
+                    write_u64(&mut rpage, leaf_val_off(j), *v);
+                }
+                self.pager.write_page(node, &left);
+                self.pager.write_page(right_id, &rpage);
+                (None, Some((entries[mid].0, right_id)))
+            }
+        }
+    }
+}
+
+// --- page layout helpers ---------------------------------------------------
+
+fn init_leaf(page: &mut [u8; PAGE_SIZE]) {
+    page[0] = TYPE_LEAF;
+    write_u16(page, 2, 0);
+    write_u32(page, 4, NO_PAGE);
+}
+
+fn nkeys(page: &[u8; PAGE_SIZE]) -> usize {
+    read_u16(page, 2) as usize
+}
+
+fn leaf_key_off(i: usize) -> usize {
+    HEADER + i * LEAF_ENTRY
+}
+
+fn leaf_val_off(i: usize) -> usize {
+    leaf_key_off(i) + KEY_LEN
+}
+
+fn int_key_off(i: usize) -> usize {
+    HEADER + i * INT_ENTRY
+}
+
+fn internal_child(page: &[u8; PAGE_SIZE], idx: usize) -> u32 {
+    if idx == 0 {
+        read_u32(page, 4)
+    } else {
+        read_u32(page, int_key_off(idx - 1) + KEY_LEN)
+    }
+}
+
+/// Child index for `key`: number of separators `<= key`.
+fn internal_child_index(page: &[u8; PAGE_SIZE], n: usize, key: &Key) -> usize {
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = &page[int_key_off(mid)..int_key_off(mid) + KEY_LEN];
+        if k <= key.as_slice() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn internal_insert_at(page: &mut [u8; PAGE_SIZE], n: usize, idx: usize, sep: &Key, child: u32) {
+    let start = int_key_off(idx);
+    let end = int_key_off(n);
+    page.copy_within(start..end, start + INT_ENTRY);
+    page[start..start + KEY_LEN].copy_from_slice(sep);
+    write_u32(page, start + KEY_LEN, child);
+    write_u16(page, 2, (n + 1) as u16);
+}
+
+/// Binary search among leaf keys.
+fn leaf_search(page: &[u8; PAGE_SIZE], n: usize, key: &Key) -> Result<usize, usize> {
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = &page[leaf_key_off(mid)..leaf_key_off(mid) + KEY_LEN];
+        match k.cmp(key.as_slice()) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+fn read_u16(page: &[u8; PAGE_SIZE], off: usize) -> u16 {
+    u16::from_le_bytes([page[off], page[off + 1]])
+}
+
+fn write_u16(page: &mut [u8; PAGE_SIZE], off: usize, v: u16) {
+    page[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(page: &[u8; PAGE_SIZE], off: usize) -> u32 {
+    u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn write_u32(page: &mut [u8; PAGE_SIZE], off: usize, v: u32) {
+    page[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(page: &[u8; PAGE_SIZE], off: usize) -> u64 {
+    u64::from_le_bytes(page[off..off + 8].try_into().expect("8 bytes"))
+}
+
+fn write_u64(page: &mut [u8; PAGE_SIZE], off: usize, v: u64) {
+    page[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn key_of(n: u64) -> Key {
+        let mut k = [0u8; KEY_LEN];
+        k[..8].copy_from_slice(&n.to_be_bytes());
+        k
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new(MemPager::new());
+        assert!(t.is_empty());
+        assert_eq!(t.insert(key_of(5), 50), None);
+        assert_eq!(t.insert(key_of(3), 30), None);
+        assert_eq!(t.insert(key_of(8), 80), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&key_of(5)), Some(50));
+        assert_eq!(t.get(&key_of(3)), Some(30));
+        assert_eq!(t.get(&key_of(8)), Some(80));
+        assert_eq!(t.get(&key_of(9)), None);
+        assert_eq!(t.insert(key_of(5), 55), Some(50));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&key_of(5)), Some(55));
+    }
+
+    #[test]
+    fn many_sequential_inserts_split() {
+        let mut t = BPlusTree::new(MemPager::new());
+        let n = 10_000u64;
+        for i in 0..n {
+            t.insert(key_of(i), i * 2);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.height() >= 2);
+        for i in 0..n {
+            assert_eq!(t.get(&key_of(i)), Some(i * 2), "i={i}");
+        }
+        let all = t.scan_all();
+        assert_eq!(all.len(), n as usize);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(*k, key_of(i as u64));
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn many_reverse_and_interleaved_inserts() {
+        let mut t = BPlusTree::new(MemPager::new());
+        for i in (0..5000u64).rev() {
+            t.insert(key_of(i * 2), i);
+        }
+        for i in 0..5000u64 {
+            t.insert(key_of(i * 2 + 1), i);
+        }
+        assert_eq!(t.len(), 10_000);
+        let all = t.scan_all();
+        for pair in all.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "keys must be strictly sorted");
+        }
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BPlusTree::new(MemPager::new());
+        for i in 0..1000u64 {
+            t.insert(key_of(i * 10), i);
+        }
+        let r = t.range(&key_of(100), &key_of(199));
+        assert_eq!(r.len(), 10); // 100, 110, ..., 190
+        assert_eq!(r[0].0, key_of(100));
+        assert_eq!(r[9].0, key_of(190));
+        // Range endpoints not present in the tree.
+        let r = t.range(&key_of(95), &key_of(125));
+        assert_eq!(r.len(), 3); // 100, 110, 120
+        // Empty range.
+        assert!(t.range(&key_of(101), &key_of(105)).is_empty());
+        // Full range.
+        assert_eq!(t.range(&[0; KEY_LEN], &[0xFF; KEY_LEN]).len(), 1000);
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut t = BPlusTree::new(MemPager::new());
+        for i in 0..2000u64 {
+            t.insert(key_of(i), i);
+        }
+        for i in (0..2000u64).step_by(2) {
+            assert_eq!(t.remove(&key_of(i)), Some(i));
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..2000u64 {
+            let expected = if i % 2 == 0 { None } else { Some(i) };
+            assert_eq!(t.get(&key_of(i)), expected, "i={i}");
+        }
+        assert_eq!(t.remove(&key_of(0)), None);
+        let all = t.scan_all();
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn composite_key_order_matches_ruid_storage_order() {
+        use ruid_core::Ruid2;
+        let mut t = BPlusTree::new(MemPager::new());
+        let labels = [
+            Ruid2::new(3, 7, false),
+            Ruid2::new(1, 1, true),
+            Ruid2::new(2, 9, false),
+            Ruid2::new(2, 2, true),
+            Ruid2::new(10, 1, false),
+            Ruid2::new(2, 2, false),
+        ];
+        for (i, l) in labels.iter().enumerate() {
+            t.insert(l.storage_key(), i as u64);
+        }
+        let scanned: Vec<u64> = t.scan_all().into_iter().map(|(_, v)| v).collect();
+        let mut expected: Vec<_> = labels.iter().enumerate().collect();
+        expected.sort_by_key(|(_, l)| **l);
+        let expected: Vec<u64> = expected.into_iter().map(|(i, _)| i as u64).collect();
+        assert_eq!(scanned, expected);
+    }
+}

@@ -1,0 +1,251 @@
+//! A heap file of variable-length records on slotted pages.
+//!
+//! Small records share slotted pages; records larger than a page spill into
+//! a chain of dedicated blob pages. Records are immutable once appended
+//! (the workloads are load-then-query, like the paper's).
+
+use crate::pager::{PageId, Pager, PAGE_SIZE};
+
+/// Location of a record in the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    /// The page holding the record (or the first blob page).
+    pub page: PageId,
+    /// Slot within the page; `u16::MAX` marks a blob chain.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Packs into a u64 (for B+-tree values).
+    pub fn to_u64(self) -> u64 {
+        (u64::from(self.page.0) << 16) | u64::from(self.slot)
+    }
+
+    /// Unpacks [`RecordId::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        RecordId { page: PageId((v >> 16) as u32), slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+const SLOT_BLOB: u16 = u16::MAX;
+// Slotted page layout: [n_slots u16][free_end u16][(off u16, len u16) * n]
+// with record bytes packed from the page end downward.
+const SLOT_HEADER: usize = 4;
+const SLOT_ENTRY: usize = 4;
+// Blob page layout: [len_here u16][_pad u16][next u32][bytes...].
+const BLOB_HEADER: usize = 8;
+const BLOB_CAP: usize = PAGE_SIZE - BLOB_HEADER;
+const NO_PAGE: u32 = u32::MAX;
+
+/// Largest record that still uses a slotted page.
+pub const MAX_INLINE_RECORD: usize = PAGE_SIZE - SLOT_HEADER - SLOT_ENTRY;
+
+/// An append-only heap file.
+pub struct HeapFile<P: Pager> {
+    pager: P,
+    /// The slotted page currently accepting appends.
+    current: Option<PageId>,
+    records: usize,
+}
+
+impl<P: Pager> HeapFile<P> {
+    /// Creates an empty heap that owns `pager`.
+    pub fn new(pager: P) -> Self {
+        HeapFile { pager, current: None, records: 0 }
+    }
+
+    /// Number of records appended.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Whether the heap holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Appends a record and returns its id.
+    pub fn append(&mut self, bytes: &[u8]) -> RecordId {
+        self.records += 1;
+        if bytes.len() > MAX_INLINE_RECORD {
+            return self.append_blob(bytes);
+        }
+        let mut page = [0u8; PAGE_SIZE];
+        let page_id = match self.current {
+            Some(id) => {
+                self.pager.read_page(id, &mut page);
+                if slotted_free_space(&page) >= bytes.len() + SLOT_ENTRY {
+                    id
+                } else {
+                    let id = self.fresh_page(&mut page);
+                    self.current = Some(id);
+                    id
+                }
+            }
+            None => {
+                let id = self.fresh_page(&mut page);
+                self.current = Some(id);
+                id
+            }
+        };
+        let n = read_u16(&page, 0) as usize;
+        let free_end = read_u16(&page, 2) as usize;
+        let off = free_end - bytes.len();
+        page[off..free_end].copy_from_slice(bytes);
+        let slot_off = SLOT_HEADER + n * SLOT_ENTRY;
+        write_u16(&mut page, slot_off, off as u16);
+        write_u16(&mut page, slot_off + 2, bytes.len() as u16);
+        write_u16(&mut page, 0, (n + 1) as u16);
+        write_u16(&mut page, 2, off as u16);
+        self.pager.write_page(page_id, &page);
+        RecordId { page: page_id, slot: n as u16 }
+    }
+
+    /// Reads a record back.
+    ///
+    /// # Panics
+    /// Panics if `id` does not reference a valid record.
+    pub fn get(&self, id: RecordId) -> Vec<u8> {
+        let mut page = [0u8; PAGE_SIZE];
+        self.pager.read_page(id.page, &mut page);
+        if id.slot == SLOT_BLOB {
+            // Follow the blob chain.
+            let mut out = Vec::new();
+            let mut cur = id.page;
+            loop {
+                self.pager.read_page(cur, &mut page);
+                let here = read_u16(&page, 0) as usize;
+                out.extend_from_slice(&page[BLOB_HEADER..BLOB_HEADER + here]);
+                let next = read_u32(&page, 4);
+                if next == NO_PAGE {
+                    return out;
+                }
+                cur = PageId(next);
+            }
+        }
+        let n = read_u16(&page, 0) as usize;
+        assert!((id.slot as usize) < n, "slot {} out of range", id.slot);
+        let slot_off = SLOT_HEADER + id.slot as usize * SLOT_ENTRY;
+        let off = read_u16(&page, slot_off) as usize;
+        let len = read_u16(&page, slot_off + 2) as usize;
+        page[off..off + len].to_vec()
+    }
+
+    fn fresh_page(&mut self, page: &mut [u8; PAGE_SIZE]) -> PageId {
+        let id = self.pager.allocate();
+        page.fill(0);
+        write_u16(page, 0, 0);
+        write_u16(page, 2, PAGE_SIZE as u16);
+        self.pager.write_page(id, page);
+        id
+    }
+
+    fn append_blob(&mut self, bytes: &[u8]) -> RecordId {
+        let chunks: Vec<&[u8]> = bytes.chunks(BLOB_CAP).collect();
+        let pages: Vec<PageId> = chunks.iter().map(|_| self.pager.allocate()).collect();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let mut page = [0u8; PAGE_SIZE];
+            write_u16(&mut page, 0, chunk.len() as u16);
+            let next = pages.get(i + 1).map_or(NO_PAGE, |p| p.0);
+            write_u32(&mut page, 4, next);
+            page[BLOB_HEADER..BLOB_HEADER + chunk.len()].copy_from_slice(chunk);
+            self.pager.write_page(pages[i], &page);
+        }
+        RecordId { page: pages[0], slot: SLOT_BLOB }
+    }
+}
+
+fn slotted_free_space(page: &[u8; PAGE_SIZE]) -> usize {
+    let n = read_u16(page, 0) as usize;
+    let free_end = read_u16(page, 2) as usize;
+    free_end.saturating_sub(SLOT_HEADER + n * SLOT_ENTRY)
+}
+
+fn read_u16(page: &[u8; PAGE_SIZE], off: usize) -> u16 {
+    u16::from_le_bytes([page[off], page[off + 1]])
+}
+
+fn write_u16(page: &mut [u8; PAGE_SIZE], off: usize, v: u16) {
+    page[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(page: &[u8; PAGE_SIZE], off: usize) -> u32 {
+    u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn write_u32(page: &mut [u8; PAGE_SIZE], off: usize, v: u32) {
+    page[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    #[test]
+    fn append_and_get_small() {
+        let mut h = HeapFile::new(MemPager::new());
+        let a = h.append(b"hello");
+        let b = h.append(b"world!");
+        let c = h.append(b"");
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get(a), b"hello");
+        assert_eq!(h.get(b), b"world!");
+        assert_eq!(h.get(c), b"");
+    }
+
+    #[test]
+    fn record_id_packs() {
+        let id = RecordId { page: PageId(123456), slot: 789 };
+        assert_eq!(RecordId::from_u64(id.to_u64()), id);
+        let blob = RecordId { page: PageId(7), slot: SLOT_BLOB };
+        assert_eq!(RecordId::from_u64(blob.to_u64()), blob);
+    }
+
+    #[test]
+    fn fills_multiple_pages() {
+        let mut h = HeapFile::new(MemPager::new());
+        let record = vec![0xAAu8; 500];
+        let ids: Vec<RecordId> = (0..100).map(|_| h.append(&record)).collect();
+        assert!(h.page_count() > 10);
+        for id in ids {
+            assert_eq!(h.get(id), record);
+        }
+    }
+
+    #[test]
+    fn blob_records() {
+        let mut h = HeapFile::new(MemPager::new());
+        let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let small = h.append(b"tiny");
+        let blob = h.append(&big);
+        assert_eq!(blob.slot, SLOT_BLOB);
+        assert_eq!(h.get(blob), big);
+        assert_eq!(h.get(small), b"tiny");
+        // A record exactly at the blob boundary.
+        let edge = vec![7u8; MAX_INLINE_RECORD];
+        let id = h.append(&edge);
+        assert_ne!(id.slot, SLOT_BLOB);
+        assert_eq!(h.get(id), edge);
+        let over = vec![8u8; MAX_INLINE_RECORD + 1];
+        let id = h.append(&over);
+        assert_eq!(id.slot, SLOT_BLOB);
+        assert_eq!(h.get(id), over);
+    }
+
+    #[test]
+    fn interleaves_after_blob() {
+        let mut h = HeapFile::new(MemPager::new());
+        let a = h.append(b"before");
+        let blob = h.append(&vec![1u8; 10_000]);
+        let b = h.append(b"after");
+        assert_eq!(h.get(a), b"before");
+        assert_eq!(h.get(b), b"after");
+        assert_eq!(h.get(blob).len(), 10_000);
+    }
+}

@@ -1,0 +1,186 @@
+//! Fixed-size pages over a pluggable byte store.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Page size in bytes. 4 KiB matches the usual OS/disk granularity.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within one pager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A store of fixed-size pages.
+pub trait Pager {
+    /// Allocates a zeroed page.
+    fn allocate(&mut self) -> PageId;
+
+    /// Reads a page into `buf`.
+    ///
+    /// # Panics
+    /// Panics if the page does not exist.
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]);
+
+    /// Writes a page.
+    ///
+    /// # Panics
+    /// Panics if the page does not exist.
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]);
+
+    /// Number of allocated pages.
+    fn page_count(&self) -> u32;
+}
+
+/// An in-memory pager (tests, benchmarks, scratch stores).
+#[derive(Debug, Default)]
+pub struct MemPager {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemPager {
+    /// Creates an empty pager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Pager for MemPager {
+    fn allocate(&mut self) -> PageId {
+        let id = PageId(u32::try_from(self.pages.len()).expect("page count exceeds u32"));
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        id
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        buf.copy_from_slice(&self.pages[id.index()][..]);
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) {
+        self.pages[id.index()].copy_from_slice(buf);
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+}
+
+/// A file-backed pager. Pages live at `offset = id * PAGE_SIZE`; the OS page
+/// cache stands in for a buffer pool (the experiments measure algorithmic
+/// access patterns, not raw disk).
+#[derive(Debug)]
+pub struct FilePager {
+    file: File,
+    pages: u32,
+}
+
+impl FilePager {
+    /// Creates (truncating) a pager file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(FilePager { file, pages: 0 })
+    }
+
+    /// Opens an existing pager file.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        assert!(len % PAGE_SIZE as u64 == 0, "pager file is not page-aligned");
+        Ok(FilePager { file, pages: (len / PAGE_SIZE as u64) as u32 })
+    }
+}
+
+impl Pager for FilePager {
+    fn allocate(&mut self) -> PageId {
+        let id = PageId(self.pages);
+        self.pages += 1;
+        self.file
+            .set_len(u64::from(self.pages) * PAGE_SIZE as u64)
+            .expect("failed to grow pager file");
+        id
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        assert!(id.0 < self.pages, "page {id:?} out of range");
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))
+            .expect("seek failed");
+        file.read_exact(buf).expect("page read failed");
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) {
+        assert!(id.0 < self.pages, "page {id:?} out of range");
+        self.file
+            .seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))
+            .expect("seek failed");
+        self.file.write_all(buf).expect("page write failed");
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(pager: &mut dyn Pager) {
+        let a = pager.allocate();
+        let b = pager.allocate();
+        assert_ne!(a, b);
+        assert_eq!(pager.page_count(), 2);
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        pager.write_page(b, &buf);
+        let mut read = [0u8; PAGE_SIZE];
+        pager.read_page(b, &mut read);
+        assert_eq!(read[0], 0xAB);
+        assert_eq!(read[PAGE_SIZE - 1], 0xCD);
+        pager.read_page(a, &mut read);
+        assert_eq!(read[0], 0, "page a must still be zeroed");
+    }
+
+    #[test]
+    fn mem_pager() {
+        exercise(&mut MemPager::new());
+    }
+
+    #[test]
+    fn file_pager_round_trip() {
+        let dir = std::env::temp_dir().join(format!("xmlstore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pager.db");
+        {
+            let mut pager = FilePager::create(&path).unwrap();
+            exercise(&mut pager);
+        }
+        {
+            let pager = FilePager::open(&path).unwrap();
+            assert_eq!(pager.page_count(), 2);
+            let mut buf = [0u8; PAGE_SIZE];
+            pager.read_page(PageId(1), &mut buf);
+            assert_eq!(buf[0], 0xAB);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let dir = std::env::temp_dir().join(format!("xmlstore-oor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fp = FilePager::create(&dir.join("p.db")).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        fp.read_page(PageId(0), &mut buf);
+    }
+}

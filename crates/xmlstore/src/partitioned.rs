@@ -1,0 +1,186 @@
+//! Area-partitioned tables: the paper's "Database file/table selection"
+//! (Section 4).
+//!
+//! Large tables slow queries down; the paper proposes decomposing the data
+//! into smaller tables named by "the common global index of rUID of items",
+//! so a query knows which files to open from the identifier alone. Here the
+//! sorted area globals are range-partitioned into `n` tables; every lookup
+//! or area scan touches exactly one table, and a subtree scan touches only
+//! the tables its area range selects — [`PartitionedStore::scan_subtree`]
+//! reports how many, which is what experiment E10 compares against the
+//! monolithic store.
+
+use ruid_core::{Ruid2, Ruid2Scheme};
+use xmldom::Document;
+
+use crate::pager::MemPager;
+use crate::record::StoredNode;
+use crate::store::XmlStore;
+
+/// A store split into global-index range partitions.
+pub struct PartitionedStore {
+    /// `starts[i]` is the smallest area global of table `i`; sorted.
+    starts: Vec<u64>,
+    tables: Vec<XmlStore<MemPager>>,
+}
+
+impl PartitionedStore {
+    /// Loads a numbered document into `n_tables` range partitions balanced
+    /// by area count.
+    ///
+    /// # Panics
+    /// Panics if `n_tables == 0`.
+    pub fn load(doc: &Document, scheme: &Ruid2Scheme, n_tables: usize) -> Self {
+        assert!(n_tables >= 1, "need at least one table");
+        let globals: Vec<u64> = scheme.ktable().rows().iter().map(|r| r.global).collect();
+        let n_tables = n_tables.min(globals.len().max(1));
+        let per_table = globals.len().div_ceil(n_tables);
+        let mut starts: Vec<u64> = globals
+            .chunks(per_table.max(1))
+            .map(|chunk| chunk[0])
+            .collect();
+        if starts.is_empty() {
+            starts.push(1);
+        }
+        starts[0] = 0; // the first table covers everything below the second start
+        let mut tables: Vec<XmlStore<MemPager>> =
+            (0..starts.len()).map(|_| XmlStore::in_memory()).collect();
+        let mut store = PartitionedStore { starts, tables: Vec::new() };
+        // Route every row by the global component of its storage key.
+        use schemes::NumberingScheme;
+        for node in doc.descendants(scheme.numbering_root()) {
+            let label = scheme.label_of(node);
+            let idx = store.table_index(label.global);
+            tables[idx].insert_node(&StoredNode::from_node(doc, node, label));
+        }
+        store.tables = tables;
+        store
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total stored rows.
+    pub fn len(&self) -> usize {
+        self.tables.iter().map(XmlStore::len).sum()
+    }
+
+    /// Whether no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which table holds area `global`.
+    fn table_index(&self, global: u64) -> usize {
+        match self.starts.binary_search(&global) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Point lookup: exactly one table is opened.
+    pub fn get(&self, label: &Ruid2) -> Option<StoredNode> {
+        self.tables[self.table_index(label.global)].get(label)
+    }
+
+    /// Scans one area: exactly one table is opened.
+    pub fn scan_area(&self, global: u64) -> Vec<StoredNode> {
+        self.tables[self.table_index(global)].scan_area(global)
+    }
+
+    /// Scans the subtree of the area rooted at `area_global`. Returns the
+    /// rows and the number of distinct tables touched (the file-selection
+    /// benefit: identifiers alone prune the rest).
+    pub fn scan_subtree(
+        &self,
+        scheme: &Ruid2Scheme,
+        area_global: u64,
+    ) -> (Vec<StoredNode>, usize) {
+        let mut areas = vec![area_global];
+        areas.extend(scheme.frame_descendant_areas(area_global));
+        let mut touched = vec![false; self.tables.len()];
+        let mut out = Vec::new();
+        for g in areas {
+            let idx = self.table_index(g);
+            touched[idx] = true;
+            out.extend(self.tables[idx].scan_area(g));
+        }
+        (out, touched.iter().filter(|&&t| t).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruid_core::PartitionConfig;
+    use schemes::NumberingScheme;
+
+    fn setup(n_tables: usize) -> (Document, Ruid2Scheme, PartitionedStore) {
+        let doc = xmlgen::random_tree(&xmlgen::TreeGenConfig {
+            nodes: 400,
+            max_fanout: 4,
+            seed: 3,
+            ..Default::default()
+        });
+        let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+        let store = PartitionedStore::load(&doc, &scheme, n_tables);
+        (doc, scheme, store)
+    }
+
+    #[test]
+    fn loads_all_rows() {
+        let (doc, _scheme, store) = setup(4);
+        let root = doc.root_element().unwrap();
+        assert_eq!(store.len(), doc.descendants(root).count());
+        assert!(store.table_count() >= 2);
+    }
+
+    #[test]
+    fn point_lookups_across_tables() {
+        let (doc, scheme, store) = setup(4);
+        let root = doc.root_element().unwrap();
+        for node in doc.descendants(root).step_by(7) {
+            let label = scheme.label_of(node);
+            assert_eq!(store.get(&label).map(|r| r.label), Some(label));
+        }
+        assert!(store.get(&Ruid2::new(1 << 40, 1, false)).is_none());
+    }
+
+    #[test]
+    fn scan_matches_monolithic() {
+        let (doc, scheme, store) = setup(4);
+        let mut mono = XmlStore::in_memory();
+        mono.load_document(&doc, &scheme);
+        for row in scheme.ktable().rows() {
+            let a = store.scan_area(row.global);
+            let b = mono.scan_area(row.global);
+            assert_eq!(a, b, "area {}", row.global);
+        }
+        let (a, touched) = store.scan_subtree(&scheme, 1);
+        let (b, _) = mono.scan_subtree(&scheme, 1);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(touched, store.table_count(), "root subtree touches all tables");
+    }
+
+    #[test]
+    fn deep_subtree_touches_few_tables() {
+        let (_doc, scheme, store) = setup(8);
+        // Find a small deep area: tables touched must be < table count.
+        let last = scheme.ktable().rows().last().unwrap().global;
+        let (_, touched) = store.scan_subtree(&scheme, last);
+        assert!(touched < store.table_count());
+        assert!(touched >= 1);
+    }
+
+    #[test]
+    fn single_table_degenerates() {
+        let (doc, scheme, store) = setup(1);
+        assert_eq!(store.table_count(), 1);
+        let root = doc.root_element().unwrap();
+        let (rows, touched) = store.scan_subtree(&scheme, 1);
+        assert_eq!(rows.len(), doc.descendants(root).count());
+        assert_eq!(touched, 1);
+    }
+}

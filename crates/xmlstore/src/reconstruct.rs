@@ -1,0 +1,169 @@
+//! Reconstructing a document fragment from a set of stored rows
+//! (Section 3.3 of the paper: parent-child determination "is also important
+//! for the fast reconstruction of a portion of an XML document from a set
+//! of elements. The output is a portion of an XML document generated from
+//! these elements respecting the ancestor-descendant order existing in the
+//! source data").
+//!
+//! Given any unordered subset of rows (e.g. the result of a query or a set
+//! of range scans), the labels alone — via `cmp_order` and
+//! `label_is_ancestor`, both pure (κ, K) arithmetic — suffice to rebuild
+//! the induced fragment: rows are sorted into document order and stacked,
+//! each row attaching under the nearest selected ancestor.
+
+use ruid_core::Ruid2Scheme;
+use xmldom::{Document, NodeId};
+
+use crate::record::{StoredKind, StoredNode};
+
+/// Builds a document whose root children are the maximal elements of
+/// `rows`, with every row nested under its nearest ancestor *within the
+/// set*, in source document order. Duplicate labels are collapsed.
+///
+/// The document structure is derived from the labels only; `rows` provide
+/// the content (names, text, attributes).
+pub fn fragment_from_rows(scheme: &Ruid2Scheme, rows: &[StoredNode]) -> Document {
+    let mut sorted: Vec<&StoredNode> = rows.iter().collect();
+    sorted.sort_by(|a, b| scheme.cmp_order(&a.label, &b.label));
+    sorted.dedup_by(|a, b| a.label == b.label);
+
+    let mut doc = Document::new();
+    let root = doc.root();
+    // Stack of (label, node in the output document) along the current
+    // rightmost path of the fragment.
+    let mut stack: Vec<(ruid_core::Ruid2, NodeId)> = Vec::new();
+    for row in sorted {
+        while let Some(&(top_label, _)) = stack.last() {
+            if scheme.label_is_ancestor(&top_label, &row.label) {
+                break;
+            }
+            stack.pop();
+        }
+        let parent = stack.last().map_or(root, |&(_, node)| node);
+        let node = materialize(&mut doc, row);
+        doc.append_child(parent, node);
+        stack.push((row.label, node));
+    }
+    doc
+}
+
+/// Creates the output node for one row.
+fn materialize(doc: &mut Document, row: &StoredNode) -> NodeId {
+    match row.kind {
+        StoredKind::Element => {
+            let node = doc.create_element(&row.name);
+            for (k, v) in &row.attributes {
+                doc.set_attribute(node, k, v);
+            }
+            node
+        }
+        StoredKind::Text => doc.create_text(&row.text),
+        StoredKind::Comment => doc.create_comment(&row.text),
+        StoredKind::ProcessingInstruction => doc.create_pi(&row.name, &row.text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::XmlStore;
+    use ruid_core::PartitionConfig;
+    use schemes::NumberingScheme;
+
+    fn setup() -> (Document, Ruid2Scheme, XmlStore<crate::pager::MemPager>) {
+        let doc = Document::parse(
+            "<site><people>\
+               <person id=\"p0\"><name>Ada</name><city>Ikoma</city></person>\
+               <person id=\"p1\"><name>Brian</name></person>\
+             </people>\
+             <items><item id=\"i0\"><name>gold</name></item></items></site>",
+        )
+        .unwrap();
+        let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+        let mut store = XmlStore::in_memory();
+        store.load_document(&doc, &scheme);
+        (doc, scheme, store)
+    }
+
+    fn rows_for(
+        doc: &Document,
+        scheme: &Ruid2Scheme,
+        store: &XmlStore<crate::pager::MemPager>,
+        names: &[&str],
+    ) -> Vec<StoredNode> {
+        doc.descendants(doc.root_element().unwrap())
+            .filter(|&n| doc.tag_name(n).is_some_and(|t| names.contains(&t)))
+            .map(|n| store.get(&scheme.label_of(n)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn scattered_elements_nest_under_nearest_selected_ancestor() {
+        let (doc, scheme, store) = setup();
+        // Select persons and names only: names nest under their person; the
+        // item's name has no selected ancestor and becomes a fragment root.
+        let mut rows = rows_for(&doc, &scheme, &store, &["person", "name"]);
+        // Shuffle: reconstruction must not depend on input order.
+        rows.reverse();
+        let fragment = fragment_from_rows(&scheme, &rows);
+        let xml = fragment.to_xml_string();
+        assert_eq!(
+            xml,
+            "<person id=\"p0\"><name/></person>\
+             <person id=\"p1\"><name/></person>\
+             <name/>"
+        );
+    }
+
+    #[test]
+    fn full_subtree_round_trips() {
+        let (doc, scheme, store) = setup();
+        // Select every node: the fragment equals the original document.
+        let rows: Vec<StoredNode> = store.scan_all();
+        let fragment = fragment_from_rows(&scheme, &rows);
+        assert!(
+            doc.subtree_eq(doc.root_element().unwrap(), &fragment,
+                fragment.root_element().unwrap()),
+            "full reconstruction differs:\n{}",
+            fragment.to_xml_string()
+        );
+    }
+
+    #[test]
+    fn text_rows_are_carried() {
+        let (doc, scheme, store) = setup();
+        let root = doc.root_element().unwrap();
+        let rows: Vec<StoredNode> = doc
+            .descendants(root)
+            .filter(|&n| {
+                doc.tag_name(n) == Some("name") || doc.text(n).is_some()
+            })
+            .map(|n| store.get(&scheme.label_of(n)).unwrap())
+            .collect();
+        let fragment = fragment_from_rows(&scheme, &rows);
+        // Texts of city (selected as text, unselected parent) float to the
+        // top level; name texts nest.
+        let xml = fragment.to_xml_string();
+        assert!(xml.contains("<name>Ada</name>"), "{xml}");
+        assert!(xml.contains("<name>Brian</name>"), "{xml}");
+        assert!(xml.contains("Ikoma"), "{xml}");
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let (_doc, scheme, store) = setup();
+        let mut rows = store.scan_all();
+        let extra = rows[0].clone();
+        rows.push(extra);
+        let fragment = fragment_from_rows(&scheme, &rows);
+        let total = fragment.descendants(fragment.root()).count() - 1;
+        assert_eq!(total, store.len());
+    }
+
+    #[test]
+    fn empty_set_gives_empty_fragment() {
+        let (_doc, scheme, _store) = setup();
+        let fragment = fragment_from_rows(&scheme, &[]);
+        assert_eq!(fragment.node_count(), 1); // just the document node
+    }
+}

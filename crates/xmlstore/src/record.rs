@@ -1,0 +1,265 @@
+//! The stored representation of one labelled XML node.
+
+use ruid_core::Ruid2;
+use xmldom::{Document, NodeId, NodeKind};
+
+/// Node kind tag in storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoredKind {
+    /// An element (name + attributes).
+    Element,
+    /// A text node.
+    Text,
+    /// A comment.
+    Comment,
+    /// A processing instruction (name = target, text = data).
+    ProcessingInstruction,
+}
+
+impl StoredKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            StoredKind::Element => 0,
+            StoredKind::Text => 1,
+            StoredKind::Comment => 2,
+            StoredKind::ProcessingInstruction => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => StoredKind::Element,
+            1 => StoredKind::Text,
+            2 => StoredKind::Comment,
+            3 => StoredKind::ProcessingInstruction,
+            _ => return None,
+        })
+    }
+}
+
+/// One node row of the element table: identifier + content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredNode {
+    /// The rUID identifier (the table's sort key).
+    pub label: Ruid2,
+    /// What the node is.
+    pub kind: StoredKind,
+    /// Element name / PI target; empty otherwise.
+    pub name: String,
+    /// Text / comment content / PI data; empty otherwise.
+    pub text: String,
+    /// Attributes (elements only).
+    pub attributes: Vec<(String, String)>,
+}
+
+impl StoredNode {
+    /// Builds the row for a document node.
+    ///
+    /// # Panics
+    /// Panics on a document-root node (those are not stored).
+    pub fn from_node(doc: &Document, node: NodeId, label: Ruid2) -> StoredNode {
+        match doc.kind(node) {
+            NodeKind::Element { name, attributes } => StoredNode {
+                label,
+                kind: StoredKind::Element,
+                name: doc.name_text(*name).to_owned(),
+                text: String::new(),
+                attributes: attributes
+                    .iter()
+                    .map(|a| (doc.name_text(a.name).to_owned(), a.value.to_string()))
+                    .collect(),
+            },
+            NodeKind::Text(t) => StoredNode {
+                label,
+                kind: StoredKind::Text,
+                name: String::new(),
+                text: t.to_string(),
+                attributes: Vec::new(),
+            },
+            NodeKind::Comment(c) => StoredNode {
+                label,
+                kind: StoredKind::Comment,
+                name: String::new(),
+                text: c.to_string(),
+                attributes: Vec::new(),
+            },
+            NodeKind::ProcessingInstruction { target, data } => StoredNode {
+                label,
+                kind: StoredKind::ProcessingInstruction,
+                name: target.to_string(),
+                text: data.to_string(),
+                attributes: Vec::new(),
+            },
+            NodeKind::Document => panic!("document node is not stored"),
+        }
+    }
+
+    /// Serializes to bytes (length-prefixed fields, little-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            1 + Ruid2::ENCODED_LEN + 2 + self.name.len() + 4 + self.text.len(),
+        );
+        out.push(self.kind.to_u8());
+        out.extend_from_slice(&self.label.to_bytes());
+        push_str16(&mut out, &self.name);
+        push_str32(&mut out, &self.text);
+        out.extend_from_slice(&(self.attributes.len() as u16).to_le_bytes());
+        for (k, v) in &self.attributes {
+            push_str16(&mut out, k);
+            push_str32(&mut out, v);
+        }
+        out
+    }
+
+    /// Decodes [`StoredNode::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Option<StoredNode> {
+        let mut r = Reader { bytes, pos: 0 };
+        let kind = StoredKind::from_u8(r.u8()?)?;
+        let label_bytes: [u8; Ruid2::ENCODED_LEN] =
+            r.take(Ruid2::ENCODED_LEN)?.try_into().ok()?;
+        let label = Ruid2::from_bytes(&label_bytes);
+        let name = r.str16()?;
+        let text = r.str32()?;
+        let n_attrs = r.u16()? as usize;
+        let mut attributes = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let k = r.str16()?;
+            let v = r.str32()?;
+            attributes.push((k, v));
+        }
+        (r.pos == bytes.len()).then_some(StoredNode { label, kind, name, text, attributes })
+    }
+}
+
+fn push_str16(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&u16::try_from(s.len()).expect("name too long").to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_str32(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&u32::try_from(s.len()).expect("text too long").to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn str16(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn str32(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let node = StoredNode {
+            label: Ruid2::new(3, 7, false),
+            kind: StoredKind::Element,
+            name: "item".into(),
+            text: String::new(),
+            attributes: vec![("id".into(), "item5".into()), ("lang".into(), "en".into())],
+        };
+        let bytes = node.encode();
+        assert_eq!(StoredNode::decode(&bytes), Some(node));
+    }
+
+    #[test]
+    fn encode_decode_text_and_pi() {
+        for node in [
+            StoredNode {
+                label: Ruid2::new(1, 2, false),
+                kind: StoredKind::Text,
+                name: String::new(),
+                text: "hello world ".repeat(100),
+                attributes: vec![],
+            },
+            StoredNode {
+                label: Ruid2::new(9, 4, true),
+                kind: StoredKind::ProcessingInstruction,
+                name: "xml-stylesheet".into(),
+                text: "href='x.css'".into(),
+                attributes: vec![],
+            },
+            StoredNode {
+                label: Ruid2::TREE_ROOT,
+                kind: StoredKind::Comment,
+                name: String::new(),
+                text: "注釈".into(),
+                attributes: vec![],
+            },
+        ] {
+            assert_eq!(StoredNode::decode(&node.encode()), Some(node));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(StoredNode::decode(&[]), None);
+        assert_eq!(StoredNode::decode(&[9, 0, 0]), None);
+        let node = StoredNode {
+            label: Ruid2::new(1, 2, false),
+            kind: StoredKind::Text,
+            name: String::new(),
+            text: "x".into(),
+            attributes: vec![],
+        };
+        let mut bytes = node.encode();
+        bytes.push(0); // trailing junk
+        assert_eq!(StoredNode::decode(&bytes), None);
+        bytes.pop();
+        bytes.pop(); // truncated
+        assert_eq!(StoredNode::decode(&bytes), None);
+    }
+
+    #[test]
+    fn from_node_extracts_content() {
+        let doc = Document::parse(r#"<a x="1">text<!--c--><?pi d?></a>"#).unwrap();
+        let a = doc.root_element().unwrap();
+        let kids: Vec<NodeId> = doc.children(a).collect();
+        let sn = StoredNode::from_node(&doc, a, Ruid2::TREE_ROOT);
+        assert_eq!(sn.kind, StoredKind::Element);
+        assert_eq!(sn.name, "a");
+        assert_eq!(sn.attributes, vec![("x".to_owned(), "1".to_owned())]);
+        let sn = StoredNode::from_node(&doc, kids[0], Ruid2::new(1, 2, false));
+        assert_eq!(sn.kind, StoredKind::Text);
+        assert_eq!(sn.text, "text");
+        let sn = StoredNode::from_node(&doc, kids[1], Ruid2::new(1, 3, false));
+        assert_eq!(sn.kind, StoredKind::Comment);
+        let sn = StoredNode::from_node(&doc, kids[2], Ruid2::new(1, 4, false));
+        assert_eq!(sn.kind, StoredKind::ProcessingInstruction);
+        assert_eq!(sn.name, "pi");
+        assert_eq!(sn.text, "d");
+    }
+}

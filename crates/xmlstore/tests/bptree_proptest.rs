@@ -1,0 +1,95 @@
+//! Model-based property tests for the B+-tree (invariant I7 of DESIGN.md):
+//! arbitrary interleavings of inserts, overwrites, removes and range scans
+//! must agree with a `BTreeMap` model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use xmlstore::bptree::{Key, KEY_LEN};
+use xmlstore::{BPlusTree, MemPager};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn key_of(n: u64) -> Key {
+    let mut k = [0u8; KEY_LEN];
+    k[..8].copy_from_slice(&n.to_be_bytes());
+    k
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // A small key universe forces overwrites and hits.
+    let key = 0u64..2_000;
+    prop_oneof![
+        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.clone().prop_map(Op::Remove),
+        2 => key.clone().prop_map(Op::Get),
+        1 => (key.clone(), key).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_matches_btreemap_model(ops in proptest::collection::vec(arb_op(), 1..600)) {
+        let mut tree = BPlusTree::new(MemPager::new());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(key_of(k), v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&key_of(k)), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&key_of(k)), model.get(&k).copied());
+                }
+                Op::Range(a, b) => {
+                    let got: Vec<(u64, u64)> = tree
+                        .range(&key_of(a), &key_of(b))
+                        .into_iter()
+                        .map(|(k, v)| (u64::from_be_bytes(k[..8].try_into().unwrap()), v))
+                        .collect();
+                    let want: Vec<(u64, u64)> =
+                        model.range(a..=b).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Final full scan agrees and is sorted.
+        let got: Vec<u64> = tree
+            .scan_all()
+            .into_iter()
+            .map(|(k, _)| u64::from_be_bytes(k[..8].try_into().unwrap()))
+            .collect();
+        let want: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prop_bulk_sequential_then_holes(n in 1usize..3_000, stride in 1usize..7) {
+        let mut tree = BPlusTree::new(MemPager::new());
+        for i in 0..n {
+            tree.insert(key_of(i as u64), i as u64);
+        }
+        for i in (0..n).step_by(stride) {
+            tree.remove(&key_of(i as u64));
+        }
+        let survivors: Vec<u64> = tree
+            .scan_all()
+            .into_iter()
+            .map(|(k, _)| u64::from_be_bytes(k[..8].try_into().unwrap()))
+            .collect();
+        let expected: Vec<u64> =
+            (0..n as u64).filter(|i| !(*i as usize).is_multiple_of(stride)).collect();
+        prop_assert_eq!(survivors, expected);
+    }
+}

@@ -1,0 +1,381 @@
+//! Axis providers: where the nodes of an XPath axis come from.
+//!
+//! The contract: every method returns nodes in **document order** (the
+//! evaluator re-orders for reverse axes when numbering predicate
+//! positions), and relationship tests must agree with the document.
+
+use std::cmp::Ordering;
+
+use ruid_core::Ruid2Scheme;
+use schemes::uid::UidScheme;
+use schemes::{kary, NumberingScheme};
+use ubig::Uint;
+use xmldom::{Document, NodeId};
+
+/// A source of axis node-sets and structural relationship tests.
+pub trait AxisProvider {
+    /// Short name for reports ("tree", "uid", "ruid").
+    fn provider_name(&self) -> &'static str;
+
+    /// Children in document order.
+    fn children(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// Parent (`None` at the evaluation root).
+    fn parent(&self, n: NodeId) -> Option<NodeId>;
+
+    /// Strict descendants in document order.
+    fn descendants(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// Strict ancestors in document order (root first).
+    fn ancestors(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// Following siblings in document order.
+    fn following_siblings(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// Preceding siblings in document order.
+    fn preceding_siblings(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// The full following axis in document order.
+    fn following(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// The full preceding axis in document order.
+    fn preceding(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// Whether `a` is a strict ancestor of `b`.
+    fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool;
+
+    /// Document order comparison.
+    fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering;
+
+    /// Name-test fast path for child steps: `Some(matching children of n,
+    /// in document order)` when the provider has an index to answer from,
+    /// `None` to make the evaluator expand the axis and filter.
+    fn children_named(&self, _n: NodeId, _name: &str) -> Option<Vec<NodeId>> {
+        None
+    }
+
+    /// Name-test fast path for descendant steps (see
+    /// [`AxisProvider::children_named`]).
+    fn descendants_named(&self, _n: NodeId, _name: &str) -> Option<Vec<NodeId>> {
+        None
+    }
+}
+
+// --- Tree walking (baseline) ---------------------------------------------
+
+/// Axis provider that walks the DOM — the no-numbering baseline.
+pub struct TreeAxes<'a> {
+    doc: &'a Document,
+    root: NodeId,
+}
+
+impl<'a> TreeAxes<'a> {
+    /// Walks `doc` below its root element.
+    pub fn new(doc: &'a Document) -> Self {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        TreeAxes { doc, root }
+    }
+}
+
+impl AxisProvider for TreeAxes<'_> {
+    fn provider_name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn children(&self, n: NodeId) -> Vec<NodeId> {
+        self.doc.children(n).collect()
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.root {
+            None
+        } else {
+            self.doc.parent(n)
+        }
+    }
+
+    fn descendants(&self, n: NodeId) -> Vec<NodeId> {
+        self.doc.descendants(n).skip(1).collect()
+    }
+
+    fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> =
+            self.doc.ancestors(n).take_while(|&a| a != self.doc.root()).collect();
+        if n == self.root {
+            v.clear();
+        }
+        v.reverse();
+        v
+    }
+
+    fn following_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        if n == self.root {
+            return Vec::new();
+        }
+        self.doc.following_siblings(n).collect()
+    }
+
+    fn preceding_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        if n == self.root {
+            return Vec::new();
+        }
+        let mut v: Vec<NodeId> = self.doc.preceding_siblings(n).collect();
+        v.reverse();
+        v
+    }
+
+    fn following(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        loop {
+            for s in self.following_siblings(cur) {
+                out.push(s);
+                out.extend(self.doc.descendants(s).skip(1));
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn preceding(&self, n: NodeId) -> Vec<NodeId> {
+        let mut path = self.ancestors(n);
+        path.push(n);
+        let mut out = Vec::new();
+        for pair in path.windows(2) {
+            let on_path = pair[1];
+            let mut left: Vec<NodeId> = self.doc.preceding_siblings(on_path).collect();
+            left.reverse();
+            for s in left {
+                out.extend(self.doc.descendants(s));
+            }
+        }
+        out
+    }
+
+    fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.doc.is_ancestor_of(a, b)
+    }
+
+    fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.doc.cmp_document_order(a, b)
+    }
+}
+
+// --- Original UID ---------------------------------------------------------
+
+/// Axis provider computing axes from original-UID label arithmetic. Child
+/// slots are probed over the full range `[(p-1)k + 2, pk + 1]`, so wide
+/// documents pay k probes per node — the cost profile the paper ascribes to
+/// the scheme.
+pub struct UidAxes<'a> {
+    scheme: &'a UidScheme,
+}
+
+impl<'a> UidAxes<'a> {
+    /// Wraps a built UID numbering.
+    pub fn new(scheme: &'a UidScheme) -> Self {
+        UidAxes { scheme }
+    }
+
+    fn label(&self, n: NodeId) -> Uint {
+        self.scheme.label_of(n)
+    }
+}
+
+impl AxisProvider for UidAxes<'_> {
+    fn provider_name(&self) -> &'static str {
+        "uid"
+    }
+
+    fn children(&self, n: NodeId) -> Vec<NodeId> {
+        let p = self.label(n);
+        let k = self.scheme.k();
+        let mut out = Vec::new();
+        for j in 1..=k {
+            let candidate = kary::child_uint(&p, k, j);
+            if let Some(c) = self.scheme.node_of(&candidate) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        let l = self.scheme.parent_label(&self.label(n))?;
+        self.scheme.node_of(&l)
+    }
+
+    fn descendants(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = self.children(n);
+        stack.reverse();
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            let kids = self.children(c);
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+
+    fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.label(n);
+        while let Some(p) = self.scheme.parent_label(&cur) {
+            if let Some(node) = self.scheme.node_of(&p) {
+                out.push(node);
+            }
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+
+    fn following_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        let l = self.label(n);
+        let Some(p) = self.scheme.parent_label(&l) else { return Vec::new() };
+        let k = self.scheme.k();
+        let rank = kary::sibling_rank_uint(&l, k);
+        let mut out = Vec::new();
+        for j in rank + 1..=k {
+            let candidate = kary::child_uint(&p, k, j);
+            if let Some(c) = self.scheme.node_of(&candidate) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn preceding_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        let l = self.label(n);
+        let Some(p) = self.scheme.parent_label(&l) else { return Vec::new() };
+        let k = self.scheme.k();
+        let rank = kary::sibling_rank_uint(&l, k);
+        let mut out = Vec::new();
+        for j in 1..rank {
+            let candidate = kary::child_uint(&p, k, j);
+            if let Some(c) = self.scheme.node_of(&candidate) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn following(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        loop {
+            for s in self.following_siblings(cur) {
+                out.push(s);
+                out.extend(self.descendants(s));
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn preceding(&self, n: NodeId) -> Vec<NodeId> {
+        let mut path = self.ancestors(n);
+        path.push(n);
+        let mut out = Vec::new();
+        for pair in path.windows(2) {
+            for s in self.preceding_siblings(pair[1]) {
+                out.push(s);
+                out.extend(self.descendants(s));
+            }
+        }
+        out
+    }
+
+    fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.scheme.is_ancestor(&self.label(a), &self.label(b))
+    }
+
+    fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.scheme.cmp_order(&self.label(a), &self.label(b))
+    }
+}
+
+// --- rUID ------------------------------------------------------------------
+
+/// Axis provider computing axes from the rUID routines of Section 3.5 —
+/// pure label arithmetic over the in-memory κ and table K.
+pub struct RuidAxes<'a> {
+    scheme: &'a Ruid2Scheme,
+}
+
+impl<'a> RuidAxes<'a> {
+    /// Wraps a built rUID numbering.
+    pub fn new(scheme: &'a Ruid2Scheme) -> Self {
+        RuidAxes { scheme }
+    }
+
+    fn label(&self, n: NodeId) -> ruid_core::Ruid2 {
+        self.scheme.label_of(n)
+    }
+
+    fn resolve(&self, labels: Vec<ruid_core::Ruid2>) -> Vec<NodeId> {
+        labels
+            .into_iter()
+            .map(|l| self.scheme.node_of(&l).expect("axis label must resolve"))
+            .collect()
+    }
+}
+
+impl AxisProvider for RuidAxes<'_> {
+    fn provider_name(&self) -> &'static str {
+        "ruid"
+    }
+
+    fn children(&self, n: NodeId) -> Vec<NodeId> {
+        self.resolve(self.scheme.rchildren(&self.label(n)))
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.scheme.rparent(&self.label(n))?;
+        self.scheme.node_of(&p)
+    }
+
+    fn descendants(&self, n: NodeId) -> Vec<NodeId> {
+        self.resolve(self.scheme.rdescendants(&self.label(n)))
+    }
+
+    fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut v = self.resolve(self.scheme.rancestors(&self.label(n)));
+        v.reverse();
+        v
+    }
+
+    fn following_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        self.resolve(self.scheme.rfsiblings(&self.label(n)))
+    }
+
+    fn preceding_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        let mut v = self.resolve(self.scheme.rpsiblings(&self.label(n)));
+        v.reverse();
+        v
+    }
+
+    fn following(&self, n: NodeId) -> Vec<NodeId> {
+        self.resolve(self.scheme.rfollowing(&self.label(n)))
+    }
+
+    fn preceding(&self, n: NodeId) -> Vec<NodeId> {
+        self.resolve(self.scheme.rpreceding(&self.label(n)))
+    }
+
+    fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.scheme.label_is_ancestor(&self.label(a), &self.label(b))
+    }
+
+    fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.scheme.cmp_order(&self.label(a), &self.label(b))
+    }
+}

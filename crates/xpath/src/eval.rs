@@ -1,0 +1,448 @@
+//! The evaluation engine: one implementation of XPath semantics over any
+//! [`AxisProvider`].
+
+use std::fmt;
+
+use xmldom::{Document, NodeId, NodeKind};
+
+use crate::ast::{Axis, CmpOp, Expr, LocationPath, NodeTest, Step, Value};
+use crate::axes::AxisProvider;
+
+/// Evaluation failure (unsupported constructs of the subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An attribute step appeared somewhere other than the end of a
+    /// predicate path (attribute nodes are not materialized).
+    AttributeStep,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::AttributeStep => write!(
+                f,
+                "attribute steps are only supported at the end of predicate paths"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result of evaluating a path that may end in an attribute step.
+enum PathValues {
+    Nodes(Vec<NodeId>),
+    Strings(Vec<String>),
+}
+
+/// An XPath evaluator over one document and one axis provider.
+pub struct Evaluator<'a, A: AxisProvider> {
+    doc: &'a Document,
+    axes: A,
+}
+
+impl<'a, A: AxisProvider> Evaluator<'a, A> {
+    /// Creates an evaluator.
+    pub fn new(doc: &'a Document, axes: A) -> Self {
+        Evaluator { doc, axes }
+    }
+
+    /// The underlying axis provider.
+    pub fn axes(&self) -> &A {
+        &self.axes
+    }
+
+    /// Evaluates a location path. Absolute paths ignore `context` and start
+    /// at the root element. The result is in document order without
+    /// duplicates.
+    pub fn evaluate(&self, path: &LocationPath, context: NodeId) -> Result<Vec<NodeId>, EvalError> {
+        match self.eval_path(path, context)? {
+            PathValues::Nodes(nodes) => Ok(nodes),
+            PathValues::Strings(_) => Err(EvalError::AttributeStep),
+        }
+    }
+
+    /// Convenience: parse-and-evaluate from the root element.
+    pub fn query(&self, xpath: &str) -> Result<Vec<NodeId>, String> {
+        let path = crate::parse(xpath).map_err(|e| e.to_string())?;
+        let root = self.doc.root_element().unwrap_or_else(|| self.doc.root());
+        self.evaluate(&path, root).map_err(|e| e.to_string())
+    }
+
+    fn eval_path(&self, path: &LocationPath, context: NodeId) -> Result<PathValues, EvalError> {
+        let start = if path.absolute {
+            self.doc.root_element().unwrap_or_else(|| self.doc.root())
+        } else {
+            context
+        };
+        let mut current = vec![start];
+        let mut skip_next = false;
+        for (i, step) in path.steps.iter().enumerate() {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            // `//name` peephole: `descendant-or-self::node()/child::name`
+            // equals `descendant::name` (plus the context itself never
+            // matching a child step of its own parent set changes nothing),
+            // so a name index can answer it with one candidate pass instead
+            // of expanding every node. Only valid when the child step's
+            // predicates are position-insensitive: `//x[2]` counts positions
+            // among siblings, which the collapsed form cannot see.
+            if step.axis == Axis::DescendantOrSelf
+                && step.test == NodeTest::AnyNode
+                && step.predicates.is_empty()
+            {
+                if let Some(next) = path.steps.get(i + 1) {
+                    if next.axis == Axis::Child {
+                        if let NodeTest::Name(name) = &next.test {
+                            if !next.predicates.iter().any(expr_is_position_sensitive) {
+                                if let Some(matched) = self.collapsed_descendant_step(
+                                    &current, name, &next.predicates,
+                                )? {
+                                    current = matched;
+                                    skip_next = true;
+                                    if current.is_empty() {
+                                        break;
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if step.axis == Axis::Attribute {
+                if i + 1 != path.steps.len() {
+                    return Err(EvalError::AttributeStep);
+                }
+                let mut strings = Vec::new();
+                for &n in &current {
+                    match &step.test {
+                        NodeTest::Name(name) => {
+                            if let Some(v) = self.doc.attribute(n, name) {
+                                strings.push(v.to_owned());
+                            }
+                        }
+                        NodeTest::Wildcard | NodeTest::AnyNode => {
+                            for a in self.doc.attributes(n) {
+                                strings.push(a.value.to_string());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return Ok(PathValues::Strings(strings));
+            }
+            current = self.eval_step(step, &current)?;
+            if current.is_empty() {
+                break;
+            }
+        }
+        Ok(PathValues::Nodes(current))
+    }
+
+    /// The collapsed `//name` step: descendants of any context node that
+    /// carry `name`, filtered by position-insensitive predicates. Returns
+    /// `None` when the provider has no name index to answer from.
+    fn collapsed_descendant_step(
+        &self,
+        context: &[NodeId],
+        name: &str,
+        predicates: &[Expr],
+    ) -> Result<Option<Vec<NodeId>>, EvalError> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for &node in context {
+            let Some(matched) = self.axes.descendants_named(node, name) else {
+                return Ok(None);
+            };
+            out.extend(matched);
+        }
+        out.sort_by(|&a, &b| self.axes.cmp_doc_order(a, b));
+        out.dedup();
+        for predicate in predicates {
+            let size = out.len();
+            let mut kept = Vec::with_capacity(size);
+            for (i, &n) in out.iter().enumerate() {
+                if self.eval_predicate(predicate, n, i + 1, size)? {
+                    kept.push(n);
+                }
+            }
+            out = kept;
+        }
+        Ok(Some(out))
+    }
+
+    /// Applies one step to a node-set, preserving document order and
+    /// deduplicating.
+    fn eval_step(&self, step: &Step, context: &[NodeId]) -> Result<Vec<NodeId>, EvalError> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for &node in context {
+            // Name-indexed fast path (the paper's condition-first strategy):
+            // the provider answers child/descendant name steps directly.
+            if let NodeTest::Name(name) = &step.test {
+                let fast = match step.axis {
+                    Axis::Child => self.axes.children_named(node, name),
+                    Axis::Descendant => self.axes.descendants_named(node, name),
+                    _ => None,
+                };
+                if let Some(mut matched) = fast {
+                    for predicate in &step.predicates {
+                        let size = matched.len();
+                        let mut kept = Vec::with_capacity(size);
+                        for (i, &n) in matched.iter().enumerate() {
+                            if self.eval_predicate(predicate, n, i + 1, size)? {
+                                kept.push(n);
+                            }
+                        }
+                        matched = kept;
+                    }
+                    out.extend(matched);
+                    continue;
+                }
+            }
+            // Axis nodes in document order from the provider.
+            let axis_nodes: Vec<NodeId> = match step.axis {
+                Axis::Child => self.axes.children(node),
+                Axis::Descendant => self.axes.descendants(node),
+                Axis::DescendantOrSelf => {
+                    let mut v = vec![node];
+                    v.extend(self.axes.descendants(node));
+                    v
+                }
+                Axis::Parent => self.axes.parent(node).into_iter().collect(),
+                Axis::Ancestor => self.axes.ancestors(node),
+                Axis::AncestorOrSelf => {
+                    let mut v = self.axes.ancestors(node);
+                    v.push(node);
+                    v
+                }
+                Axis::Following => self.axes.following(node),
+                Axis::Preceding => self.axes.preceding(node),
+                Axis::FollowingSibling => self.axes.following_siblings(node),
+                Axis::PrecedingSibling => self.axes.preceding_siblings(node),
+                Axis::SelfAxis => vec![node],
+                Axis::Attribute => return Err(EvalError::AttributeStep),
+            };
+            // Node test.
+            let mut matched: Vec<NodeId> =
+                axis_nodes.into_iter().filter(|&n| self.node_test(n, &step.test)).collect();
+            // Predicates, applied in proximity order for reverse axes.
+            for predicate in &step.predicates {
+                if step.axis.is_reverse() {
+                    matched.reverse();
+                }
+                let size = matched.len();
+                let mut kept = Vec::with_capacity(size);
+                for (i, &n) in matched.iter().enumerate() {
+                    if self.eval_predicate(predicate, n, i + 1, size)? {
+                        kept.push(n);
+                    }
+                }
+                matched = kept;
+                if step.axis.is_reverse() {
+                    matched.reverse();
+                }
+            }
+            out.extend(matched);
+        }
+        // Union over context nodes: sort in document order, dedup.
+        out.sort_by(|&a, &b| self.axes.cmp_doc_order(a, b));
+        out.dedup();
+        Ok(out)
+    }
+
+    fn node_test(&self, node: NodeId, test: &NodeTest) -> bool {
+        match test {
+            NodeTest::Name(name) => self.doc.tag_name(node) == Some(name.as_str()),
+            NodeTest::Wildcard => self.doc.is_element(node),
+            NodeTest::Text => matches!(self.doc.kind(node), NodeKind::Text(_)),
+            NodeTest::AnyNode => true,
+            NodeTest::Comment => matches!(self.doc.kind(node), NodeKind::Comment(_)),
+            NodeTest::ProcessingInstruction(target) => match self.doc.kind(node) {
+                NodeKind::ProcessingInstruction { target: t, .. } => {
+                    target.as_ref().is_none_or(|want| want.as_str() == t.as_ref())
+                }
+                _ => false,
+            },
+        }
+    }
+
+    fn eval_predicate(
+        &self,
+        expr: &Expr,
+        node: NodeId,
+        position: usize,
+        size: usize,
+    ) -> Result<bool, EvalError> {
+        match expr {
+            Expr::Or(a, b) => Ok(self.eval_predicate(a, node, position, size)?
+                || self.eval_predicate(b, node, position, size)?),
+            Expr::And(a, b) => Ok(self.eval_predicate(a, node, position, size)?
+                && self.eval_predicate(b, node, position, size)?),
+            Expr::Not(inner) => Ok(!self.eval_predicate(inner, node, position, size)?),
+            Expr::Exists(value) => match value {
+                // A bare number is a position test.
+                Value::Number(n) => Ok(position as f64 == *n),
+                Value::Position => Ok(true),
+                Value::Last => Ok(position == size),
+                Value::Literal(s) => Ok(!s.is_empty()),
+                Value::Attribute(name) => Ok(self.doc.attribute(node, name).is_some()),
+                Value::Path(path) => match self.eval_path(path, node)? {
+                    PathValues::Nodes(n) => Ok(!n.is_empty()),
+                    PathValues::Strings(s) => Ok(!s.is_empty()),
+                },
+                Value::Count(path) => Ok(self.count(path, node)? > 0.0),
+                Value::StringLength(inner) => {
+                    Ok(!self.string_of(inner, node, position, size)?.is_empty())
+                }
+                Value::Name => Ok(self.doc.tag_name(node).is_some()),
+            },
+            Expr::Contains(a, b) => {
+                let a = self.string_of(a, node, position, size)?;
+                let b = self.string_of(b, node, position, size)?;
+                Ok(a.contains(&b))
+            }
+            Expr::StartsWith(a, b) => {
+                let a = self.string_of(a, node, position, size)?;
+                let b = self.string_of(b, node, position, size)?;
+                Ok(a.starts_with(&b))
+            }
+            Expr::Comparison { left, op, right } => {
+                let lv = self.resolve_value(left, node, position, size)?;
+                let rv = self.resolve_value(right, node, position, size)?;
+                Ok(compare(&lv, *op, &rv))
+            }
+        }
+    }
+
+    fn count(&self, path: &LocationPath, node: NodeId) -> Result<f64, EvalError> {
+        Ok(match self.eval_path(path, node)? {
+            PathValues::Nodes(n) => n.len() as f64,
+            PathValues::Strings(s) => s.len() as f64,
+        })
+    }
+
+    fn resolve_value(
+        &self,
+        value: &Value,
+        node: NodeId,
+        position: usize,
+        size: usize,
+    ) -> Result<Resolved, EvalError> {
+        Ok(match value {
+            Value::Number(n) => Resolved::Number(*n),
+            Value::Position => Resolved::Number(position as f64),
+            Value::Last => Resolved::Number(size as f64),
+            Value::Literal(s) => Resolved::Strings(vec![s.clone()]),
+            Value::Attribute(name) => Resolved::Strings(
+                self.doc.attribute(node, name).map(str::to_owned).into_iter().collect(),
+            ),
+            Value::Count(path) => Resolved::Number(self.count(path, node)?),
+            Value::StringLength(inner) => {
+                let s = self.string_of(inner, node, position, size)?;
+                Resolved::Number(s.chars().count() as f64)
+            }
+            Value::Name => Resolved::Strings(
+                self.doc.tag_name(node).map(str::to_owned).into_iter().collect(),
+            ),
+            Value::Path(path) => match self.eval_path(path, node)? {
+                PathValues::Strings(s) => Resolved::Strings(s),
+                PathValues::Nodes(nodes) => Resolved::Strings(
+                    nodes.into_iter().map(|n| self.doc.string_value(n)).collect(),
+                ),
+            },
+        })
+    }
+}
+
+impl<A: AxisProvider> Evaluator<'_, A> {
+    /// XPath `string()` conversion of a value: the first node's string
+    /// value for node-sets, the literal/number text otherwise.
+    fn string_of(
+        &self,
+        value: &Value,
+        node: NodeId,
+        position: usize,
+        size: usize,
+    ) -> Result<String, EvalError> {
+        Ok(match self.resolve_value(value, node, position, size)? {
+            Resolved::Number(n) => {
+                if n.fract() == 0.0 {
+                    format!("{}", n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Resolved::Strings(set) => set.into_iter().next().unwrap_or_default(),
+        })
+    }
+}
+
+/// Whether a predicate's outcome can depend on the context position — bare
+/// numbers, `position()`, or `last()` anywhere inside.
+fn expr_is_position_sensitive(expr: &Expr) -> bool {
+    fn value_sensitive(v: &Value) -> bool {
+        match v {
+            Value::Position | Value::Last => true,
+            Value::StringLength(inner) => value_sensitive(inner),
+            _ => false,
+        }
+    }
+    match expr {
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            expr_is_position_sensitive(a) || expr_is_position_sensitive(b)
+        }
+        Expr::Not(inner) => expr_is_position_sensitive(inner),
+        Expr::Exists(v) => matches!(v, Value::Number(_)) || value_sensitive(v),
+        Expr::Comparison { left, right, .. } => value_sensitive(left) || value_sensitive(right),
+        Expr::Contains(a, b) | Expr::StartsWith(a, b) => {
+            value_sensitive(a) || value_sensitive(b)
+        }
+    }
+}
+
+/// A resolved predicate operand.
+enum Resolved {
+    Number(f64),
+    Strings(Vec<String>),
+}
+
+/// XPath comparison semantics: node-set operands compare existentially.
+fn compare(left: &Resolved, op: CmpOp, right: &Resolved) -> bool {
+    match (left, right) {
+        (Resolved::Number(a), Resolved::Number(b)) => cmp_f64(*a, op, *b),
+        (Resolved::Strings(set), Resolved::Number(b)) => set
+            .iter()
+            .filter_map(|s| s.trim().parse::<f64>().ok())
+            .any(|a| cmp_f64(a, op, *b)),
+        (Resolved::Number(a), Resolved::Strings(set)) => set
+            .iter()
+            .filter_map(|s| s.trim().parse::<f64>().ok())
+            .any(|b| cmp_f64(*a, op, b)),
+        (Resolved::Strings(sa), Resolved::Strings(sb)) => match op {
+            CmpOp::Eq => sa.iter().any(|a| sb.iter().any(|b| a == b)),
+            CmpOp::Ne => sa.iter().any(|a| sb.iter().any(|b| a != b)),
+            // Relational operators on strings compare numerically, per XPath.
+            _ => sa
+                .iter()
+                .filter_map(|s| s.trim().parse::<f64>().ok())
+                .any(|a| {
+                    sb.iter()
+                        .filter_map(|s| s.trim().parse::<f64>().ok())
+                        .any(|b| cmp_f64(a, op, b))
+                }),
+        },
+    }
+}
+
+fn cmp_f64(a: f64, op: CmpOp, b: f64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}

@@ -1,0 +1,323 @@
+//! Tokenizer for the XPath subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `@`
+    At,
+    /// `::`
+    DoubleColon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// A name (element, attribute, axis or function name).
+    Name(String),
+    /// A quoted string literal.
+    Literal(String),
+    /// A number.
+    Number(f64),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Slash => write!(f, "/"),
+            Token::DoubleSlash => write!(f, "//"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::At => write!(f, "@"),
+            Token::DoubleColon => write!(f, "::"),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::Star => write!(f, "*"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Name(n) => write!(f, "{n}"),
+            Token::Literal(s) => write!(f, "{s:?}"),
+            Token::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an XPath expression.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    tokens.push(Token::DoubleSlash);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            b'[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b'@' => {
+                tokens.push(Token::At);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    tokens.push(Token::DoubleColon);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "lone ':'".into() });
+                }
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    tokens.push(Token::DotDot);
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (n, len) = lex_number(&input[i..])
+                        .ok_or_else(|| LexError { offset: i, message: "bad number".into() })?;
+                    tokens.push(Token::Number(n));
+                    i += len;
+                } else {
+                    tokens.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "lone '!'".into() });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { offset: i, message: "unterminated literal".into() });
+                }
+                tokens.push(Token::Literal(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let (n, len) = lex_number(&input[i..])
+                    .ok_or_else(|| LexError { offset: i, message: "bad number".into() })?;
+                tokens.push(Token::Number(n));
+                i += len;
+            }
+            _ if is_name_start(b) || b >= 0x80 => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (is_name_char(bytes[i]) || bytes[i] >= 0x80) {
+                    // Don't swallow the axis separator `::`.
+                    if bytes[i] == b':' {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token::Name(input[start..i].to_owned()));
+            }
+            _ => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {:?}", b as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_number(s: &str) -> Option<(f64, usize)> {
+    let bytes = s.as_bytes();
+    let mut len = 0;
+    while len < bytes.len() && bytes[len].is_ascii_digit() {
+        len += 1;
+    }
+    if len < bytes.len() && bytes[len] == b'.' {
+        len += 1;
+        while len < bytes.len() && bytes[len].is_ascii_digit() {
+            len += 1;
+        }
+    }
+    s[..len].parse().ok().map(|n| (n, len))
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_simple_path() {
+        let t = tokenize("/site/regions//item").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Slash,
+                Token::Name("site".into()),
+                Token::Slash,
+                Token::Name("regions".into()),
+                Token::DoubleSlash,
+                Token::Name("item".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenize_predicate() {
+        let t = tokenize("item[@id='x1'][2]").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Name("item".into()),
+                Token::LBracket,
+                Token::At,
+                Token::Name("id".into()),
+                Token::Eq,
+                Token::Literal("x1".into()),
+                Token::RBracket,
+                Token::LBracket,
+                Token::Number(2.0),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenize_axes_and_comparisons() {
+        let t = tokenize("ancestor-or-self::*[price >= 10.5]").unwrap();
+        assert!(t.contains(&Token::DoubleColon));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Number(10.5)));
+        assert_eq!(t[0], Token::Name("ancestor-or-self".into()));
+    }
+
+    #[test]
+    fn tokenize_dots() {
+        assert_eq!(tokenize("..").unwrap(), vec![Token::DotDot]);
+        assert_eq!(tokenize(".").unwrap(), vec![Token::Dot]);
+        assert_eq!(tokenize(".5").unwrap(), vec![Token::Number(0.5)]);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a : b").is_err());
+        assert!(tokenize("#").is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's *first* evaluation strategy (Section 3.5): "generating the
+//! set of nodes satisfying C and checking which nodes belong to the
+//! specific axis".
+//!
+//! An element-name index maps each tag name to its nodes in document order;
+//! a child or descendant step with a name test then starts from the (small)
+//! candidate list and keeps the candidates whose **labels** pass the axis
+//! check — `rparent` for child steps, the ancestor arithmetic for
+//! descendant steps — instead of expanding the axis node by node. This is
+//! where the UID family's computed-parent property pays off: the axis check
+//! is pure in-memory arithmetic.
+
+use std::collections::HashMap;
+
+use xmldom::{Document, NameId, NodeId};
+
+use crate::axes::AxisProvider;
+
+/// Element-name index: tag name -> nodes in document order.
+#[derive(Debug, Clone, Default)]
+pub struct NameIndex {
+    by_name: HashMap<NameId, Vec<NodeId>>,
+}
+
+impl NameIndex {
+    /// Indexes every element under the document's root element.
+    pub fn build(doc: &Document) -> Self {
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        let mut by_name: HashMap<NameId, Vec<NodeId>> = HashMap::new();
+        for node in doc.descendants(root) {
+            if let Some(name) = doc.element_name(node) {
+                by_name.entry(name).or_default().push(node);
+            }
+        }
+        NameIndex { by_name }
+    }
+
+    /// All elements named `name`, in document order.
+    pub fn nodes_named(&self, doc: &Document, name: &str) -> &[NodeId] {
+        doc.name_id(name)
+            .and_then(|id| self.by_name.get(&id))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct names indexed.
+    pub fn name_count(&self) -> usize {
+        self.by_name.len()
+    }
+}
+
+/// Wraps any axis provider with a name index, accelerating child and
+/// descendant steps that carry a name test (the common case). All other
+/// axes delegate to the inner provider.
+pub struct NameIndexed<'a, A: AxisProvider> {
+    inner: A,
+    doc: &'a Document,
+    index: &'a NameIndex,
+}
+
+impl<'a, A: AxisProvider> NameIndexed<'a, A> {
+    /// Combines a provider with a prebuilt index.
+    pub fn new(inner: A, doc: &'a Document, index: &'a NameIndex) -> Self {
+        NameIndexed { inner, doc, index }
+    }
+
+    /// The wrapped provider.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: AxisProvider> AxisProvider for NameIndexed<'_, A> {
+    fn provider_name(&self) -> &'static str {
+        "name-indexed"
+    }
+
+    fn children(&self, n: NodeId) -> Vec<NodeId> {
+        self.inner.children(n)
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.inner.parent(n)
+    }
+
+    fn descendants(&self, n: NodeId) -> Vec<NodeId> {
+        self.inner.descendants(n)
+    }
+
+    fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        self.inner.ancestors(n)
+    }
+
+    fn following_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        self.inner.following_siblings(n)
+    }
+
+    fn preceding_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        self.inner.preceding_siblings(n)
+    }
+
+    fn following(&self, n: NodeId) -> Vec<NodeId> {
+        self.inner.following(n)
+    }
+
+    fn preceding(&self, n: NodeId) -> Vec<NodeId> {
+        self.inner.preceding(n)
+    }
+
+    fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.inner.is_ancestor(a, b)
+    }
+
+    fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        self.inner.cmp_doc_order(a, b)
+    }
+
+    fn children_named(&self, n: NodeId, name: &str) -> Option<Vec<NodeId>> {
+        let candidates = self.index.nodes_named(self.doc, name);
+        // Candidate-first only pays when the candidate list is small;
+        // otherwise checking every candidate against every context node of
+        // a step goes quadratic, and expanding the child axis is cheaper.
+        if candidates.len() > 16 {
+            return Some(
+                self.inner
+                    .children(n)
+                    .into_iter()
+                    .filter(|&c| self.doc.tag_name(c) == Some(name))
+                    .collect(),
+            );
+        }
+        Some(candidates.iter().copied().filter(|&c| self.inner.parent(c) == Some(n)).collect())
+    }
+
+    fn descendants_named(&self, n: NodeId, name: &str) -> Option<Vec<NodeId>> {
+        // Candidate-first is the right plan here even for large candidate
+        // lists: one ancestry check per candidate beats expanding the whole
+        // subtree (the common `//name` shape hits this exactly once per
+        // query thanks to the evaluator's `//` peephole).
+        Some(
+            self.index
+                .nodes_named(self.doc, name)
+                .iter()
+                .copied()
+                .filter(|&c| self.inner.is_ancestor(n, c))
+                .collect(),
+        )
+    }
+}

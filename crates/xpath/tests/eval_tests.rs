@@ -1,0 +1,472 @@
+//! Evaluator semantics (hand-checked expectations) and differential tests:
+//! the tree-walking, UID-accelerated and rUID-accelerated evaluators must
+//! produce identical node-sets for every query.
+
+use ruid_core::{PartitionConfig, Ruid2Scheme};
+use schemes::uid::UidScheme;
+use xmldom::Document;
+use xpath::{Evaluator, NameIndex, NameIndexed, RuidAxes, TreeAxes, UidAxes};
+
+const CATALOG: &str = r#"<catalog>
+  <book id="b1" lang="en">
+    <title>Numbering Schemes</title>
+    <author>Kha</author>
+    <author>Yoshikawa</author>
+    <price>35</price>
+  </book>
+  <book id="b2">
+    <title>Path Indexing</title>
+    <author>Lee</author>
+    <price>20</price>
+    <note>out of <em>print</em></note>
+  </book>
+  <magazine id="m1">
+    <title>XML Weekly</title>
+    <price>5</price>
+  </magazine>
+</catalog>"#;
+
+fn tags(doc: &Document, nodes: &[xmldom::NodeId]) -> Vec<String> {
+    nodes
+        .iter()
+        .map(|&n| {
+            doc.tag_name(n)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("{:?}", doc.kind(n)))
+        })
+        .collect()
+}
+
+fn string_values(doc: &Document, nodes: &[xmldom::NodeId]) -> Vec<String> {
+    nodes.iter().map(|&n| doc.string_value(n)).collect()
+}
+
+fn eval_tree(doc: &Document, query: &str) -> Vec<xmldom::NodeId> {
+    Evaluator::new(doc, TreeAxes::new(doc)).query(query).unwrap()
+}
+
+#[test]
+fn child_steps() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "/book/title");
+    assert_eq!(string_values(&doc, &r), vec!["Numbering Schemes", "Path Indexing"]);
+}
+
+#[test]
+fn descendant_shorthand() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//title");
+    assert_eq!(r.len(), 3);
+    let r = eval_tree(&doc, "//em");
+    assert_eq!(string_values(&doc, &r), vec!["print"]);
+}
+
+#[test]
+fn wildcard_and_node() {
+    let doc = Document::parse(CATALOG).unwrap();
+    assert_eq!(eval_tree(&doc, "/*").len(), 3);
+    // node() includes the text children too.
+    let r = eval_tree(&doc, "/book/title/node()");
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn positional_predicates() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "/book[2]/author");
+    assert_eq!(string_values(&doc, &r), vec!["Lee"]);
+    let r = eval_tree(&doc, "/book[1]/author[2]");
+    assert_eq!(string_values(&doc, &r), vec!["Yoshikawa"]);
+    let r = eval_tree(&doc, "/book[last()]");
+    assert_eq!(string_values(&doc, &r[..1]), vec!["Path IndexingLee20out of print"]);
+}
+
+#[test]
+fn attribute_predicates() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//book[@id='b2']/title");
+    assert_eq!(string_values(&doc, &r), vec!["Path Indexing"]);
+    let r = eval_tree(&doc, "//book[@lang]");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//book[not(@lang)]");
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn value_comparisons() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//book[price > 25]/title");
+    assert_eq!(string_values(&doc, &r), vec!["Numbering Schemes"]);
+    let r = eval_tree(&doc, "//*[price <= 20]");
+    assert_eq!(tags(&doc, &r), vec!["book", "magazine"]);
+    let r = eval_tree(&doc, "//book[author = 'Lee']");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//book[title != 'Path Indexing']");
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn boolean_connectives() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//book[price > 10 and price < 30]");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//*[title='XML Weekly' or author='Kha']");
+    assert_eq!(tags(&doc, &r), vec!["book", "magazine"]);
+}
+
+#[test]
+fn count_function() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//book[count(author) = 2]");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//book[count(author) >= 1]");
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn parent_and_ancestor_axes() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//em/parent::note");
+    assert_eq!(tags(&doc, &r), vec!["note"]);
+    let r = eval_tree(&doc, "//em/ancestor::book");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//em/ancestor-or-self::*");
+    assert_eq!(tags(&doc, &r), vec!["catalog", "book", "note", "em"]);
+    let r = eval_tree(&doc, "//title/..");
+    assert_eq!(tags(&doc, &r), vec!["book", "book", "magazine"]);
+}
+
+#[test]
+fn paper_grandparent_pattern() {
+    // The paper's Section 3.5 example: element1/*/element2 — exactly one
+    // element between. Here: catalog/*/title via the wildcard.
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "/*/title");
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn sibling_axes() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//title/following-sibling::price");
+    assert_eq!(r.len(), 3);
+    let r = eval_tree(&doc, "//price/preceding-sibling::author[1]");
+    // Proximity order: nearest preceding author for each price.
+    assert_eq!(string_values(&doc, &r), vec!["Yoshikawa", "Lee"]);
+    let r = eval_tree(&doc, "//book[1]/following-sibling::*");
+    assert_eq!(tags(&doc, &r), vec!["book", "magazine"]);
+}
+
+#[test]
+fn following_preceding_axes() {
+    let doc = Document::parse(CATALOG).unwrap();
+    // em is a descendant of note, so it is excluded from following.
+    let r = eval_tree(&doc, "//note/following::*");
+    assert_eq!(tags(&doc, &r), vec!["magazine", "title", "price"]);
+    let r = eval_tree(&doc, "//magazine/preceding::price");
+    assert_eq!(string_values(&doc, &r), vec!["35", "20"]);
+    // preceding with positional predicate counts from the nearest.
+    let r = eval_tree(&doc, "//magazine/preceding::price[1]");
+    assert_eq!(string_values(&doc, &r), vec!["20"]);
+}
+
+#[test]
+fn text_and_comment_tests() {
+    let doc = Document::parse("<a>one<b>two</b><!--note--><?pi data?></a>").unwrap();
+    let r = eval_tree(&doc, "/text()");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//text()");
+    assert_eq!(r.len(), 2);
+    let r = eval_tree(&doc, "/comment()");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "/processing-instruction()");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "/processing-instruction('pi')");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "/processing-instruction('other')");
+    assert!(r.is_empty());
+}
+
+#[test]
+fn existence_path_predicate() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//book[note]");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//book[note/em]");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//book[missing]");
+    assert!(r.is_empty());
+}
+
+#[test]
+fn attribute_result_is_error() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let e = Evaluator::new(&doc, TreeAxes::new(&doc));
+    assert!(e.query("//book/@id").is_err());
+    // But attribute at the end of a predicate path works.
+    let r = e.query("//book[title/@missing]").unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn self_axis_and_dot() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//book/self::book");
+    assert_eq!(r.len(), 2);
+    let r = eval_tree(&doc, "//book/.");
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn root_only_query() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "/");
+    assert_eq!(tags(&doc, &r), vec!["catalog"]);
+}
+
+#[test]
+fn string_functions() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let r = eval_tree(&doc, "//book[contains(title, 'Index')]");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//*[starts-with(title, 'Numbering')]");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//book[contains(@id, 'b')]");
+    assert_eq!(r.len(), 2);
+    let r = eval_tree(&doc, "//book[string-length(title) > 13]");
+    assert_eq!(string_values(&doc, &r), vec!["Numbering SchemesKhaYoshikawa35"]);
+    let r = eval_tree(&doc, "//*[name() = 'magazine']");
+    assert_eq!(r.len(), 1);
+    let r = eval_tree(&doc, "//book[not(contains(title, 'Path'))]");
+    assert_eq!(r.len(), 1);
+    // string-length of an attribute; numeric comparisons with it.
+    let r = eval_tree(&doc, "//*[string-length(@id) = 2]");
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn string_functions_parse_errors() {
+    assert!(xpath::parse("a[contains(b)]").is_err());
+    assert!(xpath::parse("a[contains(b, c]").is_err());
+    assert!(xpath::parse("a[string-length()]").is_err());
+    // Elements named like the functions still work as steps.
+    let p = xpath::parse("contains/starts-with/string-length").unwrap();
+    assert_eq!(p.steps.len(), 3);
+}
+
+// --- differential tests ----------------------------------------------------
+
+/// A query suite exercising every axis and predicate form.
+const SUITE: &[&str] = &[
+    "/",
+    "/*",
+    "//*",
+    "//lvl2",
+    "/lvl1/lvl2",
+    "//lvl3/parent::*",
+    "//lvl3/ancestor::*",
+    "//lvl3/ancestor-or-self::lvl2",
+    "//lvl2/descendant::lvl4",
+    "//lvl2/descendant-or-self::*",
+    "//lvl2[1]/following-sibling::*",
+    "//lvl2[last()]/preceding-sibling::*",
+    "//lvl3/following::lvl2",
+    "//lvl3/preceding::*",
+    "//lvl2[lvl3]",
+    "//lvl2[not(lvl3)]",
+    "//lvl2[count(lvl3) >= 2]",
+    "//*[lvl3 and lvl2]",
+    "//lvl2[2]",
+    "//lvl3[position() = 2]",
+    "//lvl2/*/lvl4",
+    "//lvl2[contains(name(), 'lvl')]",
+    "//*[starts-with(name(), 'lvl3')]",
+    "//lvl2[string-length(name()) >= 4]",
+];
+
+#[test]
+fn providers_agree_on_random_documents() {
+    for seed in [1u64, 2, 3] {
+        let doc = xmlgen::random_tree(&xmlgen::TreeGenConfig {
+            nodes: 250,
+            max_fanout: 5,
+            depth_bias: 0.2,
+            seed,
+            ..Default::default()
+        });
+        let uid_scheme = UidScheme::build(&doc);
+        let ruid_scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+        let tree = Evaluator::new(&doc, TreeAxes::new(&doc));
+        let uid = Evaluator::new(&doc, UidAxes::new(&uid_scheme));
+        let ruid = Evaluator::new(&doc, RuidAxes::new(&ruid_scheme));
+        for query in SUITE {
+            let a = tree.query(query).unwrap();
+            let b = uid.query(query).unwrap();
+            let c = ruid.query(query).unwrap();
+            assert_eq!(a, b, "tree vs uid on {query} (seed {seed})");
+            assert_eq!(a, c, "tree vs ruid on {query} (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn name_indexed_provider_agrees() {
+    for seed in [4u64, 5] {
+        let doc = xmlgen::random_tree(&xmlgen::TreeGenConfig {
+            nodes: 250,
+            max_fanout: 5,
+            depth_bias: 0.2,
+            seed,
+            ..Default::default()
+        });
+        let ruid_scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+        let index = NameIndex::build(&doc);
+        let tree = Evaluator::new(&doc, TreeAxes::new(&doc));
+        let indexed =
+            Evaluator::new(&doc, NameIndexed::new(RuidAxes::new(&ruid_scheme), &doc, &index));
+        for query in SUITE {
+            assert_eq!(
+                tree.query(query).unwrap(),
+                indexed.query(query).unwrap(),
+                "tree vs name-indexed ruid on {query} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn name_index_lookup() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let index = NameIndex::build(&doc);
+    assert_eq!(index.nodes_named(&doc, "book").len(), 2);
+    assert_eq!(index.nodes_named(&doc, "title").len(), 3);
+    assert_eq!(index.nodes_named(&doc, "nosuch").len(), 0);
+    assert!(index.name_count() >= 7);
+}
+
+#[test]
+fn providers_agree_on_xmark() {
+    let doc = xmlgen::xmark::generate(&xmlgen::xmark::XmarkConfig::default());
+    let uid_scheme = UidScheme::build(&doc);
+    let ruid_scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    let tree = Evaluator::new(&doc, TreeAxes::new(&doc));
+    let uid = Evaluator::new(&doc, UidAxes::new(&uid_scheme));
+    let ruid = Evaluator::new(&doc, RuidAxes::new(&ruid_scheme));
+    for query in [
+        "/regions/europe/item",
+        "//item[@id='item3']",
+        "//person[address]/name",
+        "//open_auction[bidder/increase > 10]",
+        "//bidder[1]/increase",
+        "//item/incategory[@category='category0']",
+        "//closed_auction/price",
+        "//person[profile/@income > 50000]",
+        "//item[location = 'asia']/name",
+        "//categories/category[2]",
+        "//open_auction[count(bidder) >= 2]",
+        "//regions/*/item[1]",
+    ] {
+        let a = tree.query(query).unwrap();
+        let b = uid.query(query).unwrap();
+        let c = ruid.query(query).unwrap();
+        assert_eq!(a, b, "tree vs uid on {query}");
+        assert_eq!(a, c, "tree vs ruid on {query}");
+        // Results are in document order without duplicates.
+        for pair in a.windows(2) {
+            assert_eq!(
+                doc.cmp_document_order(pair[0], pair[1]),
+                std::cmp::Ordering::Less
+            );
+        }
+    }
+}
+
+#[test]
+fn relative_evaluation_from_inner_context() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let tree = Evaluator::new(&doc, TreeAxes::new(&doc));
+    let book2 = tree.query("/book[2]").unwrap()[0];
+    // Relative paths start at the given context node.
+    let path = xpath::parse("author").unwrap();
+    let r = tree.evaluate(&path, book2).unwrap();
+    assert_eq!(string_values(&doc, &r), vec!["Lee"]);
+    // Absolute paths ignore the context.
+    let path = xpath::parse("/book[1]/author").unwrap();
+    let r = tree.evaluate(&path, book2).unwrap();
+    assert_eq!(r.len(), 2);
+    // `..` climbs from the context.
+    let path = xpath::parse("../magazine/title").unwrap();
+    let r = tree.evaluate(&path, book2).unwrap();
+    assert_eq!(string_values(&doc, &r), vec!["XML Weekly"]);
+}
+
+#[test]
+fn providers_agree_on_wide_dblp() {
+    // DBLP-lite: the wide-flat regime where the original UID's k explodes.
+    let doc = xmlgen::dblp::generate(&xmlgen::dblp::DblpConfig { publications: 60, seed: 2 });
+    let uid_scheme = UidScheme::build(&doc);
+    assert!(uid_scheme.k() >= 60, "premise: root fan-out dominates");
+    let ruid_scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(1));
+    let tree = Evaluator::new(&doc, TreeAxes::new(&doc));
+    let uid = Evaluator::new(&doc, UidAxes::new(&uid_scheme));
+    let ruid = Evaluator::new(&doc, RuidAxes::new(&ruid_scheme));
+    for query in [
+        "/article/title",
+        "//author",
+        "//inproceedings[year > 2000]",
+        "//article[contains(@key, 'article/1')]",
+        "//year[. = '1999']/..",
+        "/article[2]/following-sibling::inproceedings[1]",
+    ] {
+        let a = tree.query(query).unwrap();
+        assert_eq!(a, uid.query(query).unwrap(), "uid on {query}");
+        assert_eq!(a, ruid.query(query).unwrap(), "ruid on {query}");
+    }
+}
+
+#[test]
+fn peephole_preserves_positional_semantics() {
+    // `//b[2]` selects b elements that are the SECOND b child of their
+    // parent — the collapsed descendant form must not be used here.
+    let doc = Document::parse("<a><x><b id=\"1\"/><b id=\"2\"/></x><y><b id=\"3\"/></y></a>").unwrap();
+    let ruid_scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+    let index = NameIndex::build(&doc);
+    let indexed =
+        Evaluator::new(&doc, NameIndexed::new(RuidAxes::new(&ruid_scheme), &doc, &index));
+    let tree = Evaluator::new(&doc, TreeAxes::new(&doc));
+    for q in ["//b[2]", "//b[position() = 2]", "//b[last()]"] {
+        assert_eq!(tree.query(q).unwrap(), indexed.query(q).unwrap(), "{q}");
+    }
+    // Non-positional predicates DO take the collapsed path and agree too.
+    for q in ["//b[@id='2']", "//b[not(@id='1')]"] {
+        assert_eq!(tree.query(q).unwrap(), indexed.query(q).unwrap(), "{q}");
+    }
+    // Sanity: `//b[2]` has exactly one hit (the x-child), not "the second
+    // of all b descendants".
+    let hits = tree.query("//b[2]").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(doc.attribute(hits[0], "id"), Some("2"));
+}
+
+#[test]
+fn name_index_composes_with_any_provider() {
+    // NameIndexed is generic: wrap the UID provider too and the TreeAxes.
+    let doc = xmlgen::random_tree(&xmlgen::TreeGenConfig {
+        nodes: 150,
+        max_fanout: 4,
+        seed: 8,
+        ..Default::default()
+    });
+    let uid_scheme = UidScheme::build(&doc);
+    let index = NameIndex::build(&doc);
+    let plain = Evaluator::new(&doc, TreeAxes::new(&doc));
+    let uid_indexed =
+        Evaluator::new(&doc, NameIndexed::new(UidAxes::new(&uid_scheme), &doc, &index));
+    let tree_indexed =
+        Evaluator::new(&doc, NameIndexed::new(TreeAxes::new(&doc), &doc, &index));
+    for q in ["//lvl3", "//lvl2[lvl3]", "/lvl1/lvl2", "//lvl4/ancestor::lvl2"] {
+        let expected = plain.query(q).unwrap();
+        assert_eq!(uid_indexed.query(q).unwrap(), expected, "uid+index on {q}");
+        assert_eq!(tree_indexed.query(q).unwrap(), expected, "tree+index on {q}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: parse a document, build a 2-level rUID, inspect the global
+//! parameters (κ and the table K), and navigate by pure label arithmetic.
+//!
+//! Run with: `cargo run --release -p ruid --example quickstart`
+
+use ruid::prelude::*;
+
+fn main() {
+    let xml = r#"<library>
+  <fiction>
+    <book id="b1"><title>A</title><year>1998</year></book>
+    <book id="b2"><title>B</title><year>2001</year></book>
+  </fiction>
+  <science>
+    <book id="b3"><title>C</title><year>2002</year></book>
+    <journal id="j1"><title>D</title></journal>
+  </science>
+</library>"#;
+
+    let doc = Document::parse(xml).expect("well-formed XML");
+    let root = doc.root_element().expect("root element");
+
+    // Number the tree: UID-local areas every 2 levels.
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(2));
+
+    println!("document nodes : {}", doc.descendants(root).count());
+    println!("UID-local areas: {}", scheme.area_count());
+    println!("frame fan-out κ: {}", scheme.kappa());
+    println!();
+    println!("table K (global, local-in-upper, fan-out):");
+    for row in scheme.ktable().rows() {
+        println!("  ({:>3}, {:>3}, {:>3})", row.global, row.local, row.fanout);
+    }
+    println!();
+
+    println!("{:<32} rUID (global, local, root)", "node");
+    for node in doc.descendants(root) {
+        let label = scheme.label_of(node);
+        let name = match doc.tag_name(node) {
+            Some(tag) => {
+                let id = doc.attribute(node, "id").map(|v| format!(" id={v}")).unwrap_or_default();
+                format!("<{tag}{id}>")
+            }
+            None => format!("{:?}", doc.string_value(node)),
+        };
+        let depth = doc.depth(node) - 1;
+        println!("{:<32} {label}", format!("{}{name}", "  ".repeat(depth)));
+    }
+
+    // Navigate from a leaf to the root using labels only: after κ and K are
+    // in memory, rparent() needs no tree and no I/O (the paper's Fig. 6).
+    let year = doc
+        .descendants(root)
+        .find(|&n| doc.tag_name(n) == Some("year"))
+        .expect("a year element");
+    println!();
+    println!("ancestor chain of the first <year>, from labels alone:");
+    let mut cur = scheme.label_of(year);
+    print!("  {cur}");
+    while let Some(parent) = scheme.rparent(&cur) {
+        print!(" -> {parent}");
+        cur = parent;
+    }
+    println!();
+
+    // The same arithmetic answers ancestry without walking anything.
+    let fiction = doc
+        .descendants(root)
+        .find(|&n| doc.tag_name(n) == Some("fiction"))
+        .expect("fiction");
+    let b2_title = doc
+        .descendants(fiction)
+        .find(|&n| doc.tag_name(n) == Some("title"))
+        .expect("title");
+    println!();
+    println!(
+        "is <fiction> an ancestor of its first <title>? {}",
+        scheme.label_is_ancestor(&scheme.label_of(fiction), &scheme.label_of(b2_title))
+    );
+    println!(
+        "is <fiction> an ancestor of the tree root?     {}",
+        scheme.label_is_ancestor(&scheme.label_of(fiction), &scheme.label_of(root))
+    );
+}

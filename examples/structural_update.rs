@@ -1,0 +1,110 @@
+//! Structural update robustness (Fig. 1 and Section 3.2): how many existing
+//! identifiers change when nodes are inserted, under the original UID,
+//! Dewey, and rUID.
+//!
+//! Run with: `cargo run --release -p ruid --example structural_update`
+
+use ruid::prelude::*;
+use ruid::{DeweyScheme, UidScheme};
+
+fn main() {
+    // --- Part 1: the paper's Fig. 1, verbatim -----------------------------
+    println!("== Fig. 1: a node is inserted between UID nodes 2 and 3 ==");
+    let mut doc = Document::parse(
+        "<n1><n2><n5><n14/></n5></n2><n3><n8><n23/></n8><n9><n26/><n27/></n9></n3></n1>",
+    )
+    .unwrap();
+    let root = doc.root_element().unwrap();
+    let mut uid = UidScheme::build_with_k(&doc, root, 3);
+    println!("before: UIDs = {:?}", labels(&doc, &uid));
+    let n2 = doc.first_child(root).unwrap();
+    let new = doc.create_element("new");
+    doc.insert_after(n2, new);
+    let stats = uid.on_insert(&doc, new);
+    println!("after : UIDs = {:?}", labels(&doc, &uid));
+    println!(
+        "        {} identifiers changed (the paper: nodes 3, 8, 9, 23, 26, 27 \
+         become 4, 11, 12, 32, 35, 36)",
+        stats.relabeled
+    );
+    println!();
+
+    // --- Part 2: the same insertion under all three schemes, at scale -----
+    println!("== Insertion near the root of an n-node document: identifiers relabelled ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}   (lower is better)",
+        "nodes", "uid", "dewey", "ruid"
+    );
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let make = || {
+            ruid::random_tree(&ruid::TreeGenConfig {
+                nodes: n,
+                max_fanout: 6,
+                depth_bias: 0.1,
+                seed: 7,
+                ..Default::default()
+            })
+        };
+        let uid_cost = {
+            let mut doc = make();
+            let mut scheme = UidScheme::build(&doc);
+            insert_first_child_of_root(&mut doc, &mut scheme)
+        };
+        let dewey_cost = {
+            let mut doc = make();
+            let mut scheme = DeweyScheme::build(&doc);
+            insert_first_child_of_root(&mut doc, &mut scheme)
+        };
+        let ruid_cost = {
+            let mut doc = make();
+            let mut scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+            insert_first_child_of_root(&mut doc, &mut scheme)
+        };
+        println!("{n:>8} {uid_cost:>10} {dewey_cost:>10} {ruid_cost:>10}");
+    }
+    println!();
+
+    // --- Part 3: fan-out overflow ------------------------------------------
+    println!("== Fan-out overflow: the k+1-th child arrives ==");
+    let mut doc = ruid::random_tree(&ruid::TreeGenConfig {
+        nodes: 5_000,
+        max_fanout: 4,
+        seed: 9,
+        ..Default::default()
+    });
+    let root = doc.root_element().unwrap();
+    let mut uid = UidScheme::build(&doc);
+    let mut ruid2 = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    // Give some node its 5th child (max_fanout is 4).
+    let full = doc
+        .descendants(root)
+        .find(|&nd| doc.children(nd).count() == 4)
+        .expect("a node with maximal fan-out");
+    let extra_uid = doc.create_element("extra");
+    doc.append_child(full, extra_uid);
+    let uid_stats = uid.on_insert(&doc, extra_uid);
+    let ruid_stats = ruid2.on_insert(&doc, extra_uid);
+    println!(
+        "original UID : {} identifiers relabelled, full rebuild = {}",
+        uid_stats.relabeled, uid_stats.full_rebuild
+    );
+    println!(
+        "rUID         : {} identifiers relabelled, full rebuild = {} \
+         (only the overflowing area was renumbered)",
+        ruid_stats.relabeled, ruid_stats.full_rebuild
+    );
+}
+
+fn labels(doc: &Document, uid: &UidScheme) -> Vec<u64> {
+    doc.descendants(doc.root_element().unwrap())
+        .map(|n| uid.label_of(n).to_u64().unwrap())
+        .collect()
+}
+
+fn insert_first_child_of_root<S: NumberingScheme>(doc: &mut Document, scheme: &mut S) -> usize {
+    let root = doc.root_element().unwrap();
+    let first = doc.first_child(root).unwrap();
+    let new = doc.create_element("new");
+    doc.insert_before(first, new);
+    scheme.on_insert(doc, new).relabeled
+}

@@ -1,0 +1,74 @@
+//! XPath evaluation over the three axis providers — tree walking, original
+//! UID, and rUID — on an XMark-style document, with wall-clock timings
+//! (Observation 3 of the paper: rUID query speed is "quite competitive").
+//!
+//! Run with: `cargo run --release -p ruid --example xpath_query`
+
+use std::time::Instant;
+
+use ruid::prelude::*;
+use ruid::UidScheme;
+
+fn main() {
+    let doc = ruid::xmark::generate(&ruid::xmark::XmarkConfig::scaled_to(50_000, 42));
+    let root = doc.root_element().unwrap();
+    println!("XMark-lite document: {} nodes", doc.descendants(root).count());
+
+    let t = Instant::now();
+    let uid_scheme = UidScheme::build(&doc);
+    println!("built original UID   in {:>8.2?} (k = {})", t.elapsed(), uid_scheme.k());
+    let t = Instant::now();
+    let ruid_scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    println!(
+        "built 2-level rUID   in {:>8.2?} (κ = {}, {} areas)",
+        t.elapsed(),
+        ruid_scheme.kappa(),
+        ruid_scheme.area_count()
+    );
+    println!();
+
+    let queries = [
+        "/regions/europe/item",
+        "//item/name",
+        "//item[@id='item7']",
+        "//person[address]/name",
+        "//open_auction[bidder/increase > 10]",
+        "//bidder/personref",
+        "//item[location = 'asia']",
+        "//open_auction[count(bidder) >= 2]/current",
+        "//category[2]",
+        "//person[profile/@income > 50000]/emailaddress",
+    ];
+
+    let tree_eval = Evaluator::new(&doc, TreeAxes::new(&doc));
+    let uid_eval = Evaluator::new(&doc, UidAxes::new(&uid_scheme));
+    let ruid_eval = Evaluator::new(&doc, RuidAxes::new(&ruid_scheme));
+
+    println!(
+        "{:<48} {:>6} {:>12} {:>12} {:>12}",
+        "query", "hits", "tree", "uid", "ruid"
+    );
+    for q in queries {
+        let t = Instant::now();
+        let a = tree_eval.query(q).unwrap();
+        let tree_time = t.elapsed();
+        let t = Instant::now();
+        let b = uid_eval.query(q).unwrap();
+        let uid_time = t.elapsed();
+        let t = Instant::now();
+        let c = ruid_eval.query(q).unwrap();
+        let ruid_time = t.elapsed();
+        assert_eq!(a, b, "uid evaluator must agree on {q}");
+        assert_eq!(a, c, "ruid evaluator must agree on {q}");
+        println!(
+            "{:<48} {:>6} {:>12.2?} {:>12.2?} {:>12.2?}",
+            q,
+            a.len(),
+            tree_time,
+            uid_time,
+            ruid_time
+        );
+    }
+    println!();
+    println!("all three evaluators returned identical node-sets for every query");
+}

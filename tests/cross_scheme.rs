@@ -1,0 +1,148 @@
+//! Cross-scheme agreement: every numbering scheme in the workspace must
+//! decide ancestry and document order identically (the tree is the ground
+//! truth), whatever its label representation — and must keep agreeing
+//! after structural updates.
+
+use ruid::prelude::*;
+use ruid::{
+    ContainmentScheme, DeweyScheme, PartitionConfig as Pc, PrePostScheme, UidScheme,
+};
+
+fn sample_docs() -> Vec<Document> {
+    vec![
+        Document::parse("<a/>").unwrap(),
+        Document::parse("<a><b><c><d/></c></b></a>").unwrap(),
+        ruid::random_tree(&ruid::TreeGenConfig {
+            nodes: 200,
+            max_fanout: 5,
+            depth_bias: 0.25,
+            seed: 42,
+            ..Default::default()
+        }),
+        ruid::xmark::generate(&ruid::xmark::XmarkConfig {
+            items_per_region: 2,
+            people: 6,
+            open_auctions: 3,
+            closed_auctions: 2,
+            categories: 2,
+            seed: 7,
+        }),
+    ]
+}
+
+/// Compares all pairwise relations across schemes on static documents.
+#[test]
+fn all_schemes_agree_on_relations() {
+    for doc in &sample_docs() {
+        let root = doc.root_element().unwrap();
+        let uid = UidScheme::build(doc);
+        let dewey = DeweyScheme::build(doc);
+        let prepost = PrePostScheme::build(doc);
+        let containment = ContainmentScheme::build(doc);
+        let ruid2 = Ruid2Scheme::build(doc, &Pc::by_depth(2));
+        let nodes: Vec<NodeId> = doc.descendants(root).collect();
+        let step = (nodes.len() / 30).max(1);
+        for (i, &a) in nodes.iter().enumerate().step_by(step) {
+            for (j, &b) in nodes.iter().enumerate().step_by(step) {
+                let anc = doc.is_ancestor_of(a, b);
+                let ord = i.cmp(&j);
+                assert_eq!(uid.is_ancestor(&uid.label_of(a), &uid.label_of(b)), anc);
+                assert_eq!(dewey.is_ancestor(&dewey.label_of(a), &dewey.label_of(b)), anc);
+                assert_eq!(
+                    prepost.is_ancestor(&prepost.label_of(a), &prepost.label_of(b)),
+                    anc
+                );
+                assert_eq!(
+                    containment.is_ancestor(&containment.label_of(a), &containment.label_of(b)),
+                    anc
+                );
+                assert_eq!(ruid2.is_ancestor(&ruid2.label_of(a), &ruid2.label_of(b)), anc);
+
+                assert_eq!(uid.cmp_order(&uid.label_of(a), &uid.label_of(b)), ord);
+                assert_eq!(dewey.cmp_order(&dewey.label_of(a), &dewey.label_of(b)), ord);
+                assert_eq!(prepost.cmp_order(&prepost.label_of(a), &prepost.label_of(b)), ord);
+                assert_eq!(
+                    containment.cmp_order(&containment.label_of(a), &containment.label_of(b)),
+                    ord
+                );
+                assert_eq!(ruid2.cmp_order(&ruid2.label_of(a), &ruid2.label_of(b)), ord);
+            }
+        }
+    }
+}
+
+/// Parent computation agreement for the schemes that support it.
+#[test]
+fn parent_computation_agreement() {
+    for doc in &sample_docs() {
+        let root = doc.root_element().unwrap();
+        let uid = UidScheme::build(doc);
+        let dewey = DeweyScheme::build(doc);
+        let ruid2 = Ruid2Scheme::build(doc, &Pc::by_area_size(8));
+        assert!(uid.supports_parent_computation());
+        assert!(dewey.supports_parent_computation());
+        assert!(ruid2.supports_parent_computation());
+        for n in doc.descendants(root) {
+            let expected = if n == root { None } else { doc.parent(n) };
+            let via_uid = uid.parent_label(&uid.label_of(n)).map(|l| uid.node_of(&l).unwrap());
+            let via_dewey =
+                dewey.parent_label(&dewey.label_of(n)).map(|l| dewey.node_of(&l).unwrap());
+            let via_ruid =
+                ruid2.parent_label(&ruid2.label_of(n)).map(|l| ruid2.node_of(&l).unwrap());
+            assert_eq!(via_uid, expected);
+            assert_eq!(via_dewey, expected);
+            assert_eq!(via_ruid, expected);
+        }
+    }
+}
+
+/// All updatable schemes stay mutually consistent under the same edit
+/// sequence — and their relabel costs order the way the paper claims:
+/// rUID <= Dewey <= UID is the *typical* picture near the root; here we
+/// assert consistency, and cost ordering in aggregate.
+#[test]
+fn update_sequence_keeps_schemes_consistent() {
+    let mut doc = ruid::random_tree(&ruid::TreeGenConfig {
+        nodes: 120,
+        max_fanout: 4,
+        seed: 17,
+        ..Default::default()
+    });
+    let root = doc.root_element().unwrap();
+    let mut uid = UidScheme::build(&doc);
+    let mut dewey = DeweyScheme::build(&doc);
+    let mut ruid2 = Ruid2Scheme::build(&doc, &Pc::by_depth(2));
+    let mut total_uid = 0usize;
+    let mut total_dewey = 0usize;
+    let mut total_ruid = 0usize;
+    // Deterministic edit script: insert before each existing child of the
+    // root's first children, then delete a few subtrees.
+    for round in 0..10 {
+        let targets: Vec<NodeId> = doc.descendants(root).skip(1).step_by(9).collect();
+        let target = targets[round % targets.len()];
+        let new = doc.create_element("ins");
+        doc.insert_before(target, new);
+        total_uid += uid.on_insert(&doc, new).relabeled;
+        total_dewey += dewey.on_insert(&doc, new).relabeled;
+        total_ruid += ruid2.on_insert(&doc, new).relabeled;
+        uid.check_consistency(&doc).unwrap();
+        dewey.check_consistency(&doc).unwrap();
+        ruid2.check_consistency(&doc).unwrap();
+    }
+    for _ in 0..3 {
+        let victim = doc.descendants(root).nth(5).unwrap();
+        let parent = doc.parent(victim).unwrap();
+        doc.detach(victim);
+        uid.on_delete(&doc, parent, victim);
+        dewey.on_delete(&doc, parent, victim);
+        ruid2.on_delete(&doc, parent, victim);
+        uid.check_consistency(&doc).unwrap();
+        dewey.check_consistency(&doc).unwrap();
+        ruid2.check_consistency(&doc).unwrap();
+    }
+    assert!(
+        total_ruid <= total_dewey && total_dewey <= total_uid,
+        "aggregate relabel cost should order ruid ({total_ruid}) <= dewey \
+         ({total_dewey}) <= uid ({total_uid})"
+    );
+}

@@ -1,0 +1,185 @@
+//! End-to-end pipeline: parse → partition/number → store → query → update
+//! → re-verify, through the `ruid` facade only — the workflow a downstream
+//! user runs.
+
+use ruid::prelude::*;
+use ruid::{MultiRuidScheme, PartitionedStore, XmlStore};
+
+#[test]
+fn full_pipeline_on_xmark() {
+    // 1. Generate and serialize a document, then parse it back (exercising
+    //    parser + serializer as a user would with a file on disk).
+    let generated = ruid::xmark::generate(&ruid::xmark::XmarkConfig::default());
+    let xml_text = generated.to_xml_string();
+    let mut doc = Document::parse(&xml_text).unwrap();
+    let root = doc.root_element().unwrap();
+    let node_count = doc.descendants(root).count();
+
+    // 2. Number with a 2-level rUID.
+    let mut scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    scheme.check_consistency(&doc).unwrap();
+    assert!(scheme.area_count() > 1);
+
+    // 3. Store the numbered document; point lookups and area scans work.
+    let mut store = XmlStore::in_memory();
+    assert_eq!(store.load_document(&doc, &scheme), node_count);
+    let some_item = doc
+        .descendants(root)
+        .find(|&n| doc.tag_name(n) == Some("item"))
+        .unwrap();
+    let row = store.get(&scheme.label_of(some_item)).unwrap();
+    assert_eq!(row.name, "item");
+    let (subtree_rows, _) = store.scan_subtree(&scheme, 1);
+    assert_eq!(subtree_rows.len(), node_count);
+
+    // 4. Query with the rUID-accelerated evaluator; spot-check against the
+    //    tree walker.
+    let queries = [
+        "//item/name",
+        "//person[address]/name",
+        "//open_auction[bidder]",
+        "//closed_auction/price",
+    ];
+    {
+        let ruid_eval = Evaluator::new(&doc, RuidAxes::new(&scheme));
+        let tree_eval = Evaluator::new(&doc, TreeAxes::new(&doc));
+        for q in queries {
+            assert_eq!(ruid_eval.query(q).unwrap(), tree_eval.query(q).unwrap(), "{q}");
+        }
+    }
+
+    // 5. Update: insert a new item into the first region; only local
+    //    relabelling, and queries still agree afterwards.
+    let region = doc
+        .descendants(root)
+        .find(|&n| doc.tag_name(n) == Some("africa"))
+        .unwrap();
+    let new_item = doc.create_element("item");
+    let first = doc.first_child(region).unwrap();
+    doc.insert_before(first, new_item);
+    let stats = scheme.on_insert(&doc, new_item);
+    assert!(!stats.full_rebuild);
+    assert!(stats.relabeled < node_count / 10, "update must stay local");
+    scheme.check_consistency(&doc).unwrap();
+    {
+        let ruid_eval = Evaluator::new(&doc, RuidAxes::new(&scheme));
+        let tree_eval = Evaluator::new(&doc, TreeAxes::new(&doc));
+        for q in queries {
+            assert_eq!(ruid_eval.query(q).unwrap(), tree_eval.query(q).unwrap(), "{q} after update");
+        }
+        let items = ruid_eval.query("//africa/item").unwrap();
+        assert!(items.contains(&new_item));
+    }
+
+    // 6. The same document under a partitioned store: results identical.
+    let scheme2 = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    let partitioned = PartitionedStore::load(&doc, &scheme2, 6);
+    let mut mono = XmlStore::in_memory();
+    mono.load_document(&doc, &scheme2);
+    let (a, touched) = partitioned.scan_subtree(&scheme2, 1);
+    let (b, _) = mono.scan_subtree(&scheme2, 1);
+    assert_eq!(a.len(), b.len());
+    assert!(touched <= partitioned.table_count());
+}
+
+#[test]
+fn multilevel_pipeline() {
+    // Bushy tree: per-node areas are legitimate here (a *deep* tree with
+    // ByDepth(1) would overflow the frame enumeration — see
+    // `deep_frame_overflow_is_reported`).
+    let doc = ruid::random_tree(&ruid::TreeGenConfig {
+        nodes: 3000,
+        max_fanout: 6,
+        depth_bias: 0.0,
+        seed: 99,
+        ..Default::default()
+    });
+    let multi = MultiRuidScheme::build(&doc, &PartitionConfig::by_depth(1), 50);
+    assert!(multi.levels() >= 3, "forced small areas must lift levels");
+    let root = doc.root_element().unwrap();
+    for n in doc.descendants(root).step_by(101) {
+        let label = multi.label_of(n);
+        assert_eq!(multi.node_of(&label), Some(n));
+        let parent = multi.parent_label(&label);
+        let expected = if n == root { None } else { doc.parent(n).map(|p| multi.label_of(p)) };
+        assert_eq!(parent, expected);
+    }
+}
+
+/// Section 3.3's application, end to end: run a query, fetch the matching
+/// rows (plus their text) from the store, and reconstruct an XML fragment
+/// from the unordered row set using labels only.
+#[test]
+fn query_then_reconstruct_fragment() {
+    let doc = ruid::xmark::generate(&ruid::xmark::XmarkConfig {
+        items_per_region: 1,
+        people: 4,
+        open_auctions: 2,
+        closed_auctions: 1,
+        categories: 1,
+        seed: 3,
+    });
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(3));
+    let mut store = XmlStore::in_memory();
+    store.load_document(&doc, &scheme);
+
+    // Select every person with their names (elements + text).
+    let eval = Evaluator::new(&doc, RuidAxes::new(&scheme));
+    let mut rows = Vec::new();
+    for n in eval.query("//person").unwrap() {
+        rows.push(store.get(&scheme.label_of(n)).unwrap());
+    }
+    for n in eval.query("//person/name").unwrap() {
+        rows.push(store.get(&scheme.label_of(n)).unwrap());
+        let text = doc.first_child(n).unwrap();
+        rows.push(store.get(&scheme.label_of(text)).unwrap());
+    }
+    // Shuffle-ish: reverse to prove order independence.
+    rows.reverse();
+    let fragment = ruid::fragment_from_rows(&scheme, &rows);
+    // The fragment holds 4 persons, each with exactly one name child whose
+    // text matches the source.
+    let froot = fragment.root();
+    let persons: Vec<NodeId> = fragment
+        .descendants(froot)
+        .filter(|&n| fragment.tag_name(n) == Some("person"))
+        .collect();
+    assert_eq!(persons.len(), 4);
+    for p in persons {
+        let names: Vec<NodeId> = fragment.children(p).collect();
+        assert_eq!(names.len(), 1);
+        assert_eq!(fragment.tag_name(names[0]), Some("name"));
+        assert!(!fragment.string_value(names[0]).is_empty());
+        // Original person id is carried through.
+        assert!(fragment.attribute(p, "id").unwrap().starts_with("person"));
+    }
+}
+
+/// A 2-level rUID inherits the u64 limit *per level*: a frame as deep as
+/// the whole document (ByDepth(1) on a deep tree) overflows, and the
+/// checked constructor reports it instead of mislabelling.
+#[test]
+fn deep_frame_overflow_is_reported() {
+    let doc = ruid::deep_tree(200, 4);
+    let err = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(1)).unwrap_err();
+    assert!(matches!(err, ruid::BuildError::FrameOverflow { .. }), "{err}");
+    // A coarser partition of the same document works fine.
+    let scheme = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(8)).unwrap();
+    scheme.check_consistency(&doc).unwrap();
+}
+
+#[test]
+fn unicode_end_to_end() {
+    let src = "<文書><節 属性=\"値\">本文テキスト</節><節>二番目</節></文書>";
+    let doc = Document::parse(src).unwrap();
+    let scheme = Ruid2Scheme::build(&doc, &PartitionConfig::by_depth(1));
+    scheme.check_consistency(&doc).unwrap();
+    let mut store = XmlStore::in_memory();
+    store.load_document(&doc, &scheme);
+    let eval = Evaluator::new(&doc, RuidAxes::new(&scheme));
+    let hits = eval.query("//節[@属性='値']").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(doc.string_value(hits[0]), "本文テキスト");
+    let row = store.get(&scheme.label_of(hits[0])).unwrap();
+    assert_eq!(row.name, "節");
+}

