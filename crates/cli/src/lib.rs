@@ -6,10 +6,12 @@
 //! ruid-xml query  <file.xml> <xpath> [--engine E]  run an XPath query
 //! ruid-xml axes   <file.xml> <xpath>               show every axis of the first match
 //! ruid-xml parent <file.xml> <g> <l> <r>           rparent() of an identifier
+//! ruid-xml serve  [<file.xml>...] [--addr A] [--threads N]   run the TCP service
+//! ruid-xml client <addr> <command...>              send one protocol request
 //! ```
 
 use ruid::prelude::*;
-use ruid::{NameIndex, NameIndexed, Ruid2, UidScheme};
+use ruid::{Client, LoadedDoc, NameIndex, NameIndexed, Ruid2, Server, ServerConfig, ServerHandle, UidScheme};
 
 /// The usage banner printed on argument errors.
 pub const USAGE: &str = "usage:
@@ -17,7 +19,9 @@ pub const USAGE: &str = "usage:
   ruid-xml label  <file.xml> [--depth D] [--limit N]
   ruid-xml query  <file.xml> <xpath> [--engine tree|uid|ruid|indexed]
   ruid-xml axes   <file.xml> <xpath>
-  ruid-xml parent <file.xml> <global> <local> <true|false>";
+  ruid-xml parent <file.xml> <global> <local> <true|false>
+  ruid-xml serve  [<file.xml>...] [--addr 127.0.0.1:PORT] [--threads N] [--depth D]
+  ruid-xml client <addr> <command...>";
 
 /// Dispatches one invocation; `args` excludes the program name.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -28,6 +32,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "query" => query(&args[1..]),
         "axes" => axes(&args[1..]),
         "parent" => parent(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "client" => client(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -170,6 +176,58 @@ fn axes(args: &[String]) -> Result<(), String> {
     show("following-siblings", scheme.rfsiblings(&l));
     show("preceding", scheme.rpreceding(&l));
     show("following", scheme.rfollowing(&l));
+    Ok(())
+}
+
+/// Starts the TCP service and pre-loads any files given before the first
+/// `--flag`. Returns the handle so callers (tests, embedders) can address
+/// and stop the server; the `serve` subcommand blocks on it.
+pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = option(args, "--addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(threads) = option(args, "--threads") {
+        config.threads =
+            threads.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+    }
+    if let Some(depth) = option(args, "--depth") {
+        config.depth =
+            depth.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+    }
+    let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let depth = config.depth;
+    let with_store = config.with_store;
+    let handle = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    for file in files {
+        let loaded = LoadedDoc::from_file(file, depth, with_store)?;
+        let nodes = loaded.scheme.len();
+        let id = handle.catalog().insert(loaded);
+        eprintln!("loaded {file} as document {id} ({nodes} labelled nodes)");
+    }
+    eprintln!("ruid-service listening on {}", handle.addr());
+    Ok(handle)
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let handle = serve_start(args)?;
+    handle.join(); // until a client sends SHUTDOWN
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("missing server address")?;
+    let line = args[1..].join(" ");
+    if line.trim().is_empty() {
+        return Err("missing command (e.g. `ruid-xml client 127.0.0.1:7070 PING`)".into());
+    }
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client.request(&line).map_err(|e| e.to_string())?;
+    println!("{response}");
+    if let Some(err) = response.strip_prefix("ERR ") {
+        return Err(format!("server: {err}"));
+    }
     Ok(())
 }
 

@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use ruid_cli::run;
+use ruid_cli::{run, serve_start};
 
 fn sample_file() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ruid-cli-test-{}", std::process::id()));
@@ -70,6 +70,40 @@ fn errors_are_reported_not_panicked() {
     assert!(run(&args(&["parent", f, "9999", "9999", "false"])).is_err());
     assert!(run(&args(&["parent", f, "x", "1", "false"])).is_err());
     assert!(run(&args(&["axes", f, "//nosuch"])).is_err());
+}
+
+#[test]
+fn serve_preloads_files_and_client_talks_to_it() {
+    let file = sample_file();
+    // Port 0 picks a free port; one worker thread is plenty here.
+    let handle = serve_start(&args(&[
+        file.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "1",
+        "--depth",
+        "2",
+    ]))
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // The pre-loaded document answers queries through the client subcommand.
+    run(&args(&["client", &addr, "PING"])).unwrap();
+    run(&args(&["client", &addr, "QUERY", "1", "//book[price > 25]/title"])).unwrap();
+    run(&args(&["client", &addr, "STATS", "1"])).unwrap();
+    // An ERR response surfaces as a CLI error.
+    assert!(run(&args(&["client", &addr, "STATS", "999"])).is_err());
+    assert!(run(&args(&["client", &addr])).is_err());
+
+    handle.stop();
+}
+
+#[test]
+fn serve_rejects_bad_arguments() {
+    assert!(serve_start(&args(&["/nonexistent/never.xml"])).is_err());
+    assert!(serve_start(&args(&["--threads", "lots"])).is_err());
+    assert!(run(&args(&["client", "127.0.0.1:1", "PING"])).is_err());
 }
 
 #[test]

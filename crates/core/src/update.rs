@@ -130,7 +130,11 @@ fn relabel_slot(
     }
     if old.is_some() {
         scheme.take_label(node);
-        stats.relabeled += 1;
+        // A forced renumber can re-derive the same identifier; only count
+        // labels that actually changed.
+        if old != Some(label) {
+            stats.relabeled += 1;
+        }
     }
     scheme.set_label(node, label);
     let children: Vec<NodeId> = doc.children(node).collect();

@@ -2,8 +2,7 @@
 //! area-fan-out enlargement, deletion, and long random update sequences
 //! (invariant I4 of DESIGN.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xmlgen::SplitMix64;
 use ruid_core::{PartitionConfig, Ruid2Scheme};
 use schemes::uid::UidScheme;
 use schemes::NumberingScheme;
@@ -179,7 +178,7 @@ fn random_update_storm() {
         PartitionConfig::by_area_size(6),
         PartitionConfig::single_area(),
     ] {
-        let mut rng = StdRng::seed_from_u64(1234);
+        let mut rng = SplitMix64::seed_from_u64(1234);
         let mut doc = random_tree(&TreeGenConfig {
             nodes: 60,
             max_fanout: 4,
@@ -266,7 +265,7 @@ fn insert_locality_contract() {
 /// reports the relabel cost honestly.
 #[test]
 fn repartition_after_churn() {
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SplitMix64::seed_from_u64(5);
     let mut doc = random_tree(&TreeGenConfig {
         nodes: 80,
         max_fanout: 4,

@@ -62,6 +62,8 @@ pub use xpath::{
     parse as parse_xpath, AxisProvider, Evaluator, NameIndex, NameIndexed, RuidAxes, TreeAxes,
     UidAxes,
 };
+pub use ruid_service as service;
+pub use ruid_service::{Catalog, Client, LoadedDoc, Metrics, Server, ServerConfig, ServerHandle, ThreadPool};
 
 /// Everything a typical user needs, for `use ruid::prelude::*`.
 pub mod prelude {

@@ -1,0 +1,210 @@
+//! The sharded document catalog.
+//!
+//! Documents are spread over `N` shards by `id % N`; each shard guards its
+//! own `HashMap` with an `RwLock`. The values are `Arc<LoadedDoc>`, so a
+//! read (the hot path) holds the shared lock only long enough to clone the
+//! `Arc` — query evaluation itself runs entirely outside any lock, which
+//! is sound because answering structural queries from rUID labels never
+//! mutates the scheme (Lemma 1: `rparent` is pure arithmetic over the
+//! label and table *K*).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ruid_core::{PartitionConfig, Ruid2Scheme};
+#[cfg(test)]
+use schemes::NumberingScheme;
+use xmldom::Document;
+use xmlstore::{MemPager, XmlStore};
+use xpath::NameIndex;
+
+/// Identifies one loaded document within a [`Catalog`].
+pub type DocId = u64;
+
+/// Everything the service needs to answer queries about one document:
+/// the parsed tree, its rUID numbering, the element-name index, and the
+/// identifier-sorted storage rows.
+pub struct LoadedDoc {
+    /// Where the document came from (a path, or `"<inline>"`).
+    pub path: String,
+    /// The parsed tree.
+    pub doc: Document,
+    /// The rUID numbering (labels, table K, axis routines).
+    pub scheme: Ruid2Scheme,
+    /// Element-name index backing the `indexed` query engine.
+    pub index: NameIndex,
+    /// Identifier-keyed storage rows (`SCAN` serves from here); optional
+    /// because pure labeling workloads don't need the extra copy.
+    pub store: Option<XmlStore<MemPager>>,
+}
+
+impl LoadedDoc {
+    /// Parses `text` and builds the full bundle with a by-depth `depth`
+    /// partition (and an in-memory store unless `with_store` is false).
+    pub fn build(
+        path: &str,
+        text: &str,
+        depth: usize,
+        with_store: bool,
+    ) -> Result<LoadedDoc, String> {
+        let doc =
+            Document::parse(text).map_err(|e| format!("parse error in {path}: {e}"))?;
+        if doc.root_element().is_none() {
+            return Err(format!("{path}: document has no root element"));
+        }
+        let scheme = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(depth))
+            .map_err(|e| e.to_string())?;
+        let index = NameIndex::build(&doc);
+        let store = with_store.then(|| {
+            let mut store = XmlStore::in_memory();
+            store.load_document(&doc, &scheme);
+            store
+        });
+        Ok(LoadedDoc { path: path.to_owned(), doc, scheme, index, store })
+    }
+
+    /// Reads and builds from a file on disk.
+    pub fn from_file(path: &str, depth: usize, with_store: bool) -> Result<LoadedDoc, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        LoadedDoc::build(path, &text, depth, with_store)
+    }
+}
+
+/// A sharded `DocId -> Arc<LoadedDoc>` map.
+pub struct Catalog {
+    shards: Vec<RwLock<HashMap<DocId, Arc<LoadedDoc>>>>,
+    next_id: AtomicU64,
+}
+
+impl Catalog {
+    /// Creates a catalog with `shards` independent locks (min 1).
+    pub fn new(shards: usize) -> Catalog {
+        let shards = shards.max(1);
+        Catalog {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn shard(&self, id: DocId) -> &RwLock<HashMap<DocId, Arc<LoadedDoc>>> {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a document under a fresh id. Takes one shard's write lock.
+    pub fn insert(&self, doc: LoadedDoc) -> DocId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shard(id).write().unwrap().insert(id, Arc::new(doc));
+        id
+    }
+
+    /// Fetches a document for reading. Takes one shard's read lock only
+    /// long enough to clone the `Arc`.
+    pub fn get(&self, id: DocId) -> Option<Arc<LoadedDoc>> {
+        self.shard(id).read().unwrap().get(&id).cloned()
+    }
+
+    /// Drops a document. Takes one shard's write lock.
+    pub fn remove(&self, id: DocId) -> bool {
+        self.shard(id).write().unwrap().remove(&id).is_some()
+    }
+
+    /// All loaded ids, ascending.
+    pub fn ids(&self) -> Vec<DocId> {
+        let mut ids: Vec<DocId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().unwrap().keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// `(id, path)` of every loaded document, ascending by id.
+    pub fn entries(&self) -> Vec<(DocId, String)> {
+        let mut all: Vec<(DocId, String)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap()
+                    .iter()
+                    .map(|(&id, d)| (id, d.path.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable_by_key(|&(id, _)| id);
+        all
+    }
+
+    /// Number of loaded documents.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// True when nothing is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(path: &str) -> LoadedDoc {
+        LoadedDoc::build(path, "<a><b/><c><d/></c></a>", 2, true).unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let catalog = Catalog::new(4);
+        let id = catalog.insert(tiny("one.xml"));
+        assert_eq!(catalog.get(id).unwrap().path, "one.xml");
+        assert_eq!(catalog.len(), 1);
+        assert!(catalog.remove(id));
+        assert!(!catalog.remove(id));
+        assert!(catalog.get(id).is_none());
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn ids_are_fresh_and_sorted() {
+        let catalog = Catalog::new(3);
+        let a = catalog.insert(tiny("a.xml"));
+        let b = catalog.insert(tiny("b.xml"));
+        let c = catalog.insert(tiny("c.xml"));
+        assert!(a < b && b < c, "ids must be fresh and increasing");
+        assert_eq!(catalog.ids(), vec![a, b, c]);
+        assert_eq!(
+            catalog.entries().into_iter().map(|(_, p)| p).collect::<Vec<_>>(),
+            vec!["a.xml", "b.xml", "c.xml"]
+        );
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert!(LoadedDoc::build("x", "<a><b></a>", 2, false).is_err());
+        assert!(LoadedDoc::from_file("/nonexistent/x.xml", 2, false).is_err());
+    }
+
+    #[test]
+    fn bundle_is_consistent() {
+        let loaded = tiny("t.xml");
+        let root = loaded.doc.root_element().unwrap();
+        // Scheme labels resolve back to nodes.
+        let label = loaded.scheme.label_of(root);
+        assert_eq!(loaded.scheme.node_of(&label), Some(root));
+        // Store has one row per node.
+        let store = loaded.store.as_ref().unwrap();
+        assert_eq!(store.len(), loaded.doc.descendants(root).count());
+        // Name index sees the elements.
+        assert_eq!(loaded.index.nodes_named(&loaded.doc, "d").len(), 1);
+    }
+}

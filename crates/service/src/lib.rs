@@ -1,0 +1,75 @@
+//! # ruid-service — a concurrent XML labeling and query service
+//!
+//! The paper's central property (Lemma 1 / Fig. 6) is that rUID turns
+//! parent and ancestor computation into pure in-memory arithmetic over a
+//! label plus the small shared table *K*. Nothing about answering a
+//! structural query mutates the numbering, so once a document is labeled,
+//! any number of clients can resolve `rparent`, axes, and XPath queries
+//! **concurrently** — reads never contend with each other.
+//!
+//! This crate is the serving layer that exploits that:
+//!
+//! * [`Catalog`] — a sharded document catalog. Each shard is an
+//!   `RwLock<HashMap<DocId, Arc<LoadedDoc>>>`; a [`LoadedDoc`] bundles the
+//!   parsed [`Document`](xmldom::Document), its
+//!   [`Ruid2Scheme`](ruid_core::Ruid2Scheme), a
+//!   [`NameIndex`](xpath::NameIndex) and an identifier-sorted
+//!   [`XmlStore`](xmlstore::XmlStore). Hot-path commands (`PARENT`,
+//!   `QUERY`, `SCAN`, `GET`) take a shard's *shared* lock just long enough
+//!   to clone the `Arc`; `LOAD`/`UNLOAD` take one shard's exclusive lock.
+//! * [`ThreadPool`] — a fixed pool of OS worker threads fed by a *bounded*
+//!   MPSC job queue (backpressure on accept), shut down gracefully with
+//!   poison pills and `join`.
+//! * [`Metrics`] — lock-free per-command atomic counters, error counts and
+//!   fixed-bucket latency histograms; `METRICS` reports p50/p95/p99
+//!   computed on demand, and the server dumps the table on shutdown.
+//! * [`Server`] / [`Client`] — a line-delimited text protocol over
+//!   `std::net::TcpListener` (no external runtime), plus the in-process
+//!   client used by the CLI and the test suite.
+//!
+//! ## Protocol
+//!
+//! One request per line, one response line per request (`OK ...` or
+//! `ERR <message>`); see [`proto`] for the grammar:
+//!
+//! ```text
+//! PING                                  liveness probe
+//! LOAD <path> [depth]                   parse + label a file, returns id=<n>
+//! UNLOAD <doc>                          drop a document
+//! LIST                                  loaded documents
+//! LABEL <doc> <xpath>                   labels of every match
+//! PARENT <doc> <g> <l> <true|false>     rparent() arithmetic (Fig. 6)
+//! QUERY <doc> <xpath> [engine]          XPath; engine: tree|ruid|indexed
+//! SCAN <doc> <global>                   storage rows of one rUID area
+//! GET <doc> <g> <l> <true|false>        subtree XML of one identifier
+//! STATS <doc>                           tree + numbering statistics
+//! METRICS                               per-command counters + latency
+//! SHUTDOWN                              graceful stop
+//! ```
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use ruid_service::{Client, Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let resp = client.request("LOAD data/auction.xml").unwrap();
+//! assert!(resp.starts_with("OK id="));
+//! client.request("QUERY 1 //item/name").unwrap();
+//! client.request("SHUTDOWN").unwrap();
+//! handle.join();
+//! ```
+
+mod catalog;
+mod client;
+mod metrics;
+mod pool;
+pub mod proto;
+mod server;
+
+pub use catalog::{Catalog, DocId, LoadedDoc};
+pub use client::Client;
+pub use metrics::{Histogram, Metrics};
+pub use pool::ThreadPool;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,333 @@
+//! Lock-free service observability: per-command request and error
+//! counters plus fixed-bucket latency histograms.
+//!
+//! Everything is an `AtomicU64`, so recording on the hot path is a handful
+//! of relaxed atomic adds — no locks, no allocation. Percentiles are
+//! computed on demand from the buckets (each bucket spans a power of two
+//! of nanoseconds), which is exact enough for p50/p95/p99 reporting and
+//! costs nothing when nobody asks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bucket count: bucket `i` holds samples with `ns < 2^(i+1)` (the last
+/// bucket is open-ended). 2^40 ns ≈ 18 minutes, far beyond any request.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram with power-of-two nanosecond buckets.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // 0 and 1 ns land in bucket 0; doubling thereafter.
+        (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (in ns) of the bucket containing the `q`-quantile
+    /// sample (`q` in `[0, 1]`), or 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// The protocol commands the service meters, in wire order.
+///
+/// `Invalid` accounts for lines that fail to parse at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Command {
+    /// `PING`
+    Ping = 0,
+    /// `LOAD <path> [depth]`
+    Load,
+    /// `UNLOAD <doc>`
+    Unload,
+    /// `LIST`
+    List,
+    /// `LABEL <doc> <xpath>`
+    Label,
+    /// `PARENT <doc> <g> <l> <r>`
+    Parent,
+    /// `QUERY <doc> <xpath> [engine]`
+    Query,
+    /// `SCAN <doc> <global>`
+    Scan,
+    /// `GET <doc> <g> <l> <r>`
+    Get,
+    /// `STATS <doc>`
+    Stats,
+    /// `METRICS`
+    Metrics,
+    /// `SHUTDOWN`
+    Shutdown,
+    /// Unparseable input.
+    Invalid,
+}
+
+/// Every command, aligned with the `repr(usize)` discriminants.
+pub const COMMANDS: [Command; 13] = [
+    Command::Ping,
+    Command::Load,
+    Command::Unload,
+    Command::List,
+    Command::Label,
+    Command::Parent,
+    Command::Query,
+    Command::Scan,
+    Command::Get,
+    Command::Stats,
+    Command::Metrics,
+    Command::Shutdown,
+    Command::Invalid,
+];
+
+impl Command {
+    /// The wire keyword (uppercase).
+    pub fn name(self) -> &'static str {
+        match self {
+            Command::Ping => "PING",
+            Command::Load => "LOAD",
+            Command::Unload => "UNLOAD",
+            Command::List => "LIST",
+            Command::Label => "LABEL",
+            Command::Parent => "PARENT",
+            Command::Query => "QUERY",
+            Command::Scan => "SCAN",
+            Command::Get => "GET",
+            Command::Stats => "STATS",
+            Command::Metrics => "METRICS",
+            Command::Shutdown => "SHUTDOWN",
+            Command::Invalid => "INVALID",
+        }
+    }
+}
+
+#[derive(Default)]
+struct CommandMetrics {
+    count: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+/// Per-command counters and histograms for the whole service.
+#[derive(Default)]
+pub struct Metrics {
+    per_command: [CommandMetrics; COMMANDS.len()],
+    connections: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one handled request: which command, whether it failed, and
+    /// how long handling took.
+    pub fn record(&self, command: Command, is_error: bool, elapsed: Duration) {
+        let m = &self.per_command[command as usize];
+        m.count.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        m.latency.record(elapsed);
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all commands.
+    pub fn total_requests(&self) -> u64 {
+        self.per_command.iter().map(|m| m.count.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total errors across all commands.
+    pub fn total_errors(&self) -> u64 {
+        self.per_command.iter().map(|m| m.errors.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Requests recorded for one command.
+    pub fn count_of(&self, command: Command) -> u64 {
+        self.per_command[command as usize].count.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram of one command.
+    pub fn latency_of(&self, command: Command) -> &Histogram {
+        &self.per_command[command as usize].latency
+    }
+
+    /// The single-line wire rendering served by `METRICS`:
+    ///
+    /// ```text
+    /// OK connections=3 total=17 errors=1 PING=1/0/512/512/512 LOAD=... ...
+    /// ```
+    ///
+    /// Each command segment is `NAME=count/errors/p50ns/p95ns/p99ns`;
+    /// commands with no traffic are omitted.
+    pub fn render_line(&self) -> String {
+        let mut out = format!(
+            "connections={} total={} errors={}",
+            self.connections.load(Ordering::Relaxed),
+            self.total_requests(),
+            self.total_errors(),
+        );
+        for &command in &COMMANDS {
+            let m = &self.per_command[command as usize];
+            let count = m.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                " {}={}/{}/{}/{}/{}",
+                command.name(),
+                count,
+                m.errors.load(Ordering::Relaxed),
+                m.latency.quantile_ns(0.50),
+                m.latency.quantile_ns(0.95),
+                m.latency.quantile_ns(0.99),
+            ));
+        }
+        out
+    }
+
+    /// A human-readable multi-line table (dumped on server shutdown).
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:<10} {:>9} {:>7} {:>12} {:>12} {:>12}\n",
+            "command", "count", "errors", "p50", "p95", "p99"
+        );
+        for &command in &COMMANDS {
+            let m = &self.per_command[command as usize];
+            let count = m.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<10} {:>9} {:>7} {:>12} {:>12} {:>12}\n",
+                command.name(),
+                count,
+                m.errors.load(Ordering::Relaxed),
+                fmt_ns(m.latency.quantile_ns(0.50)),
+                fmt_ns(m.latency.quantile_ns(0.95)),
+                fmt_ns(m.latency.quantile_ns(0.99)),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>7}   ({} connections)\n",
+            "total",
+            self.total_requests(),
+            self.total_errors(),
+            self.connections.load(Ordering::Relaxed),
+        ));
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("<{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("<{:.1} µs", ns as f64 / 1_000.0)
+    } else {
+        format!("<{:.1} ms", ns as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_double() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        // 90 fast samples (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        assert_eq!(h.total(), 100);
+        assert!(h.quantile_ns(0.50) <= 2_048, "p50 in the µs bucket");
+        assert!(h.quantile_ns(0.99) >= 1_000_000, "p99 in the ms bucket");
+        assert!(h.quantile_ns(0.0) <= 2_048);
+        assert!(h.quantile_ns(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn per_command_accounting() {
+        let m = Metrics::new();
+        m.record(Command::Query, false, Duration::from_micros(3));
+        m.record(Command::Query, true, Duration::from_micros(5));
+        m.record(Command::Parent, false, Duration::from_nanos(200));
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.total_errors(), 1);
+        assert_eq!(m.count_of(Command::Query), 2);
+        assert_eq!(m.count_of(Command::Scan), 0);
+        assert_eq!(m.latency_of(Command::Parent).total(), 1);
+        let line = m.render_line();
+        assert!(line.contains("total=3"), "{line}");
+        assert!(line.contains("QUERY=2/1/"), "{line}");
+        assert!(line.contains("PARENT=1/0/"), "{line}");
+        assert!(!line.contains("SCAN="), "{line}");
+        let table = m.render_table();
+        assert!(table.contains("QUERY") && table.contains("p99"), "{table}");
+    }
+
+    #[test]
+    fn command_names_align_with_discriminants() {
+        for (i, &c) in COMMANDS.iter().enumerate() {
+            assert_eq!(c as usize, i, "{}", c.name());
+        }
+    }
+}

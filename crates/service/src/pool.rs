@@ -1,0 +1,158 @@
+//! A fixed pool of OS worker threads behind a bounded MPSC job queue.
+//!
+//! Jobs are `FnOnce` closures; the queue is a `sync_channel`, so producers
+//! block once `queue_cap` jobs are waiting — backpressure instead of
+//! unbounded memory growth when clients outpace the workers. Shutdown is
+//! graceful: one poison pill per worker, then `join` on every thread (a
+//! worker drains its current job before it swallows a pill).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work for the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+enum Job {
+    Run(Task),
+    /// The poison pill: the receiving worker exits its loop.
+    Poison,
+}
+
+/// Error returned by [`ThreadPool::execute`] when the pool has shut down.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool is shut down")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+/// A fixed-size worker pool with a bounded job queue.
+pub struct ThreadPool {
+    sender: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (min 1) sharing a queue of at most
+    /// `queue_cap` pending jobs (min 1).
+    pub fn new(threads: usize, queue_cap: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = sync_channel::<Job>(queue_cap.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("ruid-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { sender, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job`, blocking while the queue is full. Fails only after
+    /// shutdown.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
+        self.sender.send(Job::Run(Box::new(job))).map_err(|_| PoolClosed)
+    }
+
+    /// Graceful shutdown: sends one poison pill per worker, then joins
+    /// them all. Jobs already queued ahead of the pills run to completion.
+    pub fn shutdown(self) {
+        for _ in &self.workers {
+            // Err means every worker is already gone; joining still works.
+            let _ = self.sender.send(Job::Poison);
+        }
+        drop(self.sender);
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the queue lock only while receiving, never while working.
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // a worker panicked mid-recv; bail out
+        };
+        match job {
+            Ok(Job::Run(task)) => task(),
+            Ok(Job::Poison) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_jobs_then_drains_on_shutdown() {
+        let pool = ThreadPool::new(4, 8);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // One worker stuck on a slow job; capacity-1 queue: the third
+        // submit must block until the worker frees a slot.
+        let pool = ThreadPool::new(1, 1);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        pool.execute(move || {
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        pool.execute(|| {}).unwrap(); // fills the queue
+        let started = std::time::Instant::now();
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            release_tx.send(()).unwrap();
+        });
+        pool.execute(|| {}).unwrap(); // blocks until the slow job finishes
+        assert!(
+            started.elapsed() >= Duration::from_millis(80),
+            "submit returned before the queue had room"
+        );
+        release.join().unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn single_thread_minimum() {
+        let pool = ThreadPool::new(0, 0);
+        assert_eq!(pool.threads(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.execute(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! The line-delimited request grammar and wire formatting.
+//!
+//! One request per line; tokens are whitespace-separated, except that
+//! XPath expressions extend to the end of the line (optionally followed by
+//! a trailing engine keyword for `QUERY`). Every response is exactly one
+//! line: `OK ...` on success, `ERR <message>` on failure — so a client is
+//! one `write` + one `read_line` per request.
+
+use crate::metrics::Command;
+use ruid_core::Ruid2;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `PING` — liveness probe.
+    Ping,
+    /// `LOAD <path> [depth]` — parse and label a file (default depth 3).
+    Load {
+        /// Filesystem path of the XML document.
+        path: String,
+        /// `PartitionConfig::by_depth` parameter.
+        depth: usize,
+    },
+    /// `UNLOAD <doc>` — drop a loaded document.
+    Unload(u64),
+    /// `LIST` — ids and paths of loaded documents.
+    List,
+    /// `LABEL <doc> <xpath>` — rUID labels of every match.
+    Label {
+        /// Target document id.
+        doc: u64,
+        /// XPath expression (may contain spaces).
+        xpath: String,
+    },
+    /// `PARENT <doc> <g> <l> <true|false>` — the `rparent` arithmetic.
+    Parent {
+        /// Target document id.
+        doc: u64,
+        /// The identifier to take the parent of.
+        label: Ruid2,
+    },
+    /// `QUERY <doc> <xpath> [engine]` — evaluate an XPath query.
+    Query {
+        /// Target document id.
+        doc: u64,
+        /// XPath expression (may contain spaces).
+        xpath: String,
+        /// `tree`, `ruid`, or `indexed`.
+        engine: Engine,
+    },
+    /// `SCAN <doc> <global>` — storage rows of one rUID area.
+    Scan {
+        /// Target document id.
+        doc: u64,
+        /// The area's global index.
+        global: u64,
+    },
+    /// `GET <doc> <g> <l> <true|false>` — subtree XML of one identifier.
+    Get {
+        /// Target document id.
+        doc: u64,
+        /// The identifier to fetch.
+        label: Ruid2,
+    },
+    /// `STATS <doc>` — tree and numbering statistics.
+    Stats(u64),
+    /// `METRICS` — service counters and latency quantiles.
+    Metrics,
+    /// `SHUTDOWN` — stop the server gracefully.
+    Shutdown,
+}
+
+/// Which axis provider answers a `QUERY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Plain DOM traversal (the no-numbering baseline).
+    Tree,
+    /// rUID label arithmetic for every axis.
+    Ruid,
+    /// rUID arithmetic + element-name index (the default).
+    Indexed,
+}
+
+impl Engine {
+    fn parse(token: &str) -> Option<Engine> {
+        match token {
+            "tree" => Some(Engine::Tree),
+            "ruid" => Some(Engine::Ruid),
+            "indexed" => Some(Engine::Indexed),
+            _ => None,
+        }
+    }
+}
+
+impl Request {
+    /// The metrics bucket this request belongs to.
+    pub fn command(&self) -> Command {
+        match self {
+            Request::Ping => Command::Ping,
+            Request::Load { .. } => Command::Load,
+            Request::Unload(_) => Command::Unload,
+            Request::List => Command::List,
+            Request::Label { .. } => Command::Label,
+            Request::Parent { .. } => Command::Parent,
+            Request::Query { .. } => Command::Query,
+            Request::Scan { .. } => Command::Scan,
+            Request::Get { .. } => Command::Get,
+            Request::Stats(_) => Command::Stats,
+            Request::Metrics => Command::Metrics,
+            Request::Shutdown => Command::Shutdown,
+        }
+    }
+}
+
+fn parse_u64(token: &str, what: &str) -> Result<u64, String> {
+    token.parse().map_err(|_| format!("bad {what} {token:?}"))
+}
+
+fn parse_label(tokens: &[&str]) -> Result<Ruid2, String> {
+    let global = parse_u64(tokens[0], "global index")?;
+    let local = parse_u64(tokens[1], "local index")?;
+    let is_root = match tokens[2] {
+        "true" => true,
+        "false" => false,
+        other => return Err(format!("bad root flag {other:?} (want true|false)")),
+    };
+    Ok(Ruid2::new(global, local, is_root))
+}
+
+/// Parses one request line.
+///
+/// The command keyword is case-insensitive; arguments are not.
+pub fn parse(line: &str) -> Result<Request, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some(&keyword) = tokens.first() else {
+        return Err("empty request".into());
+    };
+    let args = &tokens[1..];
+    let arity = |n: usize, usage: &str| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("usage: {usage}"))
+        }
+    };
+    match keyword.to_ascii_uppercase().as_str() {
+        "PING" => arity(0, "PING").map(|()| Request::Ping),
+        "LOAD" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err("usage: LOAD <path> [depth]".into());
+            }
+            let depth = match args.get(1) {
+                Some(d) => parse_u64(d, "depth")? as usize,
+                None => 3,
+            };
+            if depth == 0 {
+                return Err("depth must be at least 1".into());
+            }
+            Ok(Request::Load { path: args[0].to_owned(), depth })
+        }
+        "UNLOAD" => {
+            arity(1, "UNLOAD <doc>")?;
+            Ok(Request::Unload(parse_u64(args[0], "document id")?))
+        }
+        "LIST" => arity(0, "LIST").map(|()| Request::List),
+        "LABEL" => {
+            if args.len() < 2 {
+                return Err("usage: LABEL <doc> <xpath>".into());
+            }
+            Ok(Request::Label {
+                doc: parse_u64(args[0], "document id")?,
+                xpath: args[1..].join(" "),
+            })
+        }
+        "PARENT" => {
+            arity(4, "PARENT <doc> <global> <local> <true|false>")?;
+            Ok(Request::Parent {
+                doc: parse_u64(args[0], "document id")?,
+                label: parse_label(&args[1..4])?,
+            })
+        }
+        "QUERY" => {
+            if args.len() < 2 {
+                return Err("usage: QUERY <doc> <xpath> [tree|ruid|indexed]".into());
+            }
+            let doc = parse_u64(args[0], "document id")?;
+            // A trailing engine keyword is only an engine when an xpath
+            // remains in front of it.
+            let (xpath_tokens, engine) = match Engine::parse(args[args.len() - 1]) {
+                Some(engine) if args.len() >= 3 => (&args[1..args.len() - 1], engine),
+                _ => (&args[1..], Engine::Indexed),
+            };
+            Ok(Request::Query { doc, xpath: xpath_tokens.join(" "), engine })
+        }
+        "SCAN" => {
+            arity(2, "SCAN <doc> <global>")?;
+            Ok(Request::Scan {
+                doc: parse_u64(args[0], "document id")?,
+                global: parse_u64(args[1], "global index")?,
+            })
+        }
+        "GET" => {
+            arity(4, "GET <doc> <global> <local> <true|false>")?;
+            Ok(Request::Get {
+                doc: parse_u64(args[0], "document id")?,
+                label: parse_label(&args[1..4])?,
+            })
+        }
+        "STATS" => {
+            arity(1, "STATS <doc>")?;
+            Ok(Request::Stats(parse_u64(args[0], "document id")?))
+        }
+        "METRICS" => arity(0, "METRICS").map(|()| Request::Metrics),
+        "SHUTDOWN" => arity(0, "SHUTDOWN").map(|()| Request::Shutdown),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// The wire rendering of an identifier: `(global,local,is_root)` with no
+/// internal spaces, so label lists stay space-separated.
+pub fn fmt_label(label: &Ruid2) -> String {
+    format!("({},{},{})", label.global, label.local, label.is_root)
+}
+
+/// Escapes a string into one line: backslash, CR and LF become `\\`,
+/// `\r`, `\n`.
+pub fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse("PING").unwrap(), Request::Ping);
+        assert_eq!(
+            parse("LOAD /tmp/x.xml").unwrap(),
+            Request::Load { path: "/tmp/x.xml".into(), depth: 3 }
+        );
+        assert_eq!(
+            parse("load /tmp/x.xml 2").unwrap(),
+            Request::Load { path: "/tmp/x.xml".into(), depth: 2 }
+        );
+        assert_eq!(parse("UNLOAD 7").unwrap(), Request::Unload(7));
+        assert_eq!(parse("LIST").unwrap(), Request::List);
+        assert_eq!(
+            parse("LABEL 1 //a/b").unwrap(),
+            Request::Label { doc: 1, xpath: "//a/b".into() }
+        );
+        assert_eq!(
+            parse("PARENT 1 3 5 false").unwrap(),
+            Request::Parent { doc: 1, label: Ruid2::new(3, 5, false) }
+        );
+        assert_eq!(parse("SCAN 1 4").unwrap(), Request::Scan { doc: 1, global: 4 });
+        assert_eq!(
+            parse("GET 2 1 1 true").unwrap(),
+            Request::Get { doc: 2, label: Ruid2::new(1, 1, true) }
+        );
+        assert_eq!(parse("STATS 9").unwrap(), Request::Stats(9));
+        assert_eq!(parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn query_engine_disambiguation() {
+        // Trailing engine keyword.
+        assert_eq!(
+            parse("QUERY 1 //a/b tree").unwrap(),
+            Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Tree }
+        );
+        // No engine: default indexed.
+        assert_eq!(
+            parse("QUERY 1 //a/b").unwrap(),
+            Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Indexed }
+        );
+        // XPath with internal spaces survives.
+        assert_eq!(
+            parse("QUERY 1 //book[price > 25]/title ruid").unwrap(),
+            Request::Query {
+                doc: 1,
+                xpath: "//book[price > 25]/title".into(),
+                engine: Engine::Ruid
+            }
+        );
+        // A bare engine-looking token is the xpath when nothing precedes it.
+        assert_eq!(
+            parse("QUERY 1 tree").unwrap(),
+            Request::Query { doc: 1, xpath: "tree".into(), engine: Engine::Indexed }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+        assert!(parse("FROB 1").is_err());
+        assert!(parse("LOAD").is_err());
+        assert!(parse("LOAD x.xml 0").is_err());
+        assert!(parse("PARENT 1 2 3").is_err());
+        assert!(parse("PARENT 1 2 3 maybe").is_err());
+        assert!(parse("PARENT x 2 3 true").is_err());
+        assert!(parse("SCAN 1").is_err());
+        assert!(parse("STATS").is_err());
+        assert!(parse("PING extra").is_err());
+    }
+
+    #[test]
+    fn label_and_escape_formats() {
+        assert_eq!(fmt_label(&Ruid2::new(3, 17, false)), "(3,17,false)");
+        assert_eq!(fmt_label(&Ruid2::new(1, 1, true)), "(1,1,true)");
+        assert_eq!(escape_line("a\nb\\c\r"), "a\\nb\\\\c\\r");
+        assert_eq!(escape_line("plain"), "plain");
+    }
+}

@@ -1,0 +1,400 @@
+//! The TCP front end: accept loop, per-connection protocol driver, and
+//! the command dispatcher tying catalog, evaluators and metrics together.
+//!
+//! Concurrency model: a dedicated acceptor thread hands each accepted
+//! connection to the fixed [`ThreadPool`] as one job (so `threads` bounds
+//! the number of concurrently served connections, and the bounded job
+//! queue applies backpressure to accepts beyond that). Inside a
+//! connection, requests are processed strictly in order — one response
+//! line per request line, which is what lets clients pipeline naively.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use schemes::NumberingScheme;
+use xmldom::TreeStats;
+use xmlstore::record::StoredKind;
+use xpath::{Evaluator, NameIndexed, RuidAxes, TreeAxes};
+
+use crate::catalog::{Catalog, LoadedDoc};
+use crate::metrics::{Command, Metrics};
+use crate::pool::ThreadPool;
+use crate::proto::{self, Engine, Request};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads = maximum concurrently served connections.
+    pub threads: usize,
+    /// Catalog shard count.
+    pub shards: usize,
+    /// Bounded job-queue capacity (pending connections beyond the workers).
+    pub queue_cap: usize,
+    /// `LOAD` partition depth default (`PartitionConfig::by_depth`).
+    pub depth: usize,
+    /// Whether `LOAD` also populates the identifier-sorted [`XmlStore`]
+    /// (`SCAN` needs it).
+    pub with_store: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 8,
+            shards: 16,
+            queue_cap: 64,
+            depth: 3,
+            with_store: true,
+        }
+    }
+}
+
+/// The service (constructed via [`Server::start`]).
+pub struct Server;
+
+/// A running server: its bound address and the shutdown/join controls.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    catalog: Arc<Catalog>,
+    metrics: Arc<Metrics>,
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the worker pool and the acceptor
+    /// thread, and returns immediately.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let catalog = Arc::new(Catalog::new(config.shards));
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = ThreadPool::new(config.threads, config.queue_cap);
+
+        let acceptor = {
+            let catalog = Arc::clone(&catalog);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("ruid-acceptor".into())
+                .spawn(move || {
+                    accept_loop(&listener, &pool, &config, &catalog, &metrics, &shutdown);
+                    pool.shutdown();
+                    eprint!("[ruid-service] final metrics\n{}", metrics.render_table());
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), catalog, metrics })
+    }
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared catalog — lets an embedding process pre-load documents
+    /// without going through the wire protocol.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The shared metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// True once `SHUTDOWN` was received or [`ServerHandle::stop`] ran.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and waits for the acceptor + workers to finish.
+    pub fn stop(mut self) {
+        self.begin_stop();
+        self.join_inner();
+    }
+
+    /// Waits for the server to finish (e.g. after a client `SHUTDOWN`).
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn begin_stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is blocked in accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.begin_stop();
+            self.join_inner();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &ThreadPool,
+    config: &ServerConfig,
+    catalog: &Arc<Catalog>,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        metrics.record_connection();
+        let catalog = Arc::clone(catalog);
+        let metrics = Arc::clone(metrics);
+        let shutdown = Arc::clone(shutdown);
+        let config = config.clone();
+        let submitted = pool.execute(move || {
+            let _ = serve_connection(stream, &config, &catalog, &metrics, &shutdown);
+        });
+        if submitted.is_err() {
+            break;
+        }
+    }
+}
+
+/// Drives one connection: read a line, dispatch, write one line back.
+fn serve_connection(
+    stream: TcpStream,
+    config: &ServerConfig,
+    catalog: &Catalog,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    // A finite read timeout lets the worker notice server shutdown even
+    // while a client holds its connection open silently.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (command, response) = handle_line(&line, config, catalog, metrics);
+        let is_error = response.starts_with("ERR");
+        metrics.record(command, is_error, started.elapsed());
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if command == Command::Shutdown && !is_error {
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it observes the flag.
+            if let Ok(local) = reader.get_ref().local_addr() {
+                let _ = TcpStream::connect(local);
+            }
+            return Ok(());
+        }
+    }
+}
+
+/// Parses and executes one request line; returns the metrics bucket and
+/// the single-line response.
+pub fn handle_line(
+    line: &str,
+    config: &ServerConfig,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> (Command, String) {
+    match proto::parse(line) {
+        Ok(request) => {
+            let command = request.command();
+            (command, dispatch(request, config, catalog, metrics))
+        }
+        Err(e) => (Command::Invalid, format!("ERR {e}")),
+    }
+}
+
+fn dispatch(
+    request: Request,
+    config: &ServerConfig,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> String {
+    match execute(request, config, catalog, metrics) {
+        Ok(ok) => ok,
+        Err(e) => format!("ERR {}", proto::escape_line(&e)),
+    }
+}
+
+fn fetch(catalog: &Catalog, id: u64) -> Result<Arc<LoadedDoc>, String> {
+    catalog.get(id).ok_or_else(|| format!("no document {id} (use LOAD / LIST)"))
+}
+
+fn execute(
+    request: Request,
+    config: &ServerConfig,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<String, String> {
+    match request {
+        Request::Ping => Ok("OK pong".into()),
+        Request::Load { path, depth } => {
+            let loaded = LoadedDoc::from_file(&path, depth, config.with_store)?;
+            let nodes = loaded.doc.node_count();
+            let areas = loaded.scheme.area_count();
+            let id = catalog.insert(loaded);
+            Ok(format!("OK id={id} nodes={nodes} areas={areas}"))
+        }
+        Request::Unload(id) => {
+            if catalog.remove(id) {
+                Ok(format!("OK unloaded {id}"))
+            } else {
+                Err(format!("no document {id}"))
+            }
+        }
+        Request::List => {
+            let entries = catalog.entries();
+            let mut out = format!("OK {}", entries.len());
+            for (id, path) in entries {
+                out.push_str(&format!(" {id}={}", proto::escape_line(&path)));
+            }
+            Ok(out)
+        }
+        Request::Label { doc, xpath } => {
+            let loaded = fetch(catalog, doc)?;
+            let hits = run_query(&loaded, &xpath, Engine::Indexed)?;
+            let mut out = format!("OK {}", hits.len());
+            for node in hits {
+                out.push(' ');
+                out.push_str(&proto::fmt_label(&loaded.scheme.label_of(node)));
+            }
+            Ok(out)
+        }
+        Request::Parent { doc, label } => {
+            let loaded = fetch(catalog, doc)?;
+            // Pure arithmetic (Fig. 6) — no node lookup, no I/O.
+            Ok(match loaded.scheme.rparent(&label) {
+                Some(parent) => format!("OK {}", proto::fmt_label(&parent)),
+                None => "OK none".into(),
+            })
+        }
+        Request::Query { doc, xpath, engine } => {
+            let loaded = fetch(catalog, doc)?;
+            let hits = run_query(&loaded, &xpath, engine)?;
+            let mut out = format!("OK {}", hits.len());
+            for node in hits {
+                out.push(' ');
+                out.push_str(&proto::fmt_label(&loaded.scheme.label_of(node)));
+            }
+            Ok(out)
+        }
+        Request::Scan { doc, global } => {
+            let loaded = fetch(catalog, doc)?;
+            let store = loaded
+                .store
+                .as_ref()
+                .ok_or("document loaded without a store (SCAN unavailable)")?;
+            let rows = store.scan_area(global);
+            let mut out = format!("OK {}", rows.len());
+            for row in rows {
+                let kind = match row.kind {
+                    StoredKind::Element => "elem",
+                    StoredKind::Text => "text",
+                    StoredKind::Comment => "comment",
+                    StoredKind::ProcessingInstruction => "pi",
+                };
+                out.push(' ');
+                out.push_str(&proto::fmt_label(&row.label));
+                out.push('#');
+                out.push_str(kind);
+                out.push('#');
+                out.push_str(&proto::escape_line(&row.name.replace(' ', "_")));
+            }
+            Ok(out)
+        }
+        Request::Get { doc, label } => {
+            let loaded = fetch(catalog, doc)?;
+            let node = loaded
+                .scheme
+                .node_of(&label)
+                .ok_or_else(|| format!("no node carries {}", proto::fmt_label(&label)))?;
+            Ok(format!(
+                "OK {}",
+                proto::escape_line(&loaded.doc.subtree_to_xml_string(node))
+            ))
+        }
+        Request::Stats(id) => {
+            let loaded = fetch(catalog, id)?;
+            let root = loaded.doc.root_element().ok_or("document has no root element")?;
+            let tree = TreeStats::collect(&loaded.doc, root);
+            Ok(format!(
+                "OK nodes={} elements={} maxdepth={} maxfanout={} areas={} kappa={} \
+                 kbytes={} labelbits={} names={}",
+                tree.node_count,
+                tree.element_count,
+                tree.max_depth,
+                tree.max_fanout,
+                loaded.scheme.area_count(),
+                loaded.scheme.kappa(),
+                loaded.scheme.ktable().memory_bytes(),
+                loaded.scheme.label_width_bits(),
+                loaded.doc.names().len(),
+            ))
+        }
+        Request::Metrics => Ok(format!("OK {}", metrics.render_line())),
+        Request::Shutdown => Ok("OK bye".into()),
+    }
+}
+
+/// Runs `xpath` against a loaded document with the chosen axis provider.
+///
+/// Reads only — the scheme, index and document are all borrowed shared,
+/// which is why any number of these can run at once.
+pub fn run_query(
+    loaded: &LoadedDoc,
+    xpath: &str,
+    engine: Engine,
+) -> Result<Vec<xmldom::NodeId>, String> {
+    match engine {
+        Engine::Tree => Evaluator::new(&loaded.doc, TreeAxes::new(&loaded.doc)).query(xpath),
+        Engine::Ruid => {
+            Evaluator::new(&loaded.doc, RuidAxes::new(&loaded.scheme)).query(xpath)
+        }
+        Engine::Indexed => Evaluator::new(
+            &loaded.doc,
+            NameIndexed::new(RuidAxes::new(&loaded.scheme), &loaded.doc, &loaded.index),
+        )
+        .query(xpath),
+    }
+}

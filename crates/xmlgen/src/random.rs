@@ -1,7 +1,6 @@
 //! Parameterized random element trees.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::SplitMix64;
 use xmldom::{Document, NodeId};
 
 /// How many children an internal node receives.
@@ -70,7 +69,7 @@ impl Default for TreeGenConfig {
 pub fn random_tree(config: &TreeGenConfig) -> Document {
     assert!(config.nodes >= 1, "need at least the root element");
     assert!(config.max_fanout >= 1, "max_fanout must be at least 1");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let mut doc = Document::new();
     let root = create_named(&mut doc, config, 0, &mut rng);
     let doc_root = doc.root();
@@ -83,7 +82,7 @@ fn create_named(
     doc: &mut Document,
     config: &TreeGenConfig,
     depth: usize,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> NodeId {
     match &config.names {
         NameStrategy::ByDepth => doc.create_element(&format!("lvl{depth}")),
@@ -101,7 +100,7 @@ fn grow(
     budget: usize,
     depth: usize,
     config: &TreeGenConfig,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) {
     if budget == 0 {
         return;
@@ -117,7 +116,7 @@ fn grow(
     }
 }
 
-fn sample_fanout(config: &TreeGenConfig, rng: &mut StdRng) -> usize {
+fn sample_fanout(config: &TreeGenConfig, rng: &mut SplitMix64) -> usize {
     let max = config.max_fanout;
     match config.fanout {
         FanoutDist::Uniform => rng.gen_range(1..=max),
@@ -125,7 +124,7 @@ fn sample_fanout(config: &TreeGenConfig, rng: &mut StdRng) -> usize {
         FanoutDist::Geometric(p) => {
             let p = p.clamp(0.01, 0.99);
             let mut f = 1usize;
-            while f < max && rng.gen::<f64>() > p {
+            while f < max && rng.gen_f64() > p {
                 f += 1;
             }
             f
@@ -133,7 +132,7 @@ fn sample_fanout(config: &TreeGenConfig, rng: &mut StdRng) -> usize {
         FanoutDist::Zipf(s) => {
             // Inverse-CDF sampling over 1..=max with weights 1/i^s.
             let total: f64 = (1..=max).map(|i| (i as f64).powf(-s)).sum();
-            let mut u = rng.gen::<f64>() * total;
+            let mut u = rng.gen_f64() * total;
             for i in 1..=max {
                 u -= (i as f64).powf(-s);
                 if u <= 0.0 {
@@ -146,18 +145,18 @@ fn sample_fanout(config: &TreeGenConfig, rng: &mut StdRng) -> usize {
 }
 
 /// Splits `total` into `parts` non-negative shares.
-fn split_budget(total: usize, parts: usize, depth_bias: f64, rng: &mut StdRng) -> Vec<usize> {
+fn split_budget(total: usize, parts: usize, depth_bias: f64, rng: &mut SplitMix64) -> Vec<usize> {
     let mut shares = vec![0usize; parts];
     if total == 0 {
         return shares;
     }
-    if rng.gen::<f64>() < depth_bias {
+    if rng.gen_f64() < depth_bias {
         // Funnel everything into one child: produces deep trees.
         shares[rng.gen_range(0..parts)] = total;
         return shares;
     }
     // Exponential-weight proportional split (a Dirichlet(1,...,1) sample).
-    let weights: Vec<f64> = (0..parts).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+    let weights: Vec<f64> = (0..parts).map(|_| -rng.gen_f64().max(1e-12).ln()).collect();
     let sum: f64 = weights.iter().sum();
     let mut assigned = 0usize;
     for (i, w) in weights.iter().enumerate() {

@@ -6,8 +6,7 @@
 //! categories, mixing elements, attributes and text — at a configurable
 //! scale, deterministically from a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::SplitMix64;
 use xmldom::{Document, NodeId};
 
 /// Scale knobs for [`generate`].
@@ -73,7 +72,7 @@ const LAST_NAMES: [&str; 8] =
 
 /// Generates an XMark-style document.
 pub fn generate(config: &XmarkConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let mut doc = Document::new();
     let site = doc.create_element("site");
     let root = doc.root();
@@ -133,7 +132,7 @@ fn text_child(doc: &mut Document, parent: NodeId, name: &str, text: &str) -> Nod
     node
 }
 
-fn phrase(rng: &mut StdRng, words: usize) -> String {
+fn phrase(rng: &mut SplitMix64, words: usize) -> String {
     let mut out = String::new();
     for i in 0..words {
         if i > 0 {
@@ -144,7 +143,7 @@ fn phrase(rng: &mut StdRng, words: usize) -> String {
     out
 }
 
-fn gen_item(doc: &mut Document, region: NodeId, no: usize, config: &XmarkConfig, rng: &mut StdRng) {
+fn gen_item(doc: &mut Document, region: NodeId, no: usize, config: &XmarkConfig, rng: &mut SplitMix64) {
     let item = child(doc, region, "item");
     doc.set_attribute(item, "id", &format!("item{no}"));
     text_child(doc, item, "location", REGIONS[rng.gen_range(0..REGIONS.len())]);
@@ -162,7 +161,7 @@ fn gen_item(doc: &mut Document, region: NodeId, no: usize, config: &XmarkConfig,
     );
 }
 
-fn gen_person(doc: &mut Document, people: NodeId, no: usize, rng: &mut StdRng) {
+fn gen_person(doc: &mut Document, people: NodeId, no: usize, rng: &mut SplitMix64) {
     let person = child(doc, people, "person");
     doc.set_attribute(person, "id", &format!("person{no}"));
     let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
@@ -193,7 +192,7 @@ fn gen_open_auction(
     open: NodeId,
     no: usize,
     config: &XmarkConfig,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) {
     let auction = child(doc, open, "open_auction");
     doc.set_attribute(auction, "id", &format!("open_auction{no}"));
@@ -224,7 +223,7 @@ fn gen_closed_auction(
     closed: NodeId,
     no: usize,
     config: &XmarkConfig,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) {
     let auction = child(doc, closed, "closed_auction");
     doc.set_attribute(auction, "id", &format!("closed_auction{no}"));
@@ -244,7 +243,7 @@ fn gen_closed_auction(
     text_child(doc, auction, "date", &date(rng));
 }
 
-fn date(rng: &mut StdRng) -> String {
+fn date(rng: &mut SplitMix64) -> String {
     format!(
         "{:02}/{:02}/{}",
         rng.gen_range(1..13),

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The full offline gate: build, test, lint. Run from the repo root.
+# Keep this in sync with README.md "Install & build".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline -- -D warnings
