@@ -21,6 +21,7 @@ pub const USAGE: &str = "usage:
   ruid-xml axes   <file.xml> <xpath>
   ruid-xml parent <file.xml> <global> <local> <true|false>
   ruid-xml serve  [<file.xml>...] [--addr 127.0.0.1:PORT] [--threads N] [--depth D]
+                  [--queue-cap N] [--max-line-bytes N] [--read-timeout-ms MS]
   ruid-xml client <addr> <command...>";
 
 /// Dispatches one invocation; `args` excludes the program name.
@@ -194,6 +195,18 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
     if let Some(depth) = option(args, "--depth") {
         config.depth =
             depth.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+    }
+    if let Some(cap) = option(args, "--queue-cap") {
+        config.queue_cap =
+            cap.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+    }
+    if let Some(bytes) = option(args, "--max-line-bytes") {
+        config.max_line_bytes =
+            bytes.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+    }
+    if let Some(ms) = option(args, "--read-timeout-ms") {
+        config.read_timeout_ms =
+            ms.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
     }
     let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     let depth = config.depth;

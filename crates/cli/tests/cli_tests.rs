@@ -103,7 +103,35 @@ fn serve_preloads_files_and_client_talks_to_it() {
 fn serve_rejects_bad_arguments() {
     assert!(serve_start(&args(&["/nonexistent/never.xml"])).is_err());
     assert!(serve_start(&args(&["--threads", "lots"])).is_err());
+    assert!(serve_start(&args(&["--queue-cap", "many"])).is_err());
+    assert!(serve_start(&args(&["--max-line-bytes", "big"])).is_err());
+    assert!(serve_start(&args(&["--read-timeout-ms", "soon"])).is_err());
     assert!(run(&args(&["client", "127.0.0.1:1", "PING"])).is_err());
+}
+
+#[test]
+fn serve_hardening_flags_reach_the_server() {
+    // A tiny frame limit set on the command line must bounce a long
+    // request line while short ones still work.
+    let handle = serve_start(&args(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "1",
+        "--max-line-bytes",
+        "32",
+        "--read-timeout-ms",
+        "1000",
+        "--queue-cap",
+        "2",
+    ]))
+    .unwrap();
+    let addr = handle.addr().to_string();
+    run(&args(&["client", &addr, "PING"])).unwrap();
+    let long = "X".repeat(100);
+    let err = run(&args(&["client", &addr, "QUERY", "1", &long])).unwrap_err();
+    assert!(err.contains("line too long"), "{err}");
+    handle.stop();
 }
 
 #[test]

@@ -7,7 +7,7 @@ use ruid_core::{PartitionConfig, Ruid2Scheme};
 use schemes::uid::UidScheme;
 use schemes::NumberingScheme;
 use xmldom::{Document, NodeId};
-use xmlgen::{random_tree, TreeGenConfig};
+use xmlgen::{random_tree, xmark, TreeGenConfig};
 
 fn find(doc: &Document, name: &str) -> NodeId {
     doc.descendants(doc.root_element().unwrap())
@@ -220,6 +220,114 @@ fn random_update_storm() {
             }
         }
     }
+}
+
+/// Renders the complete numbering as text: one `index<TAB>label` line per
+/// attached node in document order. Two numberings are interchangeable iff
+/// these renderings are byte-identical.
+fn snapshot(doc: &Document, scheme: &Ruid2Scheme) -> String {
+    let root = doc.root_element().unwrap();
+    let mut out = String::new();
+    for (i, n) in doc.descendants(root).enumerate() {
+        out.push_str(&format!("{i}\t{}\n", scheme.label_of(n)));
+    }
+    out
+}
+
+/// One seeded run of an interleaved insert/delete/relabel sequence on an
+/// XMark-like document. Every operation is followed by a full consistency
+/// check; every relabel (repartition) must land byte-for-byte on the
+/// numbering a from-scratch build would produce. Returns the operation log
+/// and the final snapshot so callers can compare whole runs.
+fn run_update_sequence(seed: u64, steps: usize) -> (String, String) {
+    let config = PartitionConfig::by_depth(3);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut doc = xmark::generate(&xmark::XmarkConfig {
+        items_per_region: 2,
+        people: 5,
+        open_auctions: 3,
+        closed_auctions: 2,
+        categories: 2,
+        seed,
+    });
+    let mut scheme = Ruid2Scheme::build(&doc, &config);
+    let root = doc.root_element().unwrap();
+    let mut log = String::new();
+
+    for step in 0..steps {
+        let attached: Vec<NodeId> = doc.descendants(root).collect();
+        let roll = rng.gen_range(0..10);
+        if roll < 5 {
+            // Insert at a random position relative to a random node.
+            let target = attached[rng.gen_range(0..attached.len())];
+            let new = doc.create_element("ins");
+            match rng.gen_range(0..3) {
+                1 if target != root => doc.insert_before(target, new),
+                2 if target != root => doc.insert_after(target, new),
+                _ => doc.append_child(target, new),
+            }
+            let stats = scheme.on_insert(&doc, new);
+            log.push_str(&format!("{step} insert relabeled={}\n", stats.relabeled));
+        } else if roll < 8 {
+            // Delete a random subtree (never the root).
+            let victims: Vec<NodeId> =
+                attached.iter().copied().filter(|&n| n != root).collect();
+            if victims.is_empty() {
+                log.push_str(&format!("{step} delete skipped\n"));
+                continue;
+            }
+            let victim = victims[rng.gen_range(0..victims.len())];
+            let parent = doc.parent(victim).unwrap();
+            doc.detach(victim);
+            let stats = scheme.on_delete(&doc, parent, victim);
+            log.push_str(&format!("{step} delete dropped={}\n", stats.dropped));
+        } else {
+            // Relabel: repartition the whole document, then re-derive the
+            // numbering from scratch and demand byte equality.
+            let stats = scheme.repartition(&doc).unwrap();
+            let fresh = Ruid2Scheme::build(&doc, &config);
+            assert_eq!(
+                snapshot(&doc, &scheme),
+                snapshot(&doc, &fresh),
+                "seed {seed} step {step}: repartition must equal a from-scratch build"
+            );
+            log.push_str(&format!("{step} relabel relabeled={}\n", stats.relabeled));
+        }
+        scheme
+            .check_consistency(&doc)
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+
+        // Sampled relational spot check against the DOM ground truth.
+        let nodes: Vec<NodeId> = doc.descendants(root).collect();
+        for (i, &x) in nodes.iter().enumerate().step_by(7) {
+            for (j, &y) in nodes.iter().enumerate().step_by(11) {
+                let lx = scheme.label_of(x);
+                let ly = scheme.label_of(y);
+                assert_eq!(scheme.cmp_order(&lx, &ly), i.cmp(&j));
+                assert_eq!(scheme.label_is_ancestor(&lx, &ly), doc.is_ancestor_of(x, y));
+            }
+        }
+    }
+    (log, snapshot(&doc, &scheme))
+}
+
+/// Seeded interleaved insert/delete/relabel storm on XMark-like documents:
+/// invariants hold at every step, repartition always reproduces the
+/// from-scratch numbering, and identically-seeded runs are byte-identical
+/// (no hidden nondeterminism in the update path).
+#[test]
+fn xmark_update_sequence_rebuilds_and_is_deterministic() {
+    for seed in [11u64, 4242, 0xC0FFEE] {
+        let (log_a, snap_a) = run_update_sequence(seed, 60);
+        let (log_b, snap_b) = run_update_sequence(seed, 60);
+        assert_eq!(log_a, log_b, "seed {seed}: op logs must be byte-identical");
+        assert_eq!(snap_a, snap_b, "seed {seed}: final numbering must be byte-identical");
+        assert!(!snap_a.is_empty());
+    }
+    // Different seeds must actually exercise different sequences.
+    let (log_x, _) = run_update_sequence(11, 60);
+    let (log_y, _) = run_update_sequence(4242, 60);
+    assert_ne!(log_x, log_y, "distinct seeds should produce distinct histories");
 }
 
 /// After any single insert, labels outside the touched area are unchanged

@@ -1,14 +1,25 @@
 //! A minimal blocking client for the line protocol, used by the CLI's
 //! `client` subcommand and by the test suite.
+//!
+//! The client can carry a [`FaultPlan`]: faults fire at the request
+//! indices the plan names, simulating a hostile or broken peer — a torn
+//! request (partial line, then the socket severed), a slow-loris pause
+//! mid-line, or an abrupt EOF. That is how the chaos tests drive the
+//! server's deadlines and framing limits from the outside.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::fault::{Fault, FaultPlan};
 
 /// One connection to a running service.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    plan: Option<Arc<FaultPlan>>,
+    sent: u64,
 }
 
 impl Client {
@@ -17,7 +28,18 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        Ok(Client { reader: BufReader::new(stream), writer, plan: None, sent: 0 })
+    }
+
+    /// Connects with a fault plan: each [`Client::request`] consumes one
+    /// request index, and the plan's fault (if any) fires on it.
+    pub fn connect_with_faults<A: ToSocketAddrs>(
+        addr: A,
+        plan: Arc<FaultPlan>,
+    ) -> std::io::Result<Client> {
+        let mut client = Client::connect(addr)?;
+        client.plan = Some(plan);
+        Ok(client)
     }
 
     /// Caps how long [`Client::request`] waits for a response line.
@@ -25,13 +47,60 @@ impl Client {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
+    /// Requests sent (or faulted) so far — the next request's fault index.
+    pub fn requests_sent(&self) -> u64 {
+        self.sent
+    }
+
     /// Sends one request line and reads the one response line.
     ///
-    /// Returns `UnexpectedEof` if the server closed the connection.
+    /// Returns `UnexpectedEof` if the server closed the connection, and
+    /// `ConnectionAborted` when an injected client-side fault severed it.
     pub fn request(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.trim_end().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        let index = self.sent;
+        self.sent += 1;
+        let fault = self.plan.as_ref().and_then(|p| p.fault_at(index)).cloned();
+        let mut message = line.trim_end().to_owned();
+        message.push('\n');
+        match fault {
+            Some(Fault::EarlyEof) => {
+                // Sever without sending anything.
+                let _ = self.writer.shutdown(Shutdown::Both);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected fault: early EOF",
+                ));
+            }
+            Some(Fault::TornWrite { bytes }) => {
+                // Never let the terminator out: the server must see a
+                // partial line followed by EOF.
+                let n = bytes.min(message.len().saturating_sub(1));
+                self.writer.write_all(&message.as_bytes()[..n])?;
+                self.writer.flush()?;
+                let _ = self.writer.shutdown(Shutdown::Both);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected fault: torn write",
+                ));
+            }
+            Some(Fault::DelayMs { ms }) => {
+                // Slow-loris: half the line, a pause, then the rest. With
+                // a pause beyond the server's read deadline the response
+                // is an ERR (or the connection dies) — the caller decides
+                // what to assert.
+                let half = message.len() / 2;
+                self.writer.write_all(&message.as_bytes()[..half])?;
+                self.writer.flush()?;
+                std::thread::sleep(Duration::from_millis(ms));
+                self.writer.write_all(&message.as_bytes()[half..])?;
+                self.writer.flush()?;
+            }
+            // Server-side-only faults are a no-op on the client.
+            Some(Fault::ForceBusy | Fault::StallHandler { .. }) | None => {
+                self.writer.write_all(message.as_bytes())?;
+                self.writer.flush()?;
+            }
+        }
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {

@@ -1,0 +1,149 @@
+//! Deterministic fault injection for the service layer.
+//!
+//! A [`FaultPlan`] maps request indices to faults. The server and the
+//! client each keep a monotone request counter; when the counter hits an
+//! index the plan names, the corresponding fault fires — a torn write, a
+//! delayed read, an early EOF, a forced `BUSY`, or a handler stall. The
+//! plan is data, not randomness: the same plan against the same request
+//! sequence always injects the same faults at the same points, which is
+//! what lets the chaos tests assert exact metrics counters afterwards.
+//! For randomized sweeps, [`FaultPlan::randomized`] scatters faults with
+//! the in-repo SplitMix64, so a seed reproduces the whole storm.
+
+use std::collections::BTreeMap;
+
+use xmlgen::SplitMix64;
+
+/// One injected fault. The side that interprets each variant is noted;
+/// the other side treats it as "no fault".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Write only the first `bytes` bytes of the message, then sever the
+    /// connection. Server: a torn response; client: a torn request (a
+    /// partial line with no terminator, then EOF).
+    TornWrite {
+        /// How many bytes actually reach the wire.
+        bytes: usize,
+    },
+    /// Pause `ms` milliseconds mid-transfer. Client: between the first
+    /// half of the request line and the rest (a slow-loris write, which
+    /// trips the server's read deadline when `ms` exceeds it). Server:
+    /// before writing the response (exercises client read timeouts).
+    DelayMs {
+        /// Pause length in milliseconds.
+        ms: u64,
+    },
+    /// Close the connection without transferring anything. Client: no
+    /// request is sent; server: no response is sent.
+    EarlyEof,
+    /// Server only: answer `BUSY` instead of executing the request, as
+    /// if the job queue had been full.
+    ForceBusy,
+    /// Server only: sleep `ms` milliseconds inside the handler before
+    /// executing — the way to trip the per-request deadline on demand.
+    StallHandler {
+        /// Stall length in milliseconds.
+        ms: u64,
+    },
+}
+
+/// A deterministic schedule of faults keyed by request index (0-based,
+/// counted per server or per client instance).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds `fault` at request index `index` (builder style).
+    #[must_use]
+    pub fn inject(mut self, index: u64, fault: Fault) -> FaultPlan {
+        self.faults.insert(index, fault);
+        self
+    }
+
+    /// A seeded random plan over `requests` request indices: each index
+    /// independently draws a fault with probability `p`, choosing
+    /// uniformly among the variants in `menu`. Equal seeds give equal
+    /// plans on every platform (SplitMix64).
+    pub fn randomized(seed: u64, requests: u64, p: f64, menu: &[Fault]) -> FaultPlan {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        if menu.is_empty() {
+            return plan;
+        }
+        for index in 0..requests {
+            if rng.gen_bool(p) {
+                let fault = menu[rng.gen_range(0..menu.len())].clone();
+                plan.faults.insert(index, fault);
+            }
+        }
+        plan
+    }
+
+    /// The fault scheduled at `index`, if any.
+    pub fn fault_at(&self, index: u64) -> Option<&Fault> {
+        self.faults.get(&index)
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over `(index, fault)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Fault)> {
+        self.faults.iter().map(|(&i, f)| (i, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_plan_fires_at_exact_indices() {
+        let plan = FaultPlan::new()
+            .inject(2, Fault::EarlyEof)
+            .inject(5, Fault::TornWrite { bytes: 3 });
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fault_at(0), None);
+        assert_eq!(plan.fault_at(2), Some(&Fault::EarlyEof));
+        assert_eq!(plan.fault_at(5), Some(&Fault::TornWrite { bytes: 3 }));
+        assert_eq!(plan.fault_at(6), None);
+    }
+
+    #[test]
+    fn randomized_is_deterministic_by_seed() {
+        let menu =
+            [Fault::EarlyEof, Fault::DelayMs { ms: 10 }, Fault::TornWrite { bytes: 1 }];
+        let a = FaultPlan::randomized(7, 200, 0.25, &menu);
+        let b = FaultPlan::randomized(7, 200, 0.25, &menu);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        assert!(!a.is_empty(), "p=0.25 over 200 indices should inject something");
+        let c = FaultPlan::randomized(8, 200, 0.25, &menu);
+        assert_ne!(
+            a.iter().collect::<Vec<_>>(),
+            c.iter().collect::<Vec<_>>(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn randomized_edge_cases() {
+        assert!(FaultPlan::randomized(1, 100, 0.5, &[]).is_empty());
+        assert!(FaultPlan::randomized(1, 0, 1.0, &[Fault::EarlyEof]).is_empty());
+        let all = FaultPlan::randomized(1, 50, 1.0, &[Fault::EarlyEof]);
+        assert_eq!(all.len(), 50);
+    }
+}

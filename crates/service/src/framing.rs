@@ -1,0 +1,229 @@
+//! Bounded, deadline-aware line framing for the wire protocol.
+//!
+//! `BufRead::read_line` is the wrong tool against hostile traffic: a fast
+//! client streaming an endless line makes it buffer without bound, and a
+//! slow-loris client dripping one byte per poll keeps a worker parked
+//! forever. [`read_request_line`] fixes both: it assembles one line through
+//! `fill_buf`/`consume` so at most `max_bytes` (plus the `BufReader`
+//! block) is ever held, and it enforces a completion deadline measured
+//! from the first byte of the line — an idle connection with no partial
+//! line pending is allowed to sit quietly.
+//!
+//! Oversized lines are *drained* to their terminator without buffering,
+//! so the caller can send a protocol error and keep the connection —
+//! the framing layer resynchronizes on the next newline.
+
+use std::io::{BufRead, ErrorKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// What one framed-read attempt produced. `Line` means `buf` holds a
+/// complete, UTF-8-valid request line (terminator and trailing `\r`
+/// stripped).
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ReadOutcome {
+    /// A complete line is in the caller's buffer.
+    Line,
+    /// Clean EOF: the peer closed between requests.
+    Eof,
+    /// EOF mid-line: the peer died after a partial request (a torn write
+    /// from the peer's side).
+    TornEof,
+    /// The line exceeded `max_bytes`. `drained` tells whether the excess
+    /// was consumed up to a terminator (connection is resynchronized) or
+    /// the peer hit EOF first.
+    Oversized {
+        /// True when the connection can keep serving requests.
+        drained: bool,
+    },
+    /// The line contained invalid UTF-8 (connection is resynchronized).
+    BadUtf8,
+    /// The line did not complete within the deadline.
+    DeadlineExpired,
+    /// The server-wide shutdown flag was observed.
+    Shutdown,
+}
+
+/// Reads one `\n`-terminated line into `buf` (cleared first), holding at
+/// most `max_bytes` of it, polling `shutdown`, and bounding the time from
+/// first byte to terminator by `deadline`.
+///
+/// The reader's underlying stream should have a short read timeout set
+/// (the poll interval); `WouldBlock`/`TimedOut` errors are the polling
+/// heartbeat, not failures.
+pub(crate) fn read_request_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max_bytes: usize,
+    deadline: Duration,
+    shutdown: &AtomicBool,
+) -> std::io::Result<ReadOutcome> {
+    buf.clear();
+    let mut started: Option<Instant> = None;
+    let mut discarding = false;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(ReadOutcome::Shutdown);
+        }
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if let Some(t0) = started {
+                    if t0.elapsed() >= deadline {
+                        return Ok(ReadOutcome::DeadlineExpired);
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(match (discarding, buf.is_empty()) {
+                (true, _) => ReadOutcome::Oversized { drained: false },
+                (false, true) => ReadOutcome::Eof,
+                (false, false) => ReadOutcome::TornEof,
+            });
+        }
+        started.get_or_insert_with(Instant::now);
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if discarding {
+            reader.consume(take);
+            if newline.is_some() {
+                return Ok(ReadOutcome::Oversized { drained: true });
+            }
+            continue;
+        }
+        let content = newline.unwrap_or(take); // line bytes, excluding '\n'
+        if buf.len() + content > max_bytes {
+            reader.consume(take);
+            if newline.is_some() {
+                return Ok(ReadOutcome::Oversized { drained: true });
+            }
+            buf.clear();
+            discarding = true;
+            continue;
+        }
+        buf.extend_from_slice(&chunk[..content]);
+        reader.consume(take);
+        if newline.is_some() {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(if std::str::from_utf8(buf).is_ok() {
+                ReadOutcome::Line
+            } else {
+                ReadOutcome::BadUtf8
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const NO_DEADLINE: Duration = Duration::from_secs(3600);
+
+    fn read(
+        input: &[u8],
+        max: usize,
+    ) -> (ReadOutcome, Vec<u8>, BufReader<std::io::Cursor<Vec<u8>>>) {
+        let mut reader = BufReader::with_capacity(4, std::io::Cursor::new(input.to_vec()));
+        let mut buf = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        let out =
+            read_request_line(&mut reader, &mut buf, max, NO_DEADLINE, &shutdown).unwrap();
+        (out, buf, reader)
+    }
+
+    #[test]
+    fn plain_lines_and_crlf() {
+        let (out, buf, _) = read(b"PING\n", 100);
+        assert_eq!(out, ReadOutcome::Line);
+        assert_eq!(buf, b"PING");
+        let (out, buf, _) = read(b"PING\r\nrest", 100);
+        assert_eq!(out, ReadOutcome::Line);
+        assert_eq!(buf, b"PING", "trailing CR stripped");
+        let (out, buf, _) = read(b"\n", 100);
+        assert_eq!(out, ReadOutcome::Line);
+        assert!(buf.is_empty(), "empty line is a (malformed) request, not EOF");
+    }
+
+    #[test]
+    fn consecutive_lines_resume_where_the_last_stopped() {
+        let mut reader =
+            BufReader::with_capacity(4, std::io::Cursor::new(b"LIST\nPING\n".to_vec()));
+        let mut buf = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        let out =
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"LIST".as_slice()));
+        let out =
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"PING".as_slice()));
+        let out =
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!(out, ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn eof_variants() {
+        assert_eq!(read(b"", 100).0, ReadOutcome::Eof);
+        let (out, _, _) = read(b"PARTIAL", 100);
+        assert_eq!(out, ReadOutcome::TornEof, "bytes but no terminator");
+    }
+
+    #[test]
+    fn oversized_line_is_drained_to_the_terminator() {
+        let input = b"AAAAAAAAAAAAAAAAAAAA\nPING\n"; // 20 As > max 8
+        let mut reader = BufReader::with_capacity(4, std::io::Cursor::new(input.to_vec()));
+        let mut buf = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        let out = read_request_line(&mut reader, &mut buf, 8, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!(out, ReadOutcome::Oversized { drained: true });
+        // The next request on the same connection still parses.
+        let out = read_request_line(&mut reader, &mut buf, 8, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"PING".as_slice()));
+    }
+
+    #[test]
+    fn oversized_line_hitting_eof_reports_undrained() {
+        let (out, _, _) = read(b"AAAAAAAAAAAAAAAAAAAA", 8);
+        assert_eq!(out, ReadOutcome::Oversized { drained: false });
+    }
+
+    #[test]
+    fn boundary_is_exact() {
+        let (out, buf, _) = read(b"12345678\n", 8);
+        assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"12345678".as_slice()));
+        let (out, _, _) = read(b"123456789\n", 8);
+        assert_eq!(out, ReadOutcome::Oversized { drained: true });
+    }
+
+    #[test]
+    fn invalid_utf8_is_flagged_but_resynchronized() {
+        let mut reader =
+            BufReader::with_capacity(4, std::io::Cursor::new(b"\xff\xfe\nPING\n".to_vec()));
+        let mut buf = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        let out =
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!(out, ReadOutcome::BadUtf8);
+        let out =
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"PING".as_slice()));
+    }
+
+    #[test]
+    fn shutdown_flag_wins() {
+        let mut reader = BufReader::new(std::io::Cursor::new(b"PING\n".to_vec()));
+        let mut buf = Vec::new();
+        let shutdown = AtomicBool::new(true);
+        let out =
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+        assert_eq!(out, ReadOutcome::Shutdown);
+    }
+}

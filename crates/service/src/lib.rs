@@ -26,6 +26,30 @@
 //! * [`Server`] / [`Client`] — a line-delimited text protocol over
 //!   `std::net::TcpListener` (no external runtime), plus the in-process
 //!   client used by the CLI and the test suite.
+//! * [`FaultPlan`] — deterministic fault injection (torn writes, delayed
+//!   reads, early EOFs, forced `BUSY`, handler stalls) keyed by request
+//!   index, for chaos-testing both sides of the wire.
+//!
+//! ## Robustness
+//!
+//! The serving path is hardened for hostile traffic:
+//!
+//! * **Frame-size limit** (`max_line_bytes`): request lines are framed by
+//!   a bounded reader; an oversized line gets `ERR line too long` and the
+//!   connection resynchronizes at the next newline — no unbounded
+//!   allocation.
+//! * **Read deadline** (`read_timeout_ms`): a request line must complete
+//!   within the deadline of its first byte (slow-loris guard); idle
+//!   connections are unaffected.
+//! * **Write deadline** (`write_timeout_ms`) and an **overall per-request
+//!   deadline** (`request_timeout_ms`): overruns answer
+//!   `ERR request deadline exceeded`.
+//! * **Load shedding**: when the bounded job queue is full, new
+//!   connections get a single `BUSY` line and are closed — the accept
+//!   thread never blocks. `BUSY` is retryable: nothing was executed.
+//! * Every limit trips a dedicated [`Metrics`] counter (`shed`,
+//!   `oversized`, `torn`, `deadline_read`, `deadline_write`,
+//!   `deadline_request`), reported by `METRICS`.
 //!
 //! ## Protocol
 //!
@@ -63,6 +87,8 @@
 
 mod catalog;
 mod client;
+mod fault;
+mod framing;
 mod metrics;
 mod pool;
 pub mod proto;
@@ -70,6 +96,7 @@ mod server;
 
 pub use catalog::{Catalog, DocId, LoadedDoc};
 pub use client::Client;
-pub use metrics::{Histogram, Metrics};
-pub use pool::ThreadPool;
+pub use fault::{Fault, FaultPlan};
+pub use metrics::{Command, Histogram, Metrics};
+pub use pool::{SubmitError, ThreadPool};
 pub use server::{Server, ServerConfig, ServerHandle};

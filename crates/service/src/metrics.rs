@@ -150,6 +150,18 @@ struct CommandMetrics {
 pub struct Metrics {
     per_command: [CommandMetrics; COMMANDS.len()],
     connections: AtomicU64,
+    /// Connections/requests answered `BUSY` (queue full or injected).
+    shed: AtomicU64,
+    /// Request lines rejected for exceeding the frame-size limit.
+    oversized: AtomicU64,
+    /// Connections killed because a request line missed the read deadline.
+    deadline_read: AtomicU64,
+    /// Connections killed because a response write missed its deadline.
+    deadline_write: AtomicU64,
+    /// Requests whose handling overran the per-request deadline.
+    deadline_request: AtomicU64,
+    /// Connections that hit EOF mid-line (a torn request from the peer).
+    torn: AtomicU64,
 }
 
 impl Metrics {
@@ -172,6 +184,66 @@ impl Metrics {
     /// Counts one accepted connection.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `BUSY` answer (load shedding or an injected fault).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one oversized request line.
+    pub fn record_oversized(&self) {
+        self.oversized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one read-deadline expiry.
+    pub fn record_deadline_read(&self) {
+        self.deadline_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one write-deadline expiry.
+    pub fn record_deadline_write(&self) {
+        self.deadline_write.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one per-request deadline overrun.
+    pub fn record_deadline_request(&self) {
+        self.deadline_request.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one torn request (EOF mid-line).
+    pub fn record_torn(&self) {
+        self.torn.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `BUSY` answers so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Oversized request lines so far.
+    pub fn oversized(&self) -> u64 {
+        self.oversized.load(Ordering::Relaxed)
+    }
+
+    /// Read-deadline expiries so far.
+    pub fn deadline_read(&self) -> u64 {
+        self.deadline_read.load(Ordering::Relaxed)
+    }
+
+    /// Write-deadline expiries so far.
+    pub fn deadline_write(&self) -> u64 {
+        self.deadline_write.load(Ordering::Relaxed)
+    }
+
+    /// Per-request deadline overruns so far.
+    pub fn deadline_request(&self) -> u64 {
+        self.deadline_request.load(Ordering::Relaxed)
+    }
+
+    /// Torn requests so far.
+    pub fn torn(&self) -> u64 {
+        self.torn.load(Ordering::Relaxed)
     }
 
     /// Total requests across all commands.
@@ -204,10 +276,17 @@ impl Metrics {
     /// commands with no traffic are omitted.
     pub fn render_line(&self) -> String {
         let mut out = format!(
-            "connections={} total={} errors={}",
+            "connections={} total={} errors={} shed={} oversized={} torn={} \
+             deadline_read={} deadline_write={} deadline_request={}",
             self.connections.load(Ordering::Relaxed),
             self.total_requests(),
             self.total_errors(),
+            self.shed(),
+            self.oversized(),
+            self.torn(),
+            self.deadline_read(),
+            self.deadline_write(),
+            self.deadline_request(),
         );
         for &command in &COMMANDS {
             let m = &self.per_command[command as usize];
@@ -256,6 +335,16 @@ impl Metrics {
             self.total_requests(),
             self.total_errors(),
             self.connections.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "robustness shed={} oversized={} torn={} deadline_read={} \
+             deadline_write={} deadline_request={}\n",
+            self.shed(),
+            self.oversized(),
+            self.torn(),
+            self.deadline_read(),
+            self.deadline_write(),
+            self.deadline_request(),
         ));
         out
     }
@@ -322,6 +411,36 @@ mod tests {
         assert!(!line.contains("SCAN="), "{line}");
         let table = m.render_table();
         assert!(table.contains("QUERY") && table.contains("p99"), "{table}");
+    }
+
+    #[test]
+    fn robustness_counters_render() {
+        let m = Metrics::new();
+        m.record_shed();
+        m.record_shed();
+        m.record_oversized();
+        m.record_deadline_read();
+        m.record_deadline_write();
+        m.record_deadline_request();
+        m.record_torn();
+        assert_eq!(m.shed(), 2);
+        assert_eq!(m.oversized(), 1);
+        assert_eq!(m.deadline_read(), 1);
+        assert_eq!(m.deadline_write(), 1);
+        assert_eq!(m.deadline_request(), 1);
+        assert_eq!(m.torn(), 1);
+        let line = m.render_line();
+        for token in [
+            "shed=2",
+            "oversized=1",
+            "torn=1",
+            "deadline_read=1",
+            "deadline_write=1",
+            "deadline_request=1",
+        ] {
+            assert!(line.contains(token), "{token} missing in {line}");
+        }
+        assert!(m.render_table().contains("shed=2"), "{}", m.render_table());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! graceful: one poison pill per worker, then `join` on every thread (a
 //! worker drains its current job before it swallows a pill).
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -30,6 +30,26 @@ impl std::fmt::Display for PoolClosed {
 }
 
 impl std::error::Error for PoolClosed {}
+
+/// Error returned by [`ThreadPool::try_execute`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job queue is at capacity — shed load instead of blocking.
+    Full,
+    /// The pool has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "job queue is full"),
+            SubmitError::Closed => write!(f, "thread pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// A fixed-size worker pool with a bounded job queue.
 pub struct ThreadPool {
@@ -65,6 +85,19 @@ impl ThreadPool {
     /// shutdown.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
         self.sender.send(Job::Run(Box::new(job))).map_err(|_| PoolClosed)
+    }
+
+    /// Queues `job` without blocking: [`SubmitError::Full`] when the
+    /// queue is at capacity, so the caller can shed load explicitly
+    /// (reply `BUSY`) instead of parking the accept thread.
+    pub fn try_execute<F: FnOnce() + Send + 'static>(
+        &self,
+        job: F,
+    ) -> Result<(), SubmitError> {
+        self.sender.try_send(Job::Run(Box::new(job))).map_err(|e| match e {
+            TrySendError::Full(_) => SubmitError::Full,
+            TrySendError::Disconnected(_) => SubmitError::Closed,
+        })
     }
 
     /// Graceful shutdown: sends one poison pill per worker, then joins
@@ -139,6 +172,36 @@ mod tests {
             "submit returned before the queue had room"
         );
         release.join().unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn try_execute_sheds_instead_of_blocking() {
+        // One worker stuck on a gated job, capacity-1 queue: the first
+        // try_execute fills the queue, the second must report Full
+        // immediately rather than block.
+        let pool = ThreadPool::new(1, 1);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        pool.execute(move || {
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        // The worker may not have dequeued the gated job yet; fill until Full.
+        let mut fills = 0;
+        let started = std::time::Instant::now();
+        loop {
+            match pool.try_execute(|| {}) {
+                Ok(()) => fills += 1,
+                Err(SubmitError::Full) => break,
+                Err(SubmitError::Closed) => panic!("pool closed unexpectedly"),
+            }
+            assert!(fills <= 2, "capacity-1 queue accepted {fills} pending jobs");
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "try_execute must not block on a full queue"
+        );
+        release_tx.send(()).unwrap();
         pool.shutdown();
     }
 

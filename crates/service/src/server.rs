@@ -3,14 +3,23 @@
 //!
 //! Concurrency model: a dedicated acceptor thread hands each accepted
 //! connection to the fixed [`ThreadPool`] as one job (so `threads` bounds
-//! the number of concurrently served connections, and the bounded job
-//! queue applies backpressure to accepts beyond that). Inside a
-//! connection, requests are processed strictly in order — one response
-//! line per request line, which is what lets clients pipeline naively.
+//! the number of concurrently served connections). The job queue is
+//! bounded; when it is full the acceptor *sheds* the connection with a
+//! single `BUSY` line instead of blocking, so hostile connection floods
+//! cannot park the accept thread. Inside a connection, requests are
+//! processed strictly in order — one response line per request line,
+//! which is what lets clients pipeline naively.
+//!
+//! Robustness: request lines are framed by the bounded reader in
+//! [`crate::framing`] (frame-size limit + read deadline), response writes
+//! carry a write deadline, and request handling is held to an overall
+//! per-request deadline. Every limit trips a dedicated metrics counter.
+//! A [`FaultPlan`] wired into the config injects deterministic faults for
+//! the chaos tests.
 
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -21,9 +30,14 @@ use xmlstore::record::StoredKind;
 use xpath::{Evaluator, NameIndexed, RuidAxes, TreeAxes};
 
 use crate::catalog::{Catalog, LoadedDoc};
+use crate::fault::{Fault, FaultPlan};
+use crate::framing::{read_request_line, ReadOutcome};
 use crate::metrics::{Command, Metrics};
-use crate::pool::ThreadPool;
+use crate::pool::{SubmitError, ThreadPool};
 use crate::proto::{self, Engine, Request};
+
+/// How often a parked read wakes up to check deadlines and shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -34,13 +48,29 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Catalog shard count.
     pub shards: usize,
-    /// Bounded job-queue capacity (pending connections beyond the workers).
+    /// Bounded job-queue capacity (pending connections beyond the
+    /// workers); connections beyond that are answered `BUSY` and closed.
     pub queue_cap: usize,
     /// `LOAD` partition depth default (`PartitionConfig::by_depth`).
     pub depth: usize,
     /// Whether `LOAD` also populates the identifier-sorted [`XmlStore`]
     /// (`SCAN` needs it).
     pub with_store: bool,
+    /// Frame-size limit: longest accepted request line, in bytes
+    /// (excluding the terminator). Longer lines get `ERR line too long`.
+    pub max_line_bytes: usize,
+    /// Read deadline: a request line must complete within this many
+    /// milliseconds of its first byte (slow-loris guard). Idle
+    /// connections with no partial line pending are not affected.
+    pub read_timeout_ms: u64,
+    /// Write deadline for one response write, in milliseconds.
+    pub write_timeout_ms: u64,
+    /// Overall per-request deadline: handling that overruns it answers
+    /// `ERR request deadline exceeded` instead of the result.
+    pub request_timeout_ms: u64,
+    /// Deterministic fault injection for chaos tests; `None` in
+    /// production.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -52,7 +82,26 @@ impl Default for ServerConfig {
             queue_cap: 64,
             depth: 3,
             with_store: true,
+            max_line_bytes: 64 * 1024,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            request_timeout_ms: 30_000,
+            fault_plan: None,
         }
+    }
+}
+
+impl ServerConfig {
+    fn read_deadline(&self) -> Duration {
+        Duration::from_millis(self.read_timeout_ms.max(1))
+    }
+
+    fn write_deadline(&self) -> Duration {
+        Duration::from_millis(self.write_timeout_ms.max(1))
+    }
+
+    fn request_deadline(&self) -> Duration {
+        Duration::from_millis(self.request_timeout_ms.max(1))
     }
 }
 
@@ -83,10 +132,21 @@ impl Server {
             let catalog = Arc::clone(&catalog);
             let metrics = Arc::clone(&metrics);
             let shutdown = Arc::clone(&shutdown);
+            // Monotone request index driving the fault plan, shared by
+            // every connection of this server instance.
+            let request_counter = Arc::new(AtomicU64::new(0));
             std::thread::Builder::new()
                 .name("ruid-acceptor".into())
                 .spawn(move || {
-                    accept_loop(&listener, &pool, &config, &catalog, &metrics, &shutdown);
+                    accept_loop(
+                        &listener,
+                        &pool,
+                        &config,
+                        &catalog,
+                        &metrics,
+                        &shutdown,
+                        &request_counter,
+                    );
                     pool.shutdown();
                     eprint!("[ruid-service] final metrics\n{}", metrics.render_table());
                 })
@@ -159,6 +219,7 @@ fn accept_loop(
     catalog: &Arc<Catalog>,
     metrics: &Arc<Metrics>,
     shutdown: &Arc<AtomicBool>,
+    request_counter: &Arc<AtomicU64>,
 ) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
@@ -166,57 +227,190 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         metrics.record_connection();
+        // A second handle to the socket, kept out of the job closure so
+        // the acceptor can still answer BUSY if the queue rejects it.
+        let shed_handle = stream.try_clone();
         let catalog = Arc::clone(catalog);
-        let metrics = Arc::clone(metrics);
+        let metrics_job = Arc::clone(metrics);
         let shutdown = Arc::clone(shutdown);
         let config = config.clone();
-        let submitted = pool.execute(move || {
-            let _ = serve_connection(stream, &config, &catalog, &metrics, &shutdown);
+        let request_counter = Arc::clone(request_counter);
+        let submitted = pool.try_execute(move || {
+            let _ = serve_connection(
+                stream,
+                &config,
+                &catalog,
+                &metrics_job,
+                &shutdown,
+                &request_counter,
+            );
         });
-        if submitted.is_err() {
-            break;
+        match submitted {
+            Ok(()) => {}
+            Err(SubmitError::Full) => {
+                // Load shedding: one BUSY line, then close — never park
+                // the accept thread on a full queue. (The job closure
+                // holding the primary stream handle was dropped by the
+                // rejected submit.)
+                metrics.record_shed();
+                if let Ok(mut stream) = shed_handle {
+                    let _ = stream
+                        .set_write_timeout(Some(Duration::from_millis(500)));
+                    let _ = stream.write_all(b"BUSY\n");
+                    let _ = stream.flush();
+                }
+            }
+            Err(SubmitError::Closed) => break,
         }
     }
 }
 
-/// Drives one connection: read a line, dispatch, write one line back.
+/// Outcome of one deadline-guarded response write.
+enum WriteOutcome {
+    /// The line went out in full.
+    Written,
+    /// The write deadline expired or the peer vanished — close.
+    Lost,
+}
+
+/// Writes `response` + `\n`, translating write timeouts and broken pipes
+/// into [`WriteOutcome::Lost`] (with the deadline metric bumped).
+fn write_response(
+    writer: &mut TcpStream,
+    response: &str,
+    metrics: &Metrics,
+) -> WriteOutcome {
+    let write = writer
+        .write_all(response.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush());
+    match write {
+        Ok(()) => WriteOutcome::Written,
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            metrics.record_deadline_write();
+            WriteOutcome::Lost
+        }
+        Err(_) => WriteOutcome::Lost,
+    }
+}
+
+/// Drives one connection: read a framed line, dispatch under the request
+/// deadline, write one response line back.
 fn serve_connection(
     stream: TcpStream,
     config: &ServerConfig,
     catalog: &Catalog,
     metrics: &Metrics,
     shutdown: &AtomicBool,
+    request_counter: &AtomicU64,
 ) -> std::io::Result<()> {
-    // A finite read timeout lets the worker notice server shutdown even
-    // while a client holds its connection open silently.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    // The short poll timeout lets the worker notice server shutdown and
+    // expired deadlines even while a client holds its connection open
+    // silently; the real deadlines are enforced above it.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(config.write_deadline()))?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf = Vec::new();
     loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(_) => {}
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                continue
+        let outcome = read_request_line(
+            &mut reader,
+            &mut buf,
+            config.max_line_bytes,
+            config.read_deadline(),
+            shutdown,
+        )?;
+        match outcome {
+            ReadOutcome::Line => {}
+            ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
+            ReadOutcome::TornEof => {
+                metrics.record_torn();
+                return Ok(());
             }
-            Err(e) => return Err(e),
+            ReadOutcome::DeadlineExpired => {
+                metrics.record_deadline_read();
+                metrics.record(Command::Invalid, true, config.read_deadline());
+                let _ = write_response(
+                    &mut writer,
+                    &format!(
+                        "ERR read deadline exceeded ({} ms to complete a request line)",
+                        config.read_timeout_ms
+                    ),
+                    metrics,
+                );
+                return Ok(());
+            }
+            ReadOutcome::Oversized { drained } => {
+                metrics.record_oversized();
+                metrics.record(Command::Invalid, true, Duration::ZERO);
+                let reply = format!(
+                    "ERR line too long (limit {} bytes)",
+                    config.max_line_bytes
+                );
+                match write_response(&mut writer, &reply, metrics) {
+                    WriteOutcome::Written if drained => continue,
+                    _ => return Ok(()),
+                }
+            }
+            ReadOutcome::BadUtf8 => {
+                metrics.record(Command::Invalid, true, Duration::ZERO);
+                match write_response(&mut writer, "ERR invalid utf-8", metrics) {
+                    WriteOutcome::Written => continue,
+                    WriteOutcome::Lost => return Ok(()),
+                }
+            }
         }
-        if line.trim().is_empty() {
-            continue;
+        let line = std::str::from_utf8(&buf).expect("framing validated utf-8");
+        let fault = config
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| {
+                plan.fault_at(request_counter.fetch_add(1, Ordering::Relaxed))
+            })
+            .cloned();
+        match fault {
+            Some(Fault::ForceBusy) => {
+                metrics.record_shed();
+                match write_response(&mut writer, "BUSY", metrics) {
+                    WriteOutcome::Written => continue,
+                    WriteOutcome::Lost => return Ok(()),
+                }
+            }
+            Some(Fault::EarlyEof) => return Ok(()),
+            _ => {}
         }
         let started = Instant::now();
-        let (command, response) = handle_line(&line, config, catalog, metrics);
-        let is_error = response.starts_with("ERR");
-        metrics.record(command, is_error, started.elapsed());
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        if let Some(Fault::StallHandler { ms }) = fault {
+            // The stall happens "inside" handling, so it counts against
+            // the per-request deadline.
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let (command, mut response) = handle_line(line, config, catalog, metrics);
+        let elapsed = started.elapsed();
+        let mut is_error = response.starts_with("ERR");
+        if elapsed > config.request_deadline() {
+            metrics.record_deadline_request();
+            response = format!(
+                "ERR request deadline exceeded ({} ms limit)",
+                config.request_timeout_ms
+            );
+            is_error = true;
+        }
+        metrics.record(command, is_error, elapsed);
+        if let Some(Fault::DelayMs { ms }) = fault {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if let Some(Fault::TornWrite { bytes }) = fault {
+            let mut full = response;
+            full.push('\n');
+            let n = bytes.min(full.len());
+            let _ = writer.write_all(&full.as_bytes()[..n]).and_then(|()| writer.flush());
+            return Ok(());
+        }
+        if let WriteOutcome::Lost = write_response(&mut writer, &response, metrics) {
+            return Ok(());
+        }
         if command == Command::Shutdown && !is_error {
             shutdown.store(true, Ordering::SeqCst);
             // Wake the acceptor so it observes the flag.

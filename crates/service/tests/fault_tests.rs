@@ -1,0 +1,366 @@
+//! Chaos suite: every injected fault against a live server, asserting a
+//! well-formed protocol error (or `BUSY`), unchanged catalog state, and
+//! matching metrics counters.
+//!
+//! Faults come from [`FaultPlan`] — a deterministic request-index → fault
+//! schedule that either side of the wire can carry — plus raw-socket
+//! abuse for the cases a well-behaved client type cannot produce.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ruid_service::{Client, Fault, FaultPlan, Metrics, Server, ServerConfig, ServerHandle};
+
+fn write_sample() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruid-fault-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sample.xml");
+    std::fs::write(
+        &path,
+        "<catalog><book id=\"b1\"><title>A</title><price>35</price></book>\
+         <book id=\"b2\"><title>B</title><price>20</price></book></catalog>",
+    )
+    .unwrap();
+    path
+}
+
+fn start_with(config: ServerConfig) -> ServerHandle {
+    Server::start(config).unwrap()
+}
+
+/// Loads the sample through the wire; returns the document id.
+fn load_sample(handle: &ServerHandle) -> u64 {
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.request(&format!("LOAD {}", write_sample().display())).unwrap();
+    assert!(resp.starts_with("OK id="), "{resp}");
+    resp.split_whitespace().find_map(|t| t.strip_prefix("id=")).unwrap().parse().unwrap()
+}
+
+/// Polls `probe` until it returns true or ~5 s elapse (worker threads
+/// process disconnects asynchronously, so counters lag a moment).
+fn wait_for(mut probe: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+fn metrics_of(handle: &ServerHandle) -> Arc<Metrics> {
+    Arc::clone(handle.metrics())
+}
+
+#[test]
+fn oversized_frame_is_rejected_and_connection_survives() {
+    let config = ServerConfig { max_line_bytes: 256, ..ServerConfig::default() };
+    let handle = start_with(config);
+    let id = load_sample(&handle);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let giant = format!("LOAD {}", "A".repeat(10_000));
+    let resp = client.request(&giant).unwrap();
+    assert_eq!(resp, "ERR line too long (limit 256 bytes)");
+
+    // Same connection keeps serving: the framing layer resynchronized.
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    let resp = client.request(&format!("STATS {id}")).unwrap();
+    assert!(resp.contains("nodes=11"), "catalog state disturbed: {resp}");
+
+    let metrics = metrics_of(&handle);
+    assert_eq!(metrics.oversized(), 1);
+    assert_eq!(handle.catalog().len(), 1, "no phantom documents");
+    handle.stop();
+}
+
+#[test]
+fn empty_and_whitespace_lines_get_err_replies() {
+    // Regression: empty/whitespace-only lines used to be silently
+    // swallowed, desynchronizing pipelined clients. They must answer
+    // `ERR` without closing the connection.
+    let handle = start_with(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"\n   \nPING\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        lines.push(line.trim_end().to_owned());
+    }
+    assert_eq!(lines[0], "ERR empty request");
+    assert_eq!(lines[1], "ERR empty request");
+    assert_eq!(lines[2], "OK pong");
+    handle.stop();
+}
+
+#[test]
+fn torn_client_write_leaves_state_consistent() {
+    let handle = start_with(ServerConfig::default());
+    let id = load_sample(&handle);
+    assert_eq!(handle.catalog().len(), 1);
+
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::TornWrite { bytes: 5 }));
+    let mut faulty = Client::connect_with_faults(handle.addr(), plan).unwrap();
+    let err = faulty.request(&format!("UNLOAD {id}")).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
+
+    let metrics = metrics_of(&handle);
+    assert!(wait_for(|| metrics.torn() == 1), "torn counter never ticked");
+    // The half-written UNLOAD must not have executed.
+    assert_eq!(handle.catalog().len(), 1, "torn request mutated the catalog");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.request("LIST").unwrap();
+    assert!(resp.starts_with("OK 1 "), "{resp}");
+    handle.stop();
+}
+
+#[test]
+fn slow_loris_write_trips_read_deadline() {
+    let config = ServerConfig { read_timeout_ms: 200, ..ServerConfig::default() };
+    let handle = start_with(config);
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::DelayMs { ms: 1_200 }));
+    let mut faulty = Client::connect_with_faults(handle.addr(), plan).unwrap();
+    faulty.set_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // The server gives up mid-line; depending on timing the client either
+    // reads the deadline error or finds the connection already severed.
+    match faulty.request("PING") {
+        Ok(resp) => assert!(
+            resp.starts_with("ERR read deadline exceeded"),
+            "unexpected response: {resp}"
+        ),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+            ),
+            "unexpected error: {e}"
+        ),
+    }
+    let metrics = metrics_of(&handle);
+    assert!(wait_for(|| metrics.deadline_read() == 1), "deadline_read never ticked");
+    // Fresh connections are unaffected.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    handle.stop();
+}
+
+#[test]
+fn early_eof_mid_session_is_harmless() {
+    let handle = start_with(ServerConfig::default());
+    let id = load_sample(&handle);
+    let plan = Arc::new(FaultPlan::new().inject(1, Fault::EarlyEof));
+    let mut faulty = Client::connect_with_faults(handle.addr(), plan).unwrap();
+    assert_eq!(faulty.request("PING").unwrap(), "OK pong");
+    let err = faulty.request(&format!("UNLOAD {id}")).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
+
+    // A clean EOF between requests is not a torn request.
+    let metrics = metrics_of(&handle);
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(metrics.torn(), 0);
+    assert_eq!(handle.catalog().len(), 1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(client.request("LIST").unwrap().starts_with("OK 1 "));
+    handle.stop();
+}
+
+#[test]
+fn queue_full_sheds_with_busy() {
+    // One worker, one queue slot: the third simultaneous connection must
+    // be answered BUSY by the acceptor, not parked.
+    let config = ServerConfig { threads: 1, queue_cap: 1, ..ServerConfig::default() };
+    let handle = start_with(config);
+
+    // Connection A occupies the single worker (round-trip proves it).
+    let mut a = Client::connect(handle.addr()).unwrap();
+    assert_eq!(a.request("PING").unwrap(), "OK pong");
+    // Connection B fills the one queue slot.
+    let b = TcpStream::connect(handle.addr()).unwrap();
+    let metrics = metrics_of(&handle);
+    // Wait until the acceptor actually queued B (connections counter).
+    assert!(wait_for(|| metrics.shed() > 0 || {
+        // Probe with one more connection; it is shed once B is queued.
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut response = String::new();
+        matches!(c.read_to_string(&mut response), Ok(_) if response.starts_with("BUSY"))
+    }));
+    assert!(metrics.shed() >= 1, "shed counter must account the refusal");
+
+    // A still works; B gets served once A's connection closes.
+    assert_eq!(a.request("PING").unwrap(), "OK pong");
+    drop(a);
+    let mut b_reader = std::io::BufReader::new(b.try_clone().unwrap());
+    let mut bw = b;
+    bw.write_all(b"PING\n").unwrap();
+    bw.flush().unwrap();
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut b_reader, &mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK pong", "queued connection must be served");
+    handle.stop();
+}
+
+#[test]
+fn forced_busy_at_chosen_request_index() {
+    let plan = Arc::new(FaultPlan::new().inject(2, Fault::ForceBusy));
+    let config = ServerConfig { fault_plan: Some(plan), ..ServerConfig::default() };
+    let handle = start_with(config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    assert_eq!(client.request("PING").unwrap(), "BUSY", "request index 2 is shed");
+    assert_eq!(client.request("PING").unwrap(), "OK pong", "BUSY is not sticky");
+
+    let metrics = metrics_of(&handle);
+    assert_eq!(metrics.shed(), 1);
+    // The shed request was never executed, so only 3 PINGs are metered.
+    assert_eq!(metrics.count_of(ruid_service::Command::Ping), 3);
+    handle.stop();
+}
+
+#[test]
+fn server_torn_write_truncates_response() {
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::TornWrite { bytes: 3 }));
+    let config = ServerConfig { fault_plan: Some(plan), ..ServerConfig::default() };
+    let handle = start_with(config);
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"PING\n").unwrap();
+    stream.flush().unwrap();
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).unwrap();
+    assert_eq!(bytes, b"OK ", "exactly 3 bytes, then EOF");
+
+    // The server itself is healthy; only that one response was torn.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    handle.stop();
+}
+
+#[test]
+fn stall_trips_request_deadline() {
+    let plan = Arc::new(FaultPlan::new().inject(1, Fault::StallHandler { ms: 400 }));
+    let config = ServerConfig {
+        request_timeout_ms: 50,
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    };
+    let handle = start_with(config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    assert_eq!(
+        client.request("PING").unwrap(),
+        "ERR request deadline exceeded (50 ms limit)"
+    );
+    assert_eq!(client.request("PING").unwrap(), "OK pong", "connection survives");
+
+    let metrics = metrics_of(&handle);
+    assert_eq!(metrics.deadline_request(), 1);
+    handle.stop();
+}
+
+#[test]
+fn delayed_server_response_hits_client_timeout() {
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::DelayMs { ms: 600 }));
+    let config = ServerConfig { fault_plan: Some(plan), ..ServerConfig::default() };
+    let handle = start_with(config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_millis(100))).unwrap();
+    let err = client.request("PING").unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "expected a read timeout, got {err}"
+    );
+    // The fault index was consumed; the next request is served normally.
+    let mut fresh = Client::connect(handle.addr()).unwrap();
+    assert_eq!(fresh.request("PING").unwrap(), "OK pong");
+    handle.stop();
+}
+
+/// A seeded storm of client-side faults: whatever the plan throws at the
+/// server, the catalog must end exactly where it started and the torn
+/// counter must equal the number of torn writes injected.
+#[test]
+fn randomized_fault_storm_keeps_catalog_consistent() {
+    let handle = start_with(ServerConfig::default());
+    let id = load_sample(&handle);
+    let baseline = {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        (client.request("LIST").unwrap(), client.request(&format!("STATS {id}")).unwrap())
+    };
+
+    const REQUESTS: u64 = 120;
+    let menu = [
+        Fault::TornWrite { bytes: 4 },
+        Fault::EarlyEof,
+        Fault::DelayMs { ms: 5 }, // well under the read deadline: must succeed
+    ];
+    let plan = FaultPlan::randomized(0xFA_17, REQUESTS, 0.35, &menu);
+    assert!(!plan.is_empty());
+    let torn_injected =
+        plan.iter().filter(|(_, f)| matches!(f, Fault::TornWrite { .. })).count() as u64;
+
+    let mut healthy = Client::connect(handle.addr()).unwrap();
+    for index in 0..REQUESTS {
+        // Read-only traffic: every request either succeeds or is killed
+        // by its fault; none may mutate the catalog. (The STATS/LIST mix
+        // keeps several command paths hot.)
+        let request = match index % 3 {
+            0 => "PING".to_owned(),
+            1 => "LIST".to_owned(),
+            _ => format!("STATS {id}"),
+        };
+        match plan.fault_at(index).cloned() {
+            None => {
+                let resp = healthy.request(&request).unwrap();
+                assert!(resp.starts_with("OK"), "{request}: {resp}");
+            }
+            Some(fault) => {
+                let one_shot = Arc::new(FaultPlan::new().inject(0, fault.clone()));
+                let mut faulty =
+                    Client::connect_with_faults(handle.addr(), one_shot).unwrap();
+                match (fault, faulty.request(&request)) {
+                    (Fault::DelayMs { .. }, outcome) => {
+                        let resp = outcome.unwrap();
+                        assert!(resp.starts_with("OK"), "{request}: {resp}");
+                    }
+                    (Fault::TornWrite { .. } | Fault::EarlyEof, outcome) => {
+                        assert!(outcome.is_err(), "{request} should have been severed");
+                    }
+                    (fault, _) => panic!("unexpected fault in menu: {fault:?}"),
+                }
+            }
+        }
+    }
+
+    let metrics = metrics_of(&handle);
+    assert!(
+        wait_for(|| metrics.torn() == torn_injected),
+        "torn counter {} != injected torn writes {}",
+        metrics.torn(),
+        torn_injected
+    );
+    assert_eq!(metrics.shed(), 0);
+    assert_eq!(metrics.deadline_read(), 0);
+    assert_eq!(metrics.deadline_request(), 0);
+    assert_eq!(metrics.oversized(), 0);
+
+    // The catalog is byte-for-byte where it started.
+    assert_eq!(handle.catalog().len(), 1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.request("LIST").unwrap(), baseline.0);
+    assert_eq!(client.request(&format!("STATS {id}")).unwrap(), baseline.1);
+    handle.stop();
+}

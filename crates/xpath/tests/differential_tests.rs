@@ -1,0 +1,301 @@
+//! Differential testing of the XPath engines against a naive DOM walk.
+//!
+//! Each corpus entry pairs an XPath string with an *independently written*
+//! oracle: a hand-rolled walk over the `xmldom` tree using only primitive
+//! navigation (children / descendants / ancestors / siblings / attributes).
+//! The oracle shares no code with the parser or the evaluator, so a bug in
+//! either shows up as a disagreement. Every query is then evaluated by all
+//! four engines — tree-walking, UID arithmetic, rUID arithmetic, and the
+//! name-indexed rUID — and all must equal the oracle's node-set exactly
+//! (same nodes, document order, no duplicates).
+
+use std::collections::HashMap;
+
+use ruid_core::{PartitionConfig, Ruid2Scheme};
+use schemes::uid::UidScheme;
+use xmldom::{Document, NodeId};
+use xpath::{Evaluator, NameIndex, NameIndexed, RuidAxes, TreeAxes, UidAxes};
+
+const CATALOG: &str = r#"<catalog>
+  <book id="b1" lang="en">
+    <title>Numbering Schemes</title>
+    <author>Kha</author>
+    <author>Yoshikawa</author>
+    <price>35</price>
+  </book>
+  <book id="b2">
+    <title>Path Indexing</title>
+    <author>Lee</author>
+    <price>20</price>
+    <note>out of <em>print</em></note>
+  </book>
+  <magazine id="m1">
+    <title>XML Weekly</title>
+    <price>5</price>
+  </magazine>
+</catalog>"#;
+
+/// Document-order positions of every node; the oracle uses this to sort
+/// and deduplicate its result sets the way a node-set must be returned.
+fn positions(doc: &Document) -> HashMap<NodeId, usize> {
+    let root = doc.root_element().unwrap();
+    doc.descendants(root).enumerate().map(|(i, n)| (n, i)).collect()
+}
+
+fn ordered(doc: &Document, mut nodes: Vec<NodeId>) -> Vec<NodeId> {
+    let pos = positions(doc);
+    nodes.sort_by_key(|n| pos[n]);
+    nodes.dedup();
+    nodes
+}
+
+/// All elements named `name` in the document, in document order.
+fn all_named(doc: &Document, name: &str) -> Vec<NodeId> {
+    let root = doc.root_element().unwrap();
+    doc.descendants(root).filter(|&n| doc.tag_name(n) == Some(name)).collect()
+}
+
+/// Element children of `n` named `name`.
+fn kids(doc: &Document, n: NodeId, name: &str) -> Vec<NodeId> {
+    doc.children(n).filter(|&c| doc.tag_name(c) == Some(name)).collect()
+}
+
+type Oracle = fn(&Document) -> Vec<NodeId>;
+
+/// The fixed corpus: (query, naive oracle). Oracles use only primitive
+/// DOM navigation — never the xpath crate.
+fn corpus() -> Vec<(&'static str, Oracle)> {
+    vec![
+        ("//title", |d| all_named(d, "title")),
+        ("//em", |d| all_named(d, "em")),
+        ("/*", |d| {
+            let root = d.root_element().unwrap();
+            d.children(root).filter(|&c| d.tag_name(c).is_some()).collect()
+        }),
+        ("/book/title", |d| {
+            let root = d.root_element().unwrap();
+            kids(d, root, "book").into_iter().flat_map(|b| kids(d, b, "title")).collect()
+        }),
+        ("/book[1]/author", |d| {
+            let root = d.root_element().unwrap();
+            kids(d, root, "book")
+                .first()
+                .map(|&b| kids(d, b, "author"))
+                .unwrap_or_default()
+        }),
+        ("//book/author[1]", |d| {
+            all_named(d, "book")
+                .into_iter()
+                .filter_map(|b| kids(d, b, "author").first().copied())
+                .collect()
+        }),
+        ("//book[@id='b2']/title", |d| {
+            all_named(d, "book")
+                .into_iter()
+                .filter(|&b| d.attribute(b, "id") == Some("b2"))
+                .flat_map(|b| kids(d, b, "title"))
+                .collect()
+        }),
+        ("//*[@id]", |d| {
+            let root = d.root_element().unwrap();
+            d.descendants(root)
+                .filter(|&n| d.tag_name(n).is_some() && d.attribute(n, "id").is_some())
+                .collect()
+        }),
+        ("//book[price > 25]/title", |d| {
+            all_named(d, "book")
+                .into_iter()
+                .filter(|&b| {
+                    kids(d, b, "price")
+                        .iter()
+                        .any(|&p| d.string_value(p).trim().parse::<f64>().is_ok_and(|v| v > 25.0))
+                })
+                .flat_map(|b| kids(d, b, "title"))
+                .collect()
+        }),
+        ("//note//em", |d| {
+            let hits: Vec<NodeId> = all_named(d, "note")
+                .into_iter()
+                .flat_map(|n| {
+                    d.descendants(n)
+                        .skip(1)
+                        .filter(|&m| d.tag_name(m) == Some("em"))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+        ("//book/descendant::em", |d| {
+            let hits: Vec<NodeId> = all_named(d, "book")
+                .into_iter()
+                .flat_map(|b| {
+                    d.descendants(b)
+                        .skip(1)
+                        .filter(|&m| d.tag_name(m) == Some("em"))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+        ("//em/ancestor::book", |d| {
+            let hits: Vec<NodeId> = all_named(d, "em")
+                .into_iter()
+                .flat_map(|e| {
+                    d.ancestors(e)
+                        .filter(|&a| d.tag_name(a) == Some("book"))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+        ("//title/parent::*", |d| {
+            let hits: Vec<NodeId> =
+                all_named(d, "title").into_iter().filter_map(|t| d.parent(t)).collect();
+            ordered(d, hits)
+        }),
+        ("//author/following-sibling::price", |d| {
+            let hits: Vec<NodeId> = all_named(d, "author")
+                .into_iter()
+                .flat_map(|a| {
+                    d.following_siblings(a)
+                        .filter(|&s| d.tag_name(s) == Some("price"))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+        ("//price/preceding-sibling::author", |d| {
+            let hits: Vec<NodeId> = all_named(d, "price")
+                .into_iter()
+                .flat_map(|p| {
+                    d.preceding_siblings(p)
+                        .filter(|&s| d.tag_name(s) == Some("author"))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+        ("//magazine/preceding::title", |d| {
+            let pos = positions(d);
+            let hits: Vec<NodeId> = all_named(d, "magazine")
+                .into_iter()
+                .flat_map(|m| {
+                    all_named(d, "title")
+                        .into_iter()
+                        .filter(|&t| pos[&t] < pos[&m] && !d.is_ancestor_of(t, m))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+        ("//book/following::magazine", |d| {
+            let pos = positions(d);
+            let hits: Vec<NodeId> = all_named(d, "book")
+                .into_iter()
+                .flat_map(|b| {
+                    all_named(d, "magazine")
+                        .into_iter()
+                        .filter(|&m| pos[&m] > pos[&b] && !d.is_ancestor_of(b, m))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+    ]
+}
+
+/// Structural queries for the generated XMark-like document.
+fn xmark_corpus() -> Vec<(&'static str, Oracle)> {
+    vec![
+        ("//item/name", |d| {
+            all_named(d, "item").into_iter().flat_map(|i| kids(d, i, "name")).collect()
+        }),
+        ("//person/address/city", |d| {
+            all_named(d, "person")
+                .into_iter()
+                .flat_map(|p| kids(d, p, "address"))
+                .flat_map(|a| kids(d, a, "city"))
+                .collect()
+        }),
+        ("//open_auction/bidder", |d| {
+            all_named(d, "open_auction")
+                .into_iter()
+                .flat_map(|a| kids(d, a, "bidder"))
+                .collect()
+        }),
+        ("//bidder/parent::*", |d| {
+            let hits: Vec<NodeId> =
+                all_named(d, "bidder").into_iter().filter_map(|b| d.parent(b)).collect();
+            ordered(d, hits)
+        }),
+        ("//city/ancestor::person", |d| {
+            let hits: Vec<NodeId> = all_named(d, "city")
+                .into_iter()
+                .flat_map(|c| {
+                    d.ancestors(c)
+                        .filter(|&a| d.tag_name(a) == Some("person"))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ordered(d, hits)
+        }),
+    ]
+}
+
+/// Evaluates `query` with all four engines and checks each against the
+/// oracle's node-set.
+fn check_case(doc: &Document, query: &str, oracle: Oracle) {
+    let expected = oracle(doc);
+    let uid = UidScheme::build(doc);
+    let ruid = Ruid2Scheme::build(doc, &PartitionConfig::by_depth(3));
+    let index = NameIndex::build(doc);
+
+    let engines: Vec<(&str, Vec<NodeId>)> = vec![
+        ("tree", Evaluator::new(doc, TreeAxes::new(doc)).query(query).unwrap()),
+        ("uid", Evaluator::new(doc, UidAxes::new(&uid)).query(query).unwrap()),
+        ("ruid", Evaluator::new(doc, RuidAxes::new(&ruid)).query(query).unwrap()),
+        (
+            "indexed",
+            Evaluator::new(doc, NameIndexed::new(RuidAxes::new(&ruid), doc, &index))
+                .query(query)
+                .unwrap(),
+        ),
+    ];
+    for (engine, got) in engines {
+        assert_eq!(
+            got, expected,
+            "{engine} engine disagrees with the naive DOM walk on {query:?}"
+        );
+    }
+}
+
+#[test]
+fn engines_match_naive_dom_walk_on_catalog() {
+    let doc = Document::parse(CATALOG).unwrap();
+    for (query, oracle) in corpus() {
+        check_case(&doc, query, oracle);
+    }
+}
+
+#[test]
+fn engines_match_naive_dom_walk_on_xmark() {
+    let doc = xmlgen::xmark::generate(&xmlgen::xmark::XmarkConfig {
+        items_per_region: 2,
+        people: 6,
+        open_auctions: 4,
+        closed_auctions: 2,
+        categories: 3,
+        seed: 99,
+    });
+    for (query, oracle) in xmark_corpus() {
+        check_case(&doc, query, oracle);
+    }
+}
+
+/// The corpus itself must not be vacuous: most oracles return nodes.
+#[test]
+fn corpus_is_not_vacuous() {
+    let doc = Document::parse(CATALOG).unwrap();
+    let nonempty = corpus().iter().filter(|(_, o)| !o(&doc).is_empty()).count();
+    assert!(nonempty >= 15, "only {nonempty} catalog queries matched anything");
+}

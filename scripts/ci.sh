@@ -7,3 +7,15 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --offline -- -D warnings
+
+# The robustness and differential suites must run — and run entirely: an
+# `#[ignore]` slipped into the service crate would silently skip exactly
+# the hostile-traffic coverage this gate exists for.
+if grep -rn '#\[ignore' crates/service/; then
+    echo "ci: ignored tests are not allowed in crates/service" >&2
+    exit 1
+fi
+cargo test -q --offline -p ruid-service --test fault_tests
+cargo test -q --offline -p xpath --test differential_tests
+cargo test -q --offline -p ruid --test exhaustive_small_trees
+cargo test -q --offline -p ruid-core --test update_tests
