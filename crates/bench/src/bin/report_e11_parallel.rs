@@ -1,0 +1,274 @@
+//! E11 — parallel build scaling & order-key speedup (the PR-3 perf
+//! baseline). Two measurements:
+//!
+//! 1. **Build scaling**: `Ruid2Scheme::try_build_with` and
+//!    `NameIndex::build_with` at 1/2/4/8 threads, with a byte-identity
+//!    check against the sequential result (areas fan out per Definition 2;
+//!    the output must not depend on the thread count).
+//! 2. **Order-key speedup**: the query suite with and without the
+//!    precomputed `DocOrder` rank cache, isolating what
+//!    `sort_unstable_by_key(rank)` buys over per-comparison
+//!    `cmp_doc_order` label arithmetic.
+//!
+//! Emits a machine-readable JSON report (default `BENCH_pr3.json`) so the
+//! perf trajectory is tracked in-repo. `--smoke` shrinks the workloads for
+//! CI; `--threads N` caps the thread ladder (`--threads 1` = sequential
+//! only); `--out PATH` overrides the JSON destination.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use bench::{median_time, standard_tree, xmark_tree, Table};
+use ruid::prelude::*;
+use ruid::{available_threads, DocOrder, Executor, NameIndex, NameIndexed};
+
+const QUERIES: &[&str] = &[
+    "//item/name",
+    "//item//text",
+    "//person[address]/name",
+    "//item[location = 'asia']",
+    "//open_auction[count(bidder) >= 2]/current",
+];
+
+struct BuildPoint {
+    threads: usize,
+    time: Duration,
+}
+
+struct BuildRun {
+    workload: &'static str,
+    nodes: usize,
+    areas: usize,
+    scheme: Vec<BuildPoint>,
+    index: Vec<BuildPoint>,
+    identical: bool,
+}
+
+struct QueryRun {
+    query: String,
+    hits: usize,
+    uncached: Duration,
+    cached: Duration,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn speedup(base: Duration, now: Duration) -> f64 {
+    if now.as_nanos() == 0 {
+        return 1.0;
+    }
+    base.as_secs_f64() / now.as_secs_f64()
+}
+
+/// Everything observable about a numbering, for the identity check.
+fn fingerprint(doc: &Document, scheme: &Ruid2Scheme) -> Vec<u8> {
+    let root = doc.root_element().unwrap();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&scheme.kappa().to_le_bytes());
+    for row in scheme.ktable().rows() {
+        bytes.extend_from_slice(&row.global.to_le_bytes());
+        bytes.extend_from_slice(&row.local.to_le_bytes());
+        bytes.extend_from_slice(&row.fanout.to_le_bytes());
+    }
+    for node in doc.descendants(root) {
+        let label = scheme.label_of(node);
+        bytes.extend_from_slice(&label.global.to_le_bytes());
+        bytes.extend_from_slice(&label.local.to_le_bytes());
+        bytes.push(u8::from(label.is_root));
+    }
+    bytes
+}
+
+fn bench_build(
+    workload: &'static str,
+    doc: &Document,
+    ladder: &[usize],
+    rounds: usize,
+) -> BuildRun {
+    let config = PartitionConfig::by_depth(3);
+    let root = doc.root_element().unwrap();
+    let nodes = doc.descendants(root).count();
+    let sequential = Ruid2Scheme::try_build_with(doc, &config, &Executor::new(1)).unwrap();
+    let expected = fingerprint(doc, &sequential);
+    let mut run = BuildRun {
+        workload,
+        nodes,
+        areas: sequential.area_count(),
+        scheme: Vec::new(),
+        index: Vec::new(),
+        identical: true,
+    };
+    for &threads in ladder {
+        let exec = Executor::new(threads);
+        let built = Ruid2Scheme::try_build_with(doc, &config, &exec).unwrap();
+        run.identical &= fingerprint(doc, &built) == expected;
+        let time =
+            median_time(rounds, || Ruid2Scheme::try_build_with(doc, &config, &exec).unwrap());
+        run.scheme.push(BuildPoint { threads, time });
+        let time = median_time(rounds, || NameIndex::build_with(doc, &exec));
+        run.index.push(BuildPoint { threads, time });
+    }
+    run
+}
+
+fn bench_queries(doc: &Document, rounds: usize) -> Vec<QueryRun> {
+    let scheme = Ruid2Scheme::build(doc, &PartitionConfig::by_depth(3));
+    let index = NameIndex::build(doc);
+    let order = DocOrder::build(doc);
+    let plain =
+        Evaluator::new(doc, NameIndexed::new(RuidAxes::new(&scheme), doc, &index));
+    let keyed = Evaluator::new(
+        doc,
+        NameIndexed::new(RuidAxes::with_order(&scheme, &order), doc, &index),
+    );
+    QUERIES
+        .iter()
+        .map(|q| {
+            let hits = plain.query(q).unwrap();
+            assert_eq!(keyed.query(q).unwrap(), hits, "order cache changed {q}");
+            QueryRun {
+                query: (*q).to_string(),
+                hits: hits.len(),
+                uncached: median_time(rounds, || plain.query(q).unwrap().len()),
+                cached: median_time(rounds, || keyed.query(q).unwrap().len()),
+            }
+        })
+        .collect()
+}
+
+fn emit_json(
+    path: &str,
+    smoke: bool,
+    ladder: &[usize],
+    builds: &[BuildRun],
+    queries: &[QueryRun],
+) {
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"experiment\": \"E11\",");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(j, "  \"host\": {{ \"available_parallelism\": {} }},", available_threads());
+    let ladder_s: Vec<String> = ladder.iter().map(usize::to_string).collect();
+    let _ = writeln!(j, "  \"thread_ladder\": [{}],", ladder_s.join(", "));
+    j.push_str("  \"build\": [\n");
+    for (i, b) in builds.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"workload\": \"{}\",", b.workload);
+        let _ = writeln!(j, "      \"nodes\": {},", b.nodes);
+        let _ = writeln!(j, "      \"areas\": {},", b.areas);
+        let _ = writeln!(j, "      \"identical_to_sequential\": {},", b.identical);
+        for (key, points) in [("scheme_build", &b.scheme), ("name_index_build", &b.index)] {
+            let base = points[0].time;
+            let rows: Vec<String> = points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{ \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3} }}",
+                        p.threads,
+                        ms(p.time),
+                        speedup(base, p.time)
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                j,
+                "      \"{key}\": [{}]{}",
+                rows.join(", "),
+                if key == "scheme_build" { "," } else { "" }
+            );
+        }
+        let _ = writeln!(j, "    }}{}", if i + 1 < builds.len() { "," } else { "" });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"query_sort\": [\n");
+    for (i, q) in queries.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"query\": \"{}\", \"hits\": {}, \"uncached_ms\": {:.3}, \
+             \"cached_ms\": {:.3}, \"speedup\": {:.3} }}{}",
+            q.query.replace('\\', "\\\\").replace('"', "\\\""),
+            q.hits,
+            ms(q.uncached),
+            ms(q.cached),
+            speedup(q.uncached, q.cached),
+            if i + 1 < queries.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(path, &j).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_pr3.json".into());
+    let cap: Option<usize> = flag("--threads").map(|v| v.parse().expect("--threads N"));
+    let mut ladder: Vec<usize> = vec![1, 2, 4, 8];
+    if let Some(cap) = cap {
+        ladder.retain(|&t| t <= cap);
+        if !ladder.contains(&cap) {
+            ladder.push(cap);
+        }
+    }
+
+    let (xmark_nodes, random_nodes, rounds) =
+        if smoke { (4_000, 3_000, 2) } else { (150_000, 120_000, 5) };
+
+    println!(
+        "E11: parallel build scaling & order-key speedup ({} cores available, mode: {})\n",
+        available_threads(),
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let xmark = xmark_tree(xmark_nodes, 42);
+    let random = standard_tree(random_nodes, 7);
+    let builds =
+        vec![bench_build("xmark", &xmark, &ladder, rounds), bench_build(
+            "random",
+            &random,
+            &ladder,
+            rounds,
+        )];
+    for b in &builds {
+        println!(
+            "build scaling on {} ({} nodes, {} areas, identical: {})",
+            b.workload, b.nodes, b.areas, b.identical
+        );
+        let table =
+            Table::new(&["threads", "scheme build", "speedup", "name index", "speedup"], &[
+                7, 12, 8, 12, 8,
+            ]);
+        for (s, ix) in b.scheme.iter().zip(&b.index) {
+            table.row(&[
+                s.threads.to_string(),
+                format!("{:.2?}", s.time),
+                format!("{:.2}x", speedup(b.scheme[0].time, s.time)),
+                format!("{:.2?}", ix.time),
+                format!("{:.2}x", speedup(b.index[0].time, ix.time)),
+            ]);
+        }
+        println!();
+        assert!(b.identical, "parallel build diverged from sequential on {}", b.workload);
+    }
+
+    let queries = bench_queries(&xmark, rounds.max(3));
+    println!("query sort: cmp_doc_order per comparison vs precomputed rank keys (xmark)");
+    let table =
+        Table::new(&["query", "hits", "uncached", "cached", "speedup"], &[44, 6, 10, 10, 8]);
+    for q in &queries {
+        table.row(&[
+            q.query.clone(),
+            q.hits.to_string(),
+            format!("{:.2?}", q.uncached),
+            format!("{:.2?}", q.cached),
+            format!("{:.2}x", speedup(q.uncached, q.cached)),
+        ]);
+    }
+
+    emit_json(&out, smoke, &ladder, &builds, &queries);
+}

@@ -11,7 +11,7 @@
 //! ```
 
 use ruid::prelude::*;
-use ruid::{Client, LoadedDoc, NameIndex, NameIndexed, Ruid2, Server, ServerConfig, ServerHandle, UidScheme};
+use ruid::{Client, Executor, LoadedDoc, NameIndex, NameIndexed, Ruid2, Server, ServerConfig, ServerHandle, UidScheme};
 
 /// The usage banner printed on argument errors.
 pub const USAGE: &str = "usage:
@@ -191,6 +191,9 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
     if let Some(threads) = option(args, "--threads") {
         config.threads =
             threads.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+        // One knob for both budgets: serving concurrency and build fan-out
+        // (`--threads 1` forces the fully sequential path end to end).
+        config.build_threads = config.threads;
     }
     if let Some(depth) = option(args, "--depth") {
         config.depth =
@@ -211,9 +214,16 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
     let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     let depth = config.depth;
     let with_store = config.with_store;
+    let build_threads = config.build_threads;
     let handle = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
-    for file in files {
-        let loaded = LoadedDoc::from_file(file, depth, with_store)?;
+    // With several files the outer fan-out is across documents (sequential
+    // build each); a single file gets the whole budget for its inner
+    // area/index fan-out. Inserts run in argument order so ids are stable.
+    let outer = Executor::new(if files.len() > 1 { build_threads } else { 1 });
+    let inner = Executor::new(if files.len() > 1 { 1 } else { build_threads });
+    let docs = outer
+        .try_par_map(&files, |_, file| LoadedDoc::from_file_with(file, depth, with_store, &inner))?;
+    for (file, loaded) in files.iter().zip(docs) {
         let nodes = loaded.scheme.len();
         let id = handle.catalog().insert(loaded);
         eprintln!("loaded {file} as document {id} ({nodes} labelled nodes)");

@@ -5,6 +5,7 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
+use par::Executor;
 use schemes::kary;
 use schemes::{NumberingScheme, RelabelStats};
 use xmldom::{Document, NodeId};
@@ -42,6 +43,62 @@ pub fn rparent_with(kappa: u64, ktable: &KTable, label: &Ruid2) -> Option<Ruid2>
     } else {
         Some(Ruid2::new(g, l, false))
     }
+}
+
+/// Output of one area's local enumeration (steps (4)-(14) of Fig. 3 for a
+/// single area). Pure function of the tree, the partition and the frame
+/// numbering — no shared mutable state, which is what lets areas run on any
+/// thread and still merge into a byte-identical scheme.
+struct AreaLabels {
+    /// The area's enumeration fan-out k (table-K row).
+    fanout: u64,
+    /// Labels of the area's interior members (the root excluded — its
+    /// public local index is assigned by the upper area).
+    labels: Vec<(NodeId, Ruid2)>,
+    /// `(global, local)` of each boundary root: the child area's public
+    /// local index, recorded here because the slot lives in *this* area.
+    boundary: Vec<(u64, u64)>,
+}
+
+/// Enumerates one UID-local area: computes its fan-out, assigns k-ary local
+/// indices to interior members, and records the slots of boundary roots.
+fn label_area(
+    doc: &Document,
+    partition: &Partition,
+    global_of: &HashMap<NodeId, u64>,
+    r: NodeId,
+    g: u64,
+) -> Result<AreaLabels, BuildError> {
+    let members = partition.area_members(doc, r);
+    // Local fan-out: over nodes whose children belong to this area (the
+    // root and interior members; boundary roots' children live in their
+    // own areas).
+    let k = members
+        .iter()
+        .filter(|&&m| m == r || !partition.is_area_root(m))
+        .map(|&m| doc.children(m).count())
+        .max()
+        .unwrap_or(0)
+        .max(1) as u64;
+    let mut out = AreaLabels { fanout: k, labels: Vec::new(), boundary: Vec::new() };
+    // DFS assigning local indices; the area root is 1.
+    let mut stack: Vec<(NodeId, u64)> = vec![(r, 1)];
+    while let Some((n, local)) = stack.pop() {
+        if n != r && partition.is_area_root(n) {
+            // Boundary root: record its leaf index in this area.
+            out.boundary.push((global_of[&n], local));
+            continue;
+        }
+        if n != r {
+            out.labels.push((n, Ruid2::new(g, local, false)));
+        }
+        for (j, c) in doc.children(n).enumerate() {
+            let cl = kary::child_u64(local, k, j as u64 + 1)
+                .ok_or(BuildError::LocalOverflow { area: g, fanout: k })?;
+            stack.push((c, cl));
+        }
+    }
+    Ok(out)
 }
 
 /// Why a numbering could not be built: a u64 k-ary index overflowed.
@@ -127,11 +184,29 @@ impl Ruid2Scheme {
         Self::try_build_at(doc, root, config).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// [`Ruid2Scheme::build`] with an explicit thread budget: areas are
+    /// fanned out over `exec` (see [`Ruid2Scheme::try_from_partition_with`]).
+    ///
+    /// # Panics
+    /// Panics on enumeration overflow, like [`Ruid2Scheme::build`].
+    pub fn build_with(doc: &Document, config: &PartitionConfig, exec: &Executor) -> Self {
+        Self::try_build_with(doc, config, exec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Checked [`Ruid2Scheme::build`]: reports enumeration overflow instead
     /// of panicking — the trigger condition for going multilevel.
     pub fn try_build(doc: &Document, config: &PartitionConfig) -> Result<Self, BuildError> {
+        Self::try_build_with(doc, config, &Executor::new(1))
+    }
+
+    /// Checked [`Ruid2Scheme::build_with`].
+    pub fn try_build_with(
+        doc: &Document,
+        config: &PartitionConfig,
+        exec: &Executor,
+    ) -> Result<Self, BuildError> {
         let root = doc.root_element().unwrap_or_else(|| doc.root());
-        Self::try_build_at(doc, root, config)
+        Self::try_build_at_with(doc, root, config, exec)
     }
 
     /// Checked [`Ruid2Scheme::build_at`].
@@ -140,8 +215,18 @@ impl Ruid2Scheme {
         root: NodeId,
         config: &PartitionConfig,
     ) -> Result<Self, BuildError> {
+        Self::try_build_at_with(doc, root, config, &Executor::new(1))
+    }
+
+    /// Checked [`Ruid2Scheme::build_at`] with an explicit thread budget.
+    pub fn try_build_at_with(
+        doc: &Document,
+        root: NodeId,
+        config: &PartitionConfig,
+        exec: &Executor,
+    ) -> Result<Self, BuildError> {
         let partition = Partition::compute(doc, root, config);
-        Self::try_from_partition(doc, &partition, config)
+        Self::try_from_partition_with(doc, &partition, config, exec)
     }
 
     /// Builds the numbering from an explicit partition.
@@ -159,6 +244,25 @@ impl Ruid2Scheme {
         partition: &Partition,
         config: &PartitionConfig,
     ) -> Result<Self, BuildError> {
+        Self::try_from_partition_with(doc, partition, config, &Executor::new(1))
+    }
+
+    /// Checked [`Ruid2Scheme::from_partition`] with an explicit thread
+    /// budget.
+    ///
+    /// The frame is enumerated sequentially (steps (1)-(3) of Fig. 3), then
+    /// the per-area local enumerations — mutually independent because areas
+    /// are disjoint induced subtrees (Definition 2) — are fanned out over
+    /// `exec` and merged back in frame order. The result is byte-identical
+    /// to the sequential build for any thread count: every area's output
+    /// depends only on the tree, the partition, and the frame numbering,
+    /// all fixed before the fan-out.
+    pub fn try_from_partition_with(
+        doc: &Document,
+        partition: &Partition,
+        config: &PartitionConfig,
+        exec: &Executor,
+    ) -> Result<Self, BuildError> {
         let root = partition.root();
         let kappa = partition.frame_max_fanout(doc);
         let mut scheme = Ruid2Scheme {
@@ -173,11 +277,14 @@ impl Ruid2Scheme {
         };
 
         // Step (2) of Fig. 3: enumerate the frame with a κ-ary tree to get
-        // the global indices.
+        // the global indices. `areas` fixes a deterministic order (frame
+        // DFS) for both the fan-out and the merge.
         let mut global_of: HashMap<NodeId, u64> = HashMap::new();
         global_of.insert(root, 1);
+        let mut areas: Vec<(NodeId, u64)> = Vec::new();
         let mut frame_stack = vec![(root, 1u64)];
         while let Some((r, g)) = frame_stack.pop() {
+            areas.push((r, g));
             scheme.area_roots.insert(g, r);
             scheme.set_area_root_flag(r);
             for (j, child_root) in partition.frame_children(doc, r).into_iter().enumerate() {
@@ -188,50 +295,33 @@ impl Ruid2Scheme {
             }
         }
 
-        // Steps (4)-(14): enumerate each area locally and compose labels.
+        // Steps (4)-(14): enumerate each area locally. Independent per
+        // Definition 2, so the areas fan out across the executor's threads;
+        // on overflow the error of the first area in frame order wins.
+        let labeled = exec
+            .try_par_map(&areas, |_, &(r, g)| label_area(doc, partition, &global_of, r, g))?;
+
+        // Merge (deterministic: frame order). First all interior labels and
+        // boundary slots, because an area root's public local index is
+        // recorded by its *upper* area.
         // root_local[g] = the area root's index in its upper area.
         let mut root_local: HashMap<u64, u64> = HashMap::new();
         root_local.insert(1, 1);
-        let mut fanouts: HashMap<u64, u64> = HashMap::new();
-        for (&r, &g) in &global_of {
-            let members = partition.area_members(doc, r);
-            // Local fan-out: over nodes whose children belong to this area
-            // (the root and interior members; boundary roots' children live
-            // in their own areas).
-            let k = members
-                .iter()
-                .filter(|&&m| m == r || !partition.is_area_root(m))
-                .map(|&m| doc.children(m).count())
-                .max()
-                .unwrap_or(0)
-                .max(1) as u64;
-            fanouts.insert(g, k);
-            // DFS assigning local indices; the area root is 1.
-            let mut stack: Vec<(NodeId, u64)> = vec![(r, 1)];
-            while let Some((n, local)) = stack.pop() {
-                if n != r && partition.is_area_root(n) {
-                    // Boundary root: record its leaf index in this area.
-                    let ng = global_of[&n];
-                    root_local.insert(ng, local);
-                    continue;
-                }
-                if n != r {
-                    scheme.set_label(n, Ruid2::new(g, local, false));
-                }
-                for (j, c) in doc.children(n).enumerate() {
-                    let cl = kary::child_u64(local, k, j as u64 + 1)
-                        .ok_or(BuildError::LocalOverflow { area: g, fanout: k })?;
-                    stack.push((c, cl));
-                }
+        for area in &labeled {
+            for &(n, label) in &area.labels {
+                scheme.set_label(n, label);
+            }
+            for &(ng, local) in &area.boundary {
+                root_local.insert(ng, local);
             }
         }
 
         // Compose area-root labels and the table K.
-        let mut rows = Vec::with_capacity(global_of.len());
-        for (&r, &g) in &global_of {
+        let mut rows = Vec::with_capacity(areas.len());
+        for (&(r, g), area) in areas.iter().zip(&labeled) {
             let local = root_local[&g];
             scheme.set_label(r, Ruid2::new(g, local, true));
-            rows.push(AreaEntry { global: g, local, fanout: fanouts[&g] });
+            rows.push(AreaEntry { global: g, local, fanout: area.fanout });
         }
         scheme.ktable = KTable::from_rows(rows);
         Ok(scheme)

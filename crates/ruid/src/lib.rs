@@ -41,6 +41,7 @@
 //! assert_eq!(hits.len(), 2); // new, e
 //! ```
 
+pub use par::{available_threads, Executor, PoolClosed, SubmitError};
 pub use ruid_core::{
     axes, multilevel, partition, rparent_with, AreaEntry, BuildError, KTable, MultiRuid, MultiRuidScheme,
     Partition, PartitionConfig, PartitionStrategy, Ruid2, Ruid2Scheme,
@@ -51,10 +52,10 @@ pub use schemes::{
 };
 pub use ubig::Uint;
 pub use xmldom::{
-    Attribute, Document, Interner, NameId, NodeId, NodeKind, ParseError, ParseOptions,
+    Attribute, DocOrder, Document, Interner, NameId, NodeId, NodeKind, ParseError, ParseOptions,
     SerializeOptions, TreeStats,
 };
-pub use xmlgen::{dblp, deep_tree, random_tree, xmark, FanoutDist, NameStrategy, TreeGenConfig};
+pub use xmlgen::{dblp, deep_tree, random_tree, xmark, FanoutDist, NameStrategy, SplitMix64, TreeGenConfig};
 pub use xmlstore::{
     fragment_from_rows, BPlusTree, HeapFile, MemPager, PartitionedStore, StoredNode, XmlStore,
 };

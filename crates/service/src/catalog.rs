@@ -12,10 +12,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use par::Executor;
 use ruid_core::{PartitionConfig, Ruid2Scheme};
 #[cfg(test)]
 use schemes::NumberingScheme;
-use xmldom::Document;
+use xmldom::{DocOrder, Document};
 use xmlstore::{MemPager, XmlStore};
 use xpath::NameIndex;
 
@@ -34,6 +35,9 @@ pub struct LoadedDoc {
     pub scheme: Ruid2Scheme,
     /// Element-name index backing the `indexed` query engine.
     pub index: NameIndex,
+    /// Precomputed document-order ranks: query engines sort result unions
+    /// by integer key instead of per-comparison label arithmetic.
+    pub order: DocOrder,
     /// Identifier-keyed storage rows (`SCAN` serves from here); optional
     /// because pure labeling workloads don't need the extra copy.
     pub store: Option<XmlStore<MemPager>>,
@@ -48,27 +52,51 @@ impl LoadedDoc {
         depth: usize,
         with_store: bool,
     ) -> Result<LoadedDoc, String> {
+        LoadedDoc::build_with(path, text, depth, with_store, &Executor::new(1))
+    }
+
+    /// [`LoadedDoc::build`] with an explicit thread budget: the rUID
+    /// area labeling and the name index fan out over `exec` (the results
+    /// are identical to the sequential build for any thread count).
+    pub fn build_with(
+        path: &str,
+        text: &str,
+        depth: usize,
+        with_store: bool,
+        exec: &Executor,
+    ) -> Result<LoadedDoc, String> {
         let doc =
             Document::parse(text).map_err(|e| format!("parse error in {path}: {e}"))?;
         if doc.root_element().is_none() {
             return Err(format!("{path}: document has no root element"));
         }
-        let scheme = Ruid2Scheme::try_build(&doc, &PartitionConfig::by_depth(depth))
+        let scheme = Ruid2Scheme::try_build_with(&doc, &PartitionConfig::by_depth(depth), exec)
             .map_err(|e| e.to_string())?;
-        let index = NameIndex::build(&doc);
+        let index = NameIndex::build_with(&doc, exec);
+        let order = DocOrder::build(&doc);
         let store = with_store.then(|| {
             let mut store = XmlStore::in_memory();
             store.load_document(&doc, &scheme);
             store
         });
-        Ok(LoadedDoc { path: path.to_owned(), doc, scheme, index, store })
+        Ok(LoadedDoc { path: path.to_owned(), doc, scheme, index, order, store })
     }
 
     /// Reads and builds from a file on disk.
     pub fn from_file(path: &str, depth: usize, with_store: bool) -> Result<LoadedDoc, String> {
+        LoadedDoc::from_file_with(path, depth, with_store, &Executor::new(1))
+    }
+
+    /// [`LoadedDoc::from_file`] with an explicit thread budget.
+    pub fn from_file_with(
+        path: &str,
+        depth: usize,
+        with_store: bool,
+        exec: &Executor,
+    ) -> Result<LoadedDoc, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        LoadedDoc::build(path, &text, depth, with_store)
+        LoadedDoc::build_with(path, &text, depth, with_store, exec)
     }
 }
 

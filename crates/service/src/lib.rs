@@ -90,7 +90,6 @@ mod client;
 mod fault;
 mod framing;
 mod metrics;
-mod pool;
 pub mod proto;
 mod server;
 
@@ -98,5 +97,7 @@ pub use catalog::{Catalog, DocId, LoadedDoc};
 pub use client::Client;
 pub use fault::{Fault, FaultPlan};
 pub use metrics::{Command, Histogram, Metrics};
-pub use pool::{SubmitError, ThreadPool};
+// The pool moved to the reusable `par` crate so the build pipeline and the
+// server share one threading layer; re-exported here for compatibility.
+pub use par::{PoolClosed, SubmitError, ThreadPool};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -33,7 +33,7 @@ use crate::catalog::{Catalog, LoadedDoc};
 use crate::fault::{Fault, FaultPlan};
 use crate::framing::{read_request_line, ReadOutcome};
 use crate::metrics::{Command, Metrics};
-use crate::pool::{SubmitError, ThreadPool};
+use par::{SubmitError, ThreadPool};
 use crate::proto::{self, Engine, Request};
 
 /// How often a parked read wakes up to check deadlines and shutdown.
@@ -46,6 +46,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads = maximum concurrently served connections.
     pub threads: usize,
+    /// Thread budget for building one document on `LOAD` (area labeling +
+    /// name indexing fan out); 1 forces the sequential build.
+    pub build_threads: usize,
     /// Catalog shard count.
     pub shards: usize,
     /// Bounded job-queue capacity (pending connections beyond the
@@ -78,6 +81,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads: 8,
+            build_threads: par::available_threads(),
             shards: 16,
             queue_cap: 64,
             depth: 3,
@@ -464,7 +468,8 @@ fn execute(
     match request {
         Request::Ping => Ok("OK pong".into()),
         Request::Load { path, depth } => {
-            let loaded = LoadedDoc::from_file(&path, depth, config.with_store)?;
+            let exec = par::Executor::new(config.build_threads);
+            let loaded = LoadedDoc::from_file_with(&path, depth, config.with_store, &exec)?;
             let nodes = loaded.doc.node_count();
             let areas = loaded.scheme.area_count();
             let id = catalog.insert(loaded);
@@ -581,13 +586,23 @@ pub fn run_query(
     engine: Engine,
 ) -> Result<Vec<xmldom::NodeId>, String> {
     match engine {
-        Engine::Tree => Evaluator::new(&loaded.doc, TreeAxes::new(&loaded.doc)).query(xpath),
-        Engine::Ruid => {
-            Evaluator::new(&loaded.doc, RuidAxes::new(&loaded.scheme)).query(xpath)
-        }
+        Engine::Tree => Evaluator::new(
+            &loaded.doc,
+            TreeAxes::with_order(&loaded.doc, &loaded.order),
+        )
+        .query(xpath),
+        Engine::Ruid => Evaluator::new(
+            &loaded.doc,
+            RuidAxes::with_order(&loaded.scheme, &loaded.order),
+        )
+        .query(xpath),
         Engine::Indexed => Evaluator::new(
             &loaded.doc,
-            NameIndexed::new(RuidAxes::new(&loaded.scheme), &loaded.doc, &loaded.index),
+            NameIndexed::new(
+                RuidAxes::with_order(&loaded.scheme, &loaded.order),
+                &loaded.doc,
+                &loaded.index,
+            ),
         )
         .query(xpath),
     }

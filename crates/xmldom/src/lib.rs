@@ -22,6 +22,7 @@
 mod error;
 mod interner;
 mod iterators;
+mod order;
 mod parser;
 mod serializer;
 mod stats;
@@ -30,6 +31,7 @@ mod tree;
 pub use error::{ParseError, ParseErrorKind, TextPos};
 pub use interner::{Interner, NameId};
 pub use iterators::{Ancestors, Children, Descendants, Siblings};
+pub use order::DocOrder;
 pub use parser::ParseOptions;
 pub use serializer::SerializeOptions;
 pub use stats::TreeStats;

@@ -1,0 +1,118 @@
+//! Precomputed document-order keys: one pre-order rank per node.
+//!
+//! [`Document::cmp_document_order`](crate::Document::cmp_document_order)
+//! walks ancestor chains to a common ancestor on every call — O(depth) per
+//! comparison, paid O(n log n) times inside every sort. A [`DocOrder`] is
+//! computed once per document (a single pre-order traversal) and turns each
+//! comparison into one integer compare, the XPath-accelerator trick of
+//! encoding order in a numeric key.
+
+use std::cmp::Ordering;
+
+use crate::tree::{Document, NodeId};
+
+/// Rank of a node that was not reached by the traversal (detached, or
+/// outside the ranked subtree). Sorts after every ranked node.
+const UNRANKED: u32 = u32::MAX;
+
+/// A pre-order rank array over one document subtree: `rank(a) < rank(b)`
+/// iff `a` precedes `b` in document order (for nodes in the ranked
+/// subtree).
+///
+/// The ranks are a snapshot: structural mutation (insert/detach) does not
+/// update them, so rebuild after editing — same contract as the numbering
+/// schemes' bulk build.
+#[derive(Debug, Clone)]
+pub struct DocOrder {
+    /// Dense by [`NodeId::index`]; [`UNRANKED`] marks unreached nodes.
+    ranks: Vec<u32>,
+    root: NodeId,
+}
+
+impl DocOrder {
+    /// Ranks the subtree under the document root (the whole tree).
+    pub fn build(doc: &Document) -> DocOrder {
+        DocOrder::build_at(doc, doc.root())
+    }
+
+    /// Ranks the subtree under `root` in one pre-order pass.
+    pub fn build_at(doc: &Document, root: NodeId) -> DocOrder {
+        let mut ranks = vec![UNRANKED; doc.arena_len()];
+        for (i, node) in doc.descendants(root).enumerate() {
+            // u32 ranks: the arena is indexed by u32, so i fits.
+            ranks[node.index()] = i as u32;
+        }
+        DocOrder { ranks, root }
+    }
+
+    /// The root of the ranked subtree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node's pre-order rank: the sort key. Nodes outside the ranked
+    /// subtree get [`u32::MAX`] and sort last (stable among themselves only
+    /// if the caller keeps them apart — the providers never produce them).
+    pub fn rank(&self, node: NodeId) -> u32 {
+        self.ranks.get(node.index()).copied().unwrap_or(UNRANKED)
+    }
+
+    /// Whether `node` was reached by the ranking traversal.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.rank(node) != UNRANKED
+    }
+
+    /// Document order by rank — equivalent to
+    /// [`Document::cmp_document_order`](crate::Document::cmp_document_order)
+    /// for ranked nodes, in O(1).
+    pub fn cmp(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.rank(a).cmp(&self.rank(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        Document::parse("<a><b><c/><d>t</d></b><e/><f><g/></f></a>").unwrap()
+    }
+
+    #[test]
+    fn ranks_agree_with_cmp_document_order() {
+        let doc = sample();
+        let order = DocOrder::build(&doc);
+        let all: Vec<NodeId> = doc.descendants(doc.root()).collect();
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(
+                    order.cmp(a, b),
+                    doc.cmp_document_order(a, b),
+                    "rank order diverges for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_dense_preorder() {
+        let doc = sample();
+        let order = DocOrder::build(&doc);
+        for (i, node) in doc.descendants(doc.root()).enumerate() {
+            assert_eq!(order.rank(node), i as u32);
+            assert!(order.contains(node));
+        }
+    }
+
+    #[test]
+    fn subtree_ranking_excludes_outside_nodes() {
+        let doc = sample();
+        let root = doc.root_element().unwrap();
+        let subtree_root = doc.children(root).next().unwrap(); // <b>
+        let order = DocOrder::build_at(&doc, subtree_root);
+        assert_eq!(order.root(), subtree_root);
+        assert_eq!(order.rank(subtree_root), 0);
+        assert!(!order.contains(root));
+        assert_eq!(order.rank(root), u32::MAX);
+    }
+}

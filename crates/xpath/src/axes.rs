@@ -10,7 +10,7 @@ use ruid_core::Ruid2Scheme;
 use schemes::uid::UidScheme;
 use schemes::{kary, NumberingScheme};
 use ubig::Uint;
-use xmldom::{Document, NodeId};
+use xmldom::{DocOrder, Document, NodeId};
 
 /// A source of axis node-sets and structural relationship tests.
 pub trait AxisProvider {
@@ -59,6 +59,29 @@ pub trait AxisProvider {
     fn descendants_named(&self, _n: NodeId, _name: &str) -> Option<Vec<NodeId>> {
         None
     }
+
+    /// Batched [`AxisProvider::children_named`] over a whole context set, so
+    /// an indexing provider resolves the name to its interned id **once per
+    /// step** instead of once per context node. Returns one match list per
+    /// context node (predicates apply per node before the union).
+    fn children_named_batch(&self, ctx: &[NodeId], name: &str) -> Option<Vec<Vec<NodeId>>> {
+        ctx.iter().map(|&n| self.children_named(n, name)).collect()
+    }
+
+    /// Batched [`AxisProvider::descendants_named`] (see
+    /// [`AxisProvider::children_named_batch`]).
+    fn descendants_named_batch(&self, ctx: &[NodeId], name: &str) -> Option<Vec<Vec<NodeId>>> {
+        ctx.iter().map(|&n| self.descendants_named(n, name)).collect()
+    }
+
+    /// The precomputed document-order key cache, when the provider carries
+    /// one. With a cache the evaluator sorts node-sets by integer rank
+    /// (`sort_unstable_by_key`) instead of calling
+    /// [`AxisProvider::cmp_doc_order`] — ancestor-chain or label arithmetic
+    /// — O(n log n) times per step.
+    fn order(&self) -> Option<&DocOrder> {
+        None
+    }
 }
 
 // --- Tree walking (baseline) ---------------------------------------------
@@ -67,13 +90,22 @@ pub trait AxisProvider {
 pub struct TreeAxes<'a> {
     doc: &'a Document,
     root: NodeId,
+    order: Option<&'a DocOrder>,
 }
 
 impl<'a> TreeAxes<'a> {
     /// Walks `doc` below its root element.
     pub fn new(doc: &'a Document) -> Self {
         let root = doc.root_element().unwrap_or_else(|| doc.root());
-        TreeAxes { doc, root }
+        TreeAxes { doc, root, order: None }
+    }
+
+    /// Like [`TreeAxes::new`], with a precomputed order-key cache for O(1)
+    /// document-order sorts.
+    pub fn with_order(doc: &'a Document, order: &'a DocOrder) -> Self {
+        let mut axes = TreeAxes::new(doc);
+        axes.order = Some(order);
+        axes
     }
 }
 
@@ -162,6 +194,10 @@ impl AxisProvider for TreeAxes<'_> {
     fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
         self.doc.cmp_document_order(a, b)
     }
+
+    fn order(&self) -> Option<&DocOrder> {
+        self.order
+    }
 }
 
 // --- Original UID ---------------------------------------------------------
@@ -172,12 +208,19 @@ impl AxisProvider for TreeAxes<'_> {
 /// the scheme.
 pub struct UidAxes<'a> {
     scheme: &'a UidScheme,
+    order: Option<&'a DocOrder>,
 }
 
 impl<'a> UidAxes<'a> {
     /// Wraps a built UID numbering.
     pub fn new(scheme: &'a UidScheme) -> Self {
-        UidAxes { scheme }
+        UidAxes { scheme, order: None }
+    }
+
+    /// Like [`UidAxes::new`], with a precomputed order-key cache for O(1)
+    /// document-order sorts.
+    pub fn with_order(scheme: &'a UidScheme, order: &'a DocOrder) -> Self {
+        UidAxes { scheme, order: Some(order) }
     }
 
     fn label(&self, n: NodeId) -> Uint {
@@ -301,6 +344,10 @@ impl AxisProvider for UidAxes<'_> {
     fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
         self.scheme.cmp_order(&self.label(a), &self.label(b))
     }
+
+    fn order(&self) -> Option<&DocOrder> {
+        self.order
+    }
 }
 
 // --- rUID ------------------------------------------------------------------
@@ -309,12 +356,19 @@ impl AxisProvider for UidAxes<'_> {
 /// pure label arithmetic over the in-memory κ and table K.
 pub struct RuidAxes<'a> {
     scheme: &'a Ruid2Scheme,
+    order: Option<&'a DocOrder>,
 }
 
 impl<'a> RuidAxes<'a> {
     /// Wraps a built rUID numbering.
     pub fn new(scheme: &'a Ruid2Scheme) -> Self {
-        RuidAxes { scheme }
+        RuidAxes { scheme, order: None }
+    }
+
+    /// Like [`RuidAxes::new`], with a precomputed order-key cache for O(1)
+    /// document-order sorts.
+    pub fn with_order(scheme: &'a Ruid2Scheme, order: &'a DocOrder) -> Self {
+        RuidAxes { scheme, order: Some(order) }
     }
 
     fn label(&self, n: NodeId) -> ruid_core::Ruid2 {
@@ -377,5 +431,9 @@ impl AxisProvider for RuidAxes<'_> {
 
     fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
         self.scheme.cmp_order(&self.label(a), &self.label(b))
+    }
+
+    fn order(&self) -> Option<&DocOrder> {
+        self.order
     }
 }

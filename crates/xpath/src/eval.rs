@@ -151,15 +151,15 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
         name: &str,
         predicates: &[Expr],
     ) -> Result<Option<Vec<NodeId>>, EvalError> {
-        let mut out: Vec<NodeId> = Vec::new();
-        for &node in context {
-            let Some(matched) = self.axes.descendants_named(node, name) else {
-                return Ok(None);
-            };
-            out.extend(matched);
+        let Some(per_ctx) = self.axes.descendants_named_batch(context, name) else {
+            return Ok(None);
+        };
+        let mut out: Vec<NodeId> = per_ctx.into_iter().flatten().collect();
+        // One context node's descendants are already in document order and
+        // duplicate-free; only a genuine union needs the sort.
+        if context.len() > 1 {
+            self.sort_doc_order(&mut out);
         }
-        out.sort_by(|&a, &b| self.axes.cmp_doc_order(a, b));
-        out.dedup();
         for predicate in predicates {
             let size = out.len();
             let mut kept = Vec::with_capacity(size);
@@ -173,20 +173,34 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
         Ok(Some(out))
     }
 
+    /// Sorts a node-set union into document order and deduplicates, using
+    /// the provider's precomputed rank keys when it carries them (one
+    /// integer compare per comparison) and falling back to
+    /// `cmp_doc_order`'s structural/label arithmetic otherwise.
+    fn sort_doc_order(&self, out: &mut Vec<NodeId>) {
+        if let Some(order) = self.axes.order() {
+            out.sort_unstable_by_key(|&n| order.rank(n));
+        } else {
+            out.sort_by(|&a, &b| self.axes.cmp_doc_order(a, b));
+        }
+        out.dedup();
+    }
+
     /// Applies one step to a node-set, preserving document order and
     /// deduplicating.
     fn eval_step(&self, step: &Step, context: &[NodeId]) -> Result<Vec<NodeId>, EvalError> {
-        let mut out: Vec<NodeId> = Vec::new();
-        for &node in context {
-            // Name-indexed fast path (the paper's condition-first strategy):
-            // the provider answers child/descendant name steps directly.
-            if let NodeTest::Name(name) = &step.test {
-                let fast = match step.axis {
-                    Axis::Child => self.axes.children_named(node, name),
-                    Axis::Descendant => self.axes.descendants_named(node, name),
-                    _ => None,
-                };
-                if let Some(mut matched) = fast {
+        // Name-indexed fast path (the paper's condition-first strategy):
+        // the provider answers child/descendant name steps directly, with
+        // the name resolved to its interned id once for the whole step.
+        if let NodeTest::Name(name) = &step.test {
+            let fast = match step.axis {
+                Axis::Child => self.axes.children_named_batch(context, name),
+                Axis::Descendant => self.axes.descendants_named_batch(context, name),
+                _ => None,
+            };
+            if let Some(per_ctx) = fast {
+                let mut out: Vec<NodeId> = Vec::new();
+                for mut matched in per_ctx {
                     for predicate in &step.predicates {
                         let size = matched.len();
                         let mut kept = Vec::with_capacity(size);
@@ -198,9 +212,15 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
                         matched = kept;
                     }
                     out.extend(matched);
-                    continue;
                 }
+                if context.len() > 1 {
+                    self.sort_doc_order(&mut out);
+                }
+                return Ok(out);
             }
+        }
+        let mut out: Vec<NodeId> = Vec::new();
+        for &node in context {
             // Axis nodes in document order from the provider.
             let axis_nodes: Vec<NodeId> = match step.axis {
                 Axis::Child => self.axes.children(node),
@@ -246,9 +266,12 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
             }
             out.extend(matched);
         }
-        // Union over context nodes: sort in document order, dedup.
-        out.sort_by(|&a, &b| self.axes.cmp_doc_order(a, b));
-        out.dedup();
+        // Union over context nodes: sort in document order, dedup. A single
+        // context node needs neither — every axis method already returns
+        // document order (the provider contract) without duplicates.
+        if context.len() > 1 {
+            self.sort_doc_order(&mut out);
+        }
         Ok(out)
     }
 

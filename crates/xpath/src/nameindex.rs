@@ -12,7 +12,8 @@
 
 use std::collections::HashMap;
 
-use xmldom::{Document, NameId, NodeId};
+use par::Executor;
+use xmldom::{DocOrder, Document, NameId, NodeId};
 
 use crate::axes::AxisProvider;
 
@@ -35,11 +36,48 @@ impl NameIndex {
         NameIndex { by_name }
     }
 
+    /// [`NameIndex::build`] with an explicit thread budget: the pre-order
+    /// node sequence is split into contiguous chunks, each chunk indexed
+    /// independently, and the chunk maps merged **in chunk order** — which
+    /// keeps every per-name list in document order and the result identical
+    /// to the sequential build.
+    pub fn build_with(doc: &Document, exec: &Executor) -> Self {
+        if exec.is_sequential() {
+            return NameIndex::build(doc);
+        }
+        let root = doc.root_element().unwrap_or_else(|| doc.root());
+        let nodes: Vec<NodeId> = doc.descendants(root).collect();
+        // A few chunks per thread so stealing can smooth out name-density
+        // skew between document regions.
+        let chunk = (nodes.len() / (exec.threads() * 4)).max(1024);
+        let chunks: Vec<&[NodeId]> = nodes.chunks(chunk).collect();
+        let partials = exec.par_map(&chunks, |_, part| {
+            let mut by_name: HashMap<NameId, Vec<NodeId>> = HashMap::new();
+            for &node in *part {
+                if let Some(name) = doc.element_name(node) {
+                    by_name.entry(name).or_default().push(node);
+                }
+            }
+            by_name
+        });
+        let mut by_name: HashMap<NameId, Vec<NodeId>> = HashMap::new();
+        for partial in partials {
+            for (name, mut list) in partial {
+                by_name.entry(name).or_default().append(&mut list);
+            }
+        }
+        NameIndex { by_name }
+    }
+
     /// All elements named `name`, in document order.
     pub fn nodes_named(&self, doc: &Document, name: &str) -> &[NodeId] {
-        doc.name_id(name)
-            .and_then(|id| self.by_name.get(&id))
-            .map_or(&[], Vec::as_slice)
+        doc.name_id(name).map_or(&[], |id| self.nodes_with_id(id))
+    }
+
+    /// All elements with the interned name `id`, in document order — the
+    /// per-step hot path once the caller has resolved the name.
+    pub fn nodes_with_id(&self, id: NameId) -> &[NodeId] {
+        self.by_name.get(&id).map_or(&[], Vec::as_slice)
     }
 
     /// Number of distinct names indexed.
@@ -66,6 +104,33 @@ impl<'a, A: AxisProvider> NameIndexed<'a, A> {
     /// The wrapped provider.
     pub fn inner(&self) -> &A {
         &self.inner
+    }
+
+    /// Children of `n` carrying the interned name `id`, from the candidate
+    /// list the caller already looked up.
+    fn children_with_id(&self, n: NodeId, id: NameId, candidates: &[NodeId]) -> Vec<NodeId> {
+        // Candidate-first only pays when the candidate list is small;
+        // otherwise checking every candidate against every context node of
+        // a step goes quadratic, and expanding the child axis is cheaper.
+        if candidates.len() > 16 {
+            return self
+                .inner
+                .children(n)
+                .into_iter()
+                .filter(|&c| self.doc.element_name(c) == Some(id))
+                .collect();
+        }
+        candidates.iter().copied().filter(|&c| self.inner.parent(c) == Some(n)).collect()
+    }
+
+    /// Descendants of `n` from the candidate list (see
+    /// [`AxisProvider::descendants_named`]).
+    fn descendants_from_candidates(&self, n: NodeId, candidates: &[NodeId]) -> Vec<NodeId> {
+        // Candidate-first is the right plan here even for large candidate
+        // lists: one ancestry check per candidate beats expanding the whole
+        // subtree (the common `//name` shape hits this exactly once per
+        // query thanks to the evaluator's `//` peephole).
+        candidates.iter().copied().filter(|&c| self.inner.is_ancestor(n, c)).collect()
     }
 }
 
@@ -115,34 +180,34 @@ impl<A: AxisProvider> AxisProvider for NameIndexed<'_, A> {
     }
 
     fn children_named(&self, n: NodeId, name: &str) -> Option<Vec<NodeId>> {
-        let candidates = self.index.nodes_named(self.doc, name);
-        // Candidate-first only pays when the candidate list is small;
-        // otherwise checking every candidate against every context node of
-        // a step goes quadratic, and expanding the child axis is cheaper.
-        if candidates.len() > 16 {
-            return Some(
-                self.inner
-                    .children(n)
-                    .into_iter()
-                    .filter(|&c| self.doc.tag_name(c) == Some(name))
-                    .collect(),
-            );
-        }
-        Some(candidates.iter().copied().filter(|&c| self.inner.parent(c) == Some(n)).collect())
+        let Some(id) = self.doc.name_id(name) else { return Some(Vec::new()) };
+        Some(self.children_with_id(n, id, self.index.nodes_with_id(id)))
     }
 
     fn descendants_named(&self, n: NodeId, name: &str) -> Option<Vec<NodeId>> {
-        // Candidate-first is the right plan here even for large candidate
-        // lists: one ancestry check per candidate beats expanding the whole
-        // subtree (the common `//name` shape hits this exactly once per
-        // query thanks to the evaluator's `//` peephole).
-        Some(
-            self.index
-                .nodes_named(self.doc, name)
-                .iter()
-                .copied()
-                .filter(|&c| self.inner.is_ancestor(n, c))
-                .collect(),
-        )
+        let Some(id) = self.doc.name_id(name) else { return Some(Vec::new()) };
+        Some(self.descendants_from_candidates(n, self.index.nodes_with_id(id)))
+    }
+
+    fn children_named_batch(&self, ctx: &[NodeId], name: &str) -> Option<Vec<Vec<NodeId>>> {
+        // Resolve the name to its interned id once per step, not once per
+        // context node (the name_id + map lookup used to sit in this loop).
+        let Some(id) = self.doc.name_id(name) else {
+            return Some(vec![Vec::new(); ctx.len()]);
+        };
+        let candidates = self.index.nodes_with_id(id);
+        Some(ctx.iter().map(|&n| self.children_with_id(n, id, candidates)).collect())
+    }
+
+    fn descendants_named_batch(&self, ctx: &[NodeId], name: &str) -> Option<Vec<Vec<NodeId>>> {
+        let Some(id) = self.doc.name_id(name) else {
+            return Some(vec![Vec::new(); ctx.len()]);
+        };
+        let candidates = self.index.nodes_with_id(id);
+        Some(ctx.iter().map(|&n| self.descendants_from_candidates(n, candidates)).collect())
+    }
+
+    fn order(&self) -> Option<&DocOrder> {
+        self.inner.order()
     }
 }

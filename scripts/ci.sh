@@ -19,3 +19,15 @@ cargo test -q --offline -p ruid-service --test fault_tests
 cargo test -q --offline -p xpath --test differential_tests
 cargo test -q --offline -p ruid --test exhaustive_small_trees
 cargo test -q --offline -p ruid-core --test update_tests
+cargo test -q --offline -p ruid --test parallel_equivalence
+
+# E11 smoke: the parallel build must stay byte-identical to sequential (the
+# bin asserts it) and the emitted report must be machine-readable JSON.
+cargo run --release --offline -p bench --bin report_e11_parallel -- \
+    --smoke --out target/bench_e11_smoke.json
+if command -v jq >/dev/null; then
+    jq -e '.experiment == "E11"
+           and (.build | all(.identical_to_sequential))' \
+        target/bench_e11_smoke.json >/dev/null \
+        || { echo "ci: BENCH smoke report malformed" >&2; exit 1; }
+fi

@@ -250,6 +250,49 @@ fn enumeration_matches_catalan_numbers() {
     }
 }
 
+/// The precomputed order keys agree with every document-order oracle on
+/// every tree shape: `rank(a) < rank(b)` ⟺ `cmp_doc_order(a, b) == Less`,
+/// for the DOM walk, UID and rUID label arithmetic alike. This is the
+/// invariant that lets the evaluator replace `sort_by(cmp_doc_order)` with
+/// `sort_unstable_by_key(rank)`.
+#[test]
+fn order_keys_agree_with_every_oracle_on_every_small_tree() {
+    use ruid::{AxisProvider, DocOrder, NameIndex, NameIndexed, RuidAxes, TreeAxes, UidAxes};
+    for n in 1..=7 {
+        for xml in trees(n) {
+            let doc = Document::parse(&xml).unwrap();
+            let order = DocOrder::build(&doc);
+            let uid = UidScheme::build(&doc);
+            let ruid2 = Ruid2Scheme::build(&doc, &Pc::by_depth(2));
+            let index = NameIndex::build(&doc);
+            let providers: Vec<Box<dyn AxisProvider>> = vec![
+                Box::new(TreeAxes::with_order(&doc, &order)),
+                Box::new(UidAxes::with_order(&uid, &order)),
+                Box::new(RuidAxes::with_order(&ruid2, &order)),
+                Box::new(NameIndexed::new(
+                    RuidAxes::with_order(&ruid2, &order),
+                    &doc,
+                    &index,
+                )),
+            ];
+            let nodes: Vec<NodeId> = doc.descendants(doc.root_element().unwrap()).collect();
+            for provider in &providers {
+                let cached = provider.order().expect("provider must expose its order cache");
+                for &a in &nodes {
+                    for &b in &nodes {
+                        assert_eq!(
+                            cached.rank(a).cmp(&cached.rank(b)),
+                            provider.cmp_doc_order(a, b),
+                            "{}: rank vs cmp_doc_order in {xml}",
+                            provider.provider_name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Every scheme agrees with the DOM on every tree shape up to 7 nodes.
 #[test]
 fn all_schemes_agree_on_every_small_tree() {
