@@ -1,0 +1,239 @@
+//! E12 — durability cost report (the PR-4 robustness baseline). Four
+//! measurements over synthetic XMark documents:
+//!
+//! 1. **Snapshot write**: serializing the full catalog state (DOM, rUID
+//!    labels, table *K*, name metadata) with per-section CRCs and an
+//!    atomic temp-file install.
+//! 2. **Snapshot recovery**: reading the newest snapshot back, verifying
+//!    every checksum, and rebuilding the numbered document.
+//! 3. **WAL append**: logging the document's `LOAD` record plus a burst
+//!    of structural `INSERT` records under each fsync policy.
+//! 4. **WAL replay**: recovering the same state from the log alone —
+//!    re-parsing, re-numbering, and re-applying every structural op.
+//!
+//! Emits a machine-readable JSON report (default `BENCH_pr4.json`) so the
+//! durability cost trajectory is tracked in-repo. `--smoke` shrinks the
+//! workloads for CI; `--out PATH` overrides the JSON destination.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use bench::{median_time, xmark_tree, Table};
+use durable::{recover, write_snapshot, DocState, FsyncPolicy, NodeContent, WalOp, WalWriter};
+use ruid::prelude::*;
+
+struct WalPolicyRun {
+    policy: &'static str,
+    append: Duration,
+    records: u64,
+    bytes: u64,
+    fsyncs: u64,
+}
+
+struct SizeRun {
+    nodes: usize,
+    xml_bytes: usize,
+    snapshot_bytes: u64,
+    snapshot_write: Duration,
+    snapshot_recover: Duration,
+    wal_bytes: u64,
+    wal_replay: Duration,
+    replayed: u64,
+    policies: Vec<WalPolicyRun>,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("e12-durability-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn insert_op(i: usize) -> WalOp {
+    WalOp::Insert {
+        doc_id: 1,
+        parent: Ruid2::TREE_ROOT,
+        position: 1,
+        content: NodeContent::Element {
+            name: "bench".into(),
+            attributes: vec![("i".into(), i.to_string())],
+        },
+    }
+}
+
+fn bench_size(nodes: usize, inserts: usize, rounds: usize) -> SizeRun {
+    let doc = xmark_tree(nodes, 42);
+    let xml = doc.to_xml_string();
+    let config = PartitionConfig::by_depth(3);
+    let state = DocState::build(1, "xmark.xml".into(), &xml, config, false).unwrap();
+    let load = WalOp::Load {
+        doc_id: 1,
+        path: "xmark.xml".into(),
+        config,
+        with_store: false,
+        xml: xml.clone(),
+    };
+
+    // 1. Snapshot write (a fresh install each round, same bytes).
+    let dir = scratch(&format!("snap-{nodes}"));
+    let snapshot_write = median_time(rounds, || {
+        let path = write_snapshot(&dir, 1, &[state.view()]).unwrap();
+        std::fs::metadata(&path).unwrap().len()
+    });
+    let snap_path = write_snapshot(&dir, 1, &[state.view()]).unwrap();
+    let snapshot_bytes = std::fs::metadata(&snap_path).unwrap().len();
+
+    // 2. Snapshot recovery (checksums verified, document rebuilt).
+    let snapshot_recover = median_time(rounds, || {
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.docs.len(), 1);
+        r.docs.len()
+    });
+
+    // 3. WAL append under each fsync policy.
+    let policies: Vec<WalPolicyRun> = [
+        ("never", FsyncPolicy::Never),
+        ("every=64", FsyncPolicy::EveryN(64)),
+        ("always", FsyncPolicy::Always),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        let dir = scratch(&format!("wal-{nodes}-{name}"));
+        let mut stats = (0, 0, 0);
+        // `create` truncates, so each round measures one whole segment.
+        let append = median_time(rounds, || {
+            let mut w = WalWriter::create(&dir, 0, policy).unwrap();
+            w.append(&load).unwrap();
+            for i in 0..inserts {
+                w.append(&insert_op(i)).unwrap();
+            }
+            w.sync().unwrap();
+            stats = (w.records(), w.bytes(), w.fsyncs());
+        });
+        WalPolicyRun { policy: name, append, records: stats.0, bytes: stats.1, fsyncs: stats.2 }
+    })
+    .collect();
+
+    // 4. WAL replay from the fsync=never segment (same record stream).
+    let replay_dir = scratch(&format!("replay-{nodes}"));
+    let mut w = WalWriter::create(&replay_dir, 0, FsyncPolicy::Never).unwrap();
+    w.append(&load).unwrap();
+    for i in 0..inserts {
+        w.append(&insert_op(i)).unwrap();
+    }
+    w.sync().unwrap();
+    let wal_bytes = w.bytes();
+    drop(w);
+    let mut replayed = 0;
+    let wal_replay = median_time(rounds, || {
+        let r = recover(&replay_dir).unwrap();
+        assert_eq!(r.docs.len(), 1);
+        replayed = r.report.replayed;
+        r.docs.len()
+    });
+
+    SizeRun {
+        nodes,
+        xml_bytes: xml.len(),
+        snapshot_bytes,
+        snapshot_write,
+        snapshot_recover,
+        wal_bytes,
+        wal_replay,
+        replayed,
+        policies,
+    }
+}
+
+fn emit_json(path: &str, smoke: bool, runs: &[SizeRun]) {
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"experiment\": \"E12\",");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    j.push_str("  \"durability\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(j, "      \"xml_bytes\": {},", r.xml_bytes);
+        let _ = writeln!(j, "      \"snapshot_bytes\": {},", r.snapshot_bytes);
+        let _ = writeln!(j, "      \"snapshot_write_ms\": {:.3},", ms(r.snapshot_write));
+        let _ = writeln!(j, "      \"snapshot_recover_ms\": {:.3},", ms(r.snapshot_recover));
+        let _ = writeln!(j, "      \"wal_bytes\": {},", r.wal_bytes);
+        let _ = writeln!(j, "      \"wal_replayed_records\": {},", r.replayed);
+        let _ = writeln!(j, "      \"wal_replay_ms\": {:.3},", ms(r.wal_replay));
+        let rows: Vec<String> = r
+            .policies
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{ \"policy\": \"{}\", \"append_ms\": {:.3}, \"records\": {}, \
+                     \"bytes\": {}, \"fsyncs\": {} }}",
+                    p.policy,
+                    ms(p.append),
+                    p.records,
+                    p.bytes,
+                    p.fsyncs
+                )
+            })
+            .collect();
+        let _ = writeln!(j, "      \"wal_append\": [{}]", rows.join(", "));
+        let _ = writeln!(j, "    }}{}", if i + 1 < runs.len() { "," } else { "" });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(path, &j).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_pr4.json".into());
+
+    let (sizes, inserts, rounds): (&[usize], usize, usize) =
+        if smoke { (&[2_000, 5_000], 200, 2) } else { (&[20_000, 60_000, 150_000], 2_000, 5) };
+
+    println!(
+        "E12: durability cost — snapshot write/recover, WAL append/replay (mode: {})\n",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let runs: Vec<SizeRun> =
+        sizes.iter().map(|&n| bench_size(n, inserts, rounds)).collect();
+
+    let table = Table::new(
+        &["nodes", "snap write", "snap recover", "snap MB", "wal replay", "wal KB"],
+        &[8, 12, 13, 8, 12, 8],
+    );
+    for r in &runs {
+        table.row(&[
+            r.nodes.to_string(),
+            format!("{:.2?}", r.snapshot_write),
+            format!("{:.2?}", r.snapshot_recover),
+            format!("{:.2}", r.snapshot_bytes as f64 / 1e6),
+            format!("{:.2?}", r.wal_replay),
+            format!("{:.1}", r.wal_bytes as f64 / 1e3),
+        ]);
+    }
+    println!("\nwal append (LOAD + structural inserts, then sync)");
+    let table =
+        Table::new(&["nodes", "policy", "append", "records", "fsyncs"], &[8, 10, 12, 8, 8]);
+    for r in &runs {
+        for p in &r.policies {
+            table.row(&[
+                r.nodes.to_string(),
+                p.policy.to_string(),
+                format!("{:.2?}", p.append),
+                p.records.to_string(),
+                p.fsyncs.to_string(),
+            ]);
+        }
+    }
+
+    emit_json(&out, smoke, &runs);
+}

@@ -11,7 +11,7 @@
 //! ```
 
 use ruid::prelude::*;
-use ruid::{Client, Executor, LoadedDoc, NameIndex, NameIndexed, Ruid2, Server, ServerConfig, ServerHandle, UidScheme};
+use ruid::{Client, Executor, FsyncPolicy, LoadedDoc, NameIndex, NameIndexed, Ruid2, Server, ServerConfig, ServerHandle, UidScheme, WalOp};
 
 /// The usage banner printed on argument errors.
 pub const USAGE: &str = "usage:
@@ -22,6 +22,7 @@ pub const USAGE: &str = "usage:
   ruid-xml parent <file.xml> <global> <local> <true|false>
   ruid-xml serve  [<file.xml>...] [--addr 127.0.0.1:PORT] [--threads N] [--depth D]
                   [--queue-cap N] [--max-line-bytes N] [--read-timeout-ms MS]
+                  [--data-dir DIR] [--fsync always|never|every=<n>]
   ruid-xml client <addr> <command...>";
 
 /// Dispatches one invocation; `args` excludes the program name.
@@ -211,21 +212,52 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
         config.read_timeout_ms =
             ms.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
     }
+    if let Some(dir) = option(args, "--data-dir") {
+        config.data_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(policy) = option(args, "--fsync") {
+        config.fsync = FsyncPolicy::parse(policy)?;
+    }
     let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     let depth = config.depth;
     let with_store = config.with_store;
     let build_threads = config.build_threads;
     let handle = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    // Recovery (with --data-dir) may already have brought documents back;
+    // skip re-loading any preload path that is already in the catalog so
+    // a restart with the same command line is idempotent.
+    let known: Vec<String> =
+        handle.catalog().entries().into_iter().map(|(_, path)| path).collect();
+    let files: Vec<&String> = files.into_iter().filter(|f| !known.contains(f)).collect();
     // With several files the outer fan-out is across documents (sequential
     // build each); a single file gets the whole budget for its inner
     // area/index fan-out. Inserts run in argument order so ids are stable.
     let outer = Executor::new(if files.len() > 1 { build_threads } else { 1 });
     let inner = Executor::new(if files.len() > 1 { 1 } else { build_threads });
-    let docs = outer
-        .try_par_map(&files, |_, file| LoadedDoc::from_file_with(file, depth, with_store, &inner))?;
-    for (file, loaded) in files.iter().zip(docs) {
+    let docs = outer.try_par_map(&files, |_, file| {
+        let text = std::fs::read_to_string(file.as_str())
+            .map_err(|e| format!("cannot read {file}: {e}"))?;
+        LoadedDoc::build_with(file, &text, depth, with_store, &inner).map(|d| (text, d))
+    })?;
+    for (file, (text, loaded)) in files.iter().zip(docs) {
         let nodes = loaded.scheme.len();
-        let id = handle.catalog().insert(loaded);
+        let id = match handle.durability() {
+            Some(d) => {
+                // Pre-loads must hit the WAL like protocol LOADs, or a
+                // restart would silently forget them.
+                let id = handle.catalog().reserve_id();
+                let op = WalOp::Load {
+                    doc_id: id,
+                    path: (*file).clone(),
+                    config: *loaded.scheme.config(),
+                    with_store: loaded.store.is_some(),
+                    xml: text,
+                };
+                d.log_with(&op, || handle.catalog().insert_with_id(id, loaded))?;
+                id
+            }
+            None => handle.catalog().insert(loaded),
+        };
         eprintln!("loaded {file} as document {id} ({nodes} labelled nodes)");
     }
     eprintln!("ruid-service listening on {}", handle.addr());

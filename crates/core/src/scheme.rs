@@ -327,6 +327,75 @@ impl Ruid2Scheme {
         Ok(scheme)
     }
 
+    /// Reassembles a numbering from previously extracted state — the
+    /// restore path of a snapshot. `labels` pairs every labelled node with
+    /// its rUID; the derived tables (reverse map, area roots, flags) are
+    /// rebuilt here rather than trusted from disk.
+    ///
+    /// Validates the parts against each other so a corrupt-but-checksummed
+    /// snapshot (e.g. written by a buggy older version) cannot produce a
+    /// scheme that violates the structural invariants: labels must be
+    /// unique, nodes must exist in `doc`'s arena, the numbering root must
+    /// carry the tree-root label, and area-root labels must correspond
+    /// one-to-one with the rows of table K.
+    pub fn from_parts(
+        doc: &Document,
+        root: NodeId,
+        kappa: u64,
+        ktable: KTable,
+        config: PartitionConfig,
+        labels: &[(NodeId, Ruid2)],
+    ) -> Result<Self, String> {
+        if kappa == 0 {
+            return Err("kappa must be at least 1".into());
+        }
+        let mut scheme = Ruid2Scheme {
+            root,
+            kappa,
+            ktable,
+            labels: vec![None; doc.arena_len()],
+            nodes: HashMap::with_capacity(labels.len()),
+            area_roots: HashMap::new(),
+            is_area_root: vec![false; doc.arena_len()],
+            config,
+        };
+        for &(node, label) in labels {
+            if node.index() >= doc.arena_len() {
+                return Err(format!("label references node {} outside the arena", node.index()));
+            }
+            if scheme.nodes.insert(label, node).is_some() {
+                return Err(format!("duplicate label {label:?}"));
+            }
+            scheme.labels[node.index()] = Some(label);
+            if label.is_root {
+                if scheme.ktable.get(label.global).is_none() {
+                    return Err(format!("area {} has a root label but no row in K", label.global));
+                }
+                scheme.area_roots.insert(label.global, node);
+                scheme.is_area_root[node.index()] = true;
+            }
+        }
+        match scheme.stored_label(root) {
+            Some(l) if l.is_tree_root() => {}
+            other => return Err(format!("numbering root carries {other:?}, not the tree root label")),
+        }
+        if scheme.area_roots.len() != scheme.ktable.rows().len() {
+            return Err(format!(
+                "table K has {} rows but {} area-root labels were restored",
+                scheme.ktable.rows().len(),
+                scheme.area_roots.len()
+            ));
+        }
+        Ok(scheme)
+    }
+
+    /// The label of `node`, or `None` when it is outside the numbering
+    /// (e.g. a prolog comment above the root element) — the non-panicking
+    /// form of [`NumberingScheme::label_of`] that serialization needs.
+    pub fn try_label_of(&self, node: NodeId) -> Option<Ruid2> {
+        self.stored_label(node)
+    }
+
     /// The frame fan-out κ.
     pub fn kappa(&self) -> u64 {
         self.kappa

@@ -1,0 +1,415 @@
+//! Bounded binary readers/writers and the document-tree codec shared by
+//! the snapshot and WAL formats.
+//!
+//! Everything is little-endian and length-prefixed; every read is bounds-
+//! checked against the remaining buffer so that corrupt lengths surface as
+//! [`CodecError`]s instead of panics or huge allocations. The tree codec
+//! serializes a [`Document`] in preorder with explicit child counts, which
+//! makes the rebuild deterministic: nodes are re-created in preorder, so
+//! the *i*-th preorder node of the source maps to the *i*-th created
+//! [`NodeId`] of the rebuilt arena — the property the label section of a
+//! snapshot relies on.
+
+use xmldom::{Document, NodeId, NodeKind};
+
+/// A decode failure: what was being read and why it is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+// ---------------------------------------------------------------- writer
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A string with a u32 byte-length prefix.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, u32::try_from(s.len()).expect("string exceeds u32 bytes"));
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------- reader
+
+/// A bounds-checked cursor over a byte slice.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        match self.bytes.get(self.pos..self.pos.saturating_add(n)) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => err(format!(
+                "truncated {what}: need {n} bytes, {} remain",
+                self.remaining()
+            )),
+        }
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &str) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn str(&mut self, what: &str) -> Result<String, CodecError> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return err(format!("{what}: length {len} exceeds remaining {}", self.remaining()));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError(format!("{what}: invalid utf-8")))
+    }
+
+    pub(crate) fn expect_end(&self, what: &str) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            err(format!("{what}: {} trailing bytes", self.remaining()))
+        }
+    }
+}
+
+// ----------------------------------------------------------- node content
+
+/// The content of one XML node, independent of any document arena — the
+/// unit the WAL logs for a structural insert and the tree codec repeats
+/// per preorder node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeContent {
+    /// An element: tag name + attributes in document order.
+    Element {
+        /// Tag name.
+        name: String,
+        /// `(name, value)` attribute pairs.
+        attributes: Vec<(String, String)>,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+impl NodeContent {
+    /// Captures the content of `node`.
+    ///
+    /// # Panics
+    /// Panics on the document-root node (it has no content to capture).
+    pub fn from_node(doc: &Document, node: NodeId) -> NodeContent {
+        match doc.kind(node) {
+            NodeKind::Element { name, attributes } => NodeContent::Element {
+                name: doc.name_text(*name).to_owned(),
+                attributes: attributes
+                    .iter()
+                    .map(|a| (doc.name_text(a.name).to_owned(), a.value.to_string()))
+                    .collect(),
+            },
+            NodeKind::Text(t) => NodeContent::Text(t.to_string()),
+            NodeKind::Comment(c) => NodeContent::Comment(c.to_string()),
+            NodeKind::ProcessingInstruction { target, data } => {
+                NodeContent::Pi { target: target.to_string(), data: data.to_string() }
+            }
+            NodeKind::Document => panic!("document root has no serializable content"),
+        }
+    }
+
+    /// Creates a detached node with this content in `doc`.
+    pub fn create_in(&self, doc: &mut Document) -> NodeId {
+        match self {
+            NodeContent::Element { name, attributes } => {
+                let node = doc.create_element(name);
+                for (k, v) in attributes {
+                    doc.set_attribute(node, k, v);
+                }
+                node
+            }
+            NodeContent::Text(t) => doc.create_text(t),
+            NodeContent::Comment(c) => doc.create_comment(c),
+            NodeContent::Pi { target, data } => doc.create_pi(target, data),
+        }
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NodeContent::Element { name, attributes } => {
+                put_u8(out, 0);
+                put_str(out, name);
+                put_u16(out, u16::try_from(attributes.len()).expect("too many attributes"));
+                for (k, v) in attributes {
+                    put_str(out, k);
+                    put_str(out, v);
+                }
+            }
+            NodeContent::Text(t) => {
+                put_u8(out, 1);
+                put_str(out, t);
+            }
+            NodeContent::Comment(c) => {
+                put_u8(out, 2);
+                put_str(out, c);
+            }
+            NodeContent::Pi { target, data } => {
+                put_u8(out, 3);
+                put_str(out, target);
+                put_str(out, data);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<NodeContent, CodecError> {
+        Ok(match r.u8("node kind")? {
+            0 => {
+                let name = r.str("element name")?;
+                let n_attrs = r.u16("attribute count")? as usize;
+                let mut attributes = Vec::with_capacity(n_attrs.min(1024));
+                for _ in 0..n_attrs {
+                    let k = r.str("attribute name")?;
+                    let v = r.str("attribute value")?;
+                    attributes.push((k, v));
+                }
+                NodeContent::Element { name, attributes }
+            }
+            1 => NodeContent::Text(r.str("text content")?),
+            2 => NodeContent::Comment(r.str("comment content")?),
+            3 => NodeContent::Pi { target: r.str("pi target")?, data: r.str("pi data")? },
+            other => return err(format!("unknown node kind tag {other}")),
+        })
+    }
+}
+
+// ------------------------------------------------------- partition config
+
+pub(crate) fn put_config(out: &mut Vec<u8>, config: &ruid_core::PartitionConfig) {
+    use ruid_core::PartitionStrategy;
+    match config.strategy {
+        PartitionStrategy::ByDepth(d) => {
+            put_u8(out, 0);
+            put_u64(out, d as u64);
+        }
+        PartitionStrategy::ByAreaSize(m) => {
+            put_u8(out, 1);
+            put_u64(out, m as u64);
+        }
+    }
+    put_u8(out, u8::from(config.fanout_adjustment));
+}
+
+pub(crate) fn read_config(r: &mut Reader<'_>) -> Result<ruid_core::PartitionConfig, CodecError> {
+    use ruid_core::{PartitionConfig, PartitionStrategy};
+    let strategy = match r.u8("partition strategy")? {
+        0 => PartitionStrategy::ByDepth(r.u64("depth")? as usize),
+        1 => PartitionStrategy::ByAreaSize(r.u64("area size")? as usize),
+        other => return err(format!("unknown partition strategy tag {other}")),
+    };
+    let fanout_adjustment = match r.u8("fanout adjustment flag")? {
+        0 => false,
+        1 => true,
+        other => return err(format!("bad bool byte {other}")),
+    };
+    Ok(PartitionConfig { strategy, fanout_adjustment })
+}
+
+// ------------------------------------------------------------- tree codec
+
+/// The preorder node sequence a snapshot aligns its label section with:
+/// every node reachable from the document root, the root itself excluded,
+/// in document order.
+pub fn preorder(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(doc.root()).skip(1).collect()
+}
+
+/// Serializes the whole tree under the document root in preorder with
+/// explicit child counts.
+pub(crate) fn encode_tree(doc: &Document) -> Vec<u8> {
+    let mut out = Vec::new();
+    let top: Vec<NodeId> = doc.children(doc.root()).collect();
+    put_u32(&mut out, top.len() as u32);
+    // Preorder with an explicit stack (documents can be deep).
+    let mut stack: Vec<NodeId> = top.into_iter().rev().collect();
+    while let Some(node) = stack.pop() {
+        NodeContent::from_node(doc, node).encode(&mut out);
+        let children: Vec<NodeId> = doc.children(node).collect();
+        put_u32(&mut out, children.len() as u32);
+        for c in children.into_iter().rev() {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+/// Rebuilds a document from [`encode_tree`] output. Returns the document
+/// and its preorder node list (aligned with [`preorder`] of the source).
+pub(crate) fn decode_tree(bytes: &[u8]) -> Result<(Document, Vec<NodeId>), CodecError> {
+    let mut r = Reader::new(bytes);
+    let mut doc = Document::new();
+    let root = doc.root();
+    let mut order = Vec::new();
+    // (parent, children still to read for it)
+    let mut stack: Vec<(NodeId, u32)> = vec![(root, r.u32("root child count")?)];
+    loop {
+        while matches!(stack.last(), Some(&(_, 0))) {
+            stack.pop();
+        }
+        let Some(&mut (parent, ref mut remaining)) = stack.last_mut() else { break };
+        *remaining -= 1;
+        let content = NodeContent::decode(&mut r)?;
+        let node = content.create_in(&mut doc);
+        doc.append_child(parent, node);
+        order.push(node);
+        let n_children = r.u32("child count")?;
+        if n_children > 0 {
+            stack.push((node, n_children));
+        }
+    }
+    r.expect_end("tree section")?;
+    Ok((doc, order))
+}
+
+/// Names interned by the rebuilt tree, in first-use order — the snapshot's
+/// name-index metadata section. (The *source* document's interner can hold
+/// extra names from deleted nodes; the rebuilt interner cannot, so the
+/// section records the walk order, not the source interner.)
+pub(crate) fn live_names(doc: &Document) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut names = Vec::new();
+    let push = |name: &str, seen: &mut std::collections::HashSet<String>,
+                    names: &mut Vec<String>| {
+        if seen.insert(name.to_owned()) {
+            names.push(name.to_owned());
+        }
+    };
+    for node in doc.descendants(doc.root()) {
+        if let NodeKind::Element { name, attributes } = doc.kind(node) {
+            push(doc.name_text(*name), &mut seen, &mut names);
+            for a in attributes {
+                push(doc.name_text(a.name), &mut seen, &mut names);
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_round_trip_preserves_structure_and_order() {
+        let doc = Document::parse(
+            "<?pi data?><!--top--><a x=\"1\" y=\"2\">t1<b><c/>mid<!--in--></b>t2<d/></a>",
+        )
+        .unwrap();
+        let bytes = encode_tree(&doc);
+        let (rebuilt, order) = decode_tree(&bytes).unwrap();
+        assert!(doc.subtree_eq(doc.root(), &rebuilt, rebuilt.root()));
+        assert_eq!(order.len(), preorder(&doc).len());
+        // Preorder alignment: same content at every position.
+        for (src, dst) in preorder(&doc).iter().zip(order.iter()) {
+            assert_eq!(
+                NodeContent::from_node(&doc, *src),
+                NodeContent::from_node(&rebuilt, *dst)
+            );
+        }
+        // The rebuilt interner is exactly the live-name walk.
+        let live = live_names(&doc);
+        let rebuilt_names: Vec<String> =
+            rebuilt.names().iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(rebuilt_names, live);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_trees() {
+        let doc = Document::parse("<a><b/>text</a>").unwrap();
+        let bytes = encode_tree(&doc);
+        // Truncations at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_tree(&bytes[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_tree(&padded).is_err());
+        // An absurd length prefix errors instead of allocating.
+        let mut huge = bytes;
+        let len = huge.len();
+        huge[len - 5..len - 1].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_tree(&huge).is_err());
+    }
+
+    #[test]
+    fn node_content_round_trip() {
+        for content in [
+            NodeContent::Element {
+                name: "item".into(),
+                attributes: vec![("id".into(), "i5".into()), ("lang".into(), "en".into())],
+            },
+            NodeContent::Text("hello".into()),
+            NodeContent::Comment("注釈".into()),
+            NodeContent::Pi { target: "xml-stylesheet".into(), data: "href='x'".into() },
+        ] {
+            let mut bytes = Vec::new();
+            content.encode(&mut bytes);
+            let mut r = Reader::new(&bytes);
+            assert_eq!(NodeContent::decode(&mut r).unwrap(), content);
+            assert!(r.is_empty());
+        }
+    }
+}

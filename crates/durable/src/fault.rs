@@ -1,0 +1,129 @@
+//! Deterministic I/O fault injection for the storage path.
+//!
+//! The PR-2 network `FaultPlan` (in `ruid-service`) taught the test suite
+//! to script hostile *traffic*; this is the same discipline pointed at the
+//! *disk*. An [`IoFaultPlan`] maps I/O operation indices — counted per
+//! writer or reader instance — to faults: a torn write that persists only
+//! a prefix of the record, a short read that hands recovery a truncated
+//! file, or an fsync that fails after the data was buffered. The plan is
+//! data, not randomness; [`IoFaultPlan::randomized`] scatters faults with
+//! the in-repo SplitMix64 so a seed reproduces the whole storm.
+//!
+//! It lives here (not in `ruid-service`) because the dependency points
+//! the other way: the service consumes this crate.
+
+use std::collections::BTreeMap;
+
+use xmlgen::SplitMix64;
+
+/// One injected I/O fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoFault {
+    /// Persist only the first `at` bytes of the write, then fail — the
+    /// on-disk effect of losing power mid-`write(2)`.
+    TornWrite {
+        /// How many bytes actually reach the file.
+        at: usize,
+    },
+    /// Hand the reader only the first `len` bytes of the file — the
+    /// recovery-time view after a crash that cut the file short.
+    ShortRead {
+        /// How many bytes the read returns.
+        len: usize,
+    },
+    /// The write succeeds but the following fsync reports failure, as a
+    /// dying disk would.
+    FailFsync,
+}
+
+/// A deterministic schedule of I/O faults keyed by operation index
+/// (0-based, counted per writer/reader instance).
+#[derive(Debug, Clone, Default)]
+pub struct IoFaultPlan {
+    faults: BTreeMap<u64, IoFault>,
+}
+
+impl IoFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// Adds `fault` at operation index `index` (builder style).
+    #[must_use]
+    pub fn inject(mut self, index: u64, fault: IoFault) -> IoFaultPlan {
+        self.faults.insert(index, fault);
+        self
+    }
+
+    /// A seeded random plan over `ops` operation indices: each index
+    /// independently draws a fault with probability `p`, chosen uniformly
+    /// from `menu`. Equal seeds give equal plans on every platform.
+    pub fn randomized(seed: u64, ops: u64, p: f64, menu: &[IoFault]) -> IoFaultPlan {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut plan = IoFaultPlan::new();
+        if menu.is_empty() {
+            return plan;
+        }
+        for index in 0..ops {
+            if rng.gen_bool(p) {
+                plan.faults.insert(index, menu[rng.gen_range(0..menu.len())].clone());
+            }
+        }
+        plan
+    }
+
+    /// The fault scheduled at operation `index`, if any.
+    pub fn fault_at(&self, index: u64) -> Option<&IoFault> {
+        self.faults.get(&index)
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over `(index, fault)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &IoFault)> {
+        self.faults.iter().map(|(&i, f)| (i, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_plan_fires_at_exact_indices() {
+        let plan = IoFaultPlan::new()
+            .inject(1, IoFault::FailFsync)
+            .inject(4, IoFault::TornWrite { at: 7 });
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fault_at(0), None);
+        assert_eq!(plan.fault_at(1), Some(&IoFault::FailFsync));
+        assert_eq!(plan.fault_at(4), Some(&IoFault::TornWrite { at: 7 }));
+    }
+
+    #[test]
+    fn randomized_is_deterministic_by_seed() {
+        let menu =
+            [IoFault::FailFsync, IoFault::TornWrite { at: 3 }, IoFault::ShortRead { len: 10 }];
+        let a = IoFaultPlan::randomized(11, 300, 0.2, &menu);
+        let b = IoFaultPlan::randomized(11, 300, 0.2, &menu);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        assert!(!a.is_empty());
+        let c = IoFaultPlan::randomized(12, 300, 0.2, &menu);
+        assert_ne!(a.iter().collect::<Vec<_>>(), c.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_menu_or_zero_ops_injects_nothing() {
+        assert!(IoFaultPlan::randomized(1, 100, 1.0, &[]).is_empty());
+        assert!(IoFaultPlan::randomized(1, 0, 1.0, &[IoFault::FailFsync]).is_empty());
+    }
+}

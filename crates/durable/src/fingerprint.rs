@@ -1,0 +1,120 @@
+//! Canonical catalog fingerprints for crash-consistency assertions.
+//!
+//! A fingerprint hashes everything durability is responsible for — κ,
+//! table K, the partition policy, and every node's content *and* label in
+//! preorder — into one u64 (FNV-1a). Two states fingerprint equal iff a
+//! query engine could not tell them apart, which is exactly the property
+//! the crash-point sweep checks: after killing the WAL at an arbitrary
+//! byte, recovery must land on the fingerprint of a legal pre-op or
+//! post-op state, never on a third value.
+
+use ruid_core::Ruid2Scheme;
+use xmldom::Document;
+
+use crate::codec::{put_config, put_u64, put_u8, NodeContent};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Canonical bytes of one numbered document.
+fn doc_bytes(doc: &Document, scheme: &Ruid2Scheme) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, scheme.kappa());
+    put_config(&mut out, scheme.config());
+    for row in scheme.ktable().rows() {
+        put_u64(&mut out, row.global);
+        put_u64(&mut out, row.local);
+        put_u64(&mut out, row.fanout);
+    }
+    for node in crate::codec::preorder(doc) {
+        NodeContent::from_node(doc, node).encode(&mut out);
+        match scheme.try_label_of(node) {
+            Some(label) => {
+                put_u8(&mut out, 1);
+                out.extend_from_slice(&label.to_bytes());
+            }
+            None => put_u8(&mut out, 0),
+        }
+    }
+    out
+}
+
+/// Fingerprint of one numbered document.
+pub fn doc_fingerprint(doc: &Document, scheme: &Ruid2Scheme) -> u64 {
+    fnv1a(&doc_bytes(doc, scheme))
+}
+
+/// Fingerprint of a whole catalog: `(id, document)` entries, order
+/// insensitive (entries are sorted by id here).
+pub fn catalog_fingerprint<'a, I>(docs: I) -> u64
+where
+    I: IntoIterator<Item = (u64, &'a Document, &'a Ruid2Scheme)>,
+{
+    let mut entries: Vec<(u64, u64)> =
+        docs.into_iter().map(|(id, d, s)| (id, doc_fingerprint(d, s))).collect();
+    entries.sort_unstable();
+    let mut bytes = Vec::with_capacity(entries.len() * 16);
+    for (id, fp) in entries {
+        put_u64(&mut bytes, id);
+        put_u64(&mut bytes, fp);
+    }
+    fnv1a(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DocState;
+    use ruid_core::PartitionConfig;
+
+    fn state(xml: &str) -> DocState {
+        DocState::build(1, "t.xml".into(), xml, PartitionConfig::by_depth(2), false).unwrap()
+    }
+
+    #[test]
+    fn equal_states_fingerprint_equal() {
+        let a = state("<a><b x=\"1\"/>text</a>");
+        let b = state("<a><b x=\"1\"/>text</a>");
+        assert_eq!(
+            doc_fingerprint(&a.doc, &a.scheme),
+            doc_fingerprint(&b.doc, &b.scheme)
+        );
+    }
+
+    #[test]
+    fn content_label_and_structure_changes_all_move_the_fingerprint() {
+        let base = state("<a><b/><c/></a>");
+        let base_fp = doc_fingerprint(&base.doc, &base.scheme);
+        for other in ["<a><b/><d/></a>", "<a><c/><b/></a>", "<a><b/></a>", "<a><b y=\"2\"/><c/></a>"]
+        {
+            let s = state(other);
+            assert_ne!(doc_fingerprint(&s.doc, &s.scheme), base_fp, "{other}");
+        }
+        // Same tree, different partition → different K → different print.
+        let repart =
+            DocState::build(1, "t.xml".into(), "<a><b/><c/></a>", PartitionConfig::by_depth(1), false)
+                .unwrap();
+        assert_ne!(doc_fingerprint(&repart.doc, &repart.scheme), base_fp);
+    }
+
+    #[test]
+    fn catalog_fingerprint_is_order_insensitive_but_id_sensitive() {
+        let a = state("<a/>");
+        let b = state("<b/>");
+        let fwd = catalog_fingerprint([(1, &a.doc, &a.scheme), (2, &b.doc, &b.scheme)]);
+        let rev = catalog_fingerprint([(2, &b.doc, &b.scheme), (1, &a.doc, &a.scheme)]);
+        assert_eq!(fwd, rev);
+        let swapped = catalog_fingerprint([(2, &a.doc, &a.scheme), (1, &b.doc, &b.scheme)]);
+        assert_ne!(fwd, swapped);
+        assert_ne!(fwd, catalog_fingerprint([(1, &a.doc, &a.scheme)]));
+    }
+}

@@ -1,0 +1,99 @@
+//! The recoverable unit: one catalog document plus its numbering, and the
+//! single `apply` path shared by live mutation logging and WAL replay.
+//!
+//! Sharing `apply` is what makes the crash-point sweep meaningful: the
+//! state a replayed op produces is byte-for-byte the state the live op
+//! produced, because it is literally the same code.
+
+use ruid_core::{PartitionConfig, Ruid2Scheme};
+use schemes::NumberingScheme;
+use xmldom::Document;
+
+use crate::codec::NodeContent;
+use crate::wal::WalOp;
+
+/// One document's durable state: everything a snapshot stores and a
+/// served catalog entry can be rebuilt from.
+#[derive(Debug)]
+pub struct DocState {
+    /// Catalog id.
+    pub id: u64,
+    /// Origin path (reporting only).
+    pub path: String,
+    /// Partition policy of the numbering.
+    pub config: PartitionConfig,
+    /// Whether the serving layer keeps a node store for this document.
+    pub with_store: bool,
+    /// The document tree.
+    pub doc: Document,
+    /// The rUID numbering over it.
+    pub scheme: Ruid2Scheme,
+}
+
+impl DocState {
+    /// Parses `xml` and numbers it — the state a [`WalOp::Load`] creates.
+    pub fn build(
+        id: u64,
+        path: String,
+        xml: &str,
+        config: PartitionConfig,
+        with_store: bool,
+    ) -> Result<DocState, String> {
+        let doc = Document::parse(xml).map_err(|e| format!("parse {path}: {e}"))?;
+        let scheme =
+            Ruid2Scheme::try_build(&doc, &config).map_err(|e| format!("number {path}: {e}"))?;
+        Ok(DocState { id, path, config, with_store, doc, scheme })
+    }
+
+    /// Applies one structural op ([`WalOp::Insert`] / [`WalOp::Delete`] /
+    /// [`WalOp::Repartition`]) to this document. `Load`/`Unload` are
+    /// catalog-level and rejected here.
+    pub fn apply(&mut self, op: &WalOp) -> Result<(), String> {
+        match op {
+            WalOp::Insert { parent, position, content, .. } => {
+                self.insert(parent, *position, content).map(|_| ())
+            }
+            WalOp::Delete { label, .. } => self.delete(label),
+            WalOp::Repartition { .. } => self
+                .scheme
+                .repartition(&self.doc)
+                .map(|_| ())
+                .map_err(|e| format!("repartition: {e}")),
+            WalOp::Load { .. } | WalOp::Unload { .. } => {
+                Err("load/unload are catalog ops, not document ops".into())
+            }
+        }
+    }
+
+    /// Inserts `content` as the `position`-th child of the node labelled
+    /// `parent` and renumbers incrementally. Returns the new node's id.
+    pub fn insert(
+        &mut self,
+        parent: &ruid_core::Ruid2,
+        position: u32,
+        content: &NodeContent,
+    ) -> Result<xmldom::NodeId, String> {
+        let parent_node =
+            self.scheme.node_of(parent).ok_or_else(|| format!("no node labelled {parent}"))?;
+        let new_node = content.create_in(&mut self.doc);
+        match self.doc.children(parent_node).nth(position as usize) {
+            Some(anchor) => self.doc.insert_before(anchor, new_node),
+            None => self.doc.append_child(parent_node, new_node),
+        }
+        self.scheme.on_insert(&self.doc, new_node);
+        Ok(new_node)
+    }
+
+    /// Detaches the subtree labelled `label` and renumbers incrementally.
+    pub fn delete(&mut self, label: &ruid_core::Ruid2) -> Result<(), String> {
+        let node =
+            self.scheme.node_of(label).ok_or_else(|| format!("no node labelled {label}"))?;
+        let parent = self
+            .doc
+            .parent(node)
+            .ok_or_else(|| format!("{label} labels the document root; cannot delete"))?;
+        self.doc.detach(node);
+        self.scheme.on_delete(&self.doc, parent, node);
+        Ok(())
+    }
+}

@@ -64,7 +64,7 @@ pub use xpath::{
     UidAxes,
 };
 pub use ruid_service as service;
-pub use ruid_service::{Catalog, Client, LoadedDoc, Metrics, Server, ServerConfig, ServerHandle, ThreadPool};
+pub use ruid_service::{Catalog, Client, Durability, FsyncPolicy, LoadedDoc, Metrics, Server, ServerConfig, ServerHandle, ThreadPool, WalOp};
 
 /// Everything a typical user needs, for `use ruid::prelude::*`.
 pub mod prelude {

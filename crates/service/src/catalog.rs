@@ -82,6 +82,27 @@ impl LoadedDoc {
         Ok(LoadedDoc { path: path.to_owned(), doc, scheme, index, order, store })
     }
 
+    /// Rebuilds the serving bundle around a document and numbering that
+    /// recovery already reconstructed (snapshot + WAL replay). The name
+    /// index, document order and optional store are pure derivations of
+    /// the tree, so recomputing them here keeps the durable format down
+    /// to what cannot be re-derived.
+    pub fn from_recovered(
+        path: String,
+        doc: Document,
+        scheme: Ruid2Scheme,
+        with_store: bool,
+    ) -> LoadedDoc {
+        let index = NameIndex::build(&doc);
+        let order = DocOrder::build(&doc);
+        let store = with_store.then(|| {
+            let mut store = XmlStore::in_memory();
+            store.load_document(&doc, &scheme);
+            store
+        });
+        LoadedDoc { path, doc, scheme, index, order, store }
+    }
+
     /// Reads and builds from a file on disk.
     pub fn from_file(path: &str, depth: usize, with_store: bool) -> Result<LoadedDoc, String> {
         LoadedDoc::from_file_with(path, depth, with_store, &Executor::new(1))
@@ -127,9 +148,48 @@ impl Catalog {
 
     /// Registers a document under a fresh id. Takes one shard's write lock.
     pub fn insert(&self, doc: LoadedDoc) -> DocId {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shard(id).write().unwrap().insert(id, Arc::new(doc));
+        let id = self.reserve_id();
+        self.insert_with_id(id, doc);
         id
+    }
+
+    /// Hands out a fresh id without inserting anything — the durable load
+    /// path reserves the id first so the WAL record and the catalog entry
+    /// agree on it even when the insert happens later.
+    pub fn reserve_id(&self) -> DocId {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a document under a caller-chosen id (recovery replays
+    /// historical ids). Keeps the id counter ahead of every id ever seen,
+    /// so post-recovery loads never collide.
+    pub fn insert_with_id(&self, id: DocId, doc: LoadedDoc) {
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        self.shard(id).write().unwrap().insert(id, Arc::new(doc));
+    }
+
+    /// Raises the id counter to at least `next` — recovery calls this so
+    /// ids of unloaded (or quarantined) documents are never reused.
+    pub fn ensure_next_id(&self, next: DocId) {
+        self.next_id.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// `(id, Arc)` of every loaded document, ascending by id — the
+    /// snapshot writer borrows the trees through these Arcs.
+    pub fn snapshot_docs(&self) -> Vec<(DocId, Arc<LoadedDoc>)> {
+        let mut all: Vec<(DocId, Arc<LoadedDoc>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap()
+                    .iter()
+                    .map(|(&id, d)| (id, Arc::clone(d)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable_by_key(|&(id, _)| id);
+        all
     }
 
     /// Fetches a document for reading. Takes one shard's read lock only

@@ -51,6 +51,22 @@
 //!   `oversized`, `torn`, `deadline_read`, `deadline_write`,
 //!   `deadline_request`), reported by `METRICS`.
 //!
+//! ## Durability
+//!
+//! Started with a `data_dir`, the server persists the catalog:
+//!
+//! * Every `LOAD`/`UNLOAD` is appended to a checksummed **write-ahead
+//!   log** (fsync policy: `always` / `every=<n>` / `never`) *before* the
+//!   catalog changes.
+//! * `SNAPSHOT` writes a checksummed snapshot of every loaded document,
+//!   installs it atomically (write-temp → fsync → rename), and rotates to
+//!   a fresh WAL segment; `PERSIST` forces the WAL to disk on demand.
+//! * On startup the newest valid snapshot is loaded and the WAL chain
+//!   replayed; torn record tails are truncated, and a document whose
+//!   persisted sections fail their checksums is **quarantined** (dropped
+//!   with a reason, reported via `METRICS` and stderr) instead of
+//!   aborting the server. See [`Durability`] and the `durable` crate.
+//!
 //! ## Protocol
 //!
 //! One request per line, one response line per request (`OK ...` or
@@ -68,6 +84,8 @@
 //! GET <doc> <g> <l> <true|false>        subtree XML of one identifier
 //! STATS <doc>                           tree + numbering statistics
 //! METRICS                               per-command counters + latency
+//! SNAPSHOT                              install a catalog snapshot, rotate the WAL
+//! PERSIST                               fsync the write-ahead log now
 //! SHUTDOWN                              graceful stop
 //! ```
 //!
@@ -90,13 +108,18 @@ mod client;
 mod fault;
 mod framing;
 mod metrics;
+mod persist;
 pub mod proto;
 mod server;
 
 pub use catalog::{Catalog, DocId, LoadedDoc};
 pub use client::Client;
+// Durability building blocks, re-exported so embedders configure the
+// server without naming the `durable` crate directly.
+pub use durable::{FsyncPolicy, WalOp};
 pub use fault::{Fault, FaultPlan};
 pub use metrics::{Command, Histogram, Metrics};
+pub use persist::{Durability, RecoverySummary};
 // The pool moved to the reusable `par` crate so the build pipeline and the
 // server share one threading layer; re-exported here for compatibility.
 pub use par::{PoolClosed, SubmitError, ThreadPool};

@@ -94,6 +94,10 @@ pub enum Command {
     Stats,
     /// `METRICS`
     Metrics,
+    /// `SNAPSHOT`
+    Snapshot,
+    /// `PERSIST`
+    Persist,
     /// `SHUTDOWN`
     Shutdown,
     /// Unparseable input.
@@ -101,7 +105,7 @@ pub enum Command {
 }
 
 /// Every command, aligned with the `repr(usize)` discriminants.
-pub const COMMANDS: [Command; 13] = [
+pub const COMMANDS: [Command; 15] = [
     Command::Ping,
     Command::Load,
     Command::Unload,
@@ -113,6 +117,8 @@ pub const COMMANDS: [Command; 13] = [
     Command::Get,
     Command::Stats,
     Command::Metrics,
+    Command::Snapshot,
+    Command::Persist,
     Command::Shutdown,
     Command::Invalid,
 ];
@@ -132,6 +138,8 @@ impl Command {
             Command::Get => "GET",
             Command::Stats => "STATS",
             Command::Metrics => "METRICS",
+            Command::Snapshot => "SNAPSHOT",
+            Command::Persist => "PERSIST",
             Command::Shutdown => "SHUTDOWN",
             Command::Invalid => "INVALID",
         }

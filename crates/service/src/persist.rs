@@ -1,0 +1,264 @@
+//! The service's durability manager: one write-ahead log for catalog
+//! mutations plus snapshot rotation, layered on the `durable` crate.
+//!
+//! Invariant: the WAL and the catalog agree because every durable
+//! mutation runs under the manager's mutex — the record is appended
+//! *before* the catalog changes, and a snapshot freezes the catalog and
+//! rotates to a fresh segment inside the same critical section. Readers
+//! (queries) never touch the mutex.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use durable::{
+    recover, snapshot_file_name, wal_file_name, write_snapshot, DocState, DocView, FsyncPolicy,
+    WalOp, WalWriter,
+};
+
+use crate::catalog::{Catalog, DocId, LoadedDoc};
+
+/// What startup recovery found, frozen for metrics reporting.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySummary {
+    /// Generation of the snapshot the catalog was restored from.
+    pub snapshot_generation: Option<u64>,
+    /// Snapshot files skipped for header/directory damage.
+    pub snapshots_skipped: u64,
+    /// Documents restored from the snapshot.
+    pub snapshot_docs: u64,
+    /// WAL records replayed.
+    pub replayed: u64,
+    /// Torn-tail bytes truncated from WAL segments.
+    pub truncated_bytes: u64,
+    /// WAL segments skipped because the generation chain below them broke.
+    pub orphaned_segments: u64,
+    /// Documents dropped during recovery (checksum or replay failure).
+    pub quarantined: Vec<(u64, String)>,
+}
+
+struct Inner {
+    wal: WalWriter,
+    generation: u64,
+}
+
+/// The per-server durability manager (absent when `--data-dir` is not
+/// given): owns the live WAL segment and installs snapshots.
+pub struct Durability {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    inner: Mutex<Inner>,
+    snapshots: AtomicU64,
+    recovery: RecoverySummary,
+}
+
+impl Durability {
+    /// Recovers the catalog persisted in `dir` (created if missing),
+    /// resumes the WAL at its valid tail, and returns the manager plus
+    /// the recovered documents for the caller to install.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<(Durability, Vec<DocState>, u64)> {
+        let recovered = recover(dir)?;
+        let wal = WalWriter::resume(
+            dir,
+            recovered.generation,
+            recovered.wal_valid_bytes,
+            recovered.wal_next_seq,
+            policy,
+        )?;
+        let r = &recovered.report;
+        let durability = Durability {
+            dir: dir.to_path_buf(),
+            policy,
+            inner: Mutex::new(Inner { wal, generation: recovered.generation }),
+            snapshots: AtomicU64::new(0),
+            recovery: RecoverySummary {
+                snapshot_generation: r.snapshot_generation,
+                snapshots_skipped: r.snapshots_skipped,
+                snapshot_docs: r.snapshot_docs,
+                replayed: r.replayed,
+                truncated_bytes: r.truncated_bytes,
+                orphaned_segments: r.orphaned_segments,
+                quarantined: r.quarantined.clone(),
+            },
+        };
+        Ok((durability, recovered.docs, recovered.next_doc_id))
+    }
+
+    /// Appends `op` to the WAL and, only if the append succeeds, runs
+    /// `apply` (the catalog mutation) inside the same critical section —
+    /// so a snapshot can never observe a catalog state whose WAL record
+    /// landed in an already-rotated segment.
+    pub fn log_with<R>(&self, op: &WalOp, apply: impl FnOnce() -> R) -> Result<R, String> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.wal.append(op).map_err(|e| format!("wal append failed: {e}"))?;
+        Ok(apply())
+    }
+
+    /// Forces the WAL to stable storage (the `PERSIST` verb). Returns the
+    /// records and bytes now durable.
+    pub fn persist(&self) -> Result<(u64, u64), String> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.wal.sync().map_err(|e| format!("wal fsync failed: {e}"))?;
+        Ok((inner.wal.records(), inner.wal.bytes()))
+    }
+
+    /// Writes a snapshot of the whole catalog as generation `g+1`,
+    /// atomically installs it, starts the paired fresh WAL segment, and
+    /// removes files older than the previous generation (one older
+    /// snapshot is kept as a fallback base). Returns `(generation, docs)`.
+    pub fn snapshot(&self, catalog: &Catalog) -> Result<(u64, usize), String> {
+        let mut inner = self.inner.lock().unwrap();
+        let new_gen = inner.generation + 1;
+        let entries: Vec<(DocId, Arc<LoadedDoc>)> = catalog.snapshot_docs();
+        let views: Vec<DocView<'_>> = entries
+            .iter()
+            .map(|(id, d)| DocView {
+                id: *id,
+                path: &d.path,
+                config: *d.scheme.config(),
+                with_store: d.store.is_some(),
+                doc: &d.doc,
+                scheme: &d.scheme,
+            })
+            .collect();
+        write_snapshot(&self.dir, new_gen, &views)
+            .map_err(|e| format!("snapshot write failed: {e}"))?;
+        inner.wal = WalWriter::create(&self.dir, new_gen, self.policy)
+            .map_err(|e| format!("wal rotation failed: {e}"))?;
+        let old_gen = inner.generation;
+        inner.generation = new_gen;
+        drop(inner);
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        // Best-effort cleanup below the fallback generation; leftover
+        // files only cost disk, never correctness (recovery ignores
+        // segments with a broken chain and prefers newer snapshots).
+        for g in (0..old_gen).rev().take(8) {
+            let _ = std::fs::remove_file(self.dir.join(snapshot_file_name(g)));
+            let _ = std::fs::remove_file(self.dir.join(wal_file_name(g)));
+        }
+        Ok((new_gen, views.len()))
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The current snapshot/WAL generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().generation
+    }
+
+    /// Snapshots installed by this process.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// What startup recovery found.
+    pub fn recovery(&self) -> &RecoverySummary {
+        &self.recovery
+    }
+
+    /// The durability segment of the `METRICS` line:
+    /// `durability=on generation=.. wal_records=.. ... quarantined=..`.
+    pub fn render_line(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        format!(
+            "durability=on fsync={} generation={} wal_records={} wal_bytes={} wal_fsyncs={} \
+             snapshots={} recovered_docs={} replayed={} truncated_bytes={} orphaned_segments={} \
+             snapshots_skipped={} quarantined={}",
+            self.policy,
+            inner.generation,
+            inner.wal.records(),
+            inner.wal.bytes(),
+            inner.wal.fsyncs(),
+            self.snapshots.load(Ordering::Relaxed),
+            self.recovery.snapshot_docs,
+            self.recovery.replayed,
+            self.recovery.truncated_bytes,
+            self.recovery.orphaned_segments,
+            self.recovery.snapshots_skipped,
+            self.recovery.quarantined.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruid_core::PartitionConfig;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn load_op(id: u64, xml: &str) -> WalOp {
+        WalOp::Load {
+            doc_id: id,
+            path: format!("doc{id}.xml"),
+            config: PartitionConfig::by_depth(2),
+            with_store: true,
+            xml: xml.into(),
+        }
+    }
+
+    #[test]
+    fn log_snapshot_reopen_round_trip() {
+        let dir = test_dir("round_trip");
+        let catalog = Catalog::new(4);
+        {
+            let (d, docs, next) = Durability::open(&dir, FsyncPolicy::Always).unwrap();
+            assert!(docs.is_empty());
+            assert_eq!(next, 1);
+            let id = catalog.reserve_id();
+            let loaded =
+                LoadedDoc::build("doc1.xml", "<a><b/><c>t</c></a>", 2, true).unwrap();
+            d.log_with(&load_op(id, "<a><b/><c>t</c></a>"), || {
+                catalog.insert_with_id(id, loaded)
+            })
+            .unwrap();
+            let (generation, count) = d.snapshot(&catalog).unwrap();
+            assert_eq!((generation, count), (1, 1));
+            assert_eq!(d.generation(), 1);
+            assert_eq!(d.snapshots(), 1);
+            let line = d.render_line();
+            assert!(line.contains("durability=on"), "{line}");
+            assert!(line.contains("generation=1"), "{line}");
+        }
+        // Reopen: the snapshot alone restores the document.
+        let (d, docs, next) = Durability::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].id, 1);
+        assert!(docs[0].with_store);
+        assert_eq!(next, 2);
+        assert_eq!(d.recovery().snapshot_generation, Some(1));
+        assert_eq!(d.generation(), 1);
+    }
+
+    #[test]
+    fn wal_tail_survives_without_snapshot() {
+        let dir = test_dir("wal_tail");
+        {
+            let (d, _, _) = Durability::open(&dir, FsyncPolicy::Always).unwrap();
+            d.log_with(&load_op(1, "<x><y/></x>"), || ()).unwrap();
+            d.log_with(&WalOp::Unload { doc_id: 1 }, || ()).unwrap();
+            d.log_with(&load_op(2, "<z/>"), || ()).unwrap();
+        }
+        let (d, docs, next) = Durability::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].id, 2);
+        assert_eq!(next, 3);
+        assert_eq!(d.recovery().replayed, 3);
+        assert_eq!(d.recovery().snapshot_generation, None);
+    }
+}

@@ -66,6 +66,10 @@ pub enum Request {
     Stats(u64),
     /// `METRICS` — service counters and latency quantiles.
     Metrics,
+    /// `SNAPSHOT` — write and install a catalog snapshot, rotate the WAL.
+    Snapshot,
+    /// `PERSIST` — fsync the write-ahead log now.
+    Persist,
     /// `SHUTDOWN` — stop the server gracefully.
     Shutdown,
 }
@@ -107,6 +111,8 @@ impl Request {
             Request::Get { .. } => Command::Get,
             Request::Stats(_) => Command::Stats,
             Request::Metrics => Command::Metrics,
+            Request::Snapshot => Command::Snapshot,
+            Request::Persist => Command::Persist,
             Request::Shutdown => Command::Shutdown,
         }
     }
@@ -211,6 +217,8 @@ pub fn parse(line: &str) -> Result<Request, String> {
             Ok(Request::Stats(parse_u64(args[0], "document id")?))
         }
         "METRICS" => arity(0, "METRICS").map(|()| Request::Metrics),
+        "SNAPSHOT" => arity(0, "SNAPSHOT").map(|()| Request::Snapshot),
+        "PERSIST" => arity(0, "PERSIST").map(|()| Request::Persist),
         "SHUTDOWN" => arity(0, "SHUTDOWN").map(|()| Request::Shutdown),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -269,6 +277,8 @@ mod tests {
         );
         assert_eq!(parse("STATS 9").unwrap(), Request::Stats(9));
         assert_eq!(parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse("SNAPSHOT").unwrap(), Request::Snapshot);
+        assert_eq!(parse("persist").unwrap(), Request::Persist);
         assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
     }
 
@@ -313,6 +323,8 @@ mod tests {
         assert!(parse("SCAN 1").is_err());
         assert!(parse("STATS").is_err());
         assert!(parse("PING extra").is_err());
+        assert!(parse("SNAPSHOT now").is_err());
+        assert!(parse("PERSIST 1").is_err());
     }
 
     #[test]

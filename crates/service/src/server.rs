@@ -29,10 +29,13 @@ use xmldom::TreeStats;
 use xmlstore::record::StoredKind;
 use xpath::{Evaluator, NameIndexed, RuidAxes, TreeAxes};
 
+use durable::{FsyncPolicy, WalOp};
+
 use crate::catalog::{Catalog, LoadedDoc};
 use crate::fault::{Fault, FaultPlan};
 use crate::framing::{read_request_line, ReadOutcome};
 use crate::metrics::{Command, Metrics};
+use crate::persist::Durability;
 use par::{SubmitError, ThreadPool};
 use crate::proto::{self, Engine, Request};
 
@@ -74,6 +77,13 @@ pub struct ServerConfig {
     /// Deterministic fault injection for chaos tests; `None` in
     /// production.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Durability directory: when set, startup recovers the catalog from
+    /// it (snapshot + WAL replay) and every `LOAD`/`UNLOAD` is logged to
+    /// the write-ahead log before it takes effect. `None` keeps the
+    /// catalog purely in memory.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// When the WAL is forced to disk (ignored without `data_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +101,8 @@ impl Default for ServerConfig {
             write_timeout_ms: 2_000,
             request_timeout_ms: 30_000,
             fault_plan: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -119,16 +131,54 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     catalog: Arc<Catalog>,
     metrics: Arc<Metrics>,
+    durability: Option<Arc<Durability>>,
 }
 
 impl Server {
     /// Binds `config.addr`, spawns the worker pool and the acceptor
     /// thread, and returns immediately.
+    ///
+    /// With `config.data_dir` set, the catalog is first recovered from
+    /// the newest valid snapshot plus the WAL chain; documents whose
+    /// persisted sections fail their checksums are quarantined (reported
+    /// via `METRICS` and stderr), never served, and never abort startup.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let catalog = Arc::new(Catalog::new(config.shards));
         let metrics = Arc::new(Metrics::new());
+        let durability = match &config.data_dir {
+            Some(dir) => {
+                let (durability, docs, next_doc_id) = Durability::open(dir, config.fsync)?;
+                catalog.ensure_next_id(next_doc_id);
+                let report = durability.recovery();
+                if report.replayed > 0 || report.snapshot_docs > 0 {
+                    eprintln!(
+                        "[ruid-service] recovered {} document(s) from {} \
+                         (snapshot {:?}, {} wal records replayed, {} torn bytes dropped)",
+                        docs.len(),
+                        dir.display(),
+                        report.snapshot_generation,
+                        report.replayed,
+                        report.truncated_bytes,
+                    );
+                }
+                for (id, reason) in &report.quarantined {
+                    eprintln!("[ruid-service] quarantined document {id}: {reason}");
+                }
+                for state in docs {
+                    let loaded = LoadedDoc::from_recovered(
+                        state.path,
+                        state.doc,
+                        state.scheme,
+                        state.with_store,
+                    );
+                    catalog.insert_with_id(state.id, loaded);
+                }
+                Some(Arc::new(durability))
+            }
+            None => None,
+        };
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = ThreadPool::new(config.threads, config.queue_cap);
 
@@ -136,6 +186,7 @@ impl Server {
             let catalog = Arc::clone(&catalog);
             let metrics = Arc::clone(&metrics);
             let shutdown = Arc::clone(&shutdown);
+            let durability = durability.clone();
             // Monotone request index driving the fault plan, shared by
             // every connection of this server instance.
             let request_counter = Arc::new(AtomicU64::new(0));
@@ -149,15 +200,19 @@ impl Server {
                         &catalog,
                         &metrics,
                         &shutdown,
+                        &durability,
                         &request_counter,
                     );
                     pool.shutdown();
                     eprint!("[ruid-service] final metrics\n{}", metrics.render_table());
+                    if let Some(d) = &durability {
+                        eprintln!("{}", d.render_line());
+                    }
                 })
                 .expect("spawn acceptor thread")
         };
 
-        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), catalog, metrics })
+        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), catalog, metrics, durability })
     }
 }
 
@@ -176,6 +231,13 @@ impl ServerHandle {
     /// The shared metrics.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The durability manager, when the server was started with a data
+    /// directory — embedders that pre-load documents directly into the
+    /// catalog must log them through this to keep the WAL authoritative.
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
     }
 
     /// True once `SHUTDOWN` was received or [`ServerHandle::stop`] ran.
@@ -216,6 +278,7 @@ impl Drop for ServerHandle {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: &TcpListener,
     pool: &ThreadPool,
@@ -223,6 +286,7 @@ fn accept_loop(
     catalog: &Arc<Catalog>,
     metrics: &Arc<Metrics>,
     shutdown: &Arc<AtomicBool>,
+    durability: &Option<Arc<Durability>>,
     request_counter: &Arc<AtomicU64>,
 ) {
     for stream in listener.incoming() {
@@ -238,6 +302,7 @@ fn accept_loop(
         let metrics_job = Arc::clone(metrics);
         let shutdown = Arc::clone(shutdown);
         let config = config.clone();
+        let durability = durability.clone();
         let request_counter = Arc::clone(request_counter);
         let submitted = pool.try_execute(move || {
             let _ = serve_connection(
@@ -246,6 +311,7 @@ fn accept_loop(
                 &catalog,
                 &metrics_job,
                 &shutdown,
+                durability.as_deref(),
                 &request_counter,
             );
         });
@@ -306,6 +372,7 @@ fn serve_connection(
     catalog: &Catalog,
     metrics: &Metrics,
     shutdown: &AtomicBool,
+    durability: Option<&Durability>,
     request_counter: &AtomicU64,
 ) -> std::io::Result<()> {
     // The short poll timeout lets the worker notice server shutdown and
@@ -390,7 +457,7 @@ fn serve_connection(
             // the per-request deadline.
             std::thread::sleep(Duration::from_millis(ms));
         }
-        let (command, mut response) = handle_line(line, config, catalog, metrics);
+        let (command, mut response) = handle_line(line, config, catalog, metrics, durability);
         let elapsed = started.elapsed();
         let mut is_error = response.starts_with("ERR");
         if elapsed > config.request_deadline() {
@@ -433,11 +500,12 @@ pub fn handle_line(
     config: &ServerConfig,
     catalog: &Catalog,
     metrics: &Metrics,
+    durability: Option<&Durability>,
 ) -> (Command, String) {
     match proto::parse(line) {
         Ok(request) => {
             let command = request.command();
-            (command, dispatch(request, config, catalog, metrics))
+            (command, dispatch(request, config, catalog, metrics, durability))
         }
         Err(e) => (Command::Invalid, format!("ERR {e}")),
     }
@@ -448,8 +516,9 @@ fn dispatch(
     config: &ServerConfig,
     catalog: &Catalog,
     metrics: &Metrics,
+    durability: Option<&Durability>,
 ) -> String {
-    match execute(request, config, catalog, metrics) {
+    match execute(request, config, catalog, metrics, durability) {
         Ok(ok) => ok,
         Err(e) => format!("ERR {}", proto::escape_line(&e)),
     }
@@ -464,19 +533,51 @@ fn execute(
     config: &ServerConfig,
     catalog: &Catalog,
     metrics: &Metrics,
+    durability: Option<&Durability>,
 ) -> Result<String, String> {
     match request {
         Request::Ping => Ok("OK pong".into()),
         Request::Load { path, depth } => {
             let exec = par::Executor::new(config.build_threads);
-            let loaded = LoadedDoc::from_file_with(&path, depth, config.with_store, &exec)?;
+            // Read the text once: the build parses it, and the durable
+            // path logs the same bytes so replay never depends on the
+            // origin file surviving (or staying unchanged).
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let loaded =
+                LoadedDoc::build_with(&path, &text, depth, config.with_store, &exec)?;
             let nodes = loaded.doc.node_count();
             let areas = loaded.scheme.area_count();
-            let id = catalog.insert(loaded);
+            let id = match durability {
+                Some(d) => {
+                    let id = catalog.reserve_id();
+                    let op = WalOp::Load {
+                        doc_id: id,
+                        path: path.clone(),
+                        config: *loaded.scheme.config(),
+                        with_store: loaded.store.is_some(),
+                        xml: text,
+                    };
+                    // WAL first: if the append fails the catalog is
+                    // untouched and the client sees the error.
+                    d.log_with(&op, || catalog.insert_with_id(id, loaded))?;
+                    id
+                }
+                None => catalog.insert(loaded),
+            };
             Ok(format!("OK id={id} nodes={nodes} areas={areas}"))
         }
         Request::Unload(id) => {
-            if catalog.remove(id) {
+            let removed = match durability {
+                Some(d) => {
+                    if catalog.get(id).is_none() {
+                        return Err(format!("no document {id}"));
+                    }
+                    d.log_with(&WalOp::Unload { doc_id: id }, || catalog.remove(id))?
+                }
+                None => catalog.remove(id),
+            };
+            if removed {
                 Ok(format!("OK unloaded {id}"))
             } else {
                 Err(format!("no document {id}"))
@@ -571,7 +672,20 @@ fn execute(
                 loaded.doc.names().len(),
             ))
         }
-        Request::Metrics => Ok(format!("OK {}", metrics.render_line())),
+        Request::Metrics => Ok(match durability {
+            Some(d) => format!("OK {} {}", metrics.render_line(), d.render_line()),
+            None => format!("OK {} durability=off", metrics.render_line()),
+        }),
+        Request::Snapshot => {
+            let d = durability.ok_or("durability disabled (start with --data-dir)")?;
+            let (generation, docs) = d.snapshot(catalog)?;
+            Ok(format!("OK generation={generation} docs={docs}"))
+        }
+        Request::Persist => {
+            let d = durability.ok_or("durability disabled (start with --data-dir)")?;
+            let (records, bytes) = d.persist()?;
+            Ok(format!("OK records={records} bytes={bytes}"))
+        }
         Request::Shutdown => Ok("OK bye".into()),
     }
 }

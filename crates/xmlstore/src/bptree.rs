@@ -64,6 +64,11 @@ impl<P: Pager> BPlusTree<P> {
         self.pager.page_count()
     }
 
+    /// Forces the underlying pager to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.pager.sync()
+    }
+
     /// Height of the tree (1 = root is a leaf).
     pub fn height(&self) -> usize {
         let mut h = 1;

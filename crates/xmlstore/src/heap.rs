@@ -69,6 +69,11 @@ impl<P: Pager> HeapFile<P> {
         self.pager.page_count()
     }
 
+    /// Forces the underlying pager to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.pager.sync()
+    }
+
     /// Appends a record and returns its id.
     pub fn append(&mut self, bytes: &[u8]) -> RecordId {
         self.records += 1;

@@ -1,7 +1,7 @@
 //! Fixed-size pages over a pluggable byte store.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Page size in bytes. 4 KiB matches the usual OS/disk granularity.
@@ -18,22 +18,50 @@ impl PageId {
     }
 }
 
+fn out_of_range(id: PageId, pages: u32) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("page {id:?} out of range (pager holds {pages} pages)"),
+    )
+}
+
 /// A store of fixed-size pages.
+///
+/// The fallible `try_*` methods are the primary interface; the panicking
+/// `read_page`/`write_page` wrappers remain for callers that treat a
+/// missing page as a programming error (the heap and B+-tree only ever
+/// dereference page ids they allocated themselves).
 pub trait Pager {
     /// Allocates a zeroed page.
     fn allocate(&mut self) -> PageId;
 
+    /// Reads a page into `buf`, surfacing I/O errors and out-of-range ids
+    /// instead of panicking.
+    fn try_read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()>;
+
+    /// Writes a page, surfacing I/O errors and out-of-range ids instead
+    /// of panicking.
+    fn try_write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()>;
+
+    /// Forces written pages to stable storage (fsync for file-backed
+    /// pagers, a no-op in memory).
+    fn sync(&mut self) -> io::Result<()>;
+
     /// Reads a page into `buf`.
     ///
     /// # Panics
-    /// Panics if the page does not exist.
-    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]);
+    /// Panics if the page does not exist or the read fails.
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        self.try_read_page(id, buf).unwrap_or_else(|e| panic!("{e}"));
+    }
 
     /// Writes a page.
     ///
     /// # Panics
-    /// Panics if the page does not exist.
-    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]);
+    /// Panics if the page does not exist or the write fails.
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) {
+        self.try_write_page(id, buf).unwrap_or_else(|e| panic!("{e}"));
+    }
 
     /// Number of allocated pages.
     fn page_count(&self) -> u32;
@@ -59,12 +87,24 @@ impl Pager for MemPager {
         id
     }
 
-    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
-        buf.copy_from_slice(&self.pages[id.index()][..]);
+    fn try_read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        let page = self
+            .pages
+            .get(id.index())
+            .ok_or_else(|| out_of_range(id, self.pages.len() as u32))?;
+        buf.copy_from_slice(&page[..]);
+        Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) {
-        self.pages[id.index()].copy_from_slice(buf);
+    fn try_write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        let pages = self.pages.len() as u32;
+        let page = self.pages.get_mut(id.index()).ok_or_else(|| out_of_range(id, pages))?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
     }
 
     fn page_count(&self) -> u32 {
@@ -83,17 +123,34 @@ pub struct FilePager {
 
 impl FilePager {
     /// Creates (truncating) a pager file at `path`.
-    pub fn create(path: &Path) -> std::io::Result<Self> {
+    pub fn create(path: &Path) -> io::Result<Self> {
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(FilePager { file, pages: 0 })
     }
 
     /// Opens an existing pager file.
-    pub fn open(path: &Path) -> std::io::Result<Self> {
+    ///
+    /// A length that is not a whole number of pages means the last write
+    /// was torn (or the file was truncated behind our back); that is
+    /// reported as [`io::ErrorKind::InvalidData`] rather than silently
+    /// rounding down to `len / PAGE_SIZE` — the caller decides whether to
+    /// quarantine, not this layer.
+    pub fn open(path: &Path) -> io::Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        assert!(len % PAGE_SIZE as u64 == 0, "pager file is not page-aligned");
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "pager file {} has a torn tail: {len} bytes is not a multiple of the \
+                     {PAGE_SIZE}-byte page size ({} whole pages + {} trailing bytes)",
+                    path.display(),
+                    len / PAGE_SIZE as u64,
+                    len % PAGE_SIZE as u64
+                ),
+            ));
+        }
         Ok(FilePager { file, pages: (len / PAGE_SIZE as u64) as u32 })
     }
 }
@@ -108,20 +165,26 @@ impl Pager for FilePager {
         id
     }
 
-    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
-        assert!(id.0 < self.pages, "page {id:?} out of range");
+    fn try_read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        if id.0 >= self.pages {
+            return Err(out_of_range(id, self.pages));
+        }
         let mut file = &self.file;
-        file.seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))
-            .expect("seek failed");
-        file.read_exact(buf).expect("page read failed");
+        file.seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))?;
+        file.read_exact(buf)
     }
 
-    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) {
-        assert!(id.0 < self.pages, "page {id:?} out of range");
-        self.file
-            .seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))
-            .expect("seek failed");
-        self.file.write_all(buf).expect("page write failed");
+    fn try_write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        if id.0 >= self.pages {
+            return Err(out_of_range(id, self.pages));
+        }
+        self.file.seek(SeekFrom::Start(u64::from(id.0) * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
     }
 
     fn page_count(&self) -> u32 {
@@ -148,6 +211,7 @@ mod tests {
         assert_eq!(read[PAGE_SIZE - 1], 0xCD);
         pager.read_page(a, &mut read);
         assert_eq!(read[0], 0, "page a must still be zeroed");
+        pager.sync().unwrap();
     }
 
     #[test]
@@ -182,5 +246,43 @@ mod tests {
         let fp = FilePager::create(&dir.join("p.db")).unwrap();
         let mut buf = [0u8; PAGE_SIZE];
         fp.read_page(PageId(0), &mut buf);
+    }
+
+    #[test]
+    fn try_read_reports_out_of_range_instead_of_panicking() {
+        let mem = MemPager::new();
+        let mut buf = [0u8; PAGE_SIZE];
+        let err = mem.try_read_page(PageId(0), &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let mut mem = MemPager::new();
+        let err = mem.try_write_page(PageId(3), &buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn open_rejects_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("xmlstore-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.db");
+        {
+            let mut pager = FilePager::create(&path).unwrap();
+            let id = pager.allocate();
+            pager.write_page(id, &[0x5A; PAGE_SIZE]);
+            pager.sync().unwrap();
+        }
+        // Tear the tail: a partial second page.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xEE; 100]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FilePager::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("torn tail"), "{msg}");
+        assert!(msg.contains("1 whole pages") && msg.contains("100 trailing bytes"), "{msg}");
+        // A clean file still opens.
+        bytes.truncate(PAGE_SIZE);
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(FilePager::open(&path).unwrap().page_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

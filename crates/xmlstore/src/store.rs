@@ -55,6 +55,13 @@ impl<P: Pager> XmlStore<P> {
         self.heap.page_count() + self.index.page_count()
     }
 
+    /// Forces both underlying pagers to stable storage (fsync for
+    /// file-backed stores).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.heap.sync()?;
+        self.index.sync()
+    }
+
     /// Inserts one node row.
     pub fn insert_node(&mut self, node: &StoredNode) {
         let rid = self.heap.append(&node.encode());

@@ -21,6 +21,13 @@ cargo test -q --offline -p ruid --test exhaustive_small_trees
 cargo test -q --offline -p ruid-core --test update_tests
 cargo test -q --offline -p ruid --test parallel_equivalence
 
+# Durability: the crash-point sweep (kill the WAL at every byte offset)
+# and the full recovery suites must run.
+cargo test -q --offline -p durable
+cargo test -q --offline -p durable --test crash_sweep
+cargo test -q --offline -p ruid-service --test durability_tests
+cargo test -q --offline -p xmlstore --test file_pager_store
+
 # E11 smoke: the parallel build must stay byte-identical to sequential (the
 # bin asserts it) and the emitted report must be machine-readable JSON.
 cargo run --release --offline -p bench --bin report_e11_parallel -- \
@@ -31,3 +38,63 @@ if command -v jq >/dev/null; then
         target/bench_e11_smoke.json >/dev/null \
         || { echo "ci: BENCH smoke report malformed" >&2; exit 1; }
 fi
+
+# E12 smoke: the durability cost report must emit machine-readable JSON
+# with every fsync policy measured.
+cargo run --release --offline -p bench --bin report_e12_durability -- \
+    --smoke --out target/bench_e12_smoke.json
+if command -v jq >/dev/null; then
+    jq -e '.experiment == "E12"
+           and (.durability | length > 0)
+           and (.durability | all(.wal_append | length == 3))' \
+        target/bench_e12_smoke.json >/dev/null \
+        || { echo "ci: E12 smoke report malformed" >&2; exit 1; }
+fi
+
+# Crash-recovery smoke: serve with a data dir, load, record an answer,
+# SIGKILL the server (no SHUTDOWN, no snapshot), restart on the same data
+# dir, and demand the byte-identical answer back.
+RUID_XML=target/release/ruid-xml
+CI_DIR=target/ci-durability
+rm -rf "$CI_DIR"; mkdir -p "$CI_DIR"
+printf '<catalog><book id="b1"><title>A</title><price>35</price></book><book id="b2"><title>B</title><price>20</price></book></catalog>' \
+    > "$CI_DIR/sample.xml"
+
+wait_ping() { # addr
+    for _ in $(seq 1 100); do
+        "$RUID_XML" client "$1" PING >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "ci: server on $1 never came up" >&2; exit 1
+}
+
+"$RUID_XML" serve --addr 127.0.0.1:7441 --data-dir "$CI_DIR/data" --fsync always &
+SRV=$!
+wait_ping 127.0.0.1:7441
+"$RUID_XML" client 127.0.0.1:7441 "LOAD $CI_DIR/sample.xml" >/dev/null
+BEFORE=$("$RUID_XML" client 127.0.0.1:7441 "QUERY 1 //book/title")
+kill -9 "$SRV"; wait "$SRV" 2>/dev/null || true
+
+"$RUID_XML" serve --addr 127.0.0.1:7442 --data-dir "$CI_DIR/data" --fsync always &
+SRV=$!
+wait_ping 127.0.0.1:7442
+AFTER=$("$RUID_XML" client 127.0.0.1:7442 "QUERY 1 //book/title")
+if [ "$BEFORE" != "$AFTER" ]; then
+    echo "ci: recovered answer diverged: '$BEFORE' vs '$AFTER'" >&2; exit 1
+fi
+METRICS=$("$RUID_XML" client 127.0.0.1:7442 METRICS)
+if command -v jq >/dev/null; then
+    # Fold the METRICS key=value tokens into JSON and validate the
+    # recovery counters: durability on, one LOAD replayed, nothing torn.
+    printf '%s\n' "$METRICS" | tr ' ' '\n' | awk -F= '/=/ {
+        v = $2; if (v !~ /^-?[0-9]+$/) v = "\"" v "\"";
+        printf "%s{\"%s\": %s}", (n++ ? "," : "["), $1, v } END { print "]" }' \
+    | jq -es 'add | add
+              | .durability == "on"
+              and .replayed == 1
+              and .truncated_bytes == 0
+              and .quarantined == 0' >/dev/null \
+        || { echo "ci: recovery metrics failed validation: $METRICS" >&2; exit 1; }
+fi
+"$RUID_XML" client 127.0.0.1:7442 SHUTDOWN >/dev/null
+wait "$SRV" 2>/dev/null || true
