@@ -23,6 +23,7 @@ pub const USAGE: &str = "usage:
   ruid-xml serve  [<file.xml>...] [--addr 127.0.0.1:PORT] [--threads N] [--depth D]
                   [--queue-cap N] [--max-line-bytes N] [--read-timeout-ms MS]
                   [--data-dir DIR] [--fsync always|never|every=<n>]
+                  [--metrics-addr 127.0.0.1:PORT]
   ruid-xml client <addr> <command...>";
 
 /// Dispatches one invocation; `args` excludes the program name.
@@ -218,6 +219,9 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
     if let Some(policy) = option(args, "--fsync") {
         config.fsync = FsyncPolicy::parse(policy)?;
     }
+    if let Some(addr) = option(args, "--metrics-addr") {
+        config.metrics_addr = Some(addr.to_owned());
+    }
     let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     let depth = config.depth;
     let with_store = config.with_store;
@@ -261,6 +265,9 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
         eprintln!("loaded {file} as document {id} ({nodes} labelled nodes)");
     }
     eprintln!("ruid-service listening on {}", handle.addr());
+    if let Some(m) = handle.metrics_http_addr() {
+        eprintln!("prometheus metrics on http://{m}/metrics");
+    }
     Ok(handle)
 }
 

@@ -215,6 +215,8 @@ pub struct WalWriter {
     fsyncs: u64,
     policy: FsyncPolicy,
     unsynced: u32,
+    append_ns: u64,
+    fsync_ns: u64,
     faults: IoFaultPlan,
     io_ops: u64,
 }
@@ -233,6 +235,8 @@ impl WalWriter {
             fsyncs: 0,
             policy,
             unsynced: 0,
+            append_ns: 0,
+            fsync_ns: 0,
             faults: IoFaultPlan::new(),
             io_ops: 0,
         })
@@ -262,6 +266,8 @@ impl WalWriter {
             fsyncs: 0,
             policy,
             unsynced: 0,
+            append_ns: 0,
+            fsync_ns: 0,
             faults: IoFaultPlan::new(),
             io_ops: 0,
         };
@@ -318,7 +324,9 @@ impl WalWriter {
             Some(IoFault::ShortRead { .. }) | None => {}
         }
 
+        let started = std::time::Instant::now();
         self.file.write_all(&record)?;
+        self.append_ns += started.elapsed().as_nanos() as u64;
         self.bytes += record.len() as u64;
         self.next_seq += 1;
         self.records += 1;
@@ -337,8 +345,10 @@ impl WalWriter {
 
     /// Forces everything written so far to disk (the `PERSIST` verb).
     pub fn sync(&mut self) -> io::Result<()> {
+        let started = std::time::Instant::now();
         self.file.flush()?;
         self.file.sync_data()?;
+        self.fsync_ns += started.elapsed().as_nanos() as u64;
         self.fsyncs += 1;
         self.unsynced = 0;
         Ok(())
@@ -362,6 +372,22 @@ impl WalWriter {
     /// fsyncs issued by this writer.
     pub fn fsyncs(&self) -> u64 {
         self.fsyncs
+    }
+
+    /// Records appended since the last fsync (the at-risk window under
+    /// `EveryN`/`Never` policies).
+    pub fn unsynced_records(&self) -> u32 {
+        self.unsynced
+    }
+
+    /// Total nanoseconds spent in record writes (excluding fsync).
+    pub fn append_ns(&self) -> u64 {
+        self.append_ns
+    }
+
+    /// Total nanoseconds spent in fsync (flush + sync_data).
+    pub fn fsync_ns(&self) -> u64 {
+        self.fsync_ns
     }
 
     /// The segment's path.
@@ -618,5 +644,12 @@ mod tests {
         assert_eq!(always.fsyncs(), 5);
         assert_eq!(every2.fsyncs(), 2);
         assert_eq!(never.fsyncs(), 0);
+        assert_eq!(always.unsynced_records(), 0);
+        assert_eq!(every2.unsynced_records(), 1); // 5 appends, synced at 2 and 4
+        assert_eq!(never.unsynced_records(), 5);
+        every2.sync().unwrap();
+        assert_eq!(every2.unsynced_records(), 0);
+        assert!(always.fsync_ns() > 0);
+        assert!(always.append_ns() > 0);
     }
 }

@@ -22,9 +22,37 @@
 
 mod pool;
 
-pub use pool::{PoolClosed, SubmitError, ThreadPool};
+pub use pool::{PoolClosed, PoolStats, SubmitError, ThreadPool};
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+// Process-wide executor counters. `Executor` is `Copy` and holds no state,
+// so the counters live here; only the *parallel* path counts (a sequential
+// `par_map` is a plain loop and stays untouched), and workers accumulate
+// locally, publishing one `fetch_add` each when they finish.
+static PAR_MAPS: AtomicU64 = AtomicU64::new(0);
+static PAR_ITEMS: AtomicU64 = AtomicU64::new(0);
+static PAR_STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide [`Executor`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Parallel `par_map` invocations (sequential fallbacks excluded).
+    pub par_maps: u64,
+    /// Items processed by parallel `par_map` invocations.
+    pub par_items: u64,
+    /// Items a worker claimed from a peer's range rather than its own.
+    pub par_steals: u64,
+}
+
+/// Reads the process-wide executor counters.
+pub fn executor_stats() -> ExecutorStats {
+    ExecutorStats {
+        par_maps: PAR_MAPS.load(Ordering::Relaxed),
+        par_items: PAR_ITEMS.load(Ordering::Relaxed),
+        par_steals: PAR_STEALS.load(Ordering::Relaxed),
+    }
+}
 
 /// Number of hardware threads, with a safe floor of 1.
 pub fn available_threads() -> usize {
@@ -86,6 +114,8 @@ impl Executor {
         }
         let workers = self.threads.min(n);
         let queues = WorkQueues::split(n, workers);
+        PAR_MAPS.fetch_add(1, Ordering::Relaxed);
+        PAR_ITEMS.fetch_add(n as u64, Ordering::Relaxed);
         let mut collected: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -94,8 +124,13 @@ impl Executor {
                     let f = &f;
                     s.spawn(move || {
                         let mut local = Vec::new();
-                        while let Some(i) = queues.claim(w) {
+                        let mut steals = 0u64;
+                        while let Some((i, stolen)) = queues.claim(w) {
+                            steals += u64::from(stolen);
                             local.push((i, f(i, &items[i])));
+                        }
+                        if steals > 0 {
+                            PAR_STEALS.fetch_add(steals, Ordering::Relaxed);
                         }
                         local
                     })
@@ -172,13 +207,15 @@ impl WorkQueues {
         WorkQueues { ranges }
     }
 
-    fn claim(&self, w: usize) -> Option<usize> {
+    /// Claims one index for worker `w`; the flag is `true` when the index
+    /// came from a peer's range (a steal) rather than `w`'s own.
+    fn claim(&self, w: usize) -> Option<(usize, bool)> {
         let (next, end) = &self.ranges[w];
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i < *end {
-            return Some(i);
+            return Some((i, false));
         }
-        self.steal()
+        self.steal().map(|i| (i, true))
     }
 
     fn steal(&self) -> Option<usize> {

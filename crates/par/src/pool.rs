@@ -6,6 +6,7 @@
 //! graceful: one poison pill per worker, then `join` on every thread (a
 //! worker drains its current job before it swallows a pill).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -51,10 +52,80 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Lock-free pool counters, shareable past the pool's own lifetime (the
+/// metrics exporter reads them while the pool is busy or already gone).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    depth: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl PoolStats {
+    /// Jobs accepted onto the queue (blocking and non-blocking submits).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that finished running (or unwound via panic).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking submits shed because the queue was at capacity.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs submitted but not yet completed (queued + running).
+    pub fn queue_depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`PoolStats::queue_depth`].
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Counts a submit before the send so a racing completion can never
+    /// underflow `depth`; rolled back via `on_reject` if the send fails.
+    fn on_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Rollback for a failed send. The rejected job is dropped inside the
+    /// send error, which fires its [`CompleteGuard`] (completed+1,
+    /// depth-1); undoing `submitted` and `completed` leaves every counter
+    /// net-zero for the failed submit.
+    fn on_reject(&self) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn on_complete(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Decrements depth on drop so a panicking job still counts as complete.
+struct CompleteGuard(Arc<PoolStats>);
+
+impl Drop for CompleteGuard {
+    fn drop(&mut self) {
+        self.0.on_complete();
+    }
+}
+
 /// A fixed-size worker pool with a bounded job queue.
 pub struct ThreadPool {
     sender: SyncSender<Job>,
     workers: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
 }
 
 impl ThreadPool {
@@ -73,7 +144,7 @@ impl ThreadPool {
                     .expect("spawn worker thread")
             })
             .collect();
-        ThreadPool { sender, workers }
+        ThreadPool { sender, workers, stats: Arc::new(PoolStats::default()) }
     }
 
     /// Number of worker threads.
@@ -81,10 +152,29 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// A shared handle to the pool's counters; stays valid after shutdown.
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn wrap<F: FnOnce() + Send + 'static>(&self, job: F) -> Task {
+        let guard = CompleteGuard(Arc::clone(&self.stats));
+        Box::new(move || {
+            let _guard = guard;
+            job();
+        })
+    }
+
     /// Queues `job`, blocking while the queue is full. Fails only after
     /// shutdown.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
-        self.sender.send(Job::Run(Box::new(job))).map_err(|_| PoolClosed)
+        let task = self.wrap(job);
+        self.stats.on_submit();
+        self.sender.send(Job::Run(task)).map_err(|e| {
+            drop(e); // drops the job, firing its guard
+            self.stats.on_reject();
+            PoolClosed
+        })
     }
 
     /// Queues `job` without blocking: [`SubmitError::Full`] when the
@@ -94,9 +184,22 @@ impl ThreadPool {
         &self,
         job: F,
     ) -> Result<(), SubmitError> {
-        self.sender.try_send(Job::Run(Box::new(job))).map_err(|e| match e {
-            TrySendError::Full(_) => SubmitError::Full,
-            TrySendError::Disconnected(_) => SubmitError::Closed,
+        let task = self.wrap(job);
+        self.stats.on_submit();
+        self.sender.try_send(Job::Run(task)).map_err(|e| {
+            let err = match e {
+                TrySendError::Full(job) => {
+                    drop(job); // fires the job's guard
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    SubmitError::Full
+                }
+                TrySendError::Disconnected(job) => {
+                    drop(job);
+                    SubmitError::Closed
+                }
+            };
+            self.stats.on_reject();
+            err
         })
     }
 
@@ -203,6 +306,34 @@ mod tests {
         );
         release_tx.send(()).unwrap();
         pool.shutdown();
+    }
+
+    #[test]
+    fn stats_track_submits_completions_and_rejections() {
+        let pool = ThreadPool::new(1, 1);
+        let stats = pool.stats();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        pool.execute(move || {
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        // Fill the queue, then force at least one rejection.
+        let mut accepted = 1u64;
+        loop {
+            match pool.try_execute(|| {}) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Full) => break,
+                Err(SubmitError::Closed) => panic!("pool closed unexpectedly"),
+            }
+        }
+        assert!(stats.rejected() >= 1);
+        assert_eq!(stats.submitted(), accepted);
+        assert!(stats.max_queue_depth() >= 2);
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(stats.submitted(), accepted);
+        assert_eq!(stats.completed(), accepted);
+        assert_eq!(stats.queue_depth(), 0);
     }
 
     #[test]

@@ -83,11 +83,25 @@
 //! SCAN <doc> <global>                   storage rows of one rUID area
 //! GET <doc> <g> <l> <true|false>        subtree XML of one identifier
 //! STATS <doc>                           tree + numbering statistics
-//! METRICS                               per-command counters + latency
+//! METRICS [prom]                        per-command counters + latency (or Prometheus text)
 //! SNAPSHOT                              install a catalog snapshot, rotate the WAL
 //! PERSIST                               fsync the write-ahead log now
+//! TRACE [on|off|<threshold-ms>]         per-request tracing state / slow threshold
+//! SLOWLOG [n]                           newest n captured slow requests with span timings
 //! SHUTDOWN                              graceful stop
 //! ```
+//!
+//! ## Observability
+//!
+//! * [`Tracer`] — per-request trace ids and span timings
+//!   (parse → lookup → eval → wal → write) with a ring-buffer slow-query
+//!   log (`TRACE` / `SLOWLOG`). Off by default; one relaxed atomic load
+//!   per request while off.
+//! * `METRICS prom` and the optional `serve --metrics-addr` plain-HTTP
+//!   endpoint expose every counter, gauge and histogram in the Prometheus
+//!   text format (cumulative `_bucket{le=...}` plus `_sum`/`_count`),
+//!   including thread-pool queue depth, work-stealing counts, WAL
+//!   append/fsync/snapshot timings and per-axis XPath step counters.
 //!
 //! ## Example
 //!
@@ -109,8 +123,10 @@ mod fault;
 mod framing;
 mod metrics;
 mod persist;
+mod prom;
 pub mod proto;
 mod server;
+mod trace;
 
 pub use catalog::{Catalog, DocId, LoadedDoc};
 pub use client::Client;
@@ -118,8 +134,9 @@ pub use client::Client;
 // server without naming the `durable` crate directly.
 pub use durable::{FsyncPolicy, WalOp};
 pub use fault::{Fault, FaultPlan};
-pub use metrics::{Command, Histogram, Metrics};
-pub use persist::{Durability, RecoverySummary};
+pub use metrics::{Command, CommandSummary, Histogram, Metrics};
+pub use persist::{Durability, DurabilityStats, RecoverySummary};
+pub use trace::{RequestTrace, SlowEntry, Span, Tracer, SPANS, SPAN_COUNT};
 // The pool moved to the reusable `par` crate so the build pipeline and the
 // server share one threading layer; re-exported here for compatibility.
 pub use par::{PoolClosed, SubmitError, ThreadPool};

@@ -15,17 +15,33 @@ use std::time::Duration;
 const BUCKETS: usize = 40;
 
 /// A fixed-bucket latency histogram with power-of-two nanosecond buckets.
+///
+/// Alongside the buckets it tracks the exact sum and the observed min/max,
+/// so quantile estimates can be clamped to the real sample range (a
+/// constant-latency workload reports its exact latency, not a bucket
+/// bound).
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Histogram {
-        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
     }
 }
 
 impl Histogram {
+    /// Number of buckets (fixed).
+    pub const BUCKET_COUNT: usize = BUCKETS;
+
     /// Creates an empty histogram.
     pub fn new() -> Histogram {
         Histogram::default()
@@ -36,10 +52,23 @@ impl Histogram {
         (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1)
     }
 
+    /// The exclusive upper bound of bucket `i` in nanoseconds, or `None`
+    /// for an open-ended final bucket. `checked_shl` keeps this correct
+    /// even if `BUCKETS` ever grows past 63.
+    pub fn bucket_upper_ns(i: usize) -> Option<u64> {
+        if i + 1 >= BUCKETS {
+            return None; // final bucket is open-ended by definition
+        }
+        1u64.checked_shl(i as u32 + 1)
+    }
+
     /// Records one sample.
     pub fn record(&self, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
     }
 
     /// Total number of recorded samples.
@@ -47,8 +76,36 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
-    /// The upper bound (in ns) of the bucket containing the `q`-quantile
-    /// sample (`q` in `[0, 1]`), or 0 when empty.
+    /// Sum of all recorded samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX { 0 } else { v }
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the raw bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// An estimate (in ns) of the `q`-quantile (`q` in `[0, 1]`), or 0
+    /// when empty.
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// quantile rank — the unbiased guess for exponentially-sized buckets
+    /// — clamped into the observed `[min, max]` range, so it never
+    /// overstates past the largest real sample (the old implementation
+    /// returned the bucket's upper bound, up to 2× too high). The
+    /// open-ended final bucket reports the observed maximum.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let total = self.total();
         if total == 0 {
@@ -58,11 +115,22 @@ impl Histogram {
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1);
+            if seen < rank {
+                continue;
             }
+            let est = match Self::bucket_upper_ns(i) {
+                // `i <= 62` here, so the low bound cannot overflow.
+                Some(high) => {
+                    let low = (1u64 << i).max(1);
+                    (((low as f64) * (high as f64)).sqrt()).round() as u64
+                }
+                // Open-ended (or shift-overflowing) bucket: the observed
+                // maximum is the only honest estimate.
+                None => self.max_ns(),
+            };
+            return est.clamp(self.min_ns(), self.max_ns());
         }
-        1u64 << BUCKETS
+        self.max_ns()
     }
 }
 
@@ -98,6 +166,10 @@ pub enum Command {
     Snapshot,
     /// `PERSIST`
     Persist,
+    /// `TRACE [on|off|<threshold-ms>]`
+    Trace,
+    /// `SLOWLOG [n]`
+    Slowlog,
     /// `SHUTDOWN`
     Shutdown,
     /// Unparseable input.
@@ -105,7 +177,7 @@ pub enum Command {
 }
 
 /// Every command, aligned with the `repr(usize)` discriminants.
-pub const COMMANDS: [Command; 15] = [
+pub const COMMANDS: [Command; 17] = [
     Command::Ping,
     Command::Load,
     Command::Unload,
@@ -119,6 +191,8 @@ pub const COMMANDS: [Command; 15] = [
     Command::Metrics,
     Command::Snapshot,
     Command::Persist,
+    Command::Trace,
+    Command::Slowlog,
     Command::Shutdown,
     Command::Invalid,
 ];
@@ -140,6 +214,8 @@ impl Command {
             Command::Metrics => "METRICS",
             Command::Snapshot => "SNAPSHOT",
             Command::Persist => "PERSIST",
+            Command::Trace => "TRACE",
+            Command::Slowlog => "SLOWLOG",
             Command::Shutdown => "SHUTDOWN",
             Command::Invalid => "INVALID",
         }
@@ -170,6 +246,26 @@ pub struct Metrics {
     deadline_request: AtomicU64,
     /// Connections that hit EOF mid-line (a torn request from the peer).
     torn: AtomicU64,
+    /// XPath location steps evaluated, per axis (`Axis::index` order).
+    axis_steps: [AtomicU64; xpath::Axis::COUNT],
+}
+
+/// One command's row of the per-command metrics, the single source both
+/// wire renderings and the Prometheus exposition format from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandSummary {
+    /// Which command.
+    pub command: Command,
+    /// Requests handled.
+    pub count: u64,
+    /// Requests that answered `ERR`.
+    pub errors: u64,
+    /// Estimated p50 latency in ns.
+    pub p50_ns: u64,
+    /// Estimated p95 latency in ns.
+    pub p95_ns: u64,
+    /// Estimated p99 latency in ns.
+    pub p99_ns: u64,
 }
 
 impl Metrics {
@@ -224,6 +320,25 @@ impl Metrics {
         self.torn.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accumulates per-axis XPath step counts from one evaluation.
+    pub fn record_axis_steps(&self, stats: &xpath::StepStats) {
+        for (counter, &steps) in self.axis_steps.iter().zip(stats.steps.iter()) {
+            if steps > 0 {
+                counter.fetch_add(steps, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// XPath steps evaluated so far, per axis (`Axis::index` order).
+    pub fn axis_steps(&self) -> [u64; xpath::Axis::COUNT] {
+        std::array::from_fn(|i| self.axis_steps[i].load(Ordering::Relaxed))
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
     /// `BUSY` answers so far.
     pub fn shed(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
@@ -274,6 +389,44 @@ impl Metrics {
         &self.per_command[command as usize].latency
     }
 
+    /// One summary row per command with traffic, in wire order — the
+    /// single formatter behind [`Metrics::render_line`],
+    /// [`Metrics::render_table`], and the Prometheus exposition, so the
+    /// three can never drift apart.
+    pub fn command_summaries(&self) -> Vec<CommandSummary> {
+        COMMANDS
+            .iter()
+            .filter_map(|&command| {
+                let m = &self.per_command[command as usize];
+                let count = m.count.load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                Some(CommandSummary {
+                    command,
+                    count,
+                    errors: m.errors.load(Ordering::Relaxed),
+                    p50_ns: m.latency.quantile_ns(0.50),
+                    p95_ns: m.latency.quantile_ns(0.95),
+                    p99_ns: m.latency.quantile_ns(0.99),
+                })
+            })
+            .collect()
+    }
+
+    /// The six robustness counters as `(name, value)` pairs, in the wire
+    /// rendering order.
+    pub fn robustness_counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("shed", self.shed()),
+            ("oversized", self.oversized()),
+            ("torn", self.torn()),
+            ("deadline_read", self.deadline_read()),
+            ("deadline_write", self.deadline_write()),
+            ("deadline_request", self.deadline_request()),
+        ]
+    }
+
     /// The single-line wire rendering served by `METRICS`:
     ///
     /// ```text
@@ -284,32 +437,23 @@ impl Metrics {
     /// commands with no traffic are omitted.
     pub fn render_line(&self) -> String {
         let mut out = format!(
-            "connections={} total={} errors={} shed={} oversized={} torn={} \
-             deadline_read={} deadline_write={} deadline_request={}",
-            self.connections.load(Ordering::Relaxed),
+            "connections={} total={} errors={}",
+            self.connections(),
             self.total_requests(),
             self.total_errors(),
-            self.shed(),
-            self.oversized(),
-            self.torn(),
-            self.deadline_read(),
-            self.deadline_write(),
-            self.deadline_request(),
         );
-        for &command in &COMMANDS {
-            let m = &self.per_command[command as usize];
-            let count = m.count.load(Ordering::Relaxed);
-            if count == 0 {
-                continue;
-            }
+        for (name, value) in self.robustness_counters() {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        for s in self.command_summaries() {
             out.push_str(&format!(
                 " {}={}/{}/{}/{}/{}",
-                command.name(),
-                count,
-                m.errors.load(Ordering::Relaxed),
-                m.latency.quantile_ns(0.50),
-                m.latency.quantile_ns(0.95),
-                m.latency.quantile_ns(0.99),
+                s.command.name(),
+                s.count,
+                s.errors,
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns,
             ));
         }
         out
@@ -321,20 +465,15 @@ impl Metrics {
             "{:<10} {:>9} {:>7} {:>12} {:>12} {:>12}\n",
             "command", "count", "errors", "p50", "p95", "p99"
         );
-        for &command in &COMMANDS {
-            let m = &self.per_command[command as usize];
-            let count = m.count.load(Ordering::Relaxed);
-            if count == 0 {
-                continue;
-            }
+        for s in self.command_summaries() {
             out.push_str(&format!(
                 "{:<10} {:>9} {:>7} {:>12} {:>12} {:>12}\n",
-                command.name(),
-                count,
-                m.errors.load(Ordering::Relaxed),
-                fmt_ns(m.latency.quantile_ns(0.50)),
-                fmt_ns(m.latency.quantile_ns(0.95)),
-                fmt_ns(m.latency.quantile_ns(0.99)),
+                s.command.name(),
+                s.count,
+                s.errors,
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.p99_ns),
             ));
         }
         out.push_str(&format!(
@@ -342,29 +481,24 @@ impl Metrics {
             "total",
             self.total_requests(),
             self.total_errors(),
-            self.connections.load(Ordering::Relaxed),
+            self.connections(),
         ));
-        out.push_str(&format!(
-            "robustness shed={} oversized={} torn={} deadline_read={} \
-             deadline_write={} deadline_request={}\n",
-            self.shed(),
-            self.oversized(),
-            self.torn(),
-            self.deadline_read(),
-            self.deadline_write(),
-            self.deadline_request(),
-        ));
+        out.push_str("robustness");
+        for (name, value) in self.robustness_counters() {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out.push('\n');
         out
     }
 }
 
 fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
-        format!("<{ns} ns")
+        format!("~{ns} ns")
     } else if ns < 1_000_000 {
-        format!("<{:.1} µs", ns as f64 / 1_000.0)
+        format!("~{:.1} µs", ns as f64 / 1_000.0)
     } else {
-        format!("<{:.1} ms", ns as f64 / 1_000_000.0)
+        format!("~{:.1} ms", ns as f64 / 1_000_000.0)
     }
 }
 
@@ -395,10 +529,112 @@ mod tests {
             h.record(Duration::from_millis(1));
         }
         assert_eq!(h.total(), 100);
-        assert!(h.quantile_ns(0.50) <= 2_048, "p50 in the µs bucket");
-        assert!(h.quantile_ns(0.99) >= 1_000_000, "p99 in the ms bucket");
-        assert!(h.quantile_ns(0.0) <= 2_048);
-        assert!(h.quantile_ns(1.0) >= 1_000_000);
+        // p50 falls in the [512, 1024) bucket; its midpoint (~724) clamps
+        // up to the observed minimum of exactly 1 µs.
+        assert_eq!(h.quantile_ns(0.50), 1_000, "p50 clamps to the 1 µs samples");
+        // p99/p100 fall in the ms bucket [2^19, 2^20); the estimate must
+        // stay within that bucket's bounds and the observed range.
+        for q in [0.99, 1.0] {
+            let est = h.quantile_ns(q);
+            assert!((524_288..=1_000_000).contains(&est), "q={q}: {est} out of bounds");
+        }
+        assert_eq!(h.quantile_ns(0.0), 1_000);
+    }
+
+    #[test]
+    fn quantile_estimates_never_overstate_past_the_max() {
+        // The old implementation returned the bucket upper bound: a
+        // constant 600 µs workload reported p50 = 1'048'576 ns (+75%).
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(600));
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 600_000, "constant samples are exact at q={q}");
+        }
+        assert_eq!(h.min_ns(), 600_000);
+        assert_eq!(h.max_ns(), 600_000);
+        assert_eq!(h.sum_ns(), 600_000_000);
+    }
+
+    #[test]
+    fn quantile_single_sample_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        h.record(Duration::from_nanos(12_345));
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_ns(q), 12_345, "single sample is exact at q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_geometric_midpoint_bounds_error() {
+        // Samples spread across one bucket [65536, 131072): the estimate
+        // must land inside the bucket, within sqrt(2)x of any sample.
+        let h = Histogram::new();
+        for ns in [70_000u64, 90_000, 110_000, 130_000] {
+            h.record(Duration::from_nanos(ns));
+        }
+        let p50 = h.quantile_ns(0.5);
+        assert!((70_000..=130_000).contains(&p50), "p50={p50} clamped into observed range");
+        let expected_mid = ((65_536f64 * 131_072f64).sqrt()).round() as u64;
+        assert_eq!(p50, expected_mid, "midpoint of the containing bucket");
+    }
+
+    #[test]
+    fn quantile_max_bucket_is_overflow_safe() {
+        let h = Histogram::new();
+        // u64::MAX ns saturates into the open-ended final bucket; the
+        // old `1u64 << BUCKETS`-style return would be fine at 40 buckets
+        // but silently wrong past 63 — the estimate now reports the
+        // observed max instead of a shifted constant.
+        h.record(Duration::from_secs(10_000));
+        let ns = 10_000u64 * 1_000_000_000;
+        assert_eq!(Histogram::bucket_of(ns), Histogram::BUCKET_COUNT - 1);
+        assert_eq!(h.quantile_ns(0.99), ns);
+        assert_eq!(Histogram::bucket_upper_ns(Histogram::BUCKET_COUNT - 1), None);
+        assert_eq!(Histogram::bucket_upper_ns(0), Some(2));
+        assert_eq!(Histogram::bucket_upper_ns(10), Some(2_048));
+    }
+
+    #[test]
+    fn summaries_drive_both_renderings() {
+        let m = Metrics::new();
+        m.record(Command::Query, false, Duration::from_micros(100));
+        m.record(Command::Ping, true, Duration::from_nanos(500));
+        let summaries = m.command_summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].command, Command::Ping, "wire order");
+        assert_eq!(summaries[1].command, Command::Query);
+        let line = m.render_line();
+        let table = m.render_table();
+        for s in &summaries {
+            assert!(
+                line.contains(&format!(
+                    "{}={}/{}/{}/{}/{}",
+                    s.command.name(), s.count, s.errors, s.p50_ns, s.p95_ns, s.p99_ns
+                )),
+                "{line}"
+            );
+            assert!(table.contains(s.command.name()), "{table}");
+        }
+    }
+
+    #[test]
+    fn axis_step_accounting() {
+        let m = Metrics::new();
+        let mut stats = xpath::StepStats::default();
+        stats.steps[xpath::Axis::Child.index()] = 3;
+        stats.steps[xpath::Axis::Descendant.index()] = 2;
+        m.record_axis_steps(&stats);
+        m.record_axis_steps(&stats);
+        let totals = m.axis_steps();
+        assert_eq!(totals[xpath::Axis::Child.index()], 6);
+        assert_eq!(totals[xpath::Axis::Descendant.index()], 4);
+        assert_eq!(totals[xpath::Axis::Following.index()], 0);
     }
 
     #[test]

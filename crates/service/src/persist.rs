@@ -49,7 +49,32 @@ pub struct Durability {
     policy: FsyncPolicy,
     inner: Mutex<Inner>,
     snapshots: AtomicU64,
+    snapshot_ns: AtomicU64,
     recovery: RecoverySummary,
+}
+
+/// A consistent point-in-time view of the durability counters, for
+/// Prometheus exposition.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityStats {
+    /// Current snapshot/WAL generation.
+    pub generation: u64,
+    /// Records appended to the live WAL segment.
+    pub wal_records: u64,
+    /// Bytes appended to the live WAL segment.
+    pub wal_bytes: u64,
+    /// fsyncs issued on the live WAL segment.
+    pub wal_fsyncs: u64,
+    /// Records appended since the last fsync (lost if the process dies).
+    pub wal_unsynced_records: u64,
+    /// Nanoseconds spent in WAL appends.
+    pub wal_append_ns: u64,
+    /// Nanoseconds spent in WAL fsyncs.
+    pub wal_fsync_ns: u64,
+    /// Snapshots installed by this process.
+    pub snapshots: u64,
+    /// Nanoseconds spent writing + installing snapshots.
+    pub snapshot_ns: u64,
 }
 
 impl Durability {
@@ -74,6 +99,7 @@ impl Durability {
             policy,
             inner: Mutex::new(Inner { wal, generation: recovered.generation }),
             snapshots: AtomicU64::new(0),
+            snapshot_ns: AtomicU64::new(0),
             recovery: RecoverySummary {
                 snapshot_generation: r.snapshot_generation,
                 snapshots_skipped: r.snapshots_skipped,
@@ -110,6 +136,7 @@ impl Durability {
     /// removes files older than the previous generation (one older
     /// snapshot is kept as a fallback base). Returns `(generation, docs)`.
     pub fn snapshot(&self, catalog: &Catalog) -> Result<(u64, usize), String> {
+        let started = std::time::Instant::now();
         let mut inner = self.inner.lock().unwrap();
         let new_gen = inner.generation + 1;
         let entries: Vec<(DocId, Arc<LoadedDoc>)> = catalog.snapshot_docs();
@@ -132,6 +159,7 @@ impl Durability {
         inner.generation = new_gen;
         drop(inner);
         self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         // Best-effort cleanup below the fallback generation; leftover
         // files only cost disk, never correctness (recovery ignores
         // segments with a broken chain and prefers newer snapshots).
@@ -167,19 +195,36 @@ impl Durability {
         &self.recovery
     }
 
+    /// A consistent snapshot of the durability counters (one lock).
+    pub fn stats(&self) -> DurabilityStats {
+        let inner = self.inner.lock().unwrap();
+        DurabilityStats {
+            generation: inner.generation,
+            wal_records: inner.wal.records(),
+            wal_bytes: inner.wal.bytes(),
+            wal_fsyncs: inner.wal.fsyncs(),
+            wal_unsynced_records: u64::from(inner.wal.unsynced_records()),
+            wal_append_ns: inner.wal.append_ns(),
+            wal_fsync_ns: inner.wal.fsync_ns(),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            snapshot_ns: self.snapshot_ns.load(Ordering::Relaxed),
+        }
+    }
+
     /// The durability segment of the `METRICS` line:
     /// `durability=on generation=.. wal_records=.. ... quarantined=..`.
     pub fn render_line(&self) -> String {
         let inner = self.inner.lock().unwrap();
         format!(
             "durability=on fsync={} generation={} wal_records={} wal_bytes={} wal_fsyncs={} \
-             snapshots={} recovered_docs={} replayed={} truncated_bytes={} orphaned_segments={} \
-             snapshots_skipped={} quarantined={}",
+             wal_unsynced={} snapshots={} recovered_docs={} replayed={} truncated_bytes={} \
+             orphaned_segments={} snapshots_skipped={} quarantined={}",
             self.policy,
             inner.generation,
             inner.wal.records(),
             inner.wal.bytes(),
             inner.wal.fsyncs(),
+            inner.wal.unsynced_records(),
             self.snapshots.load(Ordering::Relaxed),
             self.recovery.snapshot_docs,
             self.recovery.replayed,

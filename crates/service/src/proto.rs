@@ -64,14 +64,35 @@ pub enum Request {
     },
     /// `STATS <doc>` — tree and numbering statistics.
     Stats(u64),
-    /// `METRICS` — service counters and latency quantiles.
-    Metrics,
+    /// `METRICS [prom]` — service counters and latency quantiles; `prom`
+    /// selects the Prometheus text exposition.
+    Metrics {
+        /// Whether the Prometheus text format was requested.
+        prom: bool,
+    },
     /// `SNAPSHOT` — write and install a catalog snapshot, rotate the WAL.
     Snapshot,
     /// `PERSIST` — fsync the write-ahead log now.
     Persist,
+    /// `TRACE [on|off|<threshold-ms>]` — inspect or change tracing state.
+    Trace(TraceCmd),
+    /// `SLOWLOG [n]` — the newest `n` captured slow requests (default 10).
+    Slowlog(usize),
     /// `SHUTDOWN` — stop the server gracefully.
     Shutdown,
+}
+
+/// The `TRACE` sub-commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCmd {
+    /// Bare `TRACE`: report the current state.
+    Status,
+    /// `TRACE on`: enable with the current threshold.
+    On,
+    /// `TRACE off`: disable capture.
+    Off,
+    /// `TRACE <ms>`: set the slow threshold and enable (`0` captures all).
+    ThresholdMs(u64),
 }
 
 /// Which axis provider answers a `QUERY`.
@@ -110,9 +131,11 @@ impl Request {
             Request::Scan { .. } => Command::Scan,
             Request::Get { .. } => Command::Get,
             Request::Stats(_) => Command::Stats,
-            Request::Metrics => Command::Metrics,
+            Request::Metrics { .. } => Command::Metrics,
             Request::Snapshot => Command::Snapshot,
             Request::Persist => Command::Persist,
+            Request::Trace(_) => Command::Trace,
+            Request::Slowlog(_) => Command::Slowlog,
             Request::Shutdown => Command::Shutdown,
         }
     }
@@ -216,9 +239,28 @@ pub fn parse(line: &str) -> Result<Request, String> {
             arity(1, "STATS <doc>")?;
             Ok(Request::Stats(parse_u64(args[0], "document id")?))
         }
-        "METRICS" => arity(0, "METRICS").map(|()| Request::Metrics),
+        "METRICS" => match args {
+            [] => Ok(Request::Metrics { prom: false }),
+            ["prom"] => Ok(Request::Metrics { prom: true }),
+            _ => Err("usage: METRICS [prom]".into()),
+        },
         "SNAPSHOT" => arity(0, "SNAPSHOT").map(|()| Request::Snapshot),
         "PERSIST" => arity(0, "PERSIST").map(|()| Request::Persist),
+        "TRACE" => match args {
+            [] => Ok(Request::Trace(TraceCmd::Status)),
+            ["on"] => Ok(Request::Trace(TraceCmd::On)),
+            ["off"] => Ok(Request::Trace(TraceCmd::Off)),
+            [ms] => Ok(Request::Trace(TraceCmd::ThresholdMs(parse_u64(
+                ms,
+                "trace threshold (ms)",
+            )?))),
+            _ => Err("usage: TRACE [on|off|<threshold-ms>]".into()),
+        },
+        "SLOWLOG" => match args {
+            [] => Ok(Request::Slowlog(10)),
+            [n] => Ok(Request::Slowlog(parse_u64(n, "slowlog entry count")? as usize)),
+            _ => Err("usage: SLOWLOG [n]".into()),
+        },
         "SHUTDOWN" => arity(0, "SHUTDOWN").map(|()| Request::Shutdown),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -276,9 +318,16 @@ mod tests {
             Request::Get { doc: 2, label: Ruid2::new(1, 1, true) }
         );
         assert_eq!(parse("STATS 9").unwrap(), Request::Stats(9));
-        assert_eq!(parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse("METRICS").unwrap(), Request::Metrics { prom: false });
+        assert_eq!(parse("METRICS prom").unwrap(), Request::Metrics { prom: true });
         assert_eq!(parse("SNAPSHOT").unwrap(), Request::Snapshot);
         assert_eq!(parse("persist").unwrap(), Request::Persist);
+        assert_eq!(parse("TRACE").unwrap(), Request::Trace(TraceCmd::Status));
+        assert_eq!(parse("TRACE on").unwrap(), Request::Trace(TraceCmd::On));
+        assert_eq!(parse("trace off").unwrap(), Request::Trace(TraceCmd::Off));
+        assert_eq!(parse("TRACE 250").unwrap(), Request::Trace(TraceCmd::ThresholdMs(250)));
+        assert_eq!(parse("SLOWLOG").unwrap(), Request::Slowlog(10));
+        assert_eq!(parse("SLOWLOG 3").unwrap(), Request::Slowlog(3));
         assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
     }
 
@@ -325,6 +374,11 @@ mod tests {
         assert!(parse("PING extra").is_err());
         assert!(parse("SNAPSHOT now").is_err());
         assert!(parse("PERSIST 1").is_err());
+        assert!(parse("METRICS xml").is_err());
+        assert!(parse("TRACE maybe").is_err());
+        assert!(parse("TRACE on off").is_err());
+        assert!(parse("SLOWLOG x").is_err());
+        assert!(parse("SLOWLOG 1 2").is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! A [`FaultPlan`] wired into the config injects deterministic faults for
 //! the chaos tests.
 
-use std::io::{BufReader, ErrorKind, Write};
+use std::io::{BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,8 +36,10 @@ use crate::fault::{Fault, FaultPlan};
 use crate::framing::{read_request_line, ReadOutcome};
 use crate::metrics::{Command, Metrics};
 use crate::persist::Durability;
-use par::{SubmitError, ThreadPool};
-use crate::proto::{self, Engine, Request};
+use crate::prom::PromCtx;
+use crate::proto::{self, Engine, Request, TraceCmd};
+use crate::trace::{RequestTrace, Span, Tracer};
+use par::{PoolStats, SubmitError, ThreadPool};
 
 /// How often a parked read wakes up to check deadlines and shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -84,6 +86,12 @@ pub struct ServerConfig {
     pub data_dir: Option<std::path::PathBuf>,
     /// When the WAL is forced to disk (ignored without `data_dir`).
     pub fsync: FsyncPolicy,
+    /// Optional plain-HTTP Prometheus endpoint: when set, a listener on
+    /// this address answers every request with the text exposition
+    /// (`serve --metrics-addr`). `None` keeps metrics wire-protocol only.
+    pub metrics_addr: Option<String>,
+    /// Capacity of the slow-query ring served by `SLOWLOG`.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +111,8 @@ impl Default for ServerConfig {
             fault_plan: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            metrics_addr: None,
+            slowlog_capacity: 128,
         }
     }
 }
@@ -132,6 +142,10 @@ pub struct ServerHandle {
     catalog: Arc<Catalog>,
     metrics: Arc<Metrics>,
     durability: Option<Arc<Durability>>,
+    tracer: Arc<Tracer>,
+    pool_stats: Arc<PoolStats>,
+    metrics_http_addr: Option<SocketAddr>,
+    metrics_http: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -180,13 +194,46 @@ impl Server {
             None => None,
         };
         let shutdown = Arc::new(AtomicBool::new(false));
+        let tracer = Arc::new(Tracer::new(config.slowlog_capacity));
         let pool = ThreadPool::new(config.threads, config.queue_cap);
+        let pool_stats = pool.stats();
+
+        // Optional plain-HTTP Prometheus endpoint: a dedicated listener
+        // so scrapers never compete with protocol clients for workers.
+        let (metrics_http_addr, metrics_http) = match &config.metrics_addr {
+            Some(bind) => {
+                let http_listener = TcpListener::bind(bind)?;
+                let http_addr = http_listener.local_addr()?;
+                let metrics = Arc::clone(&metrics);
+                let durability = durability.clone();
+                let tracer = Arc::clone(&tracer);
+                let pool_stats = Arc::clone(&pool_stats);
+                let shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::Builder::new()
+                    .name("ruid-metrics".into())
+                    .spawn(move || {
+                        serve_metrics_http(
+                            &http_listener,
+                            &metrics,
+                            durability.as_deref(),
+                            &tracer,
+                            &pool_stats,
+                            &shutdown,
+                        );
+                    })
+                    .expect("spawn metrics thread");
+                (Some(http_addr), Some(handle))
+            }
+            None => (None, None),
+        };
 
         let acceptor = {
             let catalog = Arc::clone(&catalog);
             let metrics = Arc::clone(&metrics);
             let shutdown = Arc::clone(&shutdown);
             let durability = durability.clone();
+            let tracer = Arc::clone(&tracer);
+            let pool_stats = Arc::clone(&pool_stats);
             // Monotone request index driving the fault plan, shared by
             // every connection of this server instance.
             let request_counter = Arc::new(AtomicU64::new(0));
@@ -201,9 +248,20 @@ impl Server {
                         &metrics,
                         &shutdown,
                         &durability,
+                        &tracer,
+                        &pool_stats,
                         &request_counter,
                     );
                     pool.shutdown();
+                    // Best-effort: whatever reached the WAL is on disk
+                    // before the process can exit.
+                    if let Some(d) = &durability {
+                        let _ = d.persist();
+                    }
+                    // Wake the metrics listener so it observes shutdown.
+                    if let Some(http_addr) = metrics_http_addr {
+                        let _ = TcpStream::connect(http_addr);
+                    }
                     eprint!("[ruid-service] final metrics\n{}", metrics.render_table());
                     if let Some(d) = &durability {
                         eprintln!("{}", d.render_line());
@@ -212,7 +270,72 @@ impl Server {
                 .expect("spawn acceptor thread")
         };
 
-        Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor), catalog, metrics, durability })
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            catalog,
+            metrics,
+            durability,
+            tracer,
+            pool_stats,
+            metrics_http_addr,
+            metrics_http,
+        })
+    }
+}
+
+/// Answers every HTTP request on `listener` with the Prometheus text
+/// exposition: read the request head (discarded — every path scrapes),
+/// write one `HTTP/1.0 200` response, close. One connection at a time is
+/// plenty for a scraper, and it keeps the endpoint allocation-bounded.
+fn serve_metrics_http(
+    listener: &TcpListener,
+    metrics: &Metrics,
+    durability: Option<&Durability>,
+    tracer: &Tracer,
+    pool_stats: &PoolStats,
+    shutdown: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(1_000)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
+        // Drain the request head up to the blank line (bounded).
+        let mut head = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n")
+                        || head.windows(2).any(|w| w == b"\n\n")
+                        || head.len() > 16 * 1024
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        let body = crate::prom::render(&PromCtx {
+            metrics,
+            durability,
+            tracer: Some(tracer),
+            pool: Some(pool_stats),
+        });
+        let response = format!(
+            "HTTP/1.0 200 OK\r\n\
+             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.flush();
     }
 }
 
@@ -240,6 +363,21 @@ impl ServerHandle {
         self.durability.as_ref()
     }
 
+    /// The request tracer behind `TRACE` / `SLOWLOG`.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The worker pool's queue statistics.
+    pub fn pool_stats(&self) -> &Arc<PoolStats> {
+        &self.pool_stats
+    }
+
+    /// The bound address of the Prometheus HTTP endpoint, when enabled.
+    pub fn metrics_http_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http_addr
+    }
+
     /// True once `SHUTDOWN` was received or [`ServerHandle::stop`] ran.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -258,12 +396,18 @@ impl ServerHandle {
 
     fn begin_stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor if it is blocked in accept().
+        // Wake the acceptor (and metrics listener) if blocked in accept().
         let _ = TcpStream::connect(self.addr);
+        if let Some(http_addr) = self.metrics_http_addr {
+            let _ = TcpStream::connect(http_addr);
+        }
     }
 
     fn join_inner(&mut self) {
         if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.metrics_http.take() {
             let _ = handle.join();
         }
     }
@@ -287,6 +431,8 @@ fn accept_loop(
     metrics: &Arc<Metrics>,
     shutdown: &Arc<AtomicBool>,
     durability: &Option<Arc<Durability>>,
+    tracer: &Arc<Tracer>,
+    pool_stats: &Arc<PoolStats>,
     request_counter: &Arc<AtomicU64>,
 ) {
     for stream in listener.incoming() {
@@ -303,6 +449,8 @@ fn accept_loop(
         let shutdown = Arc::clone(shutdown);
         let config = config.clone();
         let durability = durability.clone();
+        let tracer = Arc::clone(tracer);
+        let pool_stats = Arc::clone(pool_stats);
         let request_counter = Arc::clone(request_counter);
         let submitted = pool.try_execute(move || {
             let _ = serve_connection(
@@ -312,6 +460,8 @@ fn accept_loop(
                 &metrics_job,
                 &shutdown,
                 durability.as_deref(),
+                &tracer,
+                &pool_stats,
                 &request_counter,
             );
         });
@@ -366,6 +516,7 @@ fn write_response(
 
 /// Drives one connection: read a framed line, dispatch under the request
 /// deadline, write one response line back.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     config: &ServerConfig,
@@ -373,8 +524,11 @@ fn serve_connection(
     metrics: &Metrics,
     shutdown: &AtomicBool,
     durability: Option<&Durability>,
+    tracer: &Tracer,
+    pool_stats: &PoolStats,
     request_counter: &AtomicU64,
 ) -> std::io::Result<()> {
+    let ctx = ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats };
     // The short poll timeout lets the worker notice server shutdown and
     // expired deadlines even while a client holds its connection open
     // silently; the real deadlines are enforced above it.
@@ -452,12 +606,14 @@ fn serve_connection(
             _ => {}
         }
         let started = Instant::now();
+        // One relaxed load decides the whole per-request tracing cost.
+        let mut request_trace = tracer.enabled().then(|| tracer.begin());
         if let Some(Fault::StallHandler { ms }) = fault {
             // The stall happens "inside" handling, so it counts against
             // the per-request deadline.
             std::thread::sleep(Duration::from_millis(ms));
         }
-        let (command, mut response) = handle_line(line, config, catalog, metrics, durability);
+        let (command, mut response) = handle_line(line, &ctx, request_trace.as_mut());
         let elapsed = started.elapsed();
         let mut is_error = response.starts_with("ERR");
         if elapsed > config.request_deadline() {
@@ -479,7 +635,15 @@ fn serve_connection(
             let _ = writer.write_all(&full.as_bytes()[..n]).and_then(|()| writer.flush());
             return Ok(());
         }
-        if let WriteOutcome::Lost = write_response(&mut writer, &response, metrics) {
+        let write_started = Instant::now();
+        let write_outcome = write_response(&mut writer, &response, metrics);
+        if let Some(t) = request_trace.as_mut() {
+            t.record(Span::Write, write_started.elapsed().as_nanos() as u64);
+        }
+        if let Some(t) = &request_trace {
+            tracer.observe(command, line, started.elapsed().as_nanos() as u64, t);
+        }
+        if let WriteOutcome::Lost = write_outcome {
             return Ok(());
         }
         if command == Command::Shutdown && !is_error {
@@ -493,34 +657,53 @@ fn serve_connection(
     }
 }
 
-/// Parses and executes one request line; returns the metrics bucket and
-/// the single-line response.
-pub fn handle_line(
-    line: &str,
-    config: &ServerConfig,
-    catalog: &Catalog,
-    metrics: &Metrics,
-    durability: Option<&Durability>,
-) -> (Command, String) {
-    match proto::parse(line) {
-        Ok(request) => {
-            let command = request.command();
-            (command, dispatch(request, config, catalog, metrics, durability))
+/// Everything the dispatcher reads, bundled so new layers (tracing, the
+/// pool's stats, …) don't keep growing a positional argument list.
+#[derive(Clone, Copy)]
+struct ServiceCtx<'a> {
+    config: &'a ServerConfig,
+    catalog: &'a Catalog,
+    metrics: &'a Metrics,
+    durability: Option<&'a Durability>,
+    tracer: &'a Tracer,
+    pool_stats: &'a PoolStats,
+}
+
+/// Runs `f`, charging its wall time to `span` when the request is traced.
+fn timed<R>(
+    trace: &mut Option<&mut RequestTrace>,
+    span: Span,
+    f: impl FnOnce() -> R,
+) -> R {
+    match trace {
+        None => f(),
+        Some(t) => {
+            let started = Instant::now();
+            let r = f();
+            t.record(span, started.elapsed().as_nanos() as u64);
+            r
         }
-        Err(e) => (Command::Invalid, format!("ERR {e}")),
     }
 }
 
-fn dispatch(
-    request: Request,
-    config: &ServerConfig,
-    catalog: &Catalog,
-    metrics: &Metrics,
-    durability: Option<&Durability>,
-) -> String {
-    match execute(request, config, catalog, metrics, durability) {
-        Ok(ok) => ok,
-        Err(e) => format!("ERR {}", proto::escape_line(&e)),
+/// Parses and executes one request line; returns the metrics bucket and
+/// the single-line response.
+fn handle_line(
+    line: &str,
+    ctx: &ServiceCtx<'_>,
+    mut trace: Option<&mut RequestTrace>,
+) -> (Command, String) {
+    let parsed = timed(&mut trace, Span::Parse, || proto::parse(line));
+    match parsed {
+        Ok(request) => {
+            let command = request.command();
+            let response = match execute(request, ctx, trace) {
+                Ok(ok) => ok,
+                Err(e) => format!("ERR {}", proto::escape_line(&e)),
+            };
+            (command, response)
+        }
+        Err(e) => (Command::Invalid, format!("ERR {e}")),
     }
 }
 
@@ -530,11 +713,11 @@ fn fetch(catalog: &Catalog, id: u64) -> Result<Arc<LoadedDoc>, String> {
 
 fn execute(
     request: Request,
-    config: &ServerConfig,
-    catalog: &Catalog,
-    metrics: &Metrics,
-    durability: Option<&Durability>,
+    ctx: &ServiceCtx<'_>,
+    mut trace: Option<&mut RequestTrace>,
 ) -> Result<String, String> {
+    let ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats } = *ctx;
+    let trace = &mut trace;
     match request {
         Request::Ping => Ok("OK pong".into()),
         Request::Load { path, depth } => {
@@ -544,8 +727,9 @@ fn execute(
             // origin file surviving (or staying unchanged).
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {path}: {e}"))?;
-            let loaded =
-                LoadedDoc::build_with(&path, &text, depth, config.with_store, &exec)?;
+            let loaded = timed(trace, Span::Eval, || {
+                LoadedDoc::build_with(&path, &text, depth, config.with_store, &exec)
+            })?;
             let nodes = loaded.doc.node_count();
             let areas = loaded.scheme.area_count();
             let id = match durability {
@@ -560,7 +744,9 @@ fn execute(
                     };
                     // WAL first: if the append fails the catalog is
                     // untouched and the client sees the error.
-                    d.log_with(&op, || catalog.insert_with_id(id, loaded))?;
+                    timed(trace, Span::Wal, || {
+                        d.log_with(&op, || catalog.insert_with_id(id, loaded))
+                    })?;
                     id
                 }
                 None => catalog.insert(loaded),
@@ -573,7 +759,9 @@ fn execute(
                     if catalog.get(id).is_none() {
                         return Err(format!("no document {id}"));
                     }
-                    d.log_with(&WalOp::Unload { doc_id: id }, || catalog.remove(id))?
+                    timed(trace, Span::Wal, || {
+                        d.log_with(&WalOp::Unload { doc_id: id }, || catalog.remove(id))
+                    })?
                 }
                 None => catalog.remove(id),
             };
@@ -592,8 +780,10 @@ fn execute(
             Ok(out)
         }
         Request::Label { doc, xpath } => {
-            let loaded = fetch(catalog, doc)?;
-            let hits = run_query(&loaded, &xpath, Engine::Indexed)?;
+            let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
+            let (hits, steps) =
+                timed(trace, Span::Eval, || run_query(&loaded, &xpath, Engine::Indexed))?;
+            metrics.record_axis_steps(&steps);
             let mut out = format!("OK {}", hits.len());
             for node in hits {
                 out.push(' ');
@@ -602,16 +792,18 @@ fn execute(
             Ok(out)
         }
         Request::Parent { doc, label } => {
-            let loaded = fetch(catalog, doc)?;
+            let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
             // Pure arithmetic (Fig. 6) — no node lookup, no I/O.
-            Ok(match loaded.scheme.rparent(&label) {
+            Ok(match timed(trace, Span::Eval, || loaded.scheme.rparent(&label)) {
                 Some(parent) => format!("OK {}", proto::fmt_label(&parent)),
                 None => "OK none".into(),
             })
         }
         Request::Query { doc, xpath, engine } => {
-            let loaded = fetch(catalog, doc)?;
-            let hits = run_query(&loaded, &xpath, engine)?;
+            let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
+            let (hits, steps) =
+                timed(trace, Span::Eval, || run_query(&loaded, &xpath, engine))?;
+            metrics.record_axis_steps(&steps);
             let mut out = format!("OK {}", hits.len());
             for node in hits {
                 out.push(' ');
@@ -620,12 +812,12 @@ fn execute(
             Ok(out)
         }
         Request::Scan { doc, global } => {
-            let loaded = fetch(catalog, doc)?;
+            let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
             let store = loaded
                 .store
                 .as_ref()
                 .ok_or("document loaded without a store (SCAN unavailable)")?;
-            let rows = store.scan_area(global);
+            let rows = timed(trace, Span::Eval, || store.scan_area(global));
             let mut out = format!("OK {}", rows.len());
             for row in rows {
                 let kind = match row.kind {
@@ -644,18 +836,20 @@ fn execute(
             Ok(out)
         }
         Request::Get { doc, label } => {
-            let loaded = fetch(catalog, doc)?;
-            let node = loaded
-                .scheme
-                .node_of(&label)
-                .ok_or_else(|| format!("no node carries {}", proto::fmt_label(&label)))?;
-            Ok(format!(
-                "OK {}",
-                proto::escape_line(&loaded.doc.subtree_to_xml_string(node))
-            ))
+            let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
+            timed(trace, Span::Eval, || {
+                let node = loaded
+                    .scheme
+                    .node_of(&label)
+                    .ok_or_else(|| format!("no node carries {}", proto::fmt_label(&label)))?;
+                Ok(format!(
+                    "OK {}",
+                    proto::escape_line(&loaded.doc.subtree_to_xml_string(node))
+                ))
+            })
         }
         Request::Stats(id) => {
-            let loaded = fetch(catalog, id)?;
+            let loaded = timed(trace, Span::Lookup, || fetch(catalog, id))?;
             let root = loaded.doc.root_element().ok_or("document has no root element")?;
             let tree = TreeStats::collect(&loaded.doc, root);
             Ok(format!(
@@ -672,10 +866,21 @@ fn execute(
                 loaded.doc.names().len(),
             ))
         }
-        Request::Metrics => Ok(match durability {
-            Some(d) => format!("OK {} {}", metrics.render_line(), d.render_line()),
-            None => format!("OK {} durability=off", metrics.render_line()),
-        }),
+        Request::Metrics { prom } => {
+            if prom {
+                let body = crate::prom::render(&PromCtx {
+                    metrics,
+                    durability,
+                    tracer: Some(tracer),
+                    pool: Some(pool_stats),
+                });
+                return Ok(format!("OK {}", proto::escape_line(&body)));
+            }
+            Ok(match durability {
+                Some(d) => format!("OK {} {}", metrics.render_line(), d.render_line()),
+                None => format!("OK {} durability=off", metrics.render_line()),
+            })
+        }
         Request::Snapshot => {
             let d = durability.ok_or("durability disabled (start with --data-dir)")?;
             let (generation, docs) = d.snapshot(catalog)?;
@@ -686,11 +891,30 @@ fn execute(
             let (records, bytes) = d.persist()?;
             Ok(format!("OK records={records} bytes={bytes}"))
         }
-        Request::Shutdown => Ok("OK bye".into()),
+        Request::Trace(cmd) => {
+            match cmd {
+                TraceCmd::Status => {}
+                TraceCmd::On => tracer.enable(),
+                TraceCmd::Off => tracer.disable(),
+                TraceCmd::ThresholdMs(ms) => tracer.set_threshold_ms(ms),
+            }
+            Ok(format!("OK {}", tracer.render_status()))
+        }
+        Request::Slowlog(n) => Ok(format!("OK {}", tracer.render_slowlog(n))),
+        Request::Shutdown => {
+            // The OK-ack is a durability promise: everything the WAL
+            // acknowledged must survive a kill right after it. Force the
+            // log down before replying (a failed fsync fails the verb).
+            if let Some(d) = durability {
+                timed(trace, Span::Wal, || d.persist())?;
+            }
+            Ok("OK bye".into())
+        }
     }
 }
 
-/// Runs `xpath` against a loaded document with the chosen axis provider.
+/// Runs `xpath` against a loaded document with the chosen axis provider;
+/// returns the matches and the per-axis step counts of the evaluation.
 ///
 /// Reads only — the scheme, index and document are all borrowed shared,
 /// which is why any number of these can run at once.
@@ -698,26 +922,33 @@ pub fn run_query(
     loaded: &LoadedDoc,
     xpath: &str,
     engine: Engine,
-) -> Result<Vec<xmldom::NodeId>, String> {
+) -> Result<(Vec<xmldom::NodeId>, xpath::StepStats), String> {
     match engine {
-        Engine::Tree => Evaluator::new(
-            &loaded.doc,
-            TreeAxes::with_order(&loaded.doc, &loaded.order),
-        )
-        .query(xpath),
-        Engine::Ruid => Evaluator::new(
-            &loaded.doc,
-            RuidAxes::with_order(&loaded.scheme, &loaded.order),
-        )
-        .query(xpath),
-        Engine::Indexed => Evaluator::new(
-            &loaded.doc,
-            NameIndexed::new(
-                RuidAxes::with_order(&loaded.scheme, &loaded.order),
+        Engine::Tree => {
+            let ev =
+                Evaluator::new(&loaded.doc, TreeAxes::with_order(&loaded.doc, &loaded.order));
+            let hits = ev.query(xpath)?;
+            Ok((hits, ev.step_stats()))
+        }
+        Engine::Ruid => {
+            let ev = Evaluator::new(
                 &loaded.doc,
-                &loaded.index,
-            ),
-        )
-        .query(xpath),
+                RuidAxes::with_order(&loaded.scheme, &loaded.order),
+            );
+            let hits = ev.query(xpath)?;
+            Ok((hits, ev.step_stats()))
+        }
+        Engine::Indexed => {
+            let ev = Evaluator::new(
+                &loaded.doc,
+                NameIndexed::new(
+                    RuidAxes::with_order(&loaded.scheme, &loaded.order),
+                    &loaded.doc,
+                    &loaded.index,
+                ),
+            );
+            let hits = ev.query(xpath)?;
+            Ok((hits, ev.step_stats()))
+        }
     }
 }

@@ -1,0 +1,216 @@
+//! Observability end-to-end: tracing + slowlog through the wire protocol,
+//! the Prometheus exposition over both transports, and the graceful-
+//! shutdown durability promise.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use ruid_service::{Client, FsyncPolicy, Server, ServerConfig, ServerHandle};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("ruid-observability-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_sample(dir: &std::path::Path, name: &str, xml: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, xml).unwrap();
+    path.display().to_string()
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, Client) {
+    let handle = Server::start(config).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    (handle, client)
+}
+
+fn load(client: &mut Client, path: &str) -> u64 {
+    let resp = client.request(&format!("LOAD {path}")).unwrap();
+    assert!(resp.starts_with("OK id="), "{resp}");
+    resp.split_whitespace()
+        .find_map(|t| t.strip_prefix("id="))
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn trace_and_slowlog_capture_span_breakdowns() {
+    let dir = scratch("slowlog");
+    let sample = write_sample(&dir, "s.xml", "<r><a><b>x</b></a><a><b>y</b></a></r>");
+    let (handle, mut client) = start(ServerConfig::default());
+    let id = load(&mut client, &sample);
+
+    // Tracing is off by default and free to query.
+    let status = client.request("TRACE").unwrap();
+    assert!(status.contains("trace=off"), "{status}");
+    let log = client.request("SLOWLOG").unwrap();
+    assert!(log.starts_with("OK n=0"), "{log}");
+
+    // Threshold 0 = capture everything (the test's queries are fast).
+    let status = client.request("TRACE 0").unwrap();
+    assert!(status.contains("trace=on") && status.contains("threshold_ms=0"), "{status}");
+    let q = format!("QUERY {id} //a/b");
+    assert!(client.request(&q).unwrap().starts_with("OK 2 "));
+
+    let log = client.request("SLOWLOG 5").unwrap();
+    assert!(log.contains("cmd=QUERY"), "{log}");
+    for span in ["parse_ns=", "lookup_ns=", "eval_ns=", "wal_ns=", "write_ns="] {
+        assert!(log.contains(span), "missing {span} in {log}");
+    }
+    assert!(log.contains(&format!("line=QUERY {id} //a/b")), "{log}");
+    // The traced spans hold real time: parse and eval both ran.
+    let eval_ns: u64 = log
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("eval_ns="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(eval_ns > 0, "eval span empty in {log}");
+
+    // TRACE off stops new captures but keeps the ring. (The TRACE off
+    // request itself still counts — it began while tracing was on.)
+    assert!(client.request("TRACE off").unwrap().contains("trace=off"));
+    let captured = |status: &str| -> u64 {
+        status
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("captured="))
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let before = captured(&client.request("TRACE").unwrap());
+    assert!(client.request(&q).unwrap().starts_with("OK 2 "));
+    let status = client.request("TRACE").unwrap();
+    assert_eq!(captured(&status), before, "{status}");
+    handle.stop();
+}
+
+/// Reads one HTTP response from the metrics endpoint, returning
+/// `(head, body)`.
+fn scrape(addr: std::net::SocketAddr) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn prometheus_exposition_over_wire_and_http() {
+    let dir = scratch("prom");
+    let sample = write_sample(&dir, "p.xml", "<r><x><y/></x><x><y/><y/></x></r>");
+    let config = ServerConfig {
+        data_dir: Some(dir.join("data")),
+        fsync: FsyncPolicy::Always,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    };
+    let (handle, mut client) = start(config);
+    let id = load(&mut client, &sample);
+    for _ in 0..3 {
+        assert!(client.request(&format!("QUERY {id} //x/y")).unwrap().starts_with("OK 3"));
+    }
+
+    // Wire transport: METRICS prom answers one escaped line.
+    let wire = client.request("METRICS prom").unwrap();
+    assert!(wire.starts_with("OK # HELP"), "{wire}");
+    assert!(wire.contains("ruid_requests_total{command=\"query\"} 3"), "{wire}");
+
+    // HTTP transport: a real scrape with headers and the same families.
+    let addr = handle.metrics_http_addr().expect("metrics endpoint configured");
+    let (head, body) = scrape(addr);
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(content_length, body.len(), "Content-Length mismatch");
+
+    assert!(body.contains("ruid_connections_total"), "{body}");
+    assert!(body.contains("ruid_requests_total{command=\"load\"} 1"), "{body}");
+    assert!(body.contains("ruid_wal_records_total 1"), "{body}");
+    assert!(body.contains("ruid_wal_unsynced_records 0"), "{body}");
+    assert!(body.contains("ruid_pool_jobs_submitted_total"), "{body}");
+    assert!(body.contains("ruid_trace_enabled 0"), "{body}");
+    // The //x/y queries walked the descendant and child axes.
+    let steps_of = |axis: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(&format!("ruid_xpath_steps_total{{axis=\"{axis}\"}} ")))
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(steps_of("descendant") + steps_of("descendant-or-self") > 0, "{body}");
+    assert!(steps_of("child") > 0, "{body}");
+
+    // The query histogram's cumulative buckets are monotone and end at
+    // the sample count.
+    let mut last = 0u64;
+    let mut bucket_lines = 0u32;
+    let mut inf = None;
+    for line in body.lines() {
+        if let Some(rest) =
+            line.strip_prefix("ruid_request_duration_seconds_bucket{command=\"query\",le=\"")
+        {
+            let v: u64 = rest.split_whitespace().last().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative bucket shrank: {line}");
+            last = v;
+            bucket_lines += 1;
+            if rest.starts_with("+Inf") {
+                inf = Some(v);
+            }
+        }
+    }
+    assert!(bucket_lines > 10, "expected a full bucket ladder, got {bucket_lines}");
+    assert_eq!(inf, Some(3), "+Inf bucket must equal the QUERY count");
+    assert!(
+        body.contains("ruid_request_duration_seconds_count{command=\"query\"} 3"),
+        "{body}"
+    );
+
+    // A scrape is read-only: it must not disturb the wire metrics.
+    let after = client.request("METRICS").unwrap();
+    assert!(after.contains("QUERY=3/0/"), "{after}");
+    handle.stop();
+}
+
+#[test]
+fn shutdown_ack_makes_the_wal_durable_under_lazy_fsync() {
+    let dir = scratch("shutdown-fsync");
+    let sample = write_sample(&dir, "d.xml", "<r><k/></r>");
+    let data_dir = dir.join("data");
+    // A huge fsync interval: nothing is synced unless shutdown forces it.
+    let config = ServerConfig {
+        data_dir: Some(data_dir.clone()),
+        fsync: FsyncPolicy::EveryN(1_000_000),
+        ..ServerConfig::default()
+    };
+    let (handle, mut client) = start(config);
+    let id = load(&mut client, &sample);
+    let metrics = client.request("METRICS").unwrap();
+    assert!(metrics.contains("wal_unsynced=1"), "lazy policy must defer: {metrics}");
+
+    // The SHUTDOWN ack is the durability promise: once `OK bye` is on the
+    // wire, a kill -9 loses nothing.
+    assert_eq!(client.request("SHUTDOWN").unwrap(), "OK bye");
+    handle.join();
+
+    let (handle, mut client) = start(ServerConfig {
+        data_dir: Some(data_dir),
+        fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    });
+    let resp = client.request(&format!("QUERY {id} //k")).unwrap();
+    assert!(resp.starts_with("OK 1 "), "record lost across shutdown: {resp}");
+    let metrics = client.request("METRICS").unwrap();
+    assert!(metrics.contains("replayed=1"), "{metrics}");
+    handle.stop();
+}

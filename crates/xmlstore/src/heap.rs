@@ -74,26 +74,28 @@ impl<P: Pager> HeapFile<P> {
         self.pager.sync()
     }
 
-    /// Appends a record and returns its id.
-    pub fn append(&mut self, bytes: &[u8]) -> RecordId {
-        self.records += 1;
+    /// Appends a record, surfacing pager I/O errors. The record counts
+    /// only once the write succeeded.
+    pub fn try_append(&mut self, bytes: &[u8]) -> std::io::Result<RecordId> {
         if bytes.len() > MAX_INLINE_RECORD {
-            return self.append_blob(bytes);
+            let id = self.try_append_blob(bytes)?;
+            self.records += 1;
+            return Ok(id);
         }
         let mut page = [0u8; PAGE_SIZE];
         let page_id = match self.current {
             Some(id) => {
-                self.pager.read_page(id, &mut page);
+                self.pager.try_read_page(id, &mut page)?;
                 if slotted_free_space(&page) >= bytes.len() + SLOT_ENTRY {
                     id
                 } else {
-                    let id = self.fresh_page(&mut page);
+                    let id = self.try_fresh_page(&mut page)?;
                     self.current = Some(id);
                     id
                 }
             }
             None => {
-                let id = self.fresh_page(&mut page);
+                let id = self.try_fresh_page(&mut page)?;
                 self.current = Some(id);
                 id
             }
@@ -107,8 +109,50 @@ impl<P: Pager> HeapFile<P> {
         write_u16(&mut page, slot_off + 2, bytes.len() as u16);
         write_u16(&mut page, 0, (n + 1) as u16);
         write_u16(&mut page, 2, off as u16);
-        self.pager.write_page(page_id, &page);
-        RecordId { page: page_id, slot: n as u16 }
+        self.pager.try_write_page(page_id, &page)?;
+        self.records += 1;
+        Ok(RecordId { page: page_id, slot: n as u16 })
+    }
+
+    /// Appends a record and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the pager cannot grow or a page write fails.
+    pub fn append(&mut self, bytes: &[u8]) -> RecordId {
+        self.try_append(bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads a record back, surfacing pager I/O errors; a slot that does
+    /// not exist on the page reads as [`std::io::ErrorKind::InvalidData`].
+    pub fn try_get(&self, id: RecordId) -> std::io::Result<Vec<u8>> {
+        let mut page = [0u8; PAGE_SIZE];
+        self.pager.try_read_page(id.page, &mut page)?;
+        if id.slot == SLOT_BLOB {
+            // Follow the blob chain.
+            let mut out = Vec::new();
+            let mut cur = id.page;
+            loop {
+                self.pager.try_read_page(cur, &mut page)?;
+                let here = read_u16(&page, 0) as usize;
+                out.extend_from_slice(&page[BLOB_HEADER..BLOB_HEADER + here]);
+                let next = read_u32(&page, 4);
+                if next == NO_PAGE {
+                    return Ok(out);
+                }
+                cur = PageId(next);
+            }
+        }
+        let n = read_u16(&page, 0) as usize;
+        if id.slot as usize >= n {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("slot {} out of range (page holds {n} slots)", id.slot),
+            ));
+        }
+        let slot_off = SLOT_HEADER + id.slot as usize * SLOT_ENTRY;
+        let off = read_u16(&page, slot_off) as usize;
+        let len = read_u16(&page, slot_off + 2) as usize;
+        Ok(page[off..off + len].to_vec())
     }
 
     /// Reads a record back.
@@ -116,52 +160,33 @@ impl<P: Pager> HeapFile<P> {
     /// # Panics
     /// Panics if `id` does not reference a valid record.
     pub fn get(&self, id: RecordId) -> Vec<u8> {
-        let mut page = [0u8; PAGE_SIZE];
-        self.pager.read_page(id.page, &mut page);
-        if id.slot == SLOT_BLOB {
-            // Follow the blob chain.
-            let mut out = Vec::new();
-            let mut cur = id.page;
-            loop {
-                self.pager.read_page(cur, &mut page);
-                let here = read_u16(&page, 0) as usize;
-                out.extend_from_slice(&page[BLOB_HEADER..BLOB_HEADER + here]);
-                let next = read_u32(&page, 4);
-                if next == NO_PAGE {
-                    return out;
-                }
-                cur = PageId(next);
-            }
-        }
-        let n = read_u16(&page, 0) as usize;
-        assert!((id.slot as usize) < n, "slot {} out of range", id.slot);
-        let slot_off = SLOT_HEADER + id.slot as usize * SLOT_ENTRY;
-        let off = read_u16(&page, slot_off) as usize;
-        let len = read_u16(&page, slot_off + 2) as usize;
-        page[off..off + len].to_vec()
+        self.try_get(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn fresh_page(&mut self, page: &mut [u8; PAGE_SIZE]) -> PageId {
-        let id = self.pager.allocate();
+    fn try_fresh_page(&mut self, page: &mut [u8; PAGE_SIZE]) -> std::io::Result<PageId> {
+        let id = self.pager.try_allocate()?;
         page.fill(0);
         write_u16(page, 0, 0);
         write_u16(page, 2, PAGE_SIZE as u16);
-        self.pager.write_page(id, page);
-        id
+        self.pager.try_write_page(id, page)?;
+        Ok(id)
     }
 
-    fn append_blob(&mut self, bytes: &[u8]) -> RecordId {
+    fn try_append_blob(&mut self, bytes: &[u8]) -> std::io::Result<RecordId> {
         let chunks: Vec<&[u8]> = bytes.chunks(BLOB_CAP).collect();
-        let pages: Vec<PageId> = chunks.iter().map(|_| self.pager.allocate()).collect();
+        let pages: Vec<PageId> = chunks
+            .iter()
+            .map(|_| self.pager.try_allocate())
+            .collect::<std::io::Result<_>>()?;
         for (i, chunk) in chunks.iter().enumerate() {
             let mut page = [0u8; PAGE_SIZE];
             write_u16(&mut page, 0, chunk.len() as u16);
             let next = pages.get(i + 1).map_or(NO_PAGE, |p| p.0);
             write_u32(&mut page, 4, next);
             page[BLOB_HEADER..BLOB_HEADER + chunk.len()].copy_from_slice(chunk);
-            self.pager.write_page(pages[i], &page);
+            self.pager.try_write_page(pages[i], &page)?;
         }
-        RecordId { page: pages[0], slot: SLOT_BLOB }
+        Ok(RecordId { page: pages[0], slot: SLOT_BLOB })
     }
 }
 

@@ -32,8 +32,17 @@ fn out_of_range(id: PageId, pages: u32) -> io::Error {
 /// missing page as a programming error (the heap and B+-tree only ever
 /// dereference page ids they allocated themselves).
 pub trait Pager {
+    /// Allocates a zeroed page, surfacing growth failures (address-space
+    /// exhaustion, a full disk) instead of panicking.
+    fn try_allocate(&mut self) -> io::Result<PageId>;
+
     /// Allocates a zeroed page.
-    fn allocate(&mut self) -> PageId;
+    ///
+    /// # Panics
+    /// Panics if the backing store cannot grow.
+    fn allocate(&mut self) -> PageId {
+        self.try_allocate().unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Reads a page into `buf`, surfacing I/O errors and out-of-range ids
     /// instead of panicking.
@@ -81,10 +90,12 @@ impl MemPager {
 }
 
 impl Pager for MemPager {
-    fn allocate(&mut self) -> PageId {
-        let id = PageId(u32::try_from(self.pages.len()).expect("page count exceeds u32"));
+    fn try_allocate(&mut self) -> io::Result<PageId> {
+        let id = u32::try_from(self.pages.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::OutOfMemory, "page count exceeds u32")
+        })?;
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
-        id
+        Ok(PageId(id))
     }
 
     fn try_read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
@@ -156,13 +167,13 @@ impl FilePager {
 }
 
 impl Pager for FilePager {
-    fn allocate(&mut self) -> PageId {
+    fn try_allocate(&mut self) -> io::Result<PageId> {
         let id = PageId(self.pages);
+        // Grow the file first: if set_len fails (disk full), `pages` is
+        // untouched and the pager stays consistent.
+        self.file.set_len((u64::from(self.pages) + 1) * PAGE_SIZE as u64)?;
         self.pages += 1;
-        self.file
-            .set_len(u64::from(self.pages) * PAGE_SIZE as u64)
-            .expect("failed to grow pager file");
-        id
+        Ok(id)
     }
 
     fn try_read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {

@@ -94,21 +94,43 @@ impl StoredNode {
         }
     }
 
-    /// Serializes to bytes (length-prefixed fields, little-endian).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes to bytes (length-prefixed fields, little-endian),
+    /// rejecting field lengths the format cannot carry — names and
+    /// attribute keys over `u16::MAX` bytes, texts/values over
+    /// `u32::MAX`, or more than `u16::MAX` attributes. Hostile input
+    /// (a LOADed document with a 70 KB element name) reaches this path,
+    /// so overflow is an error, not an invariant.
+    pub fn try_encode(&self) -> std::io::Result<Vec<u8>> {
+        fn too_big(what: &str, len: usize) -> std::io::Error {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{what} of {len} bytes exceeds the stored record format"),
+            )
+        }
         let mut out = Vec::with_capacity(
             1 + Ruid2::ENCODED_LEN + 2 + self.name.len() + 4 + self.text.len(),
         );
         out.push(self.kind.to_u8());
         out.extend_from_slice(&self.label.to_bytes());
-        push_str16(&mut out, &self.name);
-        push_str32(&mut out, &self.text);
-        out.extend_from_slice(&(self.attributes.len() as u16).to_le_bytes());
+        push_str16(&mut out, &self.name).ok_or_else(|| too_big("name", self.name.len()))?;
+        push_str32(&mut out, &self.text).ok_or_else(|| too_big("text", self.text.len()))?;
+        let n_attrs = u16::try_from(self.attributes.len())
+            .map_err(|_| too_big("attribute list", self.attributes.len()))?;
+        out.extend_from_slice(&n_attrs.to_le_bytes());
         for (k, v) in &self.attributes {
-            push_str16(&mut out, k);
-            push_str32(&mut out, v);
+            push_str16(&mut out, k).ok_or_else(|| too_big("attribute name", k.len()))?;
+            push_str32(&mut out, v).ok_or_else(|| too_big("attribute value", v.len()))?;
         }
-        out
+        Ok(out)
+    }
+
+    /// Serializes to bytes (length-prefixed fields, little-endian).
+    ///
+    /// # Panics
+    /// Panics when a field exceeds the format's length prefixes; use
+    /// [`StoredNode::try_encode`] on untrusted content.
+    pub fn encode(&self) -> Vec<u8> {
+        self.try_encode().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Decodes [`StoredNode::encode`] output.
@@ -131,14 +153,16 @@ impl StoredNode {
     }
 }
 
-fn push_str16(out: &mut Vec<u8>, s: &str) {
-    out.extend_from_slice(&u16::try_from(s.len()).expect("name too long").to_le_bytes());
+fn push_str16(out: &mut Vec<u8>, s: &str) -> Option<()> {
+    out.extend_from_slice(&u16::try_from(s.len()).ok()?.to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+    Some(())
 }
 
-fn push_str32(out: &mut Vec<u8>, s: &str) {
-    out.extend_from_slice(&u32::try_from(s.len()).expect("text too long").to_le_bytes());
+fn push_str32(out: &mut Vec<u8>, s: &str) -> Option<()> {
+    out.extend_from_slice(&u32::try_from(s.len()).ok()?.to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+    Some(())
 }
 
 struct Reader<'a> {
@@ -241,6 +265,38 @@ mod tests {
         bytes.pop();
         bytes.pop(); // truncated
         assert_eq!(StoredNode::decode(&bytes), None);
+    }
+
+    #[test]
+    fn try_encode_rejects_oversized_fields() {
+        let node = StoredNode {
+            label: Ruid2::new(1, 2, false),
+            kind: StoredKind::Element,
+            name: "n".repeat(usize::from(u16::MAX) + 1),
+            text: String::new(),
+            attributes: vec![],
+        };
+        let err = node.try_encode().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("name"), "{err}");
+        let node = StoredNode {
+            label: Ruid2::new(1, 2, false),
+            kind: StoredKind::Element,
+            name: "ok".into(),
+            text: String::new(),
+            attributes: vec![("k".repeat(usize::from(u16::MAX) + 1), "v".into())],
+        };
+        assert!(node.try_encode().is_err());
+        // A name at exactly the limit still encodes and round-trips.
+        let node = StoredNode {
+            label: Ruid2::new(1, 2, false),
+            kind: StoredKind::Element,
+            name: "n".repeat(usize::from(u16::MAX)),
+            text: String::new(),
+            attributes: vec![],
+        };
+        let bytes = node.try_encode().unwrap();
+        assert_eq!(StoredNode::decode(&bytes), Some(node));
     }
 
     #[test]

@@ -62,71 +62,140 @@ impl<P: Pager> XmlStore<P> {
         self.index.sync()
     }
 
-    /// Inserts one node row.
-    pub fn insert_node(&mut self, node: &StoredNode) {
-        let rid = self.heap.append(&node.encode());
+    /// Inserts one node row, surfacing encode overflows (oversized names
+    /// or texts in untrusted documents) and heap I/O errors.
+    pub fn try_insert_node(&mut self, node: &StoredNode) -> std::io::Result<()> {
+        let rid = self.heap.try_append(&node.try_encode()?)?;
         self.index.insert(node.label.storage_key(), rid.to_u64());
+        Ok(())
     }
 
-    /// Stores every labelled node of a numbered document; returns the count.
-    pub fn load_document(&mut self, doc: &Document, scheme: &Ruid2Scheme) -> usize {
+    /// Inserts one node row.
+    ///
+    /// # Panics
+    /// Panics on encode overflow or a heap I/O failure; use
+    /// [`XmlStore::try_insert_node`] for untrusted content.
+    pub fn insert_node(&mut self, node: &StoredNode) {
+        self.try_insert_node(node).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Stores every labelled node of a numbered document; returns the
+    /// count. Untrusted documents can exceed the record format's field
+    /// lengths, which surfaces here as an error.
+    pub fn try_load_document(
+        &mut self,
+        doc: &Document,
+        scheme: &Ruid2Scheme,
+    ) -> std::io::Result<usize> {
         let root = scheme.numbering_root();
         let mut count = 0usize;
         for node in doc.descendants(root) {
             let label = scheme.label_of(node);
-            self.insert_node(&StoredNode::from_node(doc, node, label));
+            self.try_insert_node(&StoredNode::from_node(doc, node, label))?;
             count += 1;
         }
-        count
+        Ok(count)
+    }
+
+    /// Stores every labelled node of a numbered document; returns the count.
+    ///
+    /// # Panics
+    /// Panics on encode overflow or a heap I/O failure; use
+    /// [`XmlStore::try_load_document`] for untrusted content.
+    pub fn load_document(&mut self, doc: &Document, scheme: &Ruid2Scheme) -> usize {
+        self.try_load_document(doc, scheme).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Point lookup by identifier, surfacing heap I/O errors and
+    /// undecodable rows ([`std::io::ErrorKind::InvalidData`]) instead of
+    /// panicking. `Ok(None)` means the label is not in the index.
+    pub fn try_get(&self, label: &Ruid2) -> std::io::Result<Option<StoredNode>> {
+        let Some(rid) = self.index.get(&label.storage_key()) else {
+            return Ok(None);
+        };
+        let bytes = self.heap.try_get(RecordId::from_u64(rid))?;
+        decode_row(&bytes).map(Some)
     }
 
     /// Point lookup by identifier.
+    ///
+    /// # Panics
+    /// Panics if the indexed record fails to read or decode (the index
+    /// points only at records this store appended).
     pub fn get(&self, label: &Ruid2) -> Option<StoredNode> {
-        let rid = self.index.get(&label.storage_key())?;
-        let bytes = self.heap.get(RecordId::from_u64(rid));
-        Some(StoredNode::decode(&bytes).expect("stored record must decode"))
+        self.try_get(label).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// All rows of one UID-local area — the area root plus its interior
-    /// nodes — in (global, local) order. One contiguous B+-tree range scan:
-    /// this is what the paper's storage sort order buys.
-    pub fn scan_area(&self, global: u64) -> Vec<StoredNode> {
+    /// nodes — in (global, local) order, surfacing read/decode failures.
+    /// One contiguous B+-tree range scan: this is what the paper's storage
+    /// sort order buys.
+    pub fn try_scan_area(&self, global: u64) -> std::io::Result<Vec<StoredNode>> {
         let start = area_start_key(global);
         let end = area_end_key(global);
         self.index
             .range(&start, &end)
             .into_iter()
             .map(|(_, rid)| {
-                let bytes = self.heap.get(RecordId::from_u64(rid));
-                StoredNode::decode(&bytes).expect("stored record must decode")
+                let bytes = self.heap.try_get(RecordId::from_u64(rid))?;
+                decode_row(&bytes)
             })
             .collect()
     }
 
+    /// All rows of one UID-local area in (global, local) order.
+    ///
+    /// # Panics
+    /// Panics if an indexed record fails to read or decode.
+    pub fn scan_area(&self, global: u64) -> Vec<StoredNode> {
+        self.try_scan_area(global).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// All rows in the subtree of the area rooted at `area_global`: its own
     /// area plus every frame-descendant area (the paper's area-based bulk
-    /// `rdescendant`). Returns the rows and the number of range scans run.
-    pub fn scan_subtree(&self, scheme: &Ruid2Scheme, area_global: u64) -> (Vec<StoredNode>, usize) {
+    /// `rdescendant`), surfacing read/decode failures. Returns the rows and
+    /// the number of range scans run.
+    pub fn try_scan_subtree(
+        &self,
+        scheme: &Ruid2Scheme,
+        area_global: u64,
+    ) -> std::io::Result<(Vec<StoredNode>, usize)> {
         let mut areas = vec![area_global];
         areas.extend(scheme.frame_descendant_areas(area_global));
         let mut out = Vec::new();
         let scans = areas.len();
         for g in areas {
-            out.extend(self.scan_area(g));
+            out.extend(self.try_scan_area(g)?);
         }
-        (out, scans)
+        Ok((out, scans))
     }
 
-    /// Every stored row in storage order.
-    pub fn scan_all(&self) -> Vec<StoredNode> {
+    /// All rows in the subtree of the area rooted at `area_global`.
+    ///
+    /// # Panics
+    /// Panics if an indexed record fails to read or decode.
+    pub fn scan_subtree(&self, scheme: &Ruid2Scheme, area_global: u64) -> (Vec<StoredNode>, usize) {
+        self.try_scan_subtree(scheme, area_global).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Every stored row in storage order, surfacing read/decode failures.
+    pub fn try_scan_all(&self) -> std::io::Result<Vec<StoredNode>> {
         self.index
             .scan_all()
             .into_iter()
             .map(|(_, rid)| {
-                let bytes = self.heap.get(RecordId::from_u64(rid));
-                StoredNode::decode(&bytes).expect("stored record must decode")
+                let bytes = self.heap.try_get(RecordId::from_u64(rid))?;
+                decode_row(&bytes)
             })
             .collect()
+    }
+
+    /// Every stored row in storage order.
+    ///
+    /// # Panics
+    /// Panics if an indexed record fails to read or decode.
+    pub fn scan_all(&self) -> Vec<StoredNode> {
+        self.try_scan_all().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Removes a row; returns whether it existed.
@@ -135,6 +204,16 @@ impl<P: Pager> XmlStore<P> {
         // entry is authoritative.
         self.index.remove(&label.storage_key()).is_some()
     }
+}
+
+/// Decodes a heap row, reporting corruption as [`std::io::ErrorKind::InvalidData`].
+fn decode_row(bytes: &[u8]) -> std::io::Result<StoredNode> {
+    StoredNode::decode(bytes).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("stored record of {} bytes failed to decode", bytes.len()),
+        )
+    })
 }
 
 /// Smallest storage key of area `global`: its root row `(g, local, true)`

@@ -54,6 +54,43 @@ pub enum Axis {
 }
 
 impl Axis {
+    /// Number of axes (the size of per-axis counter arrays).
+    pub const COUNT: usize = 12;
+
+    /// Every axis, indexed by [`Axis::index`].
+    pub const ALL: [Axis; Axis::COUNT] = [
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::Parent,
+        Axis::Ancestor,
+        Axis::AncestorOrSelf,
+        Axis::Following,
+        Axis::Preceding,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::SelfAxis,
+        Axis::Attribute,
+    ];
+
+    /// A dense index in `0..Axis::COUNT`, aligned with [`Axis::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Axis::Child => 0,
+            Axis::Descendant => 1,
+            Axis::DescendantOrSelf => 2,
+            Axis::Parent => 3,
+            Axis::Ancestor => 4,
+            Axis::AncestorOrSelf => 5,
+            Axis::Following => 6,
+            Axis::Preceding => 7,
+            Axis::FollowingSibling => 8,
+            Axis::PrecedingSibling => 9,
+            Axis::SelfAxis => 10,
+            Axis::Attribute => 11,
+        }
+    }
+
     /// The axis name as written in verbose syntax.
     pub fn name(self) -> &'static str {
         match self {

@@ -1,6 +1,7 @@
 //! The evaluation engine: one implementation of XPath semantics over any
 //! [`AxisProvider`].
 
+use std::cell::Cell;
 use std::fmt;
 
 use xmldom::{Document, NodeId, NodeKind};
@@ -35,21 +36,56 @@ enum PathValues {
     Strings(Vec<String>),
 }
 
+/// Per-axis location-step counters accumulated by an [`Evaluator`]
+/// (one count per step application, including the `//name` collapsed
+/// form, which counts as a `descendant` step).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Steps evaluated per axis, indexed by [`Axis::index`].
+    pub steps: [u64; Axis::COUNT],
+}
+
+impl StepStats {
+    /// Total steps across all axes.
+    pub fn total(&self) -> u64 {
+        self.steps.iter().sum()
+    }
+
+    /// Steps evaluated on one axis.
+    pub fn of(&self, axis: Axis) -> u64 {
+        self.steps[axis.index()]
+    }
+}
+
 /// An XPath evaluator over one document and one axis provider.
 pub struct Evaluator<'a, A: AxisProvider> {
     doc: &'a Document,
     axes: A,
+    // Cells, not atomics: evaluation is single-threaded per evaluator and
+    // the counters must not cost a shared-cache-line bounce per step.
+    steps: [Cell<u64>; Axis::COUNT],
 }
 
 impl<'a, A: AxisProvider> Evaluator<'a, A> {
     /// Creates an evaluator.
     pub fn new(doc: &'a Document, axes: A) -> Self {
-        Evaluator { doc, axes }
+        Evaluator { doc, axes, steps: std::array::from_fn(|_| Cell::new(0)) }
     }
 
     /// The underlying axis provider.
     pub fn axes(&self) -> &A {
         &self.axes
+    }
+
+    /// Per-axis step counts accumulated over every evaluation run on this
+    /// evaluator so far.
+    pub fn step_stats(&self) -> StepStats {
+        StepStats { steps: std::array::from_fn(|i| self.steps[i].get()) }
+    }
+
+    fn bump(&self, axis: Axis) {
+        let c = &self.steps[axis.index()];
+        c.set(c.get() + 1);
     }
 
     /// Evaluates a location path. Absolute paths ignore `context` and start
@@ -100,6 +136,7 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
                                 if let Some(matched) = self.collapsed_descendant_step(
                                     &current, name, &next.predicates,
                                 )? {
+                                    self.bump(Axis::Descendant);
                                     current = matched;
                                     skip_next = true;
                                     if current.is_empty() {
@@ -116,6 +153,7 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
                 if i + 1 != path.steps.len() {
                     return Err(EvalError::AttributeStep);
                 }
+                self.bump(Axis::Attribute);
                 let mut strings = Vec::new();
                 for &n in &current {
                     match &step.test {
@@ -189,6 +227,7 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
     /// Applies one step to a node-set, preserving document order and
     /// deduplicating.
     fn eval_step(&self, step: &Step, context: &[NodeId]) -> Result<Vec<NodeId>, EvalError> {
+        self.bump(step.axis);
         // Name-indexed fast path (the paper's condition-first strategy):
         // the provider answers child/descendant name steps directly, with
         // the name resolved to its interned id once for the whole step.

@@ -33,7 +33,7 @@ mod parser;
 
 pub use ast::{Axis, Expr, LocationPath, NodeTest, Step, Value};
 pub use axes::{AxisProvider, RuidAxes, TreeAxes, UidAxes};
-pub use eval::Evaluator;
+pub use eval::{Evaluator, StepStats};
 pub use nameindex::{NameIndex, NameIndexed};
 pub use lexer::{LexError, Token};
 pub use parser::{parse, ParseError};

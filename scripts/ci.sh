@@ -98,3 +98,55 @@ if command -v jq >/dev/null; then
 fi
 "$RUID_XML" client 127.0.0.1:7442 SHUTDOWN >/dev/null
 wait "$SRV" 2>/dev/null || true
+
+# Observability smoke: TRACE/SLOWLOG must capture a span breakdown, and
+# the Prometheus endpoint must expose well-formed families with monotone
+# cumulative histogram buckets.
+OBS_DIR=target/ci-observability
+rm -rf "$OBS_DIR"; mkdir -p "$OBS_DIR"
+printf '<r><x><y/></x><x><y/><y/></x></r>' > "$OBS_DIR/sample.xml"
+"$RUID_XML" serve --addr 127.0.0.1:7443 --data-dir "$OBS_DIR/data" \
+    --fsync always --metrics-addr 127.0.0.1:7444 &
+SRV=$!
+wait_ping 127.0.0.1:7443
+"$RUID_XML" client 127.0.0.1:7443 "LOAD $OBS_DIR/sample.xml" >/dev/null
+"$RUID_XML" client 127.0.0.1:7443 "TRACE 0" >/dev/null
+"$RUID_XML" client 127.0.0.1:7443 "QUERY 1 //x/y" >/dev/null
+SLOWLOG=$("$RUID_XML" client 127.0.0.1:7443 "SLOWLOG 5")
+case "$SLOWLOG" in
+    *"cmd=QUERY"*"parse_ns="*"eval_ns="*"write_ns="*) ;;
+    *) echo "ci: SLOWLOG missing span breakdown: $SLOWLOG" >&2; exit 1 ;;
+esac
+
+# Scrape over plain HTTP (bash /dev/tcp — no curl dependency).
+exec 3<>/dev/tcp/127.0.0.1/7444
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+SCRAPE=$(cat <&3)
+exec 3<&- 3>&-
+printf '%s\n' "$SCRAPE" | awk '
+    /^ruid_request_duration_seconds_bucket\{command="query",le="/ {
+        if ($2 + 0 < last + 0) { print "ci: bucket shrank: " $0; bad = 1 }
+        last = $2; buckets++
+    }
+    /^ruid_requests_total\{command="query"\} /        { have["query"]  = 1 }
+    /^ruid_xpath_steps_total\{axis="child"\} /        { have["axis"]   = 1 }
+    /^ruid_robustness_events_total\{kind="shed"\} /   { have["robust"] = 1 }
+    /^ruid_wal_records_total /                        { have["wal"]    = 1 }
+    /^ruid_wal_unsynced_records /                     { have["unsync"] = 1 }
+    /^ruid_pool_jobs_submitted_total /                { have["pool"]   = 1 }
+    /^ruid_slowlog_captured_total /                   { have["trace"]  = 1 }
+    END {
+        split("query axis robust wal unsync pool trace", need, " ")
+        for (i in need) if (!have[need[i]]) { print "ci: missing family: " need[i]; bad = 1 }
+        if (buckets < 20) { print "ci: bucket ladder too short: " buckets; bad = 1 }
+        exit bad
+    }' || { echo "ci: prometheus scrape failed validation" >&2; exit 1; }
+
+# The wire transport shares the same renderer.
+PROM=$("$RUID_XML" client 127.0.0.1:7443 "METRICS prom")
+case "$PROM" in
+    "OK # HELP"*) ;;
+    *) echo "ci: METRICS prom malformed: $PROM" >&2; exit 1 ;;
+esac
+"$RUID_XML" client 127.0.0.1:7443 SHUTDOWN >/dev/null
+wait "$SRV" 2>/dev/null || true
