@@ -1,0 +1,190 @@
+//! E14 — the query planner's slow-tail kill. BENCH_pr3.json measured
+//! `//item//text` at ~495 ms and `//open_auction[count(bidder) >= 2]/current`
+//! at ~700 ms on the 150k-node XMark workload: per-candidate ancestor climbs
+//! and per-node predicate evaluation dominated. The planner answers the
+//! structural skeleton from the path summary (exact member unions, zero
+//! document-node touches) and the post-predicate steps with O(n + m)
+//! containment/parent joins over `DocOrder` extents.
+//!
+//! This report runs the union of the E4 and E11 corpora planner-off
+//! (the name-indexed evaluator, the previous default) vs. planner-on,
+//! asserts node-identical answers, and emits a machine-readable JSON
+//! (default `BENCH_pr6.json`) with an `under_50ms` flag per query — the
+//! regression gate `scripts/ci.sh` enforces. `--smoke` shrinks the
+//! workload for CI; `--out PATH` overrides the destination.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bench::{median_time, xmark_tree, Table};
+use ruid::prelude::*;
+use ruid::{plan_query, planned_query, DocOrder, NameIndex, NameIndexed, PathSummary, ResultCache};
+
+/// The E4 query suite plus the E11 slow-tail queries.
+const QUERIES: &[&str] = &[
+    "/regions/europe/item",
+    "//item/name",
+    "//item//text",
+    "//item[@id='item7']",
+    "//person[address]/name",
+    "//open_auction[bidder/increase > 10]",
+    "//item[location = 'asia']",
+    "//open_auction[count(bidder) >= 2]/current",
+    "//person[profile/@income > 50000]/emailaddress",
+];
+
+struct QueryRun {
+    query: String,
+    hits: usize,
+    unplanned: Duration,
+    planned: Duration,
+    plan_only: Duration,
+    cache_warm: Duration,
+    fully_planned: bool,
+    identical: bool,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn speedup(base: Duration, now: Duration) -> f64 {
+    if now.as_nanos() == 0 {
+        return 1.0;
+    }
+    base.as_secs_f64() / now.as_secs_f64()
+}
+
+fn bench_queries(doc: &Document, rounds: usize) -> Vec<QueryRun> {
+    let scheme = Ruid2Scheme::build(doc, &PartitionConfig::by_depth(3));
+    let index = NameIndex::build(doc);
+    let order = DocOrder::build(doc);
+    let summary = PathSummary::build(doc);
+    // Planner off: the name-indexed rUID evaluator with order keys — the
+    // best pre-planner engine (BENCH_pr3's "cached" column).
+    let unplanned = Evaluator::new(
+        doc,
+        NameIndexed::new(RuidAxes::with_order(&scheme, &order), doc, &index),
+    );
+    // Planner on: the service's planned engine — summary scans + joins,
+    // predicates through the tree-axes fallback evaluator.
+    let fallback = Evaluator::new(
+        doc,
+        NameIndexed::new(TreeAxes::with_order(doc, &order), doc, &index),
+    );
+    // Generation-keyed cache, as the service wires it: a warm repeat costs
+    // one lookup + clone of the rendered answer.
+    let cache = ResultCache::new(1024);
+
+    QUERIES
+        .iter()
+        .map(|q| {
+            let baseline = unplanned.query(q).unwrap();
+            let (hits, compiled, _) =
+                planned_query(q, doc, &summary, &order, &fallback).unwrap();
+            let identical = hits == baseline;
+            let parsed = ruid::parse_xpath(q).unwrap();
+            cache.insert(1, q, 1, format!("OK {}", hits.len()));
+            QueryRun {
+                query: (*q).to_string(),
+                hits: hits.len(),
+                unplanned: median_time(rounds, || unplanned.query(q).unwrap().len()),
+                planned: median_time(rounds, || {
+                    planned_query(q, doc, &summary, &order, &fallback).unwrap().0.len()
+                }),
+                plan_only: median_time(rounds.max(5), || {
+                    plan_query(&parsed, &summary, doc).ops.len()
+                }),
+                cache_warm: median_time(rounds.max(5), || {
+                    cache.lookup(1, q, 1).unwrap().len()
+                }),
+                fully_planned: compiled.fully_planned(),
+                identical,
+            }
+        })
+        .collect()
+}
+
+fn emit_json(path: &str, smoke: bool, nodes: usize, summary_ms: f64, paths: usize, runs: &[QueryRun]) {
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"experiment\": \"E14\",");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(j, "  \"workload\": \"xmark\",");
+    let _ = writeln!(j, "  \"nodes\": {nodes},");
+    let _ = writeln!(j, "  \"summary_paths\": {paths},");
+    let _ = writeln!(j, "  \"summary_build_ms\": {summary_ms:.3},");
+    j.push_str("  \"queries\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"query\": \"{}\", \"hits\": {}, \"unplanned_ms\": {:.3}, \
+             \"planned_ms\": {:.3}, \"speedup\": {:.3}, \"plan_only_us\": {:.3}, \
+             \"cache_warm_us\": {:.3}, \"fully_planned\": {}, \"identical\": {}, \
+             \"under_50ms\": {} }}{}",
+            r.query.replace('\\', "\\\\").replace('"', "\\\""),
+            r.hits,
+            ms(r.unplanned),
+            ms(r.planned),
+            speedup(r.unplanned, r.planned),
+            r.plan_only.as_secs_f64() * 1e6,
+            r.cache_warm.as_secs_f64() * 1e6,
+            r.fully_planned,
+            r.identical,
+            ms(r.planned) < 50.0,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(j, "  \"all_identical\": {},", runs.iter().all(|r| r.identical));
+    let _ = writeln!(j, "  \"all_under_50ms\": {}", runs.iter().all(|r| ms(r.planned) < 50.0));
+    j.push_str("}\n");
+    std::fs::write(path, &j).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_pr6.json".into());
+
+    // Full mode matches the E11/BENCH_pr3 workload so the planned_ms
+    // column is directly comparable to the pre-planner cached_ms there.
+    let (target, rounds) = if smoke { (6_000, 2) } else { (150_000, 5) };
+    let doc = xmark_tree(target, 42);
+    let nodes = doc.descendants(doc.root_element().unwrap()).count();
+    let started = Instant::now();
+    let summary = PathSummary::build(&doc);
+    let summary_ms = ms(started.elapsed());
+    println!(
+        "E14: planner on/off on XMark-lite, {nodes} nodes ({} summary paths, built in {summary_ms:.1} ms, mode: {})\n",
+        summary.path_count(),
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let runs = bench_queries(&doc, rounds);
+    let table = Table::new(
+        &["query", "hits", "unplanned", "planned", "speedup", "plan", "warm hit"],
+        &[44, 6, 10, 10, 8, 9, 9],
+    );
+    for r in &runs {
+        table.row(&[
+            r.query.clone(),
+            r.hits.to_string(),
+            format!("{:.2?}", r.unplanned),
+            format!("{:.2?}", r.planned),
+            format!("{:.2}x", speedup(r.unplanned, r.planned)),
+            format!("{:.2?}", r.plan_only),
+            format!("{:.2?}", r.cache_warm),
+        ]);
+        assert!(r.identical, "planner changed the answer for {}", r.query);
+    }
+    println!();
+    println!("planned = summary scans + containment/parent joins (the service's");
+    println!("QUERY default); unplanned = the previous name-indexed default. The");
+    println!("ci gate demands identical answers and < 50 ms planned on every query.");
+
+    emit_json(&out, smoke, nodes, summary_ms, summary.path_count(), &runs);
+}

@@ -4,6 +4,7 @@
 //! ruid-xml stats  <file.xml>                       tree + numbering statistics
 //! ruid-xml label  <file.xml> [--depth D] [--limit N]   print labels and table K
 //! ruid-xml query  <file.xml> <xpath> [--engine E]  run an XPath query
+//! ruid-xml explain <file.xml> <xpath>              show the physical query plan
 //! ruid-xml axes   <file.xml> <xpath>               show every axis of the first match
 //! ruid-xml parent <file.xml> <g> <l> <r>           rparent() of an identifier
 //! ruid-xml serve  [<file.xml>...] [--addr A] [--threads N]   run the TCP service
@@ -11,13 +12,14 @@
 //! ```
 
 use ruid::prelude::*;
-use ruid::{Client, Executor, FsyncPolicy, LoadedDoc, NameIndex, NameIndexed, Ruid2, Server, ServerConfig, ServerHandle, UidScheme, WalOp};
+use ruid::{Client, DocOrder, Executor, FsyncPolicy, LoadedDoc, NameIndex, NameIndexed, PathSummary, Ruid2, Server, ServerConfig, ServerHandle, UidScheme, WalOp};
 
 /// The usage banner printed on argument errors.
 pub const USAGE: &str = "usage:
   ruid-xml stats  <file.xml>
   ruid-xml label  <file.xml> [--depth D] [--limit N]
-  ruid-xml query  <file.xml> <xpath> [--engine tree|uid|ruid|indexed]
+  ruid-xml query  <file.xml> <xpath> [--engine tree|uid|ruid|indexed|planned]
+  ruid-xml explain <file.xml> <xpath>
   ruid-xml axes   <file.xml> <xpath>
   ruid-xml parent <file.xml> <global> <local> <true|false>
   ruid-xml serve  [<file.xml>...] [--addr 127.0.0.1:PORT] [--threads N] [--depth D]
@@ -33,6 +35,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "stats" => stats(args.get(1).ok_or("missing file")?),
         "label" => label(&args[1..]),
         "query" => query(&args[1..]),
+        "explain" => explain(&args[1..]),
         "axes" => axes(&args[1..]),
         "parent" => parent(&args[1..]),
         "serve" => serve(&args[1..]),
@@ -140,6 +143,17 @@ fn query(args: &[String]) -> Result<(), String> {
             Evaluator::new(&doc, NameIndexed::new(RuidAxes::new(&scheme), &doc, &index))
                 .query(xpath)?
         }
+        "planned" => {
+            index = NameIndex::build(&doc);
+            let order = DocOrder::build(&doc);
+            let summary = PathSummary::build(&doc);
+            let ev = Evaluator::new(
+                &doc,
+                NameIndexed::new(TreeAxes::with_order(&doc, &order), &doc, &index),
+            );
+            let (hits, _, _) = ruid::planned_query(xpath, &doc, &summary, &order, &ev)?;
+            hits
+        }
         other => return Err(format!("unknown engine {other:?}")),
     };
     let elapsed = started.elapsed();
@@ -150,6 +164,27 @@ fn query(args: &[String]) -> Result<(), String> {
         println!("... {} more", hits.len() - 20);
     }
     eprintln!("{} hits in {elapsed:.2?} (engine: {engine})", hits.len());
+    Ok(())
+}
+
+fn explain(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file")?;
+    let xpath = args.get(1).ok_or("missing XPath expression")?;
+    let doc = load(path)?;
+    let index = NameIndex::build(&doc);
+    let order = DocOrder::build(&doc);
+    let summary = PathSummary::build(&doc);
+    let ev = Evaluator::new(
+        &doc,
+        NameIndexed::new(TreeAxes::with_order(&doc, &order), &doc, &index),
+    );
+    let started = std::time::Instant::now();
+    let (hits, compiled, stats) = ruid::planned_query(xpath, &doc, &summary, &order, &ev)?;
+    let elapsed = started.elapsed();
+    for line in ruid::render_explain(xpath, &compiled, &stats, &summary, &doc, hits.len()) {
+        println!("{line}");
+    }
+    eprintln!("{} hits in {elapsed:.2?} ({} summary paths)", hits.len(), summary.path_count());
     Ok(())
 }
 

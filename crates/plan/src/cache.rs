@@ -1,0 +1,216 @@
+//! The generation-keyed result cache.
+//!
+//! Entries are keyed by `(document id, query text)` and stamped with the
+//! document's *generation* — in the service that is the WAL sequence
+//! number of the last operation that (re)established the document's
+//! content, or the document id itself when durability is off. A lookup
+//! presents the document's **current** generation: an entry stamped with
+//! any other generation is stale by definition (some logged update —
+//! INSERT, DELETE, RELABEL, a reload — moved the document past it), so
+//! the lookup removes it, counts an invalidation, and reports a miss.
+//! Stale results can therefore never be served, even if an update lands
+//! between two lookups of the same query.
+//!
+//! Capacity is bounded with FIFO eviction — the cache is a latency
+//! optimization, not a store, so eviction order only affects hit rate.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries dropped because their generation no longer matched (or
+    /// their document was purged).
+    pub invalidations: u64,
+    /// Entries dropped to stay under capacity.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+}
+
+struct Entry {
+    generation: u64,
+    value: Arc<String>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<(u64, String), Entry>,
+    fifo: VecDeque<(u64, String)>,
+}
+
+/// A bounded result cache for planned query responses.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `cap` entries (min 1).
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a cached response for `(doc, query)` at the document's
+    /// current `generation`. A generation mismatch invalidates the entry.
+    pub fn lookup(&self, doc: u64, query: &str, generation: u64) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().unwrap();
+        let key = (doc, query.to_owned());
+        match inner.map.get(&key) {
+            Some(entry) if entry.generation == generation => {
+                let value = Arc::clone(&entry.value);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Some(_) => {
+                inner.map.remove(&key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether a live (generation-matching) entry exists for
+    /// `(doc, query)`, without touching counters or evicting stale
+    /// entries — `EXPLAIN` reports cache status through this.
+    pub fn peek(&self, doc: u64, query: &str, generation: u64) -> bool {
+        let inner = self.inner.lock().unwrap();
+        matches!(
+            inner.map.get(&(doc, query.to_owned())),
+            Some(entry) if entry.generation == generation
+        )
+    }
+
+    /// Stores a response for `(doc, query)` at `generation`, evicting
+    /// oldest-inserted entries if the cache is full.
+    pub fn insert(&self, doc: u64, query: &str, generation: u64, value: String) {
+        let mut inner = self.inner.lock().unwrap();
+        let key = (doc, query.to_owned());
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.cap {
+                // FIFO order may reference keys that were since removed
+                // (purged or invalidated); pop until a live one goes.
+                match inner.fifo.pop_front() {
+                    Some(victim) => {
+                        if inner.map.remove(&victim).is_some() {
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => break,
+                }
+            }
+            inner.fifo.push_back(key.clone());
+        }
+        inner.map.insert(key, Entry { generation, value: Arc::new(value) });
+    }
+
+    /// Drops every entry of one document (e.g. on `UNLOAD`), counting
+    /// each as an invalidation. Returns how many were dropped.
+    pub fn purge_doc(&self, doc: u64) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.map.len();
+        inner.map.retain(|&(d, _), _| d != doc);
+        let dropped = (before - inner.map.len()) as u64;
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// The current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_at_same_generation() {
+        let cache = ResultCache::new(8);
+        assert!(cache.lookup(1, "//a", 7).is_none());
+        cache.insert(1, "//a", 7, "OK 3".into());
+        assert_eq!(cache.lookup(1, "//a", 7).unwrap().as_str(), "OK 3");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations, s.entries), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let cache = ResultCache::new(8);
+        cache.insert(1, "//a", 7, "OK 3".into());
+        // A WAL-logged update (INSERT/DELETE/RELABEL/reload) moves the
+        // document to generation 9: the stale entry must not be served.
+        assert!(cache.lookup(1, "//a", 9).is_none());
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.entries, 0);
+        // Re-cache at the new generation; the old one stays dead.
+        cache.insert(1, "//a", 9, "OK 4".into());
+        assert_eq!(cache.lookup(1, "//a", 9).unwrap().as_str(), "OK 4");
+        assert!(cache.lookup(1, "//a", 10).is_none(), "next update invalidates again");
+    }
+
+    #[test]
+    fn purge_drops_only_that_document() {
+        let cache = ResultCache::new(8);
+        cache.insert(1, "//a", 1, "one".into());
+        cache.insert(1, "//b", 1, "two".into());
+        cache.insert(2, "//a", 2, "three".into());
+        assert_eq!(cache.purge_doc(1), 2);
+        assert!(cache.lookup(1, "//a", 1).is_none());
+        assert_eq!(cache.lookup(2, "//a", 2).unwrap().as_str(), "three");
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded_fifo() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, "q1", 1, "a".into());
+        cache.insert(1, "q2", 1, "b".into());
+        cache.insert(1, "q3", 1, "c".into());
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert!(cache.lookup(1, "q1", 1).is_none(), "oldest evicted");
+        assert!(cache.lookup(1, "q3", 1).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_grow() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, "q", 1, "a".into());
+        cache.insert(1, "q", 2, "b".into());
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(cache.lookup(1, "q", 2).unwrap().as_str(), "b");
+    }
+}

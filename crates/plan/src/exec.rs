@@ -1,0 +1,137 @@
+//! Plan execution: run the physical operators, then hand any fallback
+//! tail to the step-by-step evaluator.
+//!
+//! Exactness is exploited lazily: consecutive Scan operators never touch
+//! a document node — the node-set stays "the member union of these
+//! summary states" until a predicate, a join, the tail, or the end of the
+//! plan forces materialization. A fully-structural query like `//a//b`
+//! therefore costs two summary transitions plus one member merge, no
+//! matter how many million nodes the document has.
+
+use xmldom::{DocOrder, Document, NodeId};
+use xpath::{AxisProvider, EvalError, Evaluator};
+
+use crate::planner::{OpKind, Plan};
+use crate::summary::PathSummary;
+
+/// What executing a plan actually did — per-operator output sizes for
+/// EXPLAIN's estimated-vs-actual columns, and operator counts for the
+/// service metrics.
+#[derive(Debug, Default, Clone)]
+pub struct ExecStats {
+    /// Actual output cardinality of each operator, parallel to
+    /// [`Plan::ops`].
+    pub op_actuals: Vec<usize>,
+    /// Output cardinality of the fallback tail, when one ran.
+    pub tail_actual: Option<usize>,
+    /// Scan operators executed.
+    pub scans: u64,
+    /// Parent-in-context joins executed.
+    pub child_joins: u64,
+    /// Containment-interval joins executed.
+    pub containment_joins: u64,
+    /// AST steps delegated to the step-by-step evaluator (fallback walks).
+    pub fallback_steps: u64,
+    /// Predicate filter passes applied by plan operators.
+    pub predicate_filters: u64,
+}
+
+/// The running node-set: either still exact (implicitly the member union
+/// of the last operator's states) or materialized.
+enum NodeSet {
+    Lazy,
+    Nodes(Vec<NodeId>),
+}
+
+/// Executes `plan` against one document.
+///
+/// `ev` supplies predicate evaluation and the fallback tail; any
+/// [`AxisProvider`] works because all providers answer identically — the
+/// choice only affects speed. Results are in document order without
+/// duplicates, byte-identical to an unplanned evaluation of the same
+/// path.
+pub fn execute<A: AxisProvider>(
+    plan: &Plan,
+    doc: &Document,
+    summary: &PathSummary,
+    order: &DocOrder,
+    ev: &Evaluator<'_, A>,
+) -> Result<(Vec<NodeId>, ExecStats), EvalError> {
+    let mut stats = ExecStats::default();
+    let mut set = NodeSet::Lazy;
+    let initial_states: Vec<crate::summary::SummaryId> =
+        summary.root_sid().into_iter().collect();
+    let mut last_states: &[crate::summary::SummaryId] = &initial_states;
+    let mut empty = false;
+    for op in &plan.ops {
+        if empty {
+            stats.op_actuals.push(0);
+            continue;
+        }
+        let produced: Vec<NodeId>;
+        match op.kind {
+            OpKind::Scan => {
+                stats.scans += 1;
+                if op.predicates.is_empty() {
+                    // Stay lazy: cardinality is known without touching
+                    // the tree.
+                    let actual = summary.cardinality(&op.states);
+                    stats.op_actuals.push(actual);
+                    last_states = &op.states;
+                    set = NodeSet::Lazy;
+                    empty = actual == 0;
+                    continue;
+                }
+                let members = summary.merged_members(&op.states, order);
+                stats.predicate_filters += op.predicates.len() as u64;
+                produced = ev.filter_predicates(members, &op.predicates)?;
+            }
+            OpKind::ChildJoin | OpKind::ContainmentJoin => {
+                let context = match &set {
+                    NodeSet::Lazy => summary.merged_members(last_states, order),
+                    NodeSet::Nodes(nodes) => nodes.clone(),
+                };
+                let candidates = summary.merged_members(&op.states, order);
+                let joined = match op.kind {
+                    OpKind::ChildJoin => {
+                        stats.child_joins += 1;
+                        xpath::parent_join(doc, order, &context, &candidates)
+                    }
+                    _ => {
+                        stats.containment_joins += 1;
+                        xpath::containment_join(order, &context, &candidates)
+                    }
+                };
+                if op.predicates.is_empty() {
+                    produced = joined;
+                } else {
+                    stats.predicate_filters += op.predicates.len() as u64;
+                    produced = ev.filter_predicates(joined, &op.predicates)?;
+                }
+            }
+        }
+        stats.op_actuals.push(produced.len());
+        empty = produced.is_empty();
+        last_states = &op.states;
+        set = NodeSet::Nodes(produced);
+    }
+    let mut result = if empty {
+        Vec::new()
+    } else {
+        match set {
+            NodeSet::Lazy => summary.merged_members(last_states, order),
+            NodeSet::Nodes(nodes) => nodes,
+        }
+    };
+    if !plan.tail.is_empty() {
+        stats.fallback_steps += plan.tail.len() as u64;
+        result = if result.is_empty() && plan.consumed_steps > 0 {
+            // An empty intermediate set stays empty; skip the evaluator.
+            Vec::new()
+        } else {
+            ev.evaluate_steps(&plan.tail, result)?
+        };
+        stats.tail_actual = Some(result.len());
+    }
+    Ok((result, stats))
+}

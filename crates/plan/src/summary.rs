@@ -1,0 +1,266 @@
+//! The path summary: a DataGuide over distinct element paths.
+//!
+//! One summary node per distinct root-to-element tag path (`/site`,
+//! `/site/regions`, `/site/regions/africa/item`, ...), each holding the
+//! document nodes on that path **in document order** plus the child edges
+//! to deeper paths. A structural XPath prefix (`/`-, `//`-, name- and
+//! wildcard-steps) then runs over summary nodes — typically a few hundred,
+//! against millions of document nodes — and the member lists of the
+//! surviving summary nodes *are* the answer, with per-path cardinalities
+//! falling out for free as the planner's selectivity estimates.
+//!
+//! The summary is a pure derivation of the tree (same contract as the
+//! name index and the document-order ranks): it is rebuilt at load time
+//! and again after crash recovery, never persisted.
+
+use std::collections::HashMap;
+
+use xmldom::{DocOrder, Document, NameId, NodeId};
+use xpath::NodeTest;
+
+/// Index of a summary node within its [`PathSummary`].
+pub type SummaryId = u32;
+
+/// One distinct element path: its tag, its place in the summary tree, and
+/// the document nodes that realize it.
+#[derive(Debug)]
+pub struct SummaryNode {
+    /// Interned tag name of the path's last step.
+    pub name: NameId,
+    /// Parent path, `None` for the root element's path.
+    pub parent: Option<SummaryId>,
+    /// Depth below the root element's path (root path = 0).
+    pub depth: u32,
+    /// Child paths, in first-encounter order.
+    pub children: Vec<SummaryId>,
+    /// Document nodes on this path, in document order.
+    pub members: Vec<NodeId>,
+}
+
+/// A DataGuide over one document's element paths.
+#[derive(Debug, Default)]
+pub struct PathSummary {
+    nodes: Vec<SummaryNode>,
+}
+
+impl PathSummary {
+    /// Builds the summary in one pre-order pass over the elements.
+    pub fn build(doc: &Document) -> PathSummary {
+        let Some(root) = doc.root_element() else {
+            return PathSummary::default();
+        };
+        let root_name = doc.element_name(root).expect("root element has a name");
+        let mut nodes = vec![SummaryNode {
+            name: root_name,
+            parent: None,
+            depth: 0,
+            children: Vec::new(),
+            members: vec![root],
+        }];
+        // Each element's summary node, dense by arena index, valid only
+        // for elements already visited (pre-order guarantees parents come
+        // before children).
+        let mut sid_of = vec![0u32; doc.arena_len()];
+        let mut by_edge: HashMap<(SummaryId, NameId), SummaryId> = HashMap::new();
+        for node in doc.descendants(root).skip(1) {
+            let Some(name) = doc.element_name(node) else { continue };
+            let parent = doc.parent(node).expect("non-root element has a parent");
+            let psid = sid_of[parent.index()];
+            let sid = *by_edge.entry((psid, name)).or_insert_with(|| {
+                let sid = nodes.len() as SummaryId;
+                let depth = nodes[psid as usize].depth + 1;
+                nodes.push(SummaryNode {
+                    name,
+                    parent: Some(psid),
+                    depth,
+                    children: Vec::new(),
+                    members: Vec::new(),
+                });
+                nodes[psid as usize].children.push(sid);
+                sid
+            });
+            nodes[sid as usize].members.push(node);
+            sid_of[node.index()] = sid;
+        }
+        PathSummary { nodes }
+    }
+
+    /// Number of distinct element paths (summary nodes).
+    pub fn path_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root element's summary node, `None` for an element-less tree.
+    pub fn root_sid(&self) -> Option<SummaryId> {
+        (!self.nodes.is_empty()).then_some(0)
+    }
+
+    /// One summary node.
+    pub fn node(&self, sid: SummaryId) -> &SummaryNode {
+        &self.nodes[sid as usize]
+    }
+
+    /// The document nodes on one path, in document order.
+    pub fn members(&self, sid: SummaryId) -> &[NodeId] {
+        &self.nodes[sid as usize].members
+    }
+
+    /// Total members across a state set — the planner's cardinality
+    /// estimate for "all nodes matching this structural prefix" (exact,
+    /// because summary membership is exact).
+    pub fn cardinality(&self, states: &[SummaryId]) -> usize {
+        states.iter().map(|&s| self.members(s).len()).sum()
+    }
+
+    /// The `/`-joined tag path of a summary node (e.g. `/site/regions`).
+    pub fn path_string(&self, doc: &Document, sid: SummaryId) -> String {
+        let mut segments = Vec::new();
+        let mut cur = Some(sid);
+        while let Some(s) = cur {
+            segments.push(doc.name_text(self.node(s).name));
+            cur = self.node(s).parent;
+        }
+        segments.reverse();
+        let mut out = String::new();
+        for seg in segments {
+            out.push('/');
+            out.push_str(seg);
+        }
+        out
+    }
+
+    /// Whether a summary node's tag passes a structural node test.
+    fn test_matches(&self, doc: &Document, sid: SummaryId, test: &NodeTest) -> bool {
+        match test {
+            NodeTest::Name(name) => doc.name_text(self.node(sid).name) == name.as_str(),
+            NodeTest::Wildcard => true,
+            _ => false,
+        }
+    }
+
+    /// Child-step transition: summary children of any state whose tag
+    /// passes `test`. The result is sorted and duplicate-free.
+    pub fn child_states(
+        &self,
+        doc: &Document,
+        states: &[SummaryId],
+        test: &NodeTest,
+    ) -> Vec<SummaryId> {
+        let mut out: Vec<SummaryId> = states
+            .iter()
+            .flat_map(|&s| self.node(s).children.iter().copied())
+            .filter(|&c| self.test_matches(doc, c, test))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Descendant-step transition: every state strictly below any input
+    /// state whose tag passes `test`. Sorted and duplicate-free.
+    pub fn descendant_states(
+        &self,
+        doc: &Document,
+        states: &[SummaryId],
+        test: &NodeTest,
+    ) -> Vec<SummaryId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<SummaryId> = states
+            .iter()
+            .flat_map(|&s| self.node(s).children.iter().copied())
+            .collect();
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut seen[s as usize], true) {
+                continue;
+            }
+            if self.test_matches(doc, s, test) {
+                out.push(s);
+            }
+            stack.extend(self.node(s).children.iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The union of several states' member lists, in document order. A
+    /// single state's list is already sorted; a real union sorts by the
+    /// precomputed rank key.
+    pub fn merged_members(&self, states: &[SummaryId], order: &DocOrder) -> Vec<NodeId> {
+        match states {
+            [] => Vec::new(),
+            [one] => self.members(*one).to_vec(),
+            many => {
+                let mut out: Vec<NodeId> =
+                    many.iter().flat_map(|&s| self.members(s).iter().copied()).collect();
+                out.sort_unstable_by_key(|&n| order.rank(n));
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        Document::parse(
+            "<site><regions><africa><item/><item/></africa>\
+             <asia><item/></asia></regions>\
+             <people><person><name>x</name></person></people></site>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distinct_paths_and_cardinalities() {
+        let doc = sample();
+        let s = PathSummary::build(&doc);
+        // /site, /site/regions, /site/regions/africa, .../item,
+        // /site/regions/asia, .../item, /site/people, .../person, .../name
+        assert_eq!(s.path_count(), 9);
+        let paths: Vec<String> =
+            (0..s.path_count() as SummaryId).map(|i| s.path_string(&doc, i)).collect();
+        assert!(paths.contains(&"/site/regions/africa/item".to_string()), "{paths:?}");
+        // Two africa items, one asia item, on *different* summary nodes.
+        let item_states = s.descendant_states(&doc, &[0], &NodeTest::Name("item".into()));
+        assert_eq!(item_states.len(), 2);
+        assert_eq!(s.cardinality(&item_states), 3);
+    }
+
+    #[test]
+    fn members_stay_in_document_order() {
+        let doc = sample();
+        let s = PathSummary::build(&doc);
+        let order = DocOrder::build(&doc);
+        let item_states = s.descendant_states(&doc, &[0], &NodeTest::Name("item".into()));
+        let merged = s.merged_members(&item_states, &order);
+        let mut ranks: Vec<u32> = merged.iter().map(|&n| order.rank(n)).collect();
+        let sorted = ranks.clone();
+        ranks.sort_unstable();
+        assert_eq!(ranks, sorted, "merged members must already be rank-sorted");
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn child_and_wildcard_transitions() {
+        let doc = sample();
+        let s = PathSummary::build(&doc);
+        let regions = s.child_states(&doc, &[0], &NodeTest::Name("regions".into()));
+        assert_eq!(regions.len(), 1);
+        let all_children = s.child_states(&doc, &[0], &NodeTest::Wildcard);
+        assert_eq!(all_children.len(), 2, "regions + people");
+        let nothing = s.child_states(&doc, &[0], &NodeTest::Name("nope".into()));
+        assert!(nothing.is_empty());
+        // text()/node() tests are not structural: no states match.
+        assert!(s.child_states(&doc, &[0], &NodeTest::Text).is_empty());
+    }
+
+    #[test]
+    fn elementless_document_yields_empty_summary() {
+        let s = PathSummary::default();
+        assert_eq!(s.path_count(), 0);
+        assert!(s.root_sid().is_none());
+    }
+}

@@ -60,8 +60,12 @@ pub use xmlstore::{
     fragment_from_rows, BPlusTree, HeapFile, MemPager, PartitionedStore, StoredNode, XmlStore,
 };
 pub use xpath::{
-    parse as parse_xpath, AxisProvider, Evaluator, NameIndex, NameIndexed, RuidAxes, TreeAxes,
-    UidAxes,
+    containment_join, parent_join, parse as parse_xpath, AxisProvider, Evaluator, NameIndex,
+    NameIndexed, RuidAxes, TreeAxes, UidAxes,
+};
+pub use plan::{
+    execute as execute_plan, plan as plan_query, planned_query, render_explain, ExecStats,
+    PathSummary, Plan, PlanOp, ResultCache,
 };
 pub use ruid_service as service;
 pub use ruid_service::{Catalog, Client, Durability, FsyncPolicy, LoadedDoc, Metrics, Server, ServerConfig, ServerHandle, ThreadPool, WalOp};

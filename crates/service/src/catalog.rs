@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use par::Executor;
+use plan::PathSummary;
 use ruid_core::{PartitionConfig, Ruid2Scheme};
 #[cfg(test)]
 use schemes::NumberingScheme;
@@ -38,9 +39,18 @@ pub struct LoadedDoc {
     /// Precomputed document-order ranks: query engines sort result unions
     /// by integer key instead of per-comparison label arithmetic.
     pub order: DocOrder,
+    /// Path summary (DataGuide) backing the `planned` query engine and
+    /// `EXPLAIN` — like the name index and order ranks, a pure derivation
+    /// of the tree, rebuilt at load time and after crash recovery.
+    pub summary: PathSummary,
     /// Identifier-keyed storage rows (`SCAN` serves from here); optional
     /// because pure labeling workloads don't need the extra copy.
     pub store: Option<XmlStore<MemPager>>,
+    /// Result-cache generation: the WAL sequence number of the operation
+    /// that established this document state (or the doc id when running
+    /// without durability). Any logged update produces a new generation,
+    /// which invalidates cached planned-query responses.
+    pub generation: u64,
 }
 
 impl LoadedDoc {
@@ -74,19 +84,29 @@ impl LoadedDoc {
             .map_err(|e| e.to_string())?;
         let index = NameIndex::build_with(&doc, exec);
         let order = DocOrder::build(&doc);
+        let summary = PathSummary::build(&doc);
         let store = with_store.then(|| {
             let mut store = XmlStore::in_memory();
             store.load_document(&doc, &scheme);
             store
         });
-        Ok(LoadedDoc { path: path.to_owned(), doc, scheme, index, order, store })
+        Ok(LoadedDoc {
+            path: path.to_owned(),
+            doc,
+            scheme,
+            index,
+            order,
+            summary,
+            store,
+            generation: 0,
+        })
     }
 
     /// Rebuilds the serving bundle around a document and numbering that
     /// recovery already reconstructed (snapshot + WAL replay). The name
-    /// index, document order and optional store are pure derivations of
-    /// the tree, so recomputing them here keeps the durable format down
-    /// to what cannot be re-derived.
+    /// index, document order, path summary and optional store are pure
+    /// derivations of the tree, so recomputing them here keeps the
+    /// durable format down to what cannot be re-derived.
     pub fn from_recovered(
         path: String,
         doc: Document,
@@ -95,12 +115,13 @@ impl LoadedDoc {
     ) -> LoadedDoc {
         let index = NameIndex::build(&doc);
         let order = DocOrder::build(&doc);
+        let summary = PathSummary::build(&doc);
         let store = with_store.then(|| {
             let mut store = XmlStore::in_memory();
             store.load_document(&doc, &scheme);
             store
         });
-        LoadedDoc { path, doc, scheme, index, order, store }
+        LoadedDoc { path, doc, scheme, index, order, summary, store, generation: 0 }
     }
 
     /// Reads and builds from a file on disk.

@@ -172,12 +172,14 @@ pub enum Command {
     Slowlog,
     /// `SHUTDOWN`
     Shutdown,
+    /// `EXPLAIN <doc> <xpath>`
+    Explain,
     /// Unparseable input.
     Invalid,
 }
 
 /// Every command, aligned with the `repr(usize)` discriminants.
-pub const COMMANDS: [Command; 17] = [
+pub const COMMANDS: [Command; 18] = [
     Command::Ping,
     Command::Load,
     Command::Unload,
@@ -194,6 +196,7 @@ pub const COMMANDS: [Command; 17] = [
     Command::Trace,
     Command::Slowlog,
     Command::Shutdown,
+    Command::Explain,
     Command::Invalid,
 ];
 
@@ -217,6 +220,7 @@ impl Command {
             Command::Trace => "TRACE",
             Command::Slowlog => "SLOWLOG",
             Command::Shutdown => "SHUTDOWN",
+            Command::Explain => "EXPLAIN",
             Command::Invalid => "INVALID",
         }
     }
@@ -248,7 +252,18 @@ pub struct Metrics {
     torn: AtomicU64,
     /// XPath location steps evaluated, per axis (`Axis::index` order).
     axis_steps: [AtomicU64; xpath::Axis::COUNT],
+    /// Physical plan operators executed, in [`PLAN_OPERATORS`] order.
+    plan_ops: [AtomicU64; PLAN_OPERATORS.len()],
+    /// Time spent in plan construction (parse excluded, execution
+    /// excluded) — the planner must stay negligible next to evaluation.
+    planner_time: Histogram,
 }
+
+/// The plan-operator kinds the planner metrics distinguish, in counter
+/// order: the three physical operators plus the per-step fallback walks
+/// delegated to the step-by-step evaluator.
+pub const PLAN_OPERATORS: [&str; 4] =
+    ["scan", "child-join", "containment-join", "fallback-step"];
 
 /// One command's row of the per-command metrics, the single source both
 /// wire renderings and the Prometheus exposition format from.
@@ -332,6 +347,32 @@ impl Metrics {
     /// XPath steps evaluated so far, per axis (`Axis::index` order).
     pub fn axis_steps(&self) -> [u64; xpath::Axis::COUNT] {
         std::array::from_fn(|i| self.axis_steps[i].load(Ordering::Relaxed))
+    }
+
+    /// Accumulates the operator counts of one executed plan
+    /// (scans, child joins, containment joins, evaluator fallback steps —
+    /// [`PLAN_OPERATORS`] order).
+    pub fn record_plan_ops(&self, counts: [u64; PLAN_OPERATORS.len()]) {
+        for (counter, count) in self.plan_ops.iter().zip(counts) {
+            if count > 0 {
+                counter.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one plan-construction duration.
+    pub fn record_planner_time(&self, elapsed: Duration) {
+        self.planner_time.record(elapsed);
+    }
+
+    /// Plan operators executed so far ([`PLAN_OPERATORS`] order).
+    pub fn plan_ops(&self) -> [u64; PLAN_OPERATORS.len()] {
+        std::array::from_fn(|i| self.plan_ops[i].load(Ordering::Relaxed))
+    }
+
+    /// The plan-construction latency histogram.
+    pub fn planner_time(&self) -> &Histogram {
+        &self.planner_time
     }
 
     /// Connections accepted so far.
@@ -685,6 +726,16 @@ mod tests {
             assert!(line.contains(token), "{token} missing in {line}");
         }
         assert!(m.render_table().contains("shed=2"), "{}", m.render_table());
+    }
+
+    #[test]
+    fn plan_op_accounting() {
+        let m = Metrics::new();
+        m.record_plan_ops([2, 0, 1, 3]);
+        m.record_plan_ops([1, 1, 0, 0]);
+        assert_eq!(m.plan_ops(), [3, 1, 1, 3]);
+        m.record_planner_time(Duration::from_micros(5));
+        assert_eq!(m.planner_time().total(), 1);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! snapshot, not a transaction.
 
 use par::PoolStats;
+use plan::ResultCache;
 
-use crate::metrics::{Histogram, Metrics};
+use crate::metrics::{Histogram, Metrics, PLAN_OPERATORS};
 use crate::persist::Durability;
 use crate::trace::Tracer;
 
@@ -28,6 +29,8 @@ pub struct PromCtx<'a> {
     pub tracer: Option<&'a Tracer>,
     /// The worker pool's queue statistics.
     pub pool: Option<&'a PoolStats>,
+    /// The planned-query result cache.
+    pub plan_cache: Option<&'a ResultCache>,
 }
 
 fn family(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -129,6 +132,49 @@ pub fn render(ctx: &PromCtx<'_>) -> String {
         ));
     }
 
+    family(
+        &mut out,
+        "ruid_plan_operators_total",
+        "counter",
+        "Physical plan operators executed by the planned engine, per kind.",
+    );
+    let plan_ops = m.plan_ops();
+    for (op, count) in PLAN_OPERATORS.iter().zip(plan_ops) {
+        out.push_str(&format!("ruid_plan_operators_total{{op=\"{op}\"}} {count}\n"));
+    }
+
+    family(
+        &mut out,
+        "ruid_planner_duration_seconds",
+        "histogram",
+        "Plan-construction latency (excludes parsing and execution).",
+    );
+    histogram(
+        &mut out,
+        "ruid_planner_duration_seconds",
+        "engine=\"planned\"",
+        m.planner_time(),
+    );
+
+    if let Some(cache) = ctx.plan_cache {
+        let s = cache.stats();
+        family(&mut out, "ruid_plan_cache_hits_total", "counter", "Planned-query cache hits.");
+        out.push_str(&format!("ruid_plan_cache_hits_total {}\n", s.hits));
+        family(&mut out, "ruid_plan_cache_misses_total", "counter", "Planned-query cache misses.");
+        out.push_str(&format!("ruid_plan_cache_misses_total {}\n", s.misses));
+        family(
+            &mut out,
+            "ruid_plan_cache_invalidations_total",
+            "counter",
+            "Cached responses dropped by a WAL-generation mismatch or purge.",
+        );
+        out.push_str(&format!("ruid_plan_cache_invalidations_total {}\n", s.invalidations));
+        family(&mut out, "ruid_plan_cache_evictions_total", "counter", "Cached responses evicted by capacity.");
+        out.push_str(&format!("ruid_plan_cache_evictions_total {}\n", s.evictions));
+        family(&mut out, "ruid_plan_cache_entries", "gauge", "Responses currently cached.");
+        out.push_str(&format!("ruid_plan_cache_entries {}\n", s.entries));
+    }
+
     if let Some(pool) = ctx.pool {
         family(&mut out, "ruid_pool_jobs_submitted_total", "counter", "Jobs accepted by the worker pool.");
         out.push_str(&format!("ruid_pool_jobs_submitted_total {}\n", pool.submitted()));
@@ -191,7 +237,13 @@ mod tests {
     use std::time::Duration;
 
     fn ctx_metrics_only(m: &Metrics) -> String {
-        render(&PromCtx { metrics: m, durability: None, tracer: None, pool: None })
+        render(&PromCtx {
+            metrics: m,
+            durability: None,
+            tracer: None,
+            pool: None,
+            plan_cache: None,
+        })
     }
 
     #[test]
@@ -261,8 +313,42 @@ mod tests {
         let m = Metrics::new();
         let t = Tracer::new(8);
         t.set_threshold_ms(0);
-        let body = render(&PromCtx { metrics: &m, durability: None, tracer: Some(&t), pool: None });
+        let body = render(&PromCtx {
+            metrics: &m,
+            durability: None,
+            tracer: Some(&t),
+            pool: None,
+            plan_cache: None,
+        });
         assert!(body.contains("ruid_trace_enabled 1"), "{body}");
         assert!(body.contains("ruid_slowlog_captured_total 0"), "{body}");
+    }
+
+    #[test]
+    fn plan_families_render() {
+        let m = Metrics::new();
+        m.record_plan_ops([5, 1, 2, 3]);
+        m.record_planner_time(Duration::from_micros(7));
+        let cache = plan::ResultCache::new(4);
+        cache.insert(1, "//a", 1, "OK 0".into());
+        assert!(cache.lookup(1, "//a", 1).is_some());
+        assert!(cache.lookup(1, "//a", 2).is_none(), "stale generation");
+        let body = render(&PromCtx {
+            metrics: &m,
+            durability: None,
+            tracer: None,
+            pool: None,
+            plan_cache: Some(&cache),
+        });
+        // Every operator kind is listed, even untouched ones.
+        assert!(body.contains("ruid_plan_operators_total{op=\"scan\"} 5"), "{body}");
+        assert!(body.contains("ruid_plan_operators_total{op=\"child-join\"} 1"), "{body}");
+        assert!(body.contains("ruid_plan_operators_total{op=\"containment-join\"} 2"), "{body}");
+        assert!(body.contains("ruid_plan_operators_total{op=\"fallback-step\"} 3"), "{body}");
+        assert!(body.contains("ruid_planner_duration_seconds_count{engine=\"planned\"} 1"), "{body}");
+        assert!(body.contains("ruid_plan_cache_hits_total 1"), "{body}");
+        assert!(body.contains("ruid_plan_cache_misses_total 1"), "{body}");
+        assert!(body.contains("ruid_plan_cache_invalidations_total 1"), "{body}");
+        assert!(body.contains("ruid_plan_cache_entries 0"), "{body}");
     }
 }

@@ -45,8 +45,16 @@ pub enum Request {
         doc: u64,
         /// XPath expression (may contain spaces).
         xpath: String,
-        /// `tree`, `ruid`, or `indexed`.
+        /// `tree`, `ruid`, `indexed`, or `planned`.
         engine: Engine,
+    },
+    /// `EXPLAIN <doc> <xpath>` — the chosen physical plan, per-step
+    /// estimated vs. actual cardinalities, and result-cache status.
+    Explain {
+        /// Target document id.
+        doc: u64,
+        /// XPath expression (may contain spaces).
+        xpath: String,
     },
     /// `SCAN <doc> <global>` — storage rows of one rUID area.
     Scan {
@@ -102,8 +110,11 @@ pub enum Engine {
     Tree,
     /// rUID label arithmetic for every axis.
     Ruid,
-    /// rUID arithmetic + element-name index (the default).
+    /// rUID arithmetic + element-name index.
     Indexed,
+    /// Path-summary planner: containment-join physical plans with the
+    /// step-by-step evaluator as fallback (the default).
+    Planned,
 }
 
 impl Engine {
@@ -112,6 +123,7 @@ impl Engine {
             "tree" => Some(Engine::Tree),
             "ruid" => Some(Engine::Ruid),
             "indexed" => Some(Engine::Indexed),
+            "planned" => Some(Engine::Planned),
             _ => None,
         }
     }
@@ -128,6 +140,7 @@ impl Request {
             Request::Label { .. } => Command::Label,
             Request::Parent { .. } => Command::Parent,
             Request::Query { .. } => Command::Query,
+            Request::Explain { .. } => Command::Explain,
             Request::Scan { .. } => Command::Scan,
             Request::Get { .. } => Command::Get,
             Request::Stats(_) => Command::Stats,
@@ -210,16 +223,25 @@ pub fn parse(line: &str) -> Result<Request, String> {
         }
         "QUERY" => {
             if args.len() < 2 {
-                return Err("usage: QUERY <doc> <xpath> [tree|ruid|indexed]".into());
+                return Err("usage: QUERY <doc> <xpath> [tree|ruid|indexed|planned]".into());
             }
             let doc = parse_u64(args[0], "document id")?;
             // A trailing engine keyword is only an engine when an xpath
             // remains in front of it.
             let (xpath_tokens, engine) = match Engine::parse(args[args.len() - 1]) {
                 Some(engine) if args.len() >= 3 => (&args[1..args.len() - 1], engine),
-                _ => (&args[1..], Engine::Indexed),
+                _ => (&args[1..], Engine::Planned),
             };
             Ok(Request::Query { doc, xpath: xpath_tokens.join(" "), engine })
+        }
+        "EXPLAIN" => {
+            if args.len() < 2 {
+                return Err("usage: EXPLAIN <doc> <xpath>".into());
+            }
+            Ok(Request::Explain {
+                doc: parse_u64(args[0], "document id")?,
+                xpath: args[1..].join(" "),
+            })
         }
         "SCAN" => {
             arity(2, "SCAN <doc> <global>")?;
@@ -312,6 +334,14 @@ mod tests {
             parse("PARENT 1 3 5 false").unwrap(),
             Request::Parent { doc: 1, label: Ruid2::new(3, 5, false) }
         );
+        assert_eq!(
+            parse("EXPLAIN 1 //a//b").unwrap(),
+            Request::Explain { doc: 1, xpath: "//a//b".into() }
+        );
+        assert_eq!(
+            parse("explain 2 //a[b > 1]/c").unwrap(),
+            Request::Explain { doc: 2, xpath: "//a[b > 1]/c".into() }
+        );
         assert_eq!(parse("SCAN 1 4").unwrap(), Request::Scan { doc: 1, global: 4 });
         assert_eq!(
             parse("GET 2 1 1 true").unwrap(),
@@ -338,9 +368,17 @@ mod tests {
             parse("QUERY 1 //a/b tree").unwrap(),
             Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Tree }
         );
-        // No engine: default indexed.
+        // No engine: default planned.
         assert_eq!(
             parse("QUERY 1 //a/b").unwrap(),
+            Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Planned }
+        );
+        assert_eq!(
+            parse("QUERY 1 //a/b planned").unwrap(),
+            Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Planned }
+        );
+        assert_eq!(
+            parse("QUERY 1 //a/b indexed").unwrap(),
             Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Indexed }
         );
         // XPath with internal spaces survives.
@@ -355,7 +393,7 @@ mod tests {
         // A bare engine-looking token is the xpath when nothing precedes it.
         assert_eq!(
             parse("QUERY 1 tree").unwrap(),
-            Request::Query { doc: 1, xpath: "tree".into(), engine: Engine::Indexed }
+            Request::Query { doc: 1, xpath: "tree".into(), engine: Engine::Planned }
         );
     }
 
@@ -371,6 +409,9 @@ mod tests {
         assert!(parse("PARENT x 2 3 true").is_err());
         assert!(parse("SCAN 1").is_err());
         assert!(parse("STATS").is_err());
+        assert!(parse("EXPLAIN").is_err());
+        assert!(parse("EXPLAIN 1").is_err());
+        assert!(parse("EXPLAIN x //a").is_err());
         assert!(parse("PING extra").is_err());
         assert!(parse("SNAPSHOT now").is_err());
         assert!(parse("PERSIST 1").is_err());

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use plan::ResultCache;
 use schemes::NumberingScheme;
 use xmldom::TreeStats;
 use xmlstore::record::StoredKind;
@@ -92,6 +93,8 @@ pub struct ServerConfig {
     pub metrics_addr: Option<String>,
     /// Capacity of the slow-query ring served by `SLOWLOG`.
     pub slowlog_capacity: usize,
+    /// Capacity of the planned-query result cache (entries).
+    pub plan_cache_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +116,7 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::Always,
             metrics_addr: None,
             slowlog_capacity: 128,
+            plan_cache_cap: 1024,
         }
     }
 }
@@ -144,6 +148,7 @@ pub struct ServerHandle {
     durability: Option<Arc<Durability>>,
     tracer: Arc<Tracer>,
     pool_stats: Arc<PoolStats>,
+    plan_cache: Arc<ResultCache>,
     metrics_http_addr: Option<SocketAddr>,
     metrics_http: Option<JoinHandle<()>>,
 }
@@ -195,6 +200,7 @@ impl Server {
         };
         let shutdown = Arc::new(AtomicBool::new(false));
         let tracer = Arc::new(Tracer::new(config.slowlog_capacity));
+        let plan_cache = Arc::new(ResultCache::new(config.plan_cache_cap));
         let pool = ThreadPool::new(config.threads, config.queue_cap);
         let pool_stats = pool.stats();
 
@@ -208,6 +214,7 @@ impl Server {
                 let durability = durability.clone();
                 let tracer = Arc::clone(&tracer);
                 let pool_stats = Arc::clone(&pool_stats);
+                let plan_cache = Arc::clone(&plan_cache);
                 let shutdown = Arc::clone(&shutdown);
                 let handle = std::thread::Builder::new()
                     .name("ruid-metrics".into())
@@ -218,6 +225,7 @@ impl Server {
                             durability.as_deref(),
                             &tracer,
                             &pool_stats,
+                            &plan_cache,
                             &shutdown,
                         );
                     })
@@ -234,6 +242,7 @@ impl Server {
             let durability = durability.clone();
             let tracer = Arc::clone(&tracer);
             let pool_stats = Arc::clone(&pool_stats);
+            let plan_cache = Arc::clone(&plan_cache);
             // Monotone request index driving the fault plan, shared by
             // every connection of this server instance.
             let request_counter = Arc::new(AtomicU64::new(0));
@@ -250,6 +259,7 @@ impl Server {
                         &durability,
                         &tracer,
                         &pool_stats,
+                        &plan_cache,
                         &request_counter,
                     );
                     pool.shutdown();
@@ -279,6 +289,7 @@ impl Server {
             durability,
             tracer,
             pool_stats,
+            plan_cache,
             metrics_http_addr,
             metrics_http,
         })
@@ -295,6 +306,7 @@ fn serve_metrics_http(
     durability: Option<&Durability>,
     tracer: &Tracer,
     pool_stats: &PoolStats,
+    plan_cache: &ResultCache,
     shutdown: &AtomicBool,
 ) {
     for stream in listener.incoming() {
@@ -326,6 +338,7 @@ fn serve_metrics_http(
             durability,
             tracer: Some(tracer),
             pool: Some(pool_stats),
+            plan_cache: Some(plan_cache),
         });
         let response = format!(
             "HTTP/1.0 200 OK\r\n\
@@ -371,6 +384,11 @@ impl ServerHandle {
     /// The worker pool's queue statistics.
     pub fn pool_stats(&self) -> &Arc<PoolStats> {
         &self.pool_stats
+    }
+
+    /// The planned-query result cache.
+    pub fn plan_cache(&self) -> &Arc<ResultCache> {
+        &self.plan_cache
     }
 
     /// The bound address of the Prometheus HTTP endpoint, when enabled.
@@ -433,6 +451,7 @@ fn accept_loop(
     durability: &Option<Arc<Durability>>,
     tracer: &Arc<Tracer>,
     pool_stats: &Arc<PoolStats>,
+    plan_cache: &Arc<ResultCache>,
     request_counter: &Arc<AtomicU64>,
 ) {
     for stream in listener.incoming() {
@@ -451,6 +470,7 @@ fn accept_loop(
         let durability = durability.clone();
         let tracer = Arc::clone(tracer);
         let pool_stats = Arc::clone(pool_stats);
+        let plan_cache = Arc::clone(plan_cache);
         let request_counter = Arc::clone(request_counter);
         let submitted = pool.try_execute(move || {
             let _ = serve_connection(
@@ -462,6 +482,7 @@ fn accept_loop(
                 durability.as_deref(),
                 &tracer,
                 &pool_stats,
+                &plan_cache,
                 &request_counter,
             );
         });
@@ -526,9 +547,11 @@ fn serve_connection(
     durability: Option<&Durability>,
     tracer: &Tracer,
     pool_stats: &PoolStats,
+    plan_cache: &ResultCache,
     request_counter: &AtomicU64,
 ) -> std::io::Result<()> {
-    let ctx = ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats };
+    let ctx =
+        ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats, plan_cache };
     // The short poll timeout lets the worker notice server shutdown and
     // expired deadlines even while a client holds its connection open
     // silently; the real deadlines are enforced above it.
@@ -667,6 +690,7 @@ struct ServiceCtx<'a> {
     durability: Option<&'a Durability>,
     tracer: &'a Tracer,
     pool_stats: &'a PoolStats,
+    plan_cache: &'a ResultCache,
 }
 
 /// Runs `f`, charging its wall time to `span` when the request is traced.
@@ -716,7 +740,8 @@ fn execute(
     ctx: &ServiceCtx<'_>,
     mut trace: Option<&mut RequestTrace>,
 ) -> Result<String, String> {
-    let ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats } = *ctx;
+    let ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats, plan_cache } =
+        *ctx;
     let trace = &mut trace;
     match request {
         Request::Ping => Ok("OK pong".into()),
@@ -727,7 +752,7 @@ fn execute(
             // origin file surviving (or staying unchanged).
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {path}: {e}"))?;
-            let loaded = timed(trace, Span::Eval, || {
+            let mut loaded = timed(trace, Span::Eval, || {
                 LoadedDoc::build_with(&path, &text, depth, config.with_store, &exec)
             })?;
             let nodes = loaded.doc.node_count();
@@ -735,6 +760,10 @@ fn execute(
             let id = match durability {
                 Some(d) => {
                     let id = catalog.reserve_id();
+                    // Result-cache generation: the WAL sequence number of
+                    // this load's record, so any logged update (reload,
+                    // replay divergence) moves the generation.
+                    loaded.generation = d.stats().wal_records + 1;
                     let op = WalOp::Load {
                         doc_id: id,
                         path: path.clone(),
@@ -749,7 +778,14 @@ fn execute(
                     })?;
                     id
                 }
-                None => catalog.insert(loaded),
+                None => {
+                    // No WAL: the doc id itself works as the generation
+                    // (ids are never reused).
+                    let id = catalog.reserve_id();
+                    loaded.generation = id;
+                    catalog.insert_with_id(id, loaded);
+                    id
+                }
             };
             Ok(format!("OK id={id} nodes={nodes} areas={areas}"))
         }
@@ -766,6 +802,7 @@ fn execute(
                 None => catalog.remove(id),
             };
             if removed {
+                plan_cache.purge_doc(id);
                 Ok(format!("OK unloaded {id}"))
             } else {
                 Err(format!("no document {id}"))
@@ -781,15 +818,9 @@ fn execute(
         }
         Request::Label { doc, xpath } => {
             let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
-            let (hits, steps) =
-                timed(trace, Span::Eval, || run_query(&loaded, &xpath, Engine::Indexed))?;
-            metrics.record_axis_steps(&steps);
-            let mut out = format!("OK {}", hits.len());
-            for node in hits {
-                out.push(' ');
-                out.push_str(&proto::fmt_label(&loaded.scheme.label_of(node)));
-            }
-            Ok(out)
+            timed(trace, Span::Eval, || {
+                planned_cached(&loaded, doc, &xpath, plan_cache, metrics)
+            })
         }
         Request::Parent { doc, label } => {
             let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
@@ -801,15 +832,37 @@ fn execute(
         }
         Request::Query { doc, xpath, engine } => {
             let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
+            if engine == Engine::Planned {
+                return timed(trace, Span::Eval, || {
+                    planned_cached(&loaded, doc, &xpath, plan_cache, metrics)
+                });
+            }
             let (hits, steps) =
                 timed(trace, Span::Eval, || run_query(&loaded, &xpath, engine))?;
             metrics.record_axis_steps(&steps);
-            let mut out = format!("OK {}", hits.len());
-            for node in hits {
-                out.push(' ');
-                out.push_str(&proto::fmt_label(&loaded.scheme.label_of(node)));
-            }
-            Ok(out)
+            Ok(format_hits(&loaded, &hits))
+        }
+        Request::Explain { doc, xpath } => {
+            let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
+            // Peek before running: whether a planned QUERY/LABEL for this
+            // exact expression would currently be served from cache.
+            let cached = plan_cache.peek(doc, &xpath, loaded.generation);
+            let (hits, compiled, stats) =
+                timed(trace, Span::Eval, || run_planned(&loaded, &xpath, metrics))?;
+            let mut lines = vec![format!(
+                "cache={} generation={}",
+                if cached { "hit" } else { "miss" },
+                loaded.generation,
+            )];
+            lines.extend(plan::render_explain(
+                &xpath,
+                &compiled,
+                &stats,
+                &loaded.summary,
+                &loaded.doc,
+                hits.len(),
+            ));
+            Ok(format!("OK {}", proto::escape_line(&lines.join("\n"))))
         }
         Request::Scan { doc, global } => {
             let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
@@ -873,6 +926,7 @@ fn execute(
                     durability,
                     tracer: Some(tracer),
                     pool: Some(pool_stats),
+                    plan_cache: Some(plan_cache),
                 });
                 return Ok(format!("OK {}", proto::escape_line(&body)));
             }
@@ -913,6 +967,69 @@ fn execute(
     }
 }
 
+/// The `OK <count> <label>...` rendering shared by `QUERY` and `LABEL`
+/// (and the planned-query result cache).
+fn format_hits(loaded: &LoadedDoc, hits: &[xmldom::NodeId]) -> String {
+    let mut out = format!("OK {}", hits.len());
+    for &node in hits {
+        out.push(' ');
+        out.push_str(&proto::fmt_label(&loaded.scheme.label_of(node)));
+    }
+    out
+}
+
+/// Plans and executes one query with the planner metrics recorded:
+/// planner-time histogram, per-operator counters, and the fallback
+/// evaluator's axis steps.
+fn run_planned(
+    loaded: &LoadedDoc,
+    xpath: &str,
+    metrics: &Metrics,
+) -> Result<(Vec<xmldom::NodeId>, plan::Plan, plan::ExecStats), String> {
+    let path = xpath::parse(xpath).map_err(|e| e.to_string())?;
+    let planner_started = Instant::now();
+    let compiled = plan::plan(&path, &loaded.summary, &loaded.doc);
+    metrics.record_planner_time(planner_started.elapsed());
+    let ev = Evaluator::new(
+        &loaded.doc,
+        NameIndexed::new(
+            TreeAxes::with_order(&loaded.doc, &loaded.order),
+            &loaded.doc,
+            &loaded.index,
+        ),
+    );
+    let (hits, stats) =
+        plan::execute(&compiled, &loaded.doc, &loaded.summary, &loaded.order, &ev)
+            .map_err(|e| e.to_string())?;
+    metrics.record_plan_ops([
+        stats.scans,
+        stats.child_joins,
+        stats.containment_joins,
+        stats.fallback_steps,
+    ]);
+    metrics.record_axis_steps(&ev.step_stats());
+    Ok((hits, compiled, stats))
+}
+
+/// The planned engine behind `QUERY`/`LABEL`: serve the cached response
+/// when the document's generation still matches, otherwise plan, execute,
+/// and cache the fresh rendering.
+fn planned_cached(
+    loaded: &LoadedDoc,
+    doc_id: u64,
+    xpath: &str,
+    plan_cache: &ResultCache,
+    metrics: &Metrics,
+) -> Result<String, String> {
+    if let Some(hit) = plan_cache.lookup(doc_id, xpath, loaded.generation) {
+        return Ok((*hit).clone());
+    }
+    let (hits, _, _) = run_planned(loaded, xpath, metrics)?;
+    let out = format_hits(loaded, &hits);
+    plan_cache.insert(doc_id, xpath, loaded.generation, out.clone());
+    Ok(out)
+}
+
 /// Runs `xpath` against a loaded document with the chosen axis provider;
 /// returns the matches and the per-axis step counts of the evaluation.
 ///
@@ -948,6 +1065,24 @@ pub fn run_query(
                 ),
             );
             let hits = ev.query(xpath)?;
+            Ok((hits, ev.step_stats()))
+        }
+        Engine::Planned => {
+            let ev = Evaluator::new(
+                &loaded.doc,
+                NameIndexed::new(
+                    TreeAxes::with_order(&loaded.doc, &loaded.order),
+                    &loaded.doc,
+                    &loaded.index,
+                ),
+            );
+            let (hits, _, _) = plan::planned_query(
+                xpath,
+                &loaded.doc,
+                &loaded.summary,
+                &loaded.order,
+                &ev,
+            )?;
             Ok((hits, ev.step_stats()))
         }
     }

@@ -79,6 +79,57 @@ fn restart_answers_the_same_queries() {
     handle.stop();
 }
 
+/// Crash recovery rebuilds the path summary: planned queries (the QUERY
+/// default) and EXPLAIN must answer byte-identically after an abrupt stop
+/// and WAL replay, with the result cache starting cold.
+#[test]
+fn recovery_rebuilds_path_summary_for_planned_queries() {
+    let dir = scratch("planner-recovery");
+    let books = write_sample(
+        &dir,
+        "books.xml",
+        "<catalog><book id=\"b1\"><title>A</title><price>35</price></book>\
+         <book id=\"b2\"><title>B</title><price>20</price></book></catalog>",
+    );
+    let data_dir = dir.join("data");
+
+    let (handle, mut client) = start(&data_dir);
+    let id = load(&mut client, &books);
+    // The pre-crash oracle: planned answers for structural, containment
+    // and predicate queries, and the plan EXPLAIN renders for them.
+    let queries = [
+        format!("QUERY {id} //book/title"),
+        format!("QUERY {id} //catalog//title"),
+        format!("QUERY {id} //book[price > 25]/title"),
+        format!("LABEL {id} //book"),
+    ];
+    let oracle: Vec<String> =
+        queries.iter().map(|q| client.request(q).unwrap()).collect();
+    for answer in &oracle {
+        assert!(answer.starts_with("OK "), "{answer}");
+    }
+    let explain_before = client.request(&format!("EXPLAIN {id} //book/title")).unwrap();
+    assert!(explain_before.contains("scan"), "{explain_before}");
+    // Abrupt stop: no SHUTDOWN, no SNAPSHOT — recovery replays the WAL and
+    // must rebuild the in-memory path summary from the recovered DOM.
+    handle.stop();
+
+    let (handle, mut client) = start(&data_dir);
+    // The cache is in-memory only: before any query, the first
+    // post-restart EXPLAIN sees a miss, but the plan itself
+    // (summary-derived) is unchanged.
+    let explain_after = client.request(&format!("EXPLAIN {id} //book/title")).unwrap();
+    assert!(explain_after.contains("cache=miss"), "{explain_after}");
+    for (query, before) in queries.iter().zip(&oracle) {
+        assert_eq!(&client.request(query).unwrap(), before, "post-recovery {query}");
+    }
+    // Everything below the cache-status line (the rendered plan and its
+    // cardinalities) must be byte-identical to the pre-crash rendering.
+    let plan_of = |explain: &str| explain.split_once("\\n").unwrap().1.to_owned();
+    assert_eq!(plan_of(&explain_after), plan_of(&explain_before), "recovered plan drifted");
+    handle.stop();
+}
+
 #[test]
 fn snapshot_then_restart_recovers_from_snapshot_plus_tail() {
     let dir = scratch("snapshot");

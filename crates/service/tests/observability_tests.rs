@@ -112,8 +112,13 @@ fn prometheus_exposition_over_wire_and_http() {
     };
     let (handle, mut client) = start(config);
     let id = load(&mut client, &sample);
-    for _ in 0..3 {
-        assert!(client.request(&format!("QUERY {id} //x/y")).unwrap().starts_with("OK 3"));
+    // Two planned (default engine; second one a cache hit) plus one
+    // explicitly indexed, so both the plan-operator and the axis-step
+    // families see traffic.
+    for engine in ["", "", " indexed"] {
+        assert!(
+            client.request(&format!("QUERY {id} //x/y{engine}")).unwrap().starts_with("OK 3"),
+        );
     }
 
     // Wire transport: METRICS prom answers one escaped line.
@@ -150,6 +155,33 @@ fn prometheus_exposition_over_wire_and_http() {
     };
     assert!(steps_of("descendant") + steps_of("descendant-or-self") > 0, "{body}");
     assert!(steps_of("child") > 0, "{body}");
+    // The planned queries compiled //x/y to two summary scans; the repeat
+    // was served from the generation-keyed cache.
+    let metric_of = |name: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("missing {name} in {body}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(
+        body.contains("ruid_plan_operators_total{op=\"scan\"}"),
+        "plan operator family missing in {body}"
+    );
+    let scans = body
+        .lines()
+        .find_map(|l| l.strip_prefix("ruid_plan_operators_total{op=\"scan\"} "))
+        .unwrap()
+        .parse::<u64>()
+        .unwrap();
+    assert!(scans >= 2, "expected //x/y scans, got {scans}");
+    assert_eq!(metric_of("ruid_plan_cache_hits_total"), 1, "repeat query served from cache");
+    assert_eq!(metric_of("ruid_plan_cache_misses_total"), 1);
+    assert_eq!(metric_of("ruid_plan_cache_entries"), 1);
+    assert!(
+        metric_of("ruid_planner_duration_seconds_count{engine=\"planned\"}") >= 1,
+        "{body}"
+    );
 
     // The query histogram's cumulative buckets are monotone and end at
     // the sample count.

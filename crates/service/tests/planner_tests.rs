@@ -1,0 +1,148 @@
+//! Planner subsystem over the wire: the EXPLAIN verb, byte-identical
+//! planned answers, and result-cache lifecycle (hits, generation keying,
+//! UNLOAD purge).
+
+use ruid_service::{Client, Server, ServerConfig};
+
+fn write_sample(name: &str, xml: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ruid-planner-test-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sample.xml");
+    std::fs::write(&path, xml).unwrap();
+    path
+}
+
+fn start() -> (ruid_service::ServerHandle, Client) {
+    let handle = Server::start(ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    (handle, client)
+}
+
+fn load(client: &mut Client, path: &std::path::Path) -> u64 {
+    let resp = client.request(&format!("LOAD {}", path.display())).unwrap();
+    assert!(resp.starts_with("OK id="), "{resp}");
+    resp.split_whitespace()
+        .find_map(|t| t.strip_prefix("id="))
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+const SAMPLE: &str = "<catalog><book id=\"b1\"><title>A</title><price>35</price></book>\
+     <book id=\"b2\"><title>B</title><price>20</price></book>\
+     <journal><title>J</title></journal></catalog>";
+
+#[test]
+fn explain_reports_plan_shape_and_cache_status() {
+    let sample = write_sample("explain", SAMPLE);
+    let (handle, mut client) = start();
+    let id = load(&mut client, &sample);
+
+    // Cold EXPLAIN: a miss, rendering the chosen operators with estimated
+    // and actual cardinalities. (EXPLAIN itself never populates the cache.)
+    let resp = client.request(&format!("EXPLAIN {id} //book/title")).unwrap();
+    assert!(resp.starts_with("OK cache=miss"), "{resp}");
+    assert!(resp.contains("fully planned"), "{resp}");
+    assert!(resp.contains("scan"), "{resp}");
+    assert!(resp.contains("est="), "{resp}");
+    assert!(resp.contains("actual="), "{resp}");
+    assert!(resp.contains("rows=2"), "{resp}");
+    assert!(
+        client.request(&format!("EXPLAIN {id} //book/title")).unwrap().contains("cache=miss"),
+        "EXPLAIN must not warm the cache"
+    );
+
+    // A planned QUERY caches the answer; EXPLAIN now reports a hit.
+    let answer = client.request(&format!("QUERY {id} //book/title")).unwrap();
+    assert!(answer.starts_with("OK 2 "), "{answer}");
+    let resp = client.request(&format!("EXPLAIN {id} //book/title")).unwrap();
+    assert!(resp.starts_with("OK cache=hit"), "{resp}");
+
+    // A predicate query shows selectivity-ordered predicates and a
+    // containment join for the descendant step after the filter.
+    let resp =
+        client.request(&format!("EXPLAIN {id} //book[price > 25]//title")).unwrap();
+    assert!(resp.contains("predicates"), "{resp}");
+    assert!(resp.contains("containment-join"), "{resp}");
+
+    // A positional predicate cannot be planned structurally: the plan falls
+    // back to the step-by-step evaluator and says so.
+    let resp = client.request(&format!("EXPLAIN {id} //book[1]")).unwrap();
+    assert!(resp.contains("fallback"), "{resp}");
+
+    // Errors: usage and unknown document.
+    assert!(client.request("EXPLAIN").unwrap().starts_with("ERR usage:"));
+    assert!(client.request(&format!("EXPLAIN {id}")).unwrap().starts_with("ERR usage:"));
+    assert!(client.request("EXPLAIN 9999 //book").unwrap().starts_with("ERR no document"));
+    handle.stop();
+}
+
+#[test]
+fn planned_answers_are_byte_identical_to_every_engine() {
+    let sample = write_sample("identical", SAMPLE);
+    let (handle, mut client) = start();
+    let id = load(&mut client, &sample);
+
+    for q in [
+        "//book",
+        "//book/title",
+        "//title",
+        "/catalog/*",
+        "//book[price > 25]/title",
+        "//book[@id='b2']",
+        "//book[1]",
+        "//catalog//title",
+    ] {
+        let mut answers = Vec::new();
+        for engine in ["tree", "ruid", "indexed", "planned", "planned"] {
+            answers.push(client.request(&format!("QUERY {id} {q} {engine}")).unwrap());
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "engines disagree on {q}: {answers:?}"
+        );
+        // The bare default engine is the planner.
+        assert_eq!(
+            client.request(&format!("QUERY {id} {q}")).unwrap(),
+            answers[0],
+            "default engine drifted on {q}"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn cache_serves_repeats_and_unload_purges() {
+    let sample = write_sample("cache", SAMPLE);
+    let (handle, mut client) = start();
+    let id = load(&mut client, &sample);
+    let cache = handle.plan_cache().clone();
+
+    // First planned query misses and fills; the repeat hits. LABEL shares
+    // the entry because it renders the identical response.
+    assert!(client.request(&format!("QUERY {id} //book")).unwrap().starts_with("OK 2 "));
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1), "{s:?}");
+    assert!(client.request(&format!("QUERY {id} //book")).unwrap().starts_with("OK 2 "));
+    assert!(client.request(&format!("LABEL {id} //book")).unwrap().starts_with("OK 2 "));
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1), "{s:?}");
+
+    // A different document id never aliases: loading the same file again
+    // gets a fresh generation, so its first query is a miss.
+    let id2 = load(&mut client, &sample);
+    assert_ne!(id, id2);
+    assert!(client.request(&format!("QUERY {id2} //book")).unwrap().starts_with("OK 2 "));
+    let s = cache.stats();
+    assert_eq!((s.misses, s.entries), (2, 2), "{s:?}");
+
+    // UNLOAD drops exactly that document's entries and counts them as
+    // invalidations; the survivor still hits.
+    assert!(client.request(&format!("UNLOAD {id}")).unwrap().starts_with("OK unloaded"));
+    let s = cache.stats();
+    assert_eq!((s.invalidations, s.entries), (1, 1), "{s:?}");
+    assert!(client.request(&format!("QUERY {id2} //book")).unwrap().starts_with("OK 2 "));
+    assert_eq!(cache.stats().hits, 3, "{:?}", cache.stats());
+    handle.stop();
+}

@@ -26,6 +26,12 @@ const UNRANKED: u32 = u32::MAX;
 pub struct DocOrder {
     /// Dense by [`NodeId::index`]; [`UNRANKED`] marks unreached nodes.
     ranks: Vec<u32>,
+    /// Rank of the last node inside each node's subtree (inclusive), dense
+    /// by [`NodeId::index`]; equals the node's own rank for leaves. With
+    /// `ranks` this turns every subtree into the half-open rank interval
+    /// `(rank, end_rank]` of its strict descendants — the containment-range
+    /// form of the ancestor test that structural joins sort-merge over.
+    ends: Vec<u32>,
     root: NodeId,
 }
 
@@ -38,11 +44,28 @@ impl DocOrder {
     /// Ranks the subtree under `root` in one pre-order pass.
     pub fn build_at(doc: &Document, root: NodeId) -> DocOrder {
         let mut ranks = vec![UNRANKED; doc.arena_len()];
-        for (i, node) in doc.descendants(root).enumerate() {
+        let nodes: Vec<NodeId> = doc.descendants(root).collect();
+        for (i, &node) in nodes.iter().enumerate() {
             // u32 ranks: the arena is indexed by u32, so i fits.
             ranks[node.index()] = i as u32;
         }
-        DocOrder { ranks, root }
+        // Subtree extents in one reverse pre-order pass: a node is visited
+        // only after all of its descendants, so its extent is final when it
+        // propagates into its parent's.
+        let mut ends = ranks.clone();
+        for &node in nodes.iter().rev() {
+            if node == root {
+                continue;
+            }
+            if let Some(parent) = doc.parent(node) {
+                let e = ends[node.index()];
+                let p = &mut ends[parent.index()];
+                if e != UNRANKED && (*p == UNRANKED || e > *p) {
+                    *p = e;
+                }
+            }
+        }
+        DocOrder { ranks, ends, root }
     }
 
     /// The root of the ranked subtree.
@@ -60,6 +83,29 @@ impl DocOrder {
     /// Whether `node` was reached by the ranking traversal.
     pub fn contains(&self, node: NodeId) -> bool {
         self.rank(node) != UNRANKED
+    }
+
+    /// Rank of the last node inside `node`'s subtree (inclusive). Equals
+    /// [`DocOrder::rank`] for leaves, [`u32::MAX`] for unranked nodes.
+    pub fn end_rank(&self, node: NodeId) -> u32 {
+        self.ends.get(node.index()).copied().unwrap_or(UNRANKED)
+    }
+
+    /// The subtree of `node` as a rank interval `[rank, end_rank]`
+    /// (inclusive on both sides; strict descendants occupy
+    /// `(rank, end_rank]`). `None` for unranked nodes.
+    pub fn extent(&self, node: NodeId) -> Option<(u32, u32)> {
+        let start = self.rank(node);
+        (start != UNRANKED).then(|| (start, self.end_rank(node)))
+    }
+
+    /// The containment test in O(1): whether `desc` is a *strict*
+    /// descendant of `anc`, answered purely from the rank interval —
+    /// no tree walk, no label-chain climb. Unranked nodes never qualify.
+    pub fn is_descendant(&self, anc: NodeId, desc: NodeId) -> bool {
+        let a = self.rank(anc);
+        let d = self.rank(desc);
+        a != UNRANKED && d != UNRANKED && d > a && d <= self.end_rank(anc)
     }
 
     /// Document order by rank — equivalent to
@@ -101,6 +147,38 @@ mod tests {
         for (i, node) in doc.descendants(doc.root()).enumerate() {
             assert_eq!(order.rank(node), i as u32);
             assert!(order.contains(node));
+        }
+    }
+
+    #[test]
+    fn extents_agree_with_the_tree_walk() {
+        let doc = sample();
+        let order = DocOrder::build(&doc);
+        let all: Vec<NodeId> = doc.descendants(doc.root()).collect();
+        for &a in &all {
+            // The extent covers exactly the subtree.
+            let (start, end) = order.extent(a).unwrap();
+            let subtree: Vec<NodeId> = doc.descendants(a).collect();
+            assert_eq!(start, order.rank(a));
+            assert_eq!(end, order.rank(*subtree.last().unwrap()));
+            assert_eq!((end - start + 1) as usize, subtree.len());
+            for &b in &all {
+                let walked = a != b && doc.descendants(a).any(|n| n == b);
+                assert_eq!(order.is_descendant(a, b), walked, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_extents_are_degenerate() {
+        let doc = sample();
+        let order = DocOrder::build(&doc);
+        for node in doc.descendants(doc.root()) {
+            if doc.children(node).next().is_none() {
+                let (start, end) = order.extent(node).unwrap();
+                assert_eq!(start, end, "leaf {node:?}");
+                assert_eq!(order.end_rank(node), order.rank(node));
+            }
         }
     }
 

@@ -105,15 +105,68 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
         self.evaluate(&path, root).map_err(|e| e.to_string())
     }
 
+    /// Applies a step sequence to an explicit context node-set — the
+    /// plan-execution hook: a query planner that answered a structural
+    /// prefix from an index hands the remaining steps (and its
+    /// intermediate node-set) back to the evaluator here, which keeps the
+    /// fallback semantics byte-identical to a full step-by-step run.
+    ///
+    /// `context` must be in document order without duplicates (the
+    /// invariant every step maintains). An attribute step anywhere but the
+    /// end of a predicate path is rejected, exactly like
+    /// [`Evaluator::evaluate`].
+    pub fn evaluate_steps(
+        &self,
+        steps: &[Step],
+        context: Vec<NodeId>,
+    ) -> Result<Vec<NodeId>, EvalError> {
+        match self.eval_steps_values(steps, context)? {
+            PathValues::Nodes(nodes) => Ok(nodes),
+            PathValues::Strings(_) => Err(EvalError::AttributeStep),
+        }
+    }
+
+    /// Filters a node-set through predicates the way a collapsed step
+    /// does: each predicate sees the whole set as one context (position =
+    /// index within it). For **position-insensitive** predicates — the
+    /// only kind a planner may route here — this is equivalent to the
+    /// per-context-node filtering of a step-by-step run, because each
+    /// node's verdict ignores position and size entirely.
+    pub fn filter_predicates(
+        &self,
+        nodes: Vec<NodeId>,
+        predicates: &[Expr],
+    ) -> Result<Vec<NodeId>, EvalError> {
+        let mut out = nodes;
+        for predicate in predicates {
+            let size = out.len();
+            let mut kept = Vec::with_capacity(size);
+            for (i, &n) in out.iter().enumerate() {
+                if self.eval_predicate(predicate, n, i + 1, size)? {
+                    kept.push(n);
+                }
+            }
+            out = kept;
+        }
+        Ok(out)
+    }
+
     fn eval_path(&self, path: &LocationPath, context: NodeId) -> Result<PathValues, EvalError> {
         let start = if path.absolute {
             self.doc.root_element().unwrap_or_else(|| self.doc.root())
         } else {
             context
         };
-        let mut current = vec![start];
+        self.eval_steps_values(&path.steps, vec![start])
+    }
+
+    fn eval_steps_values(
+        &self,
+        steps: &[Step],
+        mut current: Vec<NodeId>,
+    ) -> Result<PathValues, EvalError> {
         let mut skip_next = false;
-        for (i, step) in path.steps.iter().enumerate() {
+        for (i, step) in steps.iter().enumerate() {
             if skip_next {
                 skip_next = false;
                 continue;
@@ -129,7 +182,7 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
                 && step.test == NodeTest::AnyNode
                 && step.predicates.is_empty()
             {
-                if let Some(next) = path.steps.get(i + 1) {
+                if let Some(next) = steps.get(i + 1) {
                     if next.axis == Axis::Child {
                         if let NodeTest::Name(name) = &next.test {
                             if !next.predicates.iter().any(expr_is_position_sensitive) {
@@ -150,7 +203,7 @@ impl<'a, A: AxisProvider> Evaluator<'a, A> {
                 }
             }
             if step.axis == Axis::Attribute {
-                if i + 1 != path.steps.len() {
+                if i + 1 != steps.len() {
                     return Err(EvalError::AttributeStep);
                 }
                 self.bump(Axis::Attribute);
@@ -442,8 +495,10 @@ impl<A: AxisProvider> Evaluator<'_, A> {
 }
 
 /// Whether a predicate's outcome can depend on the context position — bare
-/// numbers, `position()`, or `last()` anywhere inside.
-fn expr_is_position_sensitive(expr: &Expr) -> bool {
+/// numbers, `position()`, or `last()` anywhere inside. Public because a
+/// query planner must refuse to reorder (or batch-filter) any step whose
+/// predicates fail this test.
+pub fn expr_is_position_sensitive(expr: &Expr) -> bool {
     fn value_sensitive(v: &Value) -> bool {
         match v {
             Value::Position | Value::Last => true,

@@ -1,0 +1,158 @@
+//! Structural-join primitives over precomputed document-order extents.
+//!
+//! The paper's containment observation — a label answers
+//! ancestor/descendant without touching the tree — generalizes to whole
+//! node-*sets*: with each subtree encoded as a rank interval
+//! (`DocOrder::extent`), "descendants of any context node" is one sorted
+//! interval sweep over the candidate list, O(|context| + |candidates|),
+//! instead of one per-candidate ancestry climb per context node (the
+//! quadratic shape behind the slow `//a//b` tail). These are the
+//! primitives a query planner joins path-summary member lists with.
+
+use xmldom::{DocOrder, Document, NodeId};
+
+/// Candidates that are *strict* descendants of at least one context node.
+///
+/// Both inputs must be sorted by `order` rank (the node-set invariant every
+/// evaluator step maintains); the result preserves candidate order, so it
+/// is in document order and duplicate-free whenever `candidates` is.
+///
+/// Works by sweeping the candidate ranks through the context's merged
+/// subtree intervals. Because subtrees of a tree never partially overlap,
+/// a context node nested inside an earlier context node contributes
+/// nothing new — its interval is contained — so only outermost intervals
+/// are kept, and the union of `(start, end]` intervals is exact.
+pub fn containment_join(
+    order: &DocOrder,
+    context: &[NodeId],
+    candidates: &[NodeId],
+) -> Vec<NodeId> {
+    // Outermost context intervals, in rank order.
+    let mut intervals: Vec<(u32, u32)> = Vec::new();
+    for &c in context {
+        let Some((start, end)) = order.extent(c) else { continue };
+        if let Some(&(_, prev_end)) = intervals.last() {
+            if start <= prev_end {
+                continue; // nested inside the previous (outer) interval
+            }
+        }
+        intervals.push((start, end));
+    }
+    let mut out = Vec::new();
+    let mut it = intervals.into_iter();
+    let Some(mut cur) = it.next() else { return out };
+    for &cand in candidates {
+        let r = order.rank(cand);
+        // Advance past intervals that end before this candidate.
+        while r > cur.1 {
+            match it.next() {
+                Some(next) => cur = next,
+                None => return out,
+            }
+        }
+        // Here r <= cur.1; strict containment additionally needs r past
+        // the interval's own start rank (r == start is the context node).
+        if r > cur.0 {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Candidates whose parent is a member of the context node-set.
+///
+/// `context` must be sorted by `order` rank; the result preserves
+/// candidate order. One rank binary-search per candidate — the child-step
+/// analogue of [`containment_join`].
+pub fn parent_join(
+    doc: &Document,
+    order: &DocOrder,
+    context: &[NodeId],
+    candidates: &[NodeId],
+) -> Vec<NodeId> {
+    let ranks: Vec<u32> = context.iter().map(|&n| order.rank(n)).collect();
+    candidates
+        .iter()
+        .copied()
+        .filter(|&c| {
+            doc.parent(c)
+                .is_some_and(|p| ranks.binary_search(&order.rank(p)).is_ok())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::Document;
+
+    fn setup() -> (Document, DocOrder) {
+        let doc = Document::parse(
+            "<a><b><c/><d><c/></d></b><c/><e><b><c/></b></e></a>",
+        )
+        .unwrap();
+        let order = DocOrder::build(&doc);
+        (doc, order)
+    }
+
+    fn named(doc: &Document, name: &str) -> Vec<NodeId> {
+        let root = doc.root_element().unwrap();
+        doc.descendants(root)
+            .filter(|&n| doc.tag_name(n) == Some(name))
+            .collect()
+    }
+
+    #[test]
+    fn containment_join_matches_per_candidate_walks() {
+        let (doc, order) = setup();
+        let context = named(&doc, "b");
+        let candidates = named(&doc, "c");
+        let joined = containment_join(&order, &context, &candidates);
+        let expected: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| context.iter().any(|&b| order.is_descendant(b, c)))
+            .collect();
+        assert_eq!(joined, expected);
+        assert_eq!(joined.len(), 3, "the top-level <c/> is under no <b>");
+    }
+
+    #[test]
+    fn nested_context_intervals_merge_exactly() {
+        let (doc, order) = setup();
+        let root = doc.root_element().unwrap();
+        // Context contains both <a> (everything) and nested <b>s: the
+        // outer interval must absorb the nested ones without losing or
+        // double-counting candidates.
+        let mut context = vec![root];
+        context.extend(named(&doc, "b"));
+        context.sort_unstable_by_key(|&n| order.rank(n));
+        let candidates = named(&doc, "c");
+        let joined = containment_join(&order, &context, &candidates);
+        assert_eq!(joined, candidates, "all <c/> are under <a>");
+    }
+
+    #[test]
+    fn parent_join_keeps_direct_children_only() {
+        let (doc, order) = setup();
+        let context = named(&doc, "b");
+        let candidates = named(&doc, "c");
+        let joined = parent_join(&doc, &order, &context, &candidates);
+        let expected: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| doc.parent(c).is_some_and(|p| context.contains(&p)))
+            .collect();
+        assert_eq!(joined, expected);
+        assert_eq!(joined.len(), 2, "only <c/> directly under a <b>");
+    }
+
+    #[test]
+    fn empty_inputs_join_to_empty() {
+        let (doc, order) = setup();
+        let nodes = named(&doc, "c");
+        assert!(containment_join(&order, &[], &nodes).is_empty());
+        assert!(containment_join(&order, &nodes, &[]).is_empty());
+        assert!(parent_join(&doc, &order, &[], &nodes).is_empty());
+    }
+}

@@ -27,13 +27,15 @@
 mod ast;
 mod axes;
 mod eval;
+mod join;
 mod lexer;
 mod nameindex;
 mod parser;
 
-pub use ast::{Axis, Expr, LocationPath, NodeTest, Step, Value};
+pub use ast::{Axis, CmpOp, Expr, LocationPath, NodeTest, Step, Value};
 pub use axes::{AxisProvider, RuidAxes, TreeAxes, UidAxes};
-pub use eval::{Evaluator, StepStats};
+pub use eval::{expr_is_position_sensitive, EvalError, Evaluator, StepStats};
+pub use join::{containment_join, parent_join};
 pub use nameindex::{NameIndex, NameIndexed};
 pub use lexer::{LexError, Token};
 pub use parser::{parse, ParseError};

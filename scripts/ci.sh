@@ -21,6 +21,12 @@ cargo test -q --offline -p ruid --test exhaustive_small_trees
 cargo test -q --offline -p ruid-core --test update_tests
 cargo test -q --offline -p ruid --test parallel_equivalence
 
+# Planner: planned answers must be byte-identical to every engine on the
+# exhaustive shape sweep and the XMark corpus, and the service-level
+# EXPLAIN/cache suite must pass.
+cargo test -q --offline -p ruid --test planner_differential
+cargo test -q --offline -p ruid-service --test planner_tests
+
 # Durability: the crash-point sweep (kill the WAL at every byte offset)
 # and the full recovery suites must run.
 cargo test -q --offline -p durable
@@ -51,6 +57,30 @@ if command -v jq >/dev/null; then
         || { echo "ci: E12 smoke report malformed" >&2; exit 1; }
 fi
 
+# E14 smoke: the planner must keep answers identical to the unplanned
+# engine (the bin asserts it) and the emitted report must be
+# machine-readable with every query flag green.
+cargo run --release --offline -p bench --bin report_e14_planner -- \
+    --smoke --out target/bench_e14_smoke.json
+if command -v jq >/dev/null; then
+    jq -e '.experiment == "E14"
+           and .all_identical
+           and (.queries | all(.identical and .under_50ms))' \
+        target/bench_e14_smoke.json >/dev/null \
+        || { echo "ci: E14 smoke report malformed" >&2; exit 1; }
+    # The checked-in full-mode report is the slow-tail regression gate:
+    # every E4/E11 corpus query planned under 50 ms, answers identical.
+    jq -e '.experiment == "E14"
+           and .mode == "full"
+           and .all_identical
+           and .all_under_50ms
+           and ([.queries[] | select(.query == "//item//text"
+                 or .query == "//open_auction[count(bidder) >= 2]/current")]
+                | length == 2 and all(.planned_ms < 50))' \
+        BENCH_pr6.json >/dev/null \
+        || { echo "ci: BENCH_pr6.json fails the 50 ms slow-tail gate" >&2; exit 1; }
+fi
+
 # Crash-recovery smoke: serve with a data dir, load, record an answer,
 # SIGKILL the server (no SHUTDOWN, no snapshot), restart on the same data
 # dir, and demand the byte-identical answer back.
@@ -73,6 +103,11 @@ SRV=$!
 wait_ping 127.0.0.1:7441
 "$RUID_XML" client 127.0.0.1:7441 "LOAD $CI_DIR/sample.xml" >/dev/null
 BEFORE=$("$RUID_XML" client 127.0.0.1:7441 "QUERY 1 //book/title")
+PLAN_BEFORE=$("$RUID_XML" client 127.0.0.1:7441 "EXPLAIN 1 //book/title")
+case "$PLAN_BEFORE" in
+    "OK cache="*"scan"*"est="*"actual="*) ;;
+    *) echo "ci: EXPLAIN malformed: $PLAN_BEFORE" >&2; exit 1 ;;
+esac
 kill -9 "$SRV"; wait "$SRV" 2>/dev/null || true
 
 "$RUID_XML" serve --addr 127.0.0.1:7442 --data-dir "$CI_DIR/data" --fsync always &
@@ -81,6 +116,12 @@ wait_ping 127.0.0.1:7442
 AFTER=$("$RUID_XML" client 127.0.0.1:7442 "QUERY 1 //book/title")
 if [ "$BEFORE" != "$AFTER" ]; then
     echo "ci: recovered answer diverged: '$BEFORE' vs '$AFTER'" >&2; exit 1
+fi
+# EXPLAIN after kill -9: the path summary is rebuilt during recovery, so
+# the rendered plan (everything past the cache-status line) is unchanged.
+PLAN_AFTER=$("$RUID_XML" client 127.0.0.1:7442 "EXPLAIN 1 //book/title")
+if [ "${PLAN_BEFORE#*\\n}" != "${PLAN_AFTER#*\\n}" ]; then
+    echo "ci: recovered plan diverged: '$PLAN_BEFORE' vs '$PLAN_AFTER'" >&2; exit 1
 fi
 METRICS=$("$RUID_XML" client 127.0.0.1:7442 METRICS)
 if command -v jq >/dev/null; then
@@ -112,6 +153,9 @@ wait_ping 127.0.0.1:7443
 "$RUID_XML" client 127.0.0.1:7443 "LOAD $OBS_DIR/sample.xml" >/dev/null
 "$RUID_XML" client 127.0.0.1:7443 "TRACE 0" >/dev/null
 "$RUID_XML" client 127.0.0.1:7443 "QUERY 1 //x/y" >/dev/null
+# An explicitly indexed query keeps the axis-step families populated now
+# that the default engine is the planner (which walks no axes for //x/y).
+"$RUID_XML" client 127.0.0.1:7443 "QUERY 1 //x/y indexed" >/dev/null
 SLOWLOG=$("$RUID_XML" client 127.0.0.1:7443 "SLOWLOG 5")
 case "$SLOWLOG" in
     *"cmd=QUERY"*"parse_ns="*"eval_ns="*"write_ns="*) ;;
@@ -135,8 +179,10 @@ printf '%s\n' "$SCRAPE" | awk '
     /^ruid_wal_unsynced_records /                     { have["unsync"] = 1 }
     /^ruid_pool_jobs_submitted_total /                { have["pool"]   = 1 }
     /^ruid_slowlog_captured_total /                   { have["trace"]  = 1 }
+    /^ruid_plan_operators_total\{op="scan"\} /        { have["plan"]   = 1 }
+    /^ruid_plan_cache_misses_total /                  { have["cache"]  = 1 }
     END {
-        split("query axis robust wal unsync pool trace", need, " ")
+        split("query axis robust wal unsync pool trace plan cache", need, " ")
         for (i in need) if (!have[need[i]]) { print "ci: missing family: " need[i]; bad = 1 }
         if (buckets < 20) { print "ci: bucket ladder too short: " buckets; bad = 1 }
         exit bad

@@ -1,0 +1,173 @@
+//! Differential correctness for the query planner (`crates/plan`).
+//!
+//! The planner must be an invisible optimisation: for every query it
+//! accepts, planned execution returns exactly the node set the step-by-step
+//! evaluator returns — same nodes, same document order — across every axis
+//! engine in the workspace. Two sweeps enforce that:
+//!
+//! 1. **Exhaustive**: every ordered tree shape with up to seven nodes
+//!    (197 Catalan shapes), tags cycled by depth so the path summary has
+//!    several distinct paths, against a corpus mixing `/`, `//`,
+//!    wildcards, structural and positional predicates.
+//! 2. **XMark**: a generated auction document with the E4 benchmark corpus
+//!    (value predicates, `count()`, attribute tests), planner on vs. off.
+
+use ruid::prelude::*;
+use ruid::{
+    planned_query, xmark, DocOrder, NameIndex, NameIndexed, NodeId, PartitionConfig as Pc,
+    PathSummary, UidScheme,
+};
+
+/// All forests (ordered sequences of subtrees) with exactly `m` nodes
+/// rooted at `depth`, rendered as concatenated XML fragments. Tags cycle
+/// `a`/`b`/`c` by depth so distinct depths become distinct summary paths.
+fn forests(m: usize, depth: usize) -> Vec<String> {
+    if m == 0 {
+        return vec![String::new()];
+    }
+    let mut out = Vec::new();
+    for k in 1..=m {
+        for first in trees(k, depth) {
+            for rest in forests(m - k, depth) {
+                out.push(format!("{first}{rest}"));
+            }
+        }
+    }
+    out
+}
+
+/// All ordered rooted trees with exactly `n` nodes whose root sits at
+/// `depth`, as XML strings.
+fn trees(n: usize, depth: usize) -> Vec<String> {
+    assert!(n >= 1);
+    let tag = ["a", "b", "c"][depth % 3];
+    forests(n - 1, depth + 1)
+        .into_iter()
+        .map(|f| format!("<{tag}>{f}</{tag}>"))
+        .collect()
+}
+
+/// Queries whose steps exercise every planner path on the small trees:
+/// pure scans, `//` collapse, child joins after predicates, containment
+/// joins, positional predicates (never planned), and unplannable suffixes.
+const SMALL_TREE_QUERIES: &[&str] = &[
+    "/a",
+    "/a/b",
+    "/a/b/c",
+    "//b",
+    "//c",
+    "//b/c",
+    "//b//a",
+    "/a//c",
+    "//*",
+    "/a/*",
+    "//b/*",
+    "/a/b[c]",
+    "//b[c]/c",
+    "//b[c]//a",
+    "//b[not(c)]",
+    "//b[c][a]",
+    "//b[1]",
+    "//b[last()]",
+    "//b[c][1]",
+    "//b/c/..",
+    "//c/parent::b",
+    "//b[count(c) >= 1]",
+    "//a[b or c]",
+];
+
+/// Runs one query through the planner and through every engine, asserting
+/// byte-identical (node-for-node) answers with the plain tree walk as the
+/// oracle. Queries the evaluator itself rejects must be rejected by the
+/// planner path too.
+fn assert_planner_agrees(doc: &Document, xml: &str, queries: &[&str]) {
+    let order = DocOrder::build(doc);
+    let summary = PathSummary::build(doc);
+    let index = NameIndex::build(doc);
+    let uid = UidScheme::build(doc);
+    let ruid2 = Ruid2Scheme::build(doc, &Pc::by_depth(2));
+
+    let tree_eval = Evaluator::new(doc, TreeAxes::with_order(doc, &order));
+    let uid_eval = Evaluator::new(doc, UidAxes::with_order(&uid, &order));
+    let ruid_eval = Evaluator::new(doc, RuidAxes::with_order(&ruid2, &order));
+    let idx_eval = Evaluator::new(
+        doc,
+        NameIndexed::new(TreeAxes::with_order(doc, &order), doc, &index),
+    );
+
+    for q in queries {
+        let oracle: Result<Vec<NodeId>, String> =
+            tree_eval.query(q).map_err(|e| e.to_string());
+        let planned = planned_query(q, doc, &summary, &order, &idx_eval);
+        match (&oracle, &planned) {
+            (Ok(expect), Ok((got, _, _))) => {
+                assert_eq!(got, expect, "planned vs tree walk for {q} on {xml}");
+                assert_eq!(
+                    &uid_eval.query(q).unwrap(),
+                    expect,
+                    "uid engine drifted for {q} on {xml}"
+                );
+                assert_eq!(
+                    &ruid_eval.query(q).unwrap(),
+                    expect,
+                    "ruid engine drifted for {q} on {xml}"
+                );
+                assert_eq!(
+                    &idx_eval.query(q).unwrap(),
+                    expect,
+                    "indexed engine drifted for {q} on {xml}"
+                );
+            }
+            (Err(_), Err(_)) => {} // both reject — fine, as long as they agree
+            (Ok(_), Err(e)) => panic!("planner rejected {q} the evaluator accepts: {e}"),
+            (Err(e), Ok(_)) => panic!("planner accepted {q} the evaluator rejects: {e}"),
+        }
+    }
+}
+
+/// The depth-cycled enumeration still follows the Catalan numbers, so the
+/// sweep below covers every shape.
+#[test]
+fn tagged_enumeration_matches_catalan_numbers() {
+    let expected = [1usize, 1, 2, 5, 14, 42, 132];
+    for (n, &count) in (1..=7).zip(expected.iter()) {
+        assert_eq!(trees(n, 0).len(), count, "ordered trees with {n} nodes");
+    }
+}
+
+/// Planned execution equals every engine on all 197 tree shapes × the
+/// query corpus.
+#[test]
+fn planner_agrees_with_every_engine_on_every_small_tree() {
+    let mut total = 0usize;
+    for n in 1..=7 {
+        for xml in trees(n, 0) {
+            let doc = Document::parse(&xml)
+                .unwrap_or_else(|e| panic!("generated XML {xml} must parse: {e}"));
+            assert_planner_agrees(&doc, &xml, SMALL_TREE_QUERIES);
+            total += 1;
+        }
+    }
+    assert_eq!(total, 197, "full Catalan sweep: 1+1+2+5+14+42+132 shapes");
+}
+
+/// The E4/E14 benchmark corpus (plus the two historically slow queries) on
+/// a generated XMark document: planner on vs. off, every engine.
+#[test]
+fn planner_agrees_on_xmark_corpus() {
+    const XMARK_QUERIES: &[&str] = &[
+        "/regions/europe/item",
+        "//item/name",
+        "//item//text",
+        "//item[@id='item7']",
+        "//person[address]/name",
+        "//open_auction[bidder/increase > 10]",
+        "//item[location = 'asia']",
+        "//open_auction[count(bidder) >= 2]/current",
+        "//person[profile/@income > 50000]/emailaddress",
+        "//keyword",
+        "//listitem//keyword",
+    ];
+    let doc = xmark::generate(&xmark::XmarkConfig::scaled_to(6_000, 42));
+    assert_planner_agrees(&doc, "<xmark scaled_to=6000 seed=42>", XMARK_QUERIES);
+}
