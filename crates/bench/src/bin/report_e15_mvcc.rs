@@ -1,0 +1,363 @@
+//! E15 — MVCC update cost and reader isolation. PR 7 made structural
+//! updates (`INSERT`/`DELETE`/`RELABEL`) first-class: a writer stages a
+//! copy-on-write bundle, renumbers incrementally through the scheme's own
+//! `on_insert`/`on_delete`, patches the name index and path summary in
+//! place, and swaps the new generation in without ever blocking readers.
+//!
+//! Three measurements decide whether that machinery pays for itself:
+//!
+//! 1. **Localized relabel vs. full rebuild** — the paper's Section 3.2
+//!    locality claim at serving granularity: one in-place incremental
+//!    renumber (`DocState::apply_detailed`, the exact code WAL replay and
+//!    the COW commit run) against renumbering the whole document from
+//!    scratch. The `scripts/ci.sh` gate demands >= 10x at the largest
+//!    size — if locality ever regresses to O(n), this collapses.
+//! 2. **End-to-end commit vs. reload** — the full COW commit
+//!    (`LoadedDoc::apply_update`: clone + renumber + patched indexes)
+//!    against the pre-MVCC alternative, reloading the bundle from text
+//!    (UNLOAD + LOAD). Reported, not gated: the O(n) arena clone bounds
+//!    this one.
+//! 3. **Reader tail latency under writer churn** — p50/p99 of planned
+//!    queries against pinned snapshots while a writer commits
+//!    back-to-back steady-state updates, vs. the same readers on an idle
+//!    catalog.
+//!
+//! Emits `BENCH_pr7.json` (override with `--out PATH`); `--smoke`
+//! shrinks the workload for CI.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{median_time, xmark_tree, Table};
+use durable::{Applied, DocState, WalOp};
+use ruid::prelude::*;
+use ruid::service::proto::Engine;
+use ruid::service::run_query;
+use ruid::{Catalog, LoadedDoc};
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn speedup(base: Duration, now: Duration) -> f64 {
+    if now.as_nanos() == 0 {
+        return 1.0;
+    }
+    base.as_secs_f64() / now.as_secs_f64()
+}
+
+fn promo() -> durable::NodeContent {
+    durable::NodeContent::Element { name: "promo".into(), attributes: vec![] }
+}
+
+/// The deepest `<item>`: a small subtree far from the root, so an insert
+/// under it renumbers a handful of in-area siblings — the localized case
+/// the paper's update analysis assumes.
+fn deep_item(doc: &Document) -> NodeId {
+    let root = doc.root_element().unwrap();
+    doc.descendants(root)
+        .filter(|&n| doc.tag_name(n) == Some("item"))
+        .last()
+        .expect("xmark has items")
+}
+
+struct SizeRun {
+    nodes: usize,
+    relabel: Duration,
+    scheme_rebuild: Duration,
+    commit: Duration,
+    reload: Duration,
+    relabeled: usize,
+}
+
+/// One document size: in-place relabel vs. scheme rebuild, and COW commit
+/// vs. bundle reload.
+fn bench_size(target: usize, rounds: usize) -> SizeRun {
+    let doc = xmark_tree(target, 42);
+    let text = doc.to_xml_string();
+    // No store on either side: pure labeling service, the same floor for
+    // both paths (the store reload would inflate both equally).
+    let loaded = LoadedDoc::build("bench.xml", &text, 3, false).unwrap();
+    let root = loaded.doc.root_element().unwrap();
+    let nodes = loaded.doc.descendants(root).count();
+    let insert_op = WalOp::Insert {
+        doc_id: 1,
+        parent: loaded.scheme.label_of(deep_item(&loaded.doc)),
+        position: 0,
+        content: promo(),
+    };
+
+    // (1) The relabel itself, steady-state: insert, time it, then delete
+    // the inserted node untimed so every round renumbers the same slots.
+    let mut state = DocState {
+        id: 1,
+        path: loaded.path.clone(),
+        config: *loaded.scheme.config(),
+        with_store: false,
+        doc: loaded.doc.clone(),
+        scheme: loaded.scheme.clone(),
+    };
+    let mut relabeled = 0usize;
+    let mut samples: Vec<Duration> = Vec::with_capacity(rounds);
+    for _ in 0..rounds.max(3) {
+        let t = Instant::now();
+        let applied = state.apply_detailed(&insert_op).unwrap();
+        let dt = t.elapsed();
+        let Applied::Inserted { node, stats } = applied else { unreachable!() };
+        relabeled = stats.relabeled;
+        samples.push(dt);
+        let label = state.scheme.label_of(node);
+        state.apply_detailed(&WalOp::Delete { doc_id: 1, label }).unwrap();
+    }
+    samples.sort();
+    let relabel = samples[samples.len() / 2];
+    let config = *loaded.scheme.config();
+    let scheme_rebuild =
+        median_time(rounds, || Ruid2Scheme::build(&state.doc, &config).area_count());
+
+    // (2) The whole commit vs. the whole reload, with a correctness check
+    // before anything is timed.
+    let (next, _) = loaded.apply_update(&insert_op, 1).unwrap();
+    let text_after = next.doc.to_xml_string();
+    let rebuilt = LoadedDoc::build("reload.xml", &text_after, 3, false).unwrap();
+    let (a, _) = run_query(&next, "//item", Engine::Planned).unwrap();
+    let (b, _) = run_query(&rebuilt, "//item", Engine::Planned).unwrap();
+    assert_eq!(a.len(), b.len(), "COW state and reload disagree on //item at {nodes} nodes");
+
+    SizeRun {
+        nodes,
+        relabel,
+        scheme_rebuild,
+        commit: median_time(rounds, || loaded.apply_update(&insert_op, 1).unwrap().0.generation),
+        reload: median_time(rounds, || {
+            LoadedDoc::build("reload.xml", &text_after, 3, false).unwrap().generation
+        }),
+        relabeled,
+    }
+}
+
+struct ReaderRun {
+    nodes: usize,
+    threads: usize,
+    queries: usize,
+    p50_idle: Duration,
+    p99_idle: Duration,
+    p50_churn: Duration,
+    p99_churn: Duration,
+    writer_commits: u64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// p50/p99 of planned reads against pinned snapshots for a fixed time
+/// box, with and without a writer committing steady-state updates (append
+/// a node, then delete it) as fast as it can.
+fn bench_readers(target: usize, threads: usize, time_box: Duration) -> ReaderRun {
+    let doc = xmark_tree(target, 7);
+    let text = doc.to_xml_string();
+    let loaded = LoadedDoc::build("readers.xml", &text, 3, false).unwrap();
+    let root = loaded.doc.root_element().unwrap();
+    let nodes = loaded.doc.descendants(root).count();
+    let churn_label = loaded.scheme.label_of(deep_item(&loaded.doc));
+
+    let catalog = Arc::new(Catalog::new(8));
+    let mut first = loaded;
+    first.generation = catalog.next_generation();
+    catalog.insert_with_id(1, first);
+
+    let run_pass = |churn: bool| -> (Vec<Duration>, u64) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let commits = Arc::new(AtomicU64::new(0));
+        let writer = churn.then(|| {
+            let catalog = Arc::clone(&catalog);
+            let stop = Arc::clone(&stop);
+            let commits = Arc::clone(&commits);
+            std::thread::spawn(move || {
+                // Append one <promo/> as the last child (relabels nothing
+                // to its right), then delete it: every pair of commits
+                // returns the document to its start state, so the churn
+                // runs indefinitely without growing the tree.
+                let insert_op = WalOp::Insert {
+                    doc_id: 1,
+                    parent: churn_label,
+                    position: u32::MAX,
+                    content: promo(),
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let _guard = catalog.begin_write();
+                    let base = catalog.get(1).unwrap();
+                    let generation = catalog.next_generation();
+                    let (next, applied) = base.apply_update(&insert_op, generation).unwrap();
+                    let Applied::Inserted { node, .. } = applied else { unreachable!() };
+                    let label = next.scheme.label_of(node);
+                    assert!(catalog.replace(1, next));
+                    commits.fetch_add(1, Ordering::Relaxed);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let base = catalog.get(1).unwrap();
+                    let generation = catalog.next_generation();
+                    let delete_op = WalOp::Delete { doc_id: 1, label };
+                    let (next, _) = base.apply_update(&delete_op, generation).unwrap();
+                    assert!(catalog.replace(1, next));
+                    commits.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        });
+        let readers: Vec<_> = (0..threads)
+            .map(|_| {
+                let catalog = Arc::clone(&catalog);
+                std::thread::spawn(move || {
+                    let mut samples = Vec::new();
+                    let deadline = Instant::now() + time_box;
+                    while Instant::now() < deadline {
+                        let t = Instant::now();
+                        let snapshot = catalog.get(1).unwrap();
+                        let (hits, _) =
+                            run_query(&snapshot, "//item/name", Engine::Planned).unwrap();
+                        std::hint::black_box(hits.len());
+                        samples.push(t.elapsed());
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let mut all: Vec<Duration> =
+            readers.into_iter().flat_map(|r| r.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        if let Some(w) = writer {
+            w.join().unwrap();
+        }
+        all.sort();
+        (all, commits.load(Ordering::Relaxed))
+    };
+
+    let (idle, _) = run_pass(false);
+    let (churn, writer_commits) = run_pass(true);
+    ReaderRun {
+        nodes,
+        threads,
+        queries: idle.len().min(churn.len()),
+        p50_idle: percentile(&idle, 0.50),
+        p99_idle: percentile(&idle, 0.99),
+        p50_churn: percentile(&churn, 0.50),
+        p99_churn: percentile(&churn, 0.99),
+        writer_commits,
+    }
+}
+
+fn emit_json(path: &str, smoke: bool, sizes: &[SizeRun], readers: &ReaderRun) {
+    let largest = sizes.last().unwrap();
+    let largest_speedup = speedup(largest.scheme_rebuild, largest.relabel);
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"experiment\": \"E15\",");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(j, "  \"workload\": \"xmark\",");
+    j.push_str("  \"sizes\": [\n");
+    for (i, r) in sizes.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"nodes\": {}, \"relabel_us\": {:.3}, \"scheme_rebuild_ms\": {:.3}, \
+             \"relabel_speedup\": {:.3}, \"commit_ms\": {:.3}, \"reload_ms\": {:.3}, \
+             \"commit_speedup\": {:.3}, \"relabeled\": {} }}{}",
+            r.nodes,
+            us(r.relabel),
+            ms(r.scheme_rebuild),
+            speedup(r.scheme_rebuild, r.relabel),
+            ms(r.commit),
+            ms(r.reload),
+            speedup(r.reload, r.commit),
+            r.relabeled,
+            if i + 1 < sizes.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(j, "  \"largest_nodes\": {},", largest.nodes);
+    let _ = writeln!(j, "  \"largest_relabel_speedup\": {largest_speedup:.3},");
+    let _ = writeln!(j, "  \"localized_10x_at_largest\": {},", largest_speedup >= 10.0);
+    let _ = writeln!(
+        j,
+        "  \"largest_commit_speedup\": {:.3},",
+        speedup(largest.reload, largest.commit)
+    );
+    let _ = writeln!(j, "  \"readers\": {{");
+    let _ = writeln!(j, "    \"nodes\": {},", readers.nodes);
+    let _ = writeln!(j, "    \"threads\": {},", readers.threads);
+    let _ = writeln!(j, "    \"queries_per_pass\": {},", readers.queries);
+    let _ = writeln!(j, "    \"p50_idle_us\": {:.3},", us(readers.p50_idle));
+    let _ = writeln!(j, "    \"p99_idle_us\": {:.3},", us(readers.p99_idle));
+    let _ = writeln!(j, "    \"p50_churn_us\": {:.3},", us(readers.p50_churn));
+    let _ = writeln!(j, "    \"p99_churn_us\": {:.3},", us(readers.p99_churn));
+    let _ = writeln!(j, "    \"writer_commits\": {}", readers.writer_commits);
+    j.push_str("  }\n");
+    j.push_str("}\n");
+    std::fs::write(path, &j).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_pr7.json".into());
+
+    let (targets, rounds): (&[usize], usize) =
+        if smoke { (&[2_000, 6_000], 5) } else { (&[6_000, 30_000, 150_000], 7) };
+
+    println!(
+        "E15: MVCC update cost and reader isolation (mode: {})\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let sizes: Vec<SizeRun> = targets.iter().map(|&t| bench_size(t, rounds)).collect();
+    let table = Table::new(
+        &["nodes", "relabel", "scheme rebuild", "speedup", "commit", "reload", "speedup"],
+        &[8, 10, 14, 10, 10, 10, 9],
+    );
+    for r in &sizes {
+        table.row(&[
+            r.nodes.to_string(),
+            format!("{:.2?}", r.relabel),
+            format!("{:.2?}", r.scheme_rebuild),
+            format!("{:.0}x", speedup(r.scheme_rebuild, r.relabel)),
+            format!("{:.2?}", r.commit),
+            format!("{:.2?}", r.reload),
+            format!("{:.2}x", speedup(r.reload, r.commit)),
+        ]);
+    }
+
+    let (reader_nodes, time_box) = if smoke {
+        (6_000, Duration::from_millis(250))
+    } else {
+        (60_000, Duration::from_millis(1_500))
+    };
+    let readers = bench_readers(reader_nodes, 4, time_box);
+    println!();
+    println!(
+        "readers: {} threads, {} planned queries per pass on {} nodes",
+        readers.threads, readers.queries, readers.nodes
+    );
+    println!("  idle  p50 {:.2?}  p99 {:.2?}", readers.p50_idle, readers.p99_idle);
+    println!(
+        "  churn p50 {:.2?}  p99 {:.2?}  ({} writer commits in-flight)",
+        readers.p50_churn, readers.p99_churn, readers.writer_commits
+    );
+    println!();
+    println!("relabel = in-place incremental renumber (the code the COW commit and WAL");
+    println!("replay share); scheme rebuild = renumbering the document from scratch.");
+    println!("commit = full COW bundle (clone + renumber + patched indexes); reload =");
+    println!("parse + renumber + reindex from text, the pre-MVCC UNLOAD+LOAD path.");
+    println!("The ci gate demands relabel >= 10x scheme rebuild at the largest size.");
+
+    emit_json(&out, smoke, &sizes, &readers);
+}

@@ -26,7 +26,10 @@ pub const USAGE: &str = "usage:
                   [--queue-cap N] [--max-line-bytes N] [--read-timeout-ms MS]
                   [--data-dir DIR] [--fsync always|never|every=<n>]
                   [--metrics-addr 127.0.0.1:PORT]
-  ruid-xml client <addr> <command...>";
+  ruid-xml client <addr> <command...>
+     wire verbs include PING, LOAD, QUERY, LABEL, EXPLAIN, and the
+     structural updates INSERT <doc> <g> <l> <r> <pos> <fragment>,
+     DELETE <doc> <g> <l> <r>, RELABEL <doc>";
 
 /// Dispatches one invocation; `args` excludes the program name.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -278,8 +281,11 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
             .map_err(|e| format!("cannot read {file}: {e}"))?;
         LoadedDoc::build_with(file, &text, depth, with_store, &inner).map(|d| (text, d))
     })?;
-    for (file, (text, loaded)) in files.iter().zip(docs) {
+    for (file, (text, mut loaded)) in files.iter().zip(docs) {
         let nodes = loaded.scheme.len();
+        // Same process-wide MVCC generation counter the protocol LOAD
+        // draws from, so cached responses never alias a preload.
+        loaded.generation = handle.catalog().next_generation();
         let id = match handle.durability() {
             Some(d) => {
                 // Pre-loads must hit the WAL like protocol LOADs, or a

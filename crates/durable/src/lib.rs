@@ -47,7 +47,7 @@ pub use recovery::{recover, recover_with, Recovered, RecoveryReport};
 pub use snapshot::{
     read_snapshot, snapshot_file_name, write_snapshot, write_snapshot_with, DocView, SnapshotLoad,
 };
-pub use state::DocState;
+pub use state::{Applied, DocState};
 pub use wal::{read_wal, wal_file_name, FsyncPolicy, WalOp, WalReadResult, WalWriter};
 
 /// A scratch directory for this crate's tests, unique per test name and

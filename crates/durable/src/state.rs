@@ -6,11 +6,53 @@
 //! produced, because it is literally the same code.
 
 use ruid_core::{PartitionConfig, Ruid2Scheme};
-use schemes::NumberingScheme;
-use xmldom::Document;
+use schemes::{NumberingScheme, RelabelStats};
+use xmldom::{Document, NameId, NodeId};
 
 use crate::codec::NodeContent;
 use crate::wal::WalOp;
+
+/// What one structural op did — the detail the serving layer needs to
+/// patch derived indexes (name index, path summary) incrementally instead
+/// of rebuilding them, and to report relabel costs on the wire.
+#[derive(Debug)]
+pub enum Applied {
+    /// A node was inserted.
+    Inserted {
+        /// The new node's id in this tree.
+        node: NodeId,
+        /// Relabel cost of the incremental renumbering.
+        stats: RelabelStats,
+    },
+    /// A subtree was detached.
+    Deleted {
+        /// The removed *element* nodes as `(name, node)` pairs captured
+        /// before the detach (what the name index and path summary
+        /// tracked).
+        elements: Vec<(NameId, NodeId)>,
+        /// Every removed node (elements, text, comments, PIs).
+        nodes: usize,
+        /// Relabel cost of the incremental renumbering.
+        stats: RelabelStats,
+    },
+    /// The whole document was repartitioned/renumbered; the tree itself
+    /// is untouched.
+    Repartitioned {
+        /// Relabel cost of the full renumbering.
+        stats: RelabelStats,
+    },
+}
+
+impl Applied {
+    /// The relabel cost of the op, whichever kind it was.
+    pub fn stats(&self) -> &RelabelStats {
+        match self {
+            Applied::Inserted { stats, .. }
+            | Applied::Deleted { stats, .. }
+            | Applied::Repartitioned { stats } => stats,
+        }
+    }
+}
 
 /// One document's durable state: everything a snapshot stores and a
 /// served catalog entry can be rebuilt from.
@@ -49,15 +91,23 @@ impl DocState {
     /// [`WalOp::Repartition`]) to this document. `Load`/`Unload` are
     /// catalog-level and rejected here.
     pub fn apply(&mut self, op: &WalOp) -> Result<(), String> {
+        self.apply_detailed(op).map(|_| ())
+    }
+
+    /// [`DocState::apply`] reporting what happened. The serving layer's
+    /// copy-on-write commit path calls this so that live updates and WAL
+    /// replay stay literally the same code, while the details let it
+    /// patch its derived indexes incrementally.
+    pub fn apply_detailed(&mut self, op: &WalOp) -> Result<Applied, String> {
         match op {
             WalOp::Insert { parent, position, content, .. } => {
-                self.insert(parent, *position, content).map(|_| ())
+                self.insert(parent, *position, content)
             }
             WalOp::Delete { label, .. } => self.delete(label),
             WalOp::Repartition { .. } => self
                 .scheme
                 .repartition(&self.doc)
-                .map(|_| ())
+                .map(|stats| Applied::Repartitioned { stats })
                 .map_err(|e| format!("repartition: {e}")),
             WalOp::Load { .. } | WalOp::Unload { .. } => {
                 Err("load/unload are catalog ops, not document ops".into())
@@ -66,13 +116,13 @@ impl DocState {
     }
 
     /// Inserts `content` as the `position`-th child of the node labelled
-    /// `parent` and renumbers incrementally. Returns the new node's id.
+    /// `parent` and renumbers incrementally.
     pub fn insert(
         &mut self,
         parent: &ruid_core::Ruid2,
         position: u32,
         content: &NodeContent,
-    ) -> Result<xmldom::NodeId, String> {
+    ) -> Result<Applied, String> {
         let parent_node =
             self.scheme.node_of(parent).ok_or_else(|| format!("no node labelled {parent}"))?;
         let new_node = content.create_in(&mut self.doc);
@@ -80,20 +130,27 @@ impl DocState {
             Some(anchor) => self.doc.insert_before(anchor, new_node),
             None => self.doc.append_child(parent_node, new_node),
         }
-        self.scheme.on_insert(&self.doc, new_node);
-        Ok(new_node)
+        let stats = self.scheme.on_insert(&self.doc, new_node);
+        Ok(Applied::Inserted { node: new_node, stats })
     }
 
     /// Detaches the subtree labelled `label` and renumbers incrementally.
-    pub fn delete(&mut self, label: &ruid_core::Ruid2) -> Result<(), String> {
+    pub fn delete(&mut self, label: &ruid_core::Ruid2) -> Result<Applied, String> {
         let node =
             self.scheme.node_of(label).ok_or_else(|| format!("no node labelled {label}"))?;
         let parent = self
             .doc
             .parent(node)
             .ok_or_else(|| format!("{label} labels the document root; cannot delete"))?;
+        let mut nodes = 0usize;
+        let elements: Vec<(NameId, NodeId)> = self
+            .doc
+            .descendants(node)
+            .inspect(|_| nodes += 1)
+            .filter_map(|n| self.doc.element_name(n).map(|name| (name, n)))
+            .collect();
         self.doc.detach(node);
-        self.scheme.on_delete(&self.doc, parent, node);
-        Ok(())
+        let stats = self.scheme.on_delete(&self.doc, parent, node);
+        Ok(Applied::Deleted { elements, nodes, stats })
     }
 }

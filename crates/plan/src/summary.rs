@@ -23,7 +23,7 @@ pub type SummaryId = u32;
 
 /// One distinct element path: its tag, its place in the summary tree, and
 /// the document nodes that realize it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SummaryNode {
     /// Interned tag name of the path's last step.
     pub name: NameId,
@@ -38,7 +38,7 @@ pub struct SummaryNode {
 }
 
 /// A DataGuide over one document's element paths.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PathSummary {
     nodes: Vec<SummaryNode>,
 }
@@ -183,6 +183,97 @@ impl PathSummary {
         out
     }
 
+    /// The summary node realized by `element`, resolved by walking its tag
+    /// path down from the root — `None` when the path has no summary node
+    /// (the summary is stale or the node is not an element of this tree).
+    fn sid_of_element(&self, doc: &Document, element: NodeId) -> Option<SummaryId> {
+        let mut names = Vec::new();
+        let mut cur = element;
+        loop {
+            names.push(doc.element_name(cur)?);
+            match doc.parent(cur).filter(|&p| doc.element_name(p).is_some()) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        let root_name = names.pop()?;
+        let mut sid = self.root_sid()?;
+        if self.node(sid).name != root_name {
+            return None;
+        }
+        while let Some(name) = names.pop() {
+            sid = *self
+                .node(sid)
+                .children
+                .iter()
+                .find(|&&c| self.node(c).name == name)?;
+        }
+        Some(sid)
+    }
+
+    /// Incrementally absorbs one freshly inserted element (no children),
+    /// splicing it into the members of its path at document-order rank.
+    /// Returns `false` when the insert creates a path the summary has
+    /// never seen — the caller must rebuild from scratch. Non-element
+    /// nodes never appear in the summary, so pass elements only.
+    ///
+    /// Note the summary stays *semantically* identical to a from-scratch
+    /// rebuild (same path set, same members per path, document order
+    /// preserved) but sid numbering may differ: `build` numbers paths by
+    /// first encounter in pre-order, and an insert can reorder first
+    /// encounters. All planner entry points (`child_states`,
+    /// `descendant_states`, `cardinality`, `merged_members`) are
+    /// invariant under sid renumbering; tests compare via [`canonical`].
+    ///
+    /// [`canonical`]: PathSummary::canonical
+    #[must_use]
+    pub fn patch_insert(&mut self, doc: &Document, order: &DocOrder, node: NodeId) -> bool {
+        if doc.element_name(node).is_none() {
+            return true; // text/comment/pi: not summarized
+        }
+        let Some(sid) = self.sid_of_element(doc, node) else {
+            return false;
+        };
+        let members = &mut self.nodes[sid as usize].members;
+        let rank = order.rank(node);
+        let at = members.partition_point(|&m| order.rank(m) < rank);
+        members.insert(at, node);
+        true
+    }
+
+    /// Incrementally removes a detached subtree's elements from every
+    /// member list. Returns `false` when a path loses its last member —
+    /// a from-scratch rebuild would drop the summary node entirely, so
+    /// the caller must rebuild.
+    #[must_use]
+    pub fn patch_delete(&mut self, removed: &[NodeId]) -> bool {
+        let gone: std::collections::HashSet<NodeId> = removed.iter().copied().collect();
+        let mut intact = true;
+        for node in &mut self.nodes {
+            let before = node.members.len();
+            if before == 0 {
+                continue;
+            }
+            node.members.retain(|m| !gone.contains(m));
+            if node.members.is_empty() {
+                intact = false;
+            }
+        }
+        intact
+    }
+
+    /// The sid-numbering-independent view: `(path string, members)` pairs
+    /// sorted by path. Two summaries with equal canonical forms answer
+    /// every planner question identically; differential tests compare
+    /// incrementally patched summaries against rebuilds through this.
+    pub fn canonical(&self, doc: &Document) -> Vec<(String, Vec<NodeId>)> {
+        let mut out: Vec<(String, Vec<NodeId>)> = (0..self.nodes.len() as SummaryId)
+            .map(|sid| (self.path_string(doc, sid), self.members(sid).to_vec()))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// The union of several states' member lists, in document order. A
     /// single state's list is already sorted; a real union sorts by the
     /// precomputed rank key.
@@ -262,5 +353,58 @@ mod tests {
         let s = PathSummary::default();
         assert_eq!(s.path_count(), 0);
         assert!(s.root_sid().is_none());
+    }
+
+    #[test]
+    fn patch_insert_on_existing_path_matches_rebuild() {
+        let mut doc = sample();
+        let mut s = PathSummary::build(&doc);
+        // A third <item> under africa: the path exists, so the patch
+        // splices the member in place with no rebuild.
+        let africa = doc
+            .descendants(doc.root_element().unwrap())
+            .find(|&n| doc.element_name(n).map(|id| doc.name_text(id)) == Some("africa"))
+            .unwrap();
+        let new = doc.create_element("item");
+        doc.append_child(africa, new);
+        let order = DocOrder::build(&doc);
+        assert!(s.patch_insert(&doc, &order, new), "path /site/regions/africa/item exists");
+        assert_eq!(s.canonical(&doc), PathSummary::build(&doc).canonical(&doc));
+    }
+
+    #[test]
+    fn patch_insert_on_new_path_demands_rebuild() {
+        let mut doc = sample();
+        let mut s = PathSummary::build(&doc);
+        let root = doc.root_element().unwrap();
+        let new = doc.create_element("unseen");
+        doc.append_child(root, new);
+        let order = DocOrder::build(&doc);
+        assert!(!s.patch_insert(&doc, &order, new), "a brand-new path must force a rebuild");
+    }
+
+    #[test]
+    fn patch_delete_tracks_rebuild_need() {
+        let mut doc = sample();
+        let mut s = PathSummary::build(&doc);
+        let root = doc.root_element().unwrap();
+        // Deleting one of two africa items keeps the path: patch suffices.
+        let item = doc
+            .descendants(root)
+            .find(|&n| doc.element_name(n).map(|id| doc.name_text(id)) == Some("item"))
+            .unwrap();
+        doc.detach(item);
+        assert!(s.patch_delete(&[item]));
+        assert_eq!(s.canonical(&doc), PathSummary::build(&doc).canonical(&doc));
+        // Deleting the whole <people> subtree empties /site/people and
+        // everything below it: the patch reports a rebuild is required.
+        let people = doc
+            .descendants(root)
+            .find(|&n| doc.element_name(n).map(|id| doc.name_text(id)) == Some("people"))
+            .unwrap();
+        let removed: Vec<NodeId> =
+            doc.descendants(people).filter(|&n| doc.element_name(n).is_some()).collect();
+        doc.detach(people);
+        assert!(!s.patch_delete(&removed), "an emptied path must force a rebuild");
     }
 }

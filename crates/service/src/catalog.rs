@@ -10,14 +10,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
+use durable::{Applied, DocState, WalOp};
 use par::Executor;
 use plan::PathSummary;
 use ruid_core::{PartitionConfig, Ruid2Scheme};
-#[cfg(test)]
 use schemes::NumberingScheme;
-use xmldom::{DocOrder, Document};
+use xmldom::{DocOrder, Document, NodeId};
 use xmlstore::{MemPager, XmlStore};
 use xpath::NameIndex;
 
@@ -124,6 +124,85 @@ impl LoadedDoc {
         LoadedDoc { path, doc, scheme, index, order, summary, store, generation: 0 }
     }
 
+    /// Copy-on-write structural update: clones the tree and numbering,
+    /// applies `op` through the *same* [`DocState`] apply path WAL replay
+    /// runs (so a replayed catalog is byte-identical to the live one),
+    /// patches the name index and path summary incrementally where the
+    /// structure allows (falling back to a rebuild when a path appears or
+    /// empties), and returns a brand-new bundle stamped `generation`.
+    ///
+    /// `self` is never touched: readers holding the old `Arc` keep
+    /// answering from their pinned snapshot while the caller swaps the
+    /// new bundle into the catalog.
+    pub fn apply_update(
+        &self,
+        op: &WalOp,
+        generation: u64,
+    ) -> Result<(LoadedDoc, Applied), String> {
+        if let WalOp::Delete { label, .. } = op {
+            // Deleting the root element would leave nothing to serve;
+            // reject it before anything reaches the WAL.
+            if self.scheme.node_of(label) == self.doc.root_element() {
+                return Err(format!("{label} labels the root element; cannot delete"));
+            }
+        }
+        let mut state = DocState {
+            id: 0, // apply_detailed never reads the catalog id
+            path: self.path.clone(),
+            config: *self.scheme.config(),
+            with_store: self.store.is_some(),
+            doc: self.doc.clone(),
+            scheme: self.scheme.clone(),
+        };
+        let applied = state.apply_detailed(op)?;
+        let DocState { doc, scheme, .. } = state;
+        // Order ranks shift globally on any structural change: rebuild
+        // (one pre-order pass). The name index and summary patch in
+        // O(affected) — NodeIds are arena-stable across the clone, so the
+        // old member lists stay valid for untouched nodes.
+        let order = DocOrder::build(&doc);
+        let mut index = self.index.clone();
+        let mut summary = self.summary.clone();
+        match &applied {
+            Applied::Inserted { node, .. } => {
+                index.patch_insert(&doc, &order, *node);
+                if !summary.patch_insert(&doc, &order, *node) {
+                    summary = PathSummary::build(&doc);
+                }
+            }
+            Applied::Deleted { elements, .. } => {
+                index.patch_delete(elements);
+                let removed: Vec<NodeId> = elements.iter().map(|&(_, n)| n).collect();
+                if !summary.patch_delete(&removed) {
+                    summary = PathSummary::build(&doc);
+                }
+            }
+            // Repartitioning renumbers labels but leaves the tree — and
+            // every tree-derived index — untouched.
+            Applied::Repartitioned { .. } => {}
+        }
+        // The store keys rows by label, which updates (and especially
+        // relabels) rewrite; reload it from the new tree.
+        let store = self.store.as_ref().map(|_| {
+            let mut store = XmlStore::in_memory();
+            store.load_document(&doc, &scheme);
+            store
+        });
+        Ok((
+            LoadedDoc {
+                path: self.path.clone(),
+                doc,
+                scheme,
+                index,
+                order,
+                summary,
+                store,
+                generation,
+            },
+            applied,
+        ))
+    }
+
     /// Reads and builds from a file on disk.
     pub fn from_file(path: &str, depth: usize, with_store: bool) -> Result<LoadedDoc, String> {
         LoadedDoc::from_file_with(path, depth, with_store, &Executor::new(1))
@@ -142,10 +221,26 @@ impl LoadedDoc {
     }
 }
 
-/// A sharded `DocId -> Arc<LoadedDoc>` map.
+/// A sharded `DocId -> Arc<LoadedDoc>` map with MVCC generations.
+///
+/// Readers clone an `Arc<LoadedDoc>` and evaluate entirely outside any
+/// lock — that Arc *is* their snapshot. Writers build a new bundle
+/// copy-on-write and swap it in under the shard's write lock, so a commit
+/// never blocks in-flight readers; the `generation` stamped on each bundle
+/// orders commits process-wide and keys the result cache.
 pub struct Catalog {
     shards: Vec<RwLock<HashMap<DocId, Arc<LoadedDoc>>>>,
     next_id: AtomicU64,
+    /// Process-wide monotonic generation counter: every committed state
+    /// (load, insert, delete, relabel — durable or not) draws a unique,
+    /// increasing value, so a cached response can never alias across
+    /// commits or WAL segment rotations.
+    generation: AtomicU64,
+    /// Serializes structural writers (INSERT/DELETE/RELABEL/UNLOAD):
+    /// copy-on-write staging from a stale base would silently drop the
+    /// other writer's commit. Lock order: this lock first, then the
+    /// durability mutex inside `log_with`, then the shard write lock.
+    write_lock: Mutex<()>,
 }
 
 impl Catalog {
@@ -155,7 +250,27 @@ impl Catalog {
         Catalog {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             next_id: AtomicU64::new(1),
+            generation: AtomicU64::new(0),
+            write_lock: Mutex::new(()),
         }
+    }
+
+    /// Draws the next process-wide generation (first call returns 1).
+    pub fn next_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The highest generation handed out so far — the `ruid_generation`
+    /// gauge.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Enters the structural-writer critical section. Readers never take
+    /// this; concurrent writers to *any* document serialize here so each
+    /// copy-on-write starts from the latest committed state.
+    pub fn begin_write(&self) -> MutexGuard<'_, ()> {
+        self.write_lock.lock().unwrap()
     }
 
     fn shard(&self, id: DocId) -> &RwLock<HashMap<DocId, Arc<LoadedDoc>>> {
@@ -217,6 +332,21 @@ impl Catalog {
     /// long enough to clone the `Arc`.
     pub fn get(&self, id: DocId) -> Option<Arc<LoadedDoc>> {
         self.shard(id).read().unwrap().get(&id).cloned()
+    }
+
+    /// Swaps in a new generation of an already-loaded document. Takes one
+    /// shard's write lock only for the pointer swap; readers holding the
+    /// previous `Arc` are untouched. Returns `false` (and installs
+    /// nothing) when the document was unloaded in the meantime.
+    pub fn replace(&self, id: DocId, doc: LoadedDoc) -> bool {
+        let mut shard = self.shard(id).write().unwrap();
+        match shard.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.insert(Arc::new(doc));
+                true
+            }
+            std::collections::hash_map::Entry::Vacant(_) => false,
+        }
     }
 
     /// Drops a document. Takes one shard's write lock.
@@ -301,6 +431,70 @@ mod tests {
     fn build_rejects_bad_input() {
         assert!(LoadedDoc::build("x", "<a><b></a>", 2, false).is_err());
         assert!(LoadedDoc::from_file("/nonexistent/x.xml", 2, false).is_err());
+    }
+
+    #[test]
+    fn cow_update_leaves_the_old_snapshot_untouched() {
+        let catalog = Catalog::new(2);
+        let id = catalog.insert(tiny("one.xml"));
+        let before = catalog.get(id).unwrap();
+        let nodes_before = before.doc.node_count();
+
+        let root_label = before.scheme.label_of(before.doc.root_element().unwrap());
+        let op = WalOp::Insert {
+            doc_id: id,
+            parent: root_label,
+            position: 0,
+            content: durable::NodeContent::Element { name: "b".into(), attributes: vec![] },
+        };
+        let generation = catalog.next_generation();
+        let (next, applied) = before.apply_update(&op, generation).unwrap();
+        let Applied::Inserted { node, .. } = applied else { panic!("{applied:?}") };
+        assert!(next.doc.element_name(node).is_some());
+        assert_eq!(next.generation, generation);
+        assert!(catalog.replace(id, next));
+
+        // The reader's pinned Arc still sees the pre-update tree; a fresh
+        // get sees the new generation with one more node.
+        assert_eq!(before.doc.node_count(), nodes_before);
+        let after = catalog.get(id).unwrap();
+        assert_eq!(after.doc.node_count(), nodes_before + 1);
+        assert_eq!(after.generation, generation);
+        // Patched derivations match from-scratch rebuilds.
+        assert_eq!(
+            after.summary.canonical(&after.doc),
+            plan::PathSummary::build(&after.doc).canonical(&after.doc),
+        );
+        assert_eq!(
+            after.index.nodes_named(&after.doc, "b"),
+            NameIndex::build(&after.doc).nodes_named(&after.doc, "b"),
+        );
+        // Replace after unload installs nothing.
+        assert!(catalog.remove(id));
+        let orphan = tiny("gone.xml");
+        assert!(!catalog.replace(id, orphan));
+        assert!(catalog.get(id).is_none());
+    }
+
+    #[test]
+    fn deleting_the_root_element_is_rejected() {
+        let loaded = tiny("t.xml");
+        let root_label = loaded.scheme.label_of(loaded.doc.root_element().unwrap());
+        let op = WalOp::Delete { doc_id: 1, label: root_label };
+        let err = match loaded.apply_update(&op, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("root delete must be rejected"),
+        };
+        assert!(err.contains("root element"), "{err}");
+    }
+
+    #[test]
+    fn generations_are_unique_and_increasing() {
+        let catalog = Catalog::new(1);
+        let a = catalog.next_generation();
+        let b = catalog.next_generation();
+        assert!(0 < a && a < b);
+        assert_eq!(catalog.generation(), b);
     }
 
     #[test]

@@ -80,6 +80,9 @@
 //! LABEL <doc> <xpath>                   labels of every match
 //! PARENT <doc> <g> <l> <true|false>     rparent() arithmetic (Fig. 6)
 //! QUERY <doc> <xpath> [engine]          XPath; engine: tree|ruid|indexed
+//! INSERT <doc> <g> <l> <r> <pos> <xml>  insert one node under the labelled parent (MVCC commit)
+//! DELETE <doc> <g> <l> <r>              detach the labelled subtree (root rejected)
+//! RELABEL <doc>                         repartition/renumber the whole document
 //! SCAN <doc> <global>                   storage rows of one rUID area
 //! GET <doc> <g> <l> <true|false>        subtree XML of one identifier
 //! STATS <doc>                           tree + numbering statistics
@@ -140,4 +143,4 @@ pub use trace::{RequestTrace, SlowEntry, Span, Tracer, SPANS, SPAN_COUNT};
 // The pool moved to the reusable `par` crate so the build pipeline and the
 // server share one threading layer; re-exported here for compatibility.
 pub use par::{PoolClosed, SubmitError, ThreadPool};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{run_query, Server, ServerConfig, ServerHandle};

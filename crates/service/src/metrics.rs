@@ -174,12 +174,18 @@ pub enum Command {
     Shutdown,
     /// `EXPLAIN <doc> <xpath>`
     Explain,
+    /// `INSERT <doc> <g> <l> <r> <position> <fragment>`
+    Insert,
+    /// `DELETE <doc> <g> <l> <r>`
+    Delete,
+    /// `RELABEL <doc>`
+    Relabel,
     /// Unparseable input.
     Invalid,
 }
 
 /// Every command, aligned with the `repr(usize)` discriminants.
-pub const COMMANDS: [Command; 18] = [
+pub const COMMANDS: [Command; 21] = [
     Command::Ping,
     Command::Load,
     Command::Unload,
@@ -197,6 +203,9 @@ pub const COMMANDS: [Command; 18] = [
     Command::Slowlog,
     Command::Shutdown,
     Command::Explain,
+    Command::Insert,
+    Command::Delete,
+    Command::Relabel,
     Command::Invalid,
 ];
 
@@ -221,6 +230,9 @@ impl Command {
             Command::Slowlog => "SLOWLOG",
             Command::Shutdown => "SHUTDOWN",
             Command::Explain => "EXPLAIN",
+            Command::Insert => "INSERT",
+            Command::Delete => "DELETE",
+            Command::Relabel => "RELABEL",
             Command::Invalid => "INVALID",
         }
     }
@@ -257,7 +269,13 @@ pub struct Metrics {
     /// Time spent in plan construction (parse excluded, execution
     /// excluded) — the planner must stay negligible next to evaluation.
     planner_time: Histogram,
+    /// Committed structural updates, in [`UPDATE_OPS`] order.
+    updates: [AtomicU64; UPDATE_OPS.len()],
 }
+
+/// The structural update kinds the service counts (the
+/// `ruid_updates_total` Prometheus family), in counter order.
+pub const UPDATE_OPS: [&str; 3] = ["insert", "delete", "relabel"];
 
 /// The plan-operator kinds the planner metrics distinguish, in counter
 /// order: the three physical operators plus the per-step fallback walks
@@ -368,6 +386,24 @@ impl Metrics {
     /// Plan operators executed so far ([`PLAN_OPERATORS`] order).
     pub fn plan_ops(&self) -> [u64; PLAN_OPERATORS.len()] {
         std::array::from_fn(|i| self.plan_ops[i].load(Ordering::Relaxed))
+    }
+
+    /// Counts one *committed* structural update. `op` is the update's
+    /// command (`Insert`, `Delete`, or `Relabel`); anything else is a
+    /// caller bug and ignored.
+    pub fn record_update(&self, op: Command) {
+        let slot = match op {
+            Command::Insert => 0,
+            Command::Delete => 1,
+            Command::Relabel => 2,
+            _ => return,
+        };
+        self.updates[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Committed structural updates so far ([`UPDATE_OPS`] order).
+    pub fn updates(&self) -> [u64; UPDATE_OPS.len()] {
+        std::array::from_fn(|i| self.updates[i].load(Ordering::Relaxed))
     }
 
     /// The plan-construction latency histogram.

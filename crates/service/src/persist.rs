@@ -123,6 +123,15 @@ impl Durability {
         Ok(apply())
     }
 
+    /// Arms a deterministic I/O fault plan on the live WAL writer (test
+    /// hook for the crash-mid-commit sweep; fault indices count appends
+    /// from this call on). A writer that took a torn write must not be
+    /// reused — kill the server and recover, exactly like a real crash.
+    #[doc(hidden)]
+    pub fn arm_wal_faults(&self, plan: durable::IoFaultPlan) {
+        self.inner.lock().unwrap().wal.set_fault_plan(plan);
+    }
+
     /// Forces the WAL to stable storage (the `PERSIST` verb). Returns the
     /// records and bytes now durable.
     pub fn persist(&self) -> Result<(u64, u64), String> {

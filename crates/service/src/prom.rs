@@ -13,7 +13,8 @@
 use par::PoolStats;
 use plan::ResultCache;
 
-use crate::metrics::{Histogram, Metrics, PLAN_OPERATORS};
+use crate::catalog::Catalog;
+use crate::metrics::{Histogram, Metrics, PLAN_OPERATORS, UPDATE_OPS};
 use crate::persist::Durability;
 use crate::trace::Tracer;
 
@@ -23,6 +24,8 @@ use crate::trace::Tracer;
 pub struct PromCtx<'a> {
     /// The per-command counters and histograms.
     pub metrics: &'a Metrics,
+    /// The document catalog (MVCC generation gauge).
+    pub catalog: Option<&'a Catalog>,
     /// The durability manager, when the server has a data dir.
     pub durability: Option<&'a Durability>,
     /// The request tracer.
@@ -145,6 +148,27 @@ pub fn render(ctx: &PromCtx<'_>) -> String {
 
     family(
         &mut out,
+        "ruid_updates_total",
+        "counter",
+        "Committed structural updates, per operation.",
+    );
+    let updates = m.updates();
+    for (op, count) in UPDATE_OPS.iter().zip(updates) {
+        out.push_str(&format!("ruid_updates_total{{op=\"{op}\"}} {count}\n"));
+    }
+
+    if let Some(catalog) = ctx.catalog {
+        family(
+            &mut out,
+            "ruid_generation",
+            "gauge",
+            "Newest committed MVCC catalog generation.",
+        );
+        out.push_str(&format!("ruid_generation {}\n", catalog.generation()));
+    }
+
+    family(
+        &mut out,
         "ruid_planner_duration_seconds",
         "histogram",
         "Plan-construction latency (excludes parsing and execution).",
@@ -239,6 +263,7 @@ mod tests {
     fn ctx_metrics_only(m: &Metrics) -> String {
         render(&PromCtx {
             metrics: m,
+            catalog: None,
             durability: None,
             tracer: None,
             pool: None,
@@ -315,6 +340,7 @@ mod tests {
         t.set_threshold_ms(0);
         let body = render(&PromCtx {
             metrics: &m,
+            catalog: None,
             durability: None,
             tracer: Some(&t),
             pool: None,
@@ -335,6 +361,7 @@ mod tests {
         assert!(cache.lookup(1, "//a", 2).is_none(), "stale generation");
         let body = render(&PromCtx {
             metrics: &m,
+            catalog: None,
             durability: None,
             tracer: None,
             pool: None,

@@ -56,6 +56,33 @@ pub enum Request {
         /// XPath expression (may contain spaces).
         xpath: String,
     },
+    /// `INSERT <doc> <g> <l> <true|false> <position> <fragment>` — insert
+    /// one node (an empty element like `<tag a="v"/>`, a comment, a
+    /// processing instruction, or bare text) as the `position`-th child of
+    /// the node labelled `(g,l,r)`, committing a new catalog generation.
+    Insert {
+        /// Target document id.
+        doc: u64,
+        /// Label of the parent node.
+        parent: Ruid2,
+        /// Child rank to insert at (clamped to append).
+        position: u32,
+        /// The node to insert, as an XML fragment or bare text (runs of
+        /// whitespace collapse to single spaces on the wire).
+        fragment: String,
+    },
+    /// `DELETE <doc> <g> <l> <true|false>` — detach the whole subtree
+    /// rooted at the labelled node, committing a new catalog generation.
+    Delete {
+        /// Target document id.
+        doc: u64,
+        /// Label of the subtree root to delete.
+        label: Ruid2,
+    },
+    /// `RELABEL <doc>` — repartition and renumber the document from
+    /// scratch (the maintenance escape hatch after heavy updates),
+    /// committing a new catalog generation. The tree is untouched.
+    Relabel(u64),
     /// `SCAN <doc> <global>` — storage rows of one rUID area.
     Scan {
         /// Target document id.
@@ -141,6 +168,9 @@ impl Request {
             Request::Parent { .. } => Command::Parent,
             Request::Query { .. } => Command::Query,
             Request::Explain { .. } => Command::Explain,
+            Request::Insert { .. } => Command::Insert,
+            Request::Delete { .. } => Command::Delete,
+            Request::Relabel(_) => Command::Relabel,
             Request::Scan { .. } => Command::Scan,
             Request::Get { .. } => Command::Get,
             Request::Stats(_) => Command::Stats,
@@ -242,6 +272,31 @@ pub fn parse(line: &str) -> Result<Request, String> {
                 doc: parse_u64(args[0], "document id")?,
                 xpath: args[1..].join(" "),
             })
+        }
+        "INSERT" => {
+            if args.len() < 6 {
+                return Err(
+                    "usage: INSERT <doc> <global> <local> <true|false> <position> <fragment>"
+                        .into(),
+                );
+            }
+            Ok(Request::Insert {
+                doc: parse_u64(args[0], "document id")?,
+                parent: parse_label(&args[1..4])?,
+                position: parse_u64(args[4], "position")? as u32,
+                fragment: args[5..].join(" "),
+            })
+        }
+        "DELETE" => {
+            arity(4, "DELETE <doc> <global> <local> <true|false>")?;
+            Ok(Request::Delete {
+                doc: parse_u64(args[0], "document id")?,
+                label: parse_label(&args[1..4])?,
+            })
+        }
+        "RELABEL" => {
+            arity(1, "RELABEL <doc>")?;
+            Ok(Request::Relabel(parse_u64(args[0], "document id")?))
         }
         "SCAN" => {
             arity(2, "SCAN <doc> <global>")?;
@@ -348,6 +403,38 @@ mod tests {
             Request::Get { doc: 2, label: Ruid2::new(1, 1, true) }
         );
         assert_eq!(parse("STATS 9").unwrap(), Request::Stats(9));
+        assert_eq!(
+            parse("INSERT 1 2 5 false 0 <item/>").unwrap(),
+            Request::Insert {
+                doc: 1,
+                parent: Ruid2::new(2, 5, false),
+                position: 0,
+                fragment: "<item/>".into()
+            }
+        );
+        assert_eq!(
+            parse("insert 1 1 1 true 3 <note kind=\"a b\"/>").unwrap(),
+            Request::Insert {
+                doc: 1,
+                parent: Ruid2::new(1, 1, true),
+                position: 3,
+                fragment: "<note kind=\"a b\"/>".into()
+            }
+        );
+        assert_eq!(
+            parse("INSERT 1 1 1 true 0 some free text").unwrap(),
+            Request::Insert {
+                doc: 1,
+                parent: Ruid2::new(1, 1, true),
+                position: 0,
+                fragment: "some free text".into()
+            }
+        );
+        assert_eq!(
+            parse("DELETE 4 3 7 false").unwrap(),
+            Request::Delete { doc: 4, label: Ruid2::new(3, 7, false) }
+        );
+        assert_eq!(parse("RELABEL 4").unwrap(), Request::Relabel(4));
         assert_eq!(parse("METRICS").unwrap(), Request::Metrics { prom: false });
         assert_eq!(parse("METRICS prom").unwrap(), Request::Metrics { prom: true });
         assert_eq!(parse("SNAPSHOT").unwrap(), Request::Snapshot);
@@ -409,6 +496,13 @@ mod tests {
         assert!(parse("PARENT x 2 3 true").is_err());
         assert!(parse("SCAN 1").is_err());
         assert!(parse("STATS").is_err());
+        assert!(parse("INSERT 1 2 5 false 0").is_err(), "missing fragment");
+        assert!(parse("INSERT 1 2 5 maybe 0 <x/>").is_err(), "bad root flag");
+        assert!(parse("INSERT 1 2 5 false pos <x/>").is_err(), "bad position");
+        assert!(parse("DELETE 1 2 3").is_err());
+        assert!(parse("DELETE 1 2 3 maybe").is_err());
+        assert!(parse("RELABEL").is_err());
+        assert!(parse("RELABEL 1 2").is_err());
         assert!(parse("EXPLAIN").is_err());
         assert!(parse("EXPLAIN 1").is_err());
         assert!(parse("EXPLAIN x //a").is_err());

@@ -30,7 +30,7 @@ use xmldom::TreeStats;
 use xmlstore::record::StoredKind;
 use xpath::{Evaluator, NameIndexed, RuidAxes, TreeAxes};
 
-use durable::{FsyncPolicy, WalOp};
+use durable::{Applied, FsyncPolicy, WalOp};
 
 use crate::catalog::{Catalog, LoadedDoc};
 use crate::fault::{Fault, FaultPlan};
@@ -186,12 +186,17 @@ impl Server {
                     eprintln!("[ruid-service] quarantined document {id}: {reason}");
                 }
                 for state in docs {
-                    let loaded = LoadedDoc::from_recovered(
+                    let mut loaded = LoadedDoc::from_recovered(
                         state.path,
                         state.doc,
                         state.scheme,
                         state.with_store,
                     );
+                    // Every recovered document is a fresh committed state:
+                    // stamp it from the same process-wide counter live
+                    // commits draw from, so no pre-crash cached response
+                    // can alias a post-recovery one.
+                    loaded.generation = catalog.next_generation();
                     catalog.insert_with_id(state.id, loaded);
                 }
                 Some(Arc::new(durability))
@@ -211,6 +216,7 @@ impl Server {
                 let http_listener = TcpListener::bind(bind)?;
                 let http_addr = http_listener.local_addr()?;
                 let metrics = Arc::clone(&metrics);
+                let catalog = Arc::clone(&catalog);
                 let durability = durability.clone();
                 let tracer = Arc::clone(&tracer);
                 let pool_stats = Arc::clone(&pool_stats);
@@ -222,6 +228,7 @@ impl Server {
                         serve_metrics_http(
                             &http_listener,
                             &metrics,
+                            &catalog,
                             durability.as_deref(),
                             &tracer,
                             &pool_stats,
@@ -300,9 +307,11 @@ impl Server {
 /// exposition: read the request head (discarded — every path scrapes),
 /// write one `HTTP/1.0 200` response, close. One connection at a time is
 /// plenty for a scraper, and it keeps the endpoint allocation-bounded.
+#[allow(clippy::too_many_arguments)]
 fn serve_metrics_http(
     listener: &TcpListener,
     metrics: &Metrics,
+    catalog: &Catalog,
     durability: Option<&Durability>,
     tracer: &Tracer,
     pool_stats: &PoolStats,
@@ -335,6 +344,7 @@ fn serve_metrics_http(
         }
         let body = crate::prom::render(&PromCtx {
             metrics,
+            catalog: Some(catalog),
             durability,
             tracer: Some(tracer),
             pool: Some(pool_stats),
@@ -735,6 +745,81 @@ fn fetch(catalog: &Catalog, id: u64) -> Result<Arc<LoadedDoc>, String> {
     catalog.get(id).ok_or_else(|| format!("no document {id} (use LOAD / LIST)"))
 }
 
+/// Parses the `INSERT` fragment into the single node it denotes: bare
+/// text when it doesn't start with `<`, otherwise one childless piece of
+/// markup (empty element, comment, or processing instruction). Structural
+/// updates are node-at-a-time — the WAL logs exactly one node per record,
+/// so replay granularity matches the paper's per-area relabel costs.
+fn parse_fragment(fragment: &str) -> Result<durable::NodeContent, String> {
+    if fragment.is_empty() {
+        return Err("empty fragment".into());
+    }
+    if !fragment.starts_with('<') {
+        return Ok(durable::NodeContent::Text(fragment.to_owned()));
+    }
+    // Wrapping makes comments/PIs/attributes parseable by the ordinary
+    // document parser without a separate fragment grammar.
+    let doc = xmldom::Document::parse(&format!("<w>{fragment}</w>"))
+        .map_err(|e| format!("bad fragment: {e}"))?;
+    let root = doc.root_element().ok_or("bad fragment")?;
+    let mut nodes = doc.children(root);
+    let node = nodes.next().ok_or("bad fragment: no node")?;
+    if nodes.next().is_some() {
+        return Err("fragment must be a single node".into());
+    }
+    if doc.children(node).next().is_some() {
+        return Err("fragment must be childless (insert one node per request)".into());
+    }
+    Ok(durable::NodeContent::from_node(&doc, node))
+}
+
+/// The shared commit path of `INSERT`/`DELETE`/`RELABEL`.
+///
+/// Writers serialize on the catalog's writer lock so every copy-on-write
+/// bundle is staged from the latest committed state; readers never touch
+/// that lock — they keep answering from their pinned `Arc` snapshots. The
+/// new bundle is built and validated *before* the WAL append, so a
+/// rejected op never reaches the log, and the pointer swap runs inside
+/// `log_with`, so WAL order is commit order.
+fn commit_update(
+    ctx: &ServiceCtx<'_>,
+    trace: &mut Option<&mut RequestTrace>,
+    doc_id: u64,
+    op: WalOp,
+    command: Command,
+) -> Result<String, String> {
+    let ServiceCtx { catalog, metrics, durability, .. } = *ctx;
+    let _writers = catalog.begin_write();
+    let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc_id))?;
+    let generation = catalog.next_generation();
+    let (next, applied) =
+        timed(trace, Span::Eval, || loaded.apply_update(&op, generation))?;
+    let stats = *applied.stats();
+    let detail = match &applied {
+        Applied::Inserted { node, .. } => {
+            format!("label={}", proto::fmt_label(&next.scheme.label_of(*node)))
+        }
+        Applied::Deleted { nodes, .. } => format!("removed={nodes}"),
+        Applied::Repartitioned { .. } => format!("areas={}", next.scheme.area_count()),
+    };
+    let installed = match durability {
+        Some(d) => {
+            timed(trace, Span::Wal, || d.log_with(&op, || catalog.replace(doc_id, next)))?
+        }
+        None => catalog.replace(doc_id, next),
+    };
+    if !installed {
+        // Unreachable while unload also serializes on the writer lock,
+        // but never report a commit the catalog didn't install.
+        return Err(format!("no document {doc_id}"));
+    }
+    metrics.record_update(command);
+    Ok(format!(
+        "OK {detail} generation={generation} relabeled={} dropped={} full_rebuild={}",
+        stats.relabeled, stats.dropped, stats.full_rebuild,
+    ))
+}
+
 fn execute(
     request: Request,
     ctx: &ServiceCtx<'_>,
@@ -757,13 +842,14 @@ fn execute(
             })?;
             let nodes = loaded.doc.node_count();
             let areas = loaded.scheme.area_count();
+            // Result-cache generation: one process-wide monotonic counter
+            // covers loads and structural updates alike, so a generation
+            // can never alias across commits (WAL sequence numbers can't
+            // serve here — they reset on snapshot rotation).
+            loaded.generation = catalog.next_generation();
             let id = match durability {
                 Some(d) => {
                     let id = catalog.reserve_id();
-                    // Result-cache generation: the WAL sequence number of
-                    // this load's record, so any logged update (reload,
-                    // replay divergence) moves the generation.
-                    loaded.generation = d.stats().wal_records + 1;
                     let op = WalOp::Load {
                         doc_id: id,
                         path: path.clone(),
@@ -779,10 +865,7 @@ fn execute(
                     id
                 }
                 None => {
-                    // No WAL: the doc id itself works as the generation
-                    // (ids are never reused).
                     let id = catalog.reserve_id();
-                    loaded.generation = id;
                     catalog.insert_with_id(id, loaded);
                     id
                 }
@@ -790,6 +873,10 @@ fn execute(
             Ok(format!("OK id={id} nodes={nodes} areas={areas}"))
         }
         Request::Unload(id) => {
+            // Unload is a structural writer too: holding the writer lock
+            // keeps an in-flight INSERT/DELETE from appending a WAL record
+            // for this document *after* its Unload record.
+            let _writers = catalog.begin_write();
             let removed = match durability {
                 Some(d) => {
                     if catalog.get(id).is_none() {
@@ -923,6 +1010,7 @@ fn execute(
             if prom {
                 let body = crate::prom::render(&PromCtx {
                     metrics,
+                    catalog: Some(catalog),
                     durability,
                     tracer: Some(tracer),
                     pool: Some(pool_stats),
@@ -944,6 +1032,17 @@ fn execute(
             let d = durability.ok_or("durability disabled (start with --data-dir)")?;
             let (records, bytes) = d.persist()?;
             Ok(format!("OK records={records} bytes={bytes}"))
+        }
+        Request::Insert { doc, parent, position, fragment } => {
+            let content = parse_fragment(&fragment)?;
+            let op = WalOp::Insert { doc_id: doc, parent, position, content };
+            commit_update(ctx, trace, doc, op, Command::Insert)
+        }
+        Request::Delete { doc, label } => {
+            commit_update(ctx, trace, doc, WalOp::Delete { doc_id: doc, label }, Command::Delete)
+        }
+        Request::Relabel(doc) => {
+            commit_update(ctx, trace, doc, WalOp::Repartition { doc_id: doc }, Command::Relabel)
         }
         Request::Trace(cmd) => {
             match cmd {

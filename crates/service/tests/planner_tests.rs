@@ -3,6 +3,7 @@
 //! UNLOAD purge).
 
 use ruid_service::{Client, Server, ServerConfig};
+use schemes::NumberingScheme;
 
 fn write_sample(name: &str, xml: &str) -> std::path::PathBuf {
     let dir =
@@ -144,5 +145,93 @@ fn cache_serves_repeats_and_unload_purges() {
     assert_eq!((s.invalidations, s.entries), (1, 1), "{s:?}");
     assert!(client.request(&format!("QUERY {id2} //book")).unwrap().starts_with("OK 2 "));
     assert_eq!(cache.stats().hits, 3, "{:?}", cache.stats());
+    handle.stop();
+}
+
+/// A committed INSERT bumps the document's generation, so the very next
+/// repeat of an already-cached query is a *miss* that recomputes against
+/// the new tree — the cache can never serve the pre-update answer.
+#[test]
+fn insert_invalidates_cached_answers_with_a_new_generation() {
+    let sample = write_sample("invalidate", SAMPLE);
+    let (handle, mut client) = start();
+    let id = load(&mut client, &sample);
+    let cache = handle.plan_cache().clone();
+
+    // Cache the answer and prove the repeat hits.
+    let before = client.request(&format!("QUERY {id} //book")).unwrap();
+    assert!(before.starts_with("OK 2 "), "{before}");
+    assert_eq!(client.request(&format!("QUERY {id} //book")).unwrap(), before);
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (1, 1), "{s:?}");
+
+    // Commit an INSERT of a third <book/> under the catalog root.
+    let gen_before = handle.catalog().get(id).unwrap().generation;
+    let root = {
+        let doc = handle.catalog().get(id).unwrap();
+        doc.scheme.label_of(doc.doc.root_element().unwrap())
+    };
+    let resp = client
+        .request(&format!(
+            "INSERT {id} {} {} {} 0 <book id=\"b3\"/>",
+            root.global, root.local, root.is_root
+        ))
+        .unwrap();
+    assert!(resp.starts_with("OK label="), "{resp}");
+    let generation: u64 = resp
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("generation="))
+        .expect("INSERT reports its generation")
+        .parse()
+        .unwrap();
+    assert!(generation > gen_before, "generation must advance: {gen_before} -> {generation}");
+    assert_eq!(handle.catalog().get(id).unwrap().generation, generation);
+
+    // Same query again: a miss (new generation keys a new entry) with the
+    // post-insert answer; only then does it hit again.
+    let after = client.request(&format!("QUERY {id} //book")).unwrap();
+    assert!(after.starts_with("OK 3 "), "stale answer served after INSERT: {after}");
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (1, 2), "{s:?}");
+    assert_eq!(client.request(&format!("QUERY {id} //book")).unwrap(), after);
+    assert_eq!(cache.stats().hits, 2, "{:?}", cache.stats());
+    handle.stop();
+}
+
+/// UNLOAD purges the dead document's entries, and a *different* document
+/// installed under the reused id (fresh generation) never aliases into
+/// the old entry — the first query against it recomputes.
+#[test]
+fn reused_doc_id_never_serves_a_stale_entry() {
+    let sample = write_sample("reuse", SAMPLE);
+    let (handle, mut client) = start();
+    let id = load(&mut client, &sample);
+    let cache = handle.plan_cache().clone();
+
+    let before = client.request(&format!("QUERY {id} //book")).unwrap();
+    assert!(before.starts_with("OK 2 "), "{before}");
+    assert!(client.request(&format!("UNLOAD {id}")).unwrap().starts_with("OK unloaded"));
+    let s = cache.stats();
+    assert_eq!((s.invalidations, s.entries), (1, 0), "{s:?}");
+
+    // Install a different document under the same id, the way recovery
+    // or an embedder would: fresh bundle, fresh generation.
+    let mut swapped = ruid_service::LoadedDoc::build(
+        "swapped.xml",
+        "<catalog><book/><book/><book/></catalog>",
+        3,
+        true,
+    )
+    .unwrap();
+    swapped.generation = handle.catalog().next_generation();
+    handle.catalog().insert_with_id(id, swapped);
+
+    let after = client.request(&format!("QUERY {id} //book")).unwrap();
+    assert!(
+        after.starts_with("OK 3 "),
+        "stale entry served for reused doc id {id}: {after} (old answer was {before})"
+    );
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (0, 2), "{s:?}");
     handle.stop();
 }

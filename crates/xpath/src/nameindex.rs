@@ -84,6 +84,32 @@ impl NameIndex {
     pub fn name_count(&self) -> usize {
         self.by_name.len()
     }
+
+    /// Incrementally absorbs one freshly inserted element, splicing it
+    /// into its name's list at document-order rank (`order` must be built
+    /// *after* the insert). Non-element nodes are never indexed and pass
+    /// through untouched.
+    pub fn patch_insert(&mut self, doc: &Document, order: &DocOrder, node: NodeId) {
+        let Some(name) = doc.element_name(node) else { return };
+        let list = self.by_name.entry(name).or_default();
+        let rank = order.rank(node);
+        let at = list.partition_point(|&m| order.rank(m) < rank);
+        list.insert(at, node);
+    }
+
+    /// Incrementally removes a detached subtree's elements, given as
+    /// `(name, node)` pairs captured *before* the detach. Names whose
+    /// lists empty out are dropped so `name_count` matches a rebuild.
+    pub fn patch_delete(&mut self, removed: &[(NameId, NodeId)]) {
+        for &(name, node) in removed {
+            if let Some(list) = self.by_name.get_mut(&name) {
+                list.retain(|&m| m != node);
+                if list.is_empty() {
+                    self.by_name.remove(&name);
+                }
+            }
+        }
+    }
 }
 
 /// Wraps any axis provider with a name index, accelerating child and

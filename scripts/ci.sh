@@ -27,6 +27,11 @@ cargo test -q --offline -p ruid --test parallel_equivalence
 cargo test -q --offline -p ruid --test planner_differential
 cargo test -q --offline -p ruid-service --test planner_tests
 
+# MVCC: the interleaved reader/writer differential oracle (every pinned
+# snapshot must equal a serialized replay of the committed prefix) and
+# the crash-mid-commit sweep must run.
+cargo test -q --offline -p ruid-service --test mvcc_linearizability
+
 # Durability: the crash-point sweep (kill the WAL at every byte offset)
 # and the full recovery suites must run.
 cargo test -q --offline -p durable
@@ -79,6 +84,28 @@ if command -v jq >/dev/null; then
                 | length == 2 and all(.planned_ms < 50))' \
         BENCH_pr6.json >/dev/null \
         || { echo "ci: BENCH_pr6.json fails the 50 ms slow-tail gate" >&2; exit 1; }
+fi
+
+# E15 smoke: structural updates must stay localized — the incremental
+# relabel at least 10x faster than renumbering from scratch — and the
+# reader-churn pass must actually overlap writer commits.
+cargo run --release --offline -p bench --bin report_e15_mvcc -- \
+    --smoke --out target/bench_e15_smoke.json
+if command -v jq >/dev/null; then
+    jq -e '.experiment == "E15"
+           and .localized_10x_at_largest
+           and (.sizes | all(.relabel_speedup >= 10))
+           and (.readers.writer_commits > 0)' \
+        target/bench_e15_smoke.json >/dev/null \
+        || { echo "ci: E15 smoke report malformed" >&2; exit 1; }
+    # The checked-in full-mode report gates the paper's locality claim at
+    # 150k nodes: localized relabel >= 10x a from-scratch renumbering.
+    jq -e '.experiment == "E15"
+           and .mode == "full"
+           and .localized_10x_at_largest
+           and (.largest_nodes >= 100000)' \
+        BENCH_pr7.json >/dev/null \
+        || { echo "ci: BENCH_pr7.json fails the 10x locality gate" >&2; exit 1; }
 fi
 
 # Crash-recovery smoke: serve with a data dir, load, record an answer,
@@ -156,6 +183,21 @@ wait_ping 127.0.0.1:7443
 # An explicitly indexed query keeps the axis-step families populated now
 # that the default engine is the planner (which walks no axes for //x/y).
 "$RUID_XML" client 127.0.0.1:7443 "QUERY 1 //x/y indexed" >/dev/null
+# One committed structural update: resolve a parent's label over the wire
+# (the root element is the query context, so address its first <x> child),
+# INSERT under it, and demand the answer reflect the commit — this also
+# populates the ruid_updates_total / ruid_generation families below.
+X_LBL=$("$RUID_XML" client 127.0.0.1:7443 "LABEL 1 //x" | awk '{print $3}' | tr -d '()' | tr ',' ' ')
+INS=$("$RUID_XML" client 127.0.0.1:7443 "INSERT 1 $X_LBL 0 <z/>")
+case "$INS" in
+    "OK label="*"generation="*) ;;
+    *) echo "ci: INSERT malformed: $INS" >&2; exit 1 ;;
+esac
+Z=$("$RUID_XML" client 127.0.0.1:7443 "QUERY 1 //z")
+case "$Z" in
+    "OK 1 "*) ;;
+    *) echo "ci: INSERT not visible to QUERY: $Z" >&2; exit 1 ;;
+esac
 SLOWLOG=$("$RUID_XML" client 127.0.0.1:7443 "SLOWLOG 5")
 case "$SLOWLOG" in
     *"cmd=QUERY"*"parse_ns="*"eval_ns="*"write_ns="*) ;;
@@ -181,8 +223,10 @@ printf '%s\n' "$SCRAPE" | awk '
     /^ruid_slowlog_captured_total /                   { have["trace"]  = 1 }
     /^ruid_plan_operators_total\{op="scan"\} /        { have["plan"]   = 1 }
     /^ruid_plan_cache_misses_total /                  { have["cache"]  = 1 }
+    /^ruid_updates_total\{op="insert"\} /             { if ($2 + 0 >= 1) have["update"] = 1 }
+    /^ruid_generation /                               { if ($2 + 0 >= 2) have["gen"]    = 1 }
     END {
-        split("query axis robust wal unsync pool trace plan cache", need, " ")
+        split("query axis robust wal unsync pool trace plan cache update gen", need, " ")
         for (i in need) if (!have[need[i]]) { print "ci: missing family: " need[i]; bad = 1 }
         if (buckets < 20) { print "ci: bucket ladder too short: " buckets; bad = 1 }
         exit bad

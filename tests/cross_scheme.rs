@@ -31,9 +31,11 @@ fn sample_docs() -> Vec<Document> {
 }
 
 /// Compares all pairwise relations across schemes on static documents.
+/// Failure messages name the document, the scheme, and the exact node pair
+/// (preorder ranks and tags) so a disagreement is reproducible on sight.
 #[test]
 fn all_schemes_agree_on_relations() {
-    for doc in &sample_docs() {
+    for (d, doc) in sample_docs().iter().enumerate() {
         let root = doc.root_element().unwrap();
         let uid = UidScheme::build(doc);
         let dewey = DeweyScheme::build(doc);
@@ -46,26 +48,75 @@ fn all_schemes_agree_on_relations() {
             for (j, &b) in nodes.iter().enumerate().step_by(step) {
                 let anc = doc.is_ancestor_of(a, b);
                 let ord = i.cmp(&j);
-                assert_eq!(uid.is_ancestor(&uid.label_of(a), &uid.label_of(b)), anc);
-                assert_eq!(dewey.is_ancestor(&dewey.label_of(a), &dewey.label_of(b)), anc);
+                let pair = |scheme: &str, relation: &str| {
+                    format!(
+                        "{scheme} {relation} disagrees with the tree on sample doc #{d}: \
+                         a={a:?} (preorder #{i}, <{}>) vs b={b:?} (preorder #{j}, <{}>)",
+                        doc.tag_name(a).unwrap_or("?"),
+                        doc.tag_name(b).unwrap_or("?"),
+                    )
+                };
+                assert_eq!(
+                    uid.is_ancestor(&uid.label_of(a), &uid.label_of(b)),
+                    anc,
+                    "{}",
+                    pair("uid", "is_ancestor")
+                );
+                assert_eq!(
+                    dewey.is_ancestor(&dewey.label_of(a), &dewey.label_of(b)),
+                    anc,
+                    "{}",
+                    pair("dewey", "is_ancestor")
+                );
                 assert_eq!(
                     prepost.is_ancestor(&prepost.label_of(a), &prepost.label_of(b)),
-                    anc
+                    anc,
+                    "{}",
+                    pair("prepost", "is_ancestor")
                 );
                 assert_eq!(
                     containment.is_ancestor(&containment.label_of(a), &containment.label_of(b)),
-                    anc
+                    anc,
+                    "{}",
+                    pair("containment", "is_ancestor")
                 );
-                assert_eq!(ruid2.is_ancestor(&ruid2.label_of(a), &ruid2.label_of(b)), anc);
+                assert_eq!(
+                    ruid2.is_ancestor(&ruid2.label_of(a), &ruid2.label_of(b)),
+                    anc,
+                    "{}",
+                    pair("ruid2", "is_ancestor")
+                );
 
-                assert_eq!(uid.cmp_order(&uid.label_of(a), &uid.label_of(b)), ord);
-                assert_eq!(dewey.cmp_order(&dewey.label_of(a), &dewey.label_of(b)), ord);
-                assert_eq!(prepost.cmp_order(&prepost.label_of(a), &prepost.label_of(b)), ord);
+                assert_eq!(
+                    uid.cmp_order(&uid.label_of(a), &uid.label_of(b)),
+                    ord,
+                    "{}",
+                    pair("uid", "cmp_order")
+                );
+                assert_eq!(
+                    dewey.cmp_order(&dewey.label_of(a), &dewey.label_of(b)),
+                    ord,
+                    "{}",
+                    pair("dewey", "cmp_order")
+                );
+                assert_eq!(
+                    prepost.cmp_order(&prepost.label_of(a), &prepost.label_of(b)),
+                    ord,
+                    "{}",
+                    pair("prepost", "cmp_order")
+                );
                 assert_eq!(
                     containment.cmp_order(&containment.label_of(a), &containment.label_of(b)),
-                    ord
+                    ord,
+                    "{}",
+                    pair("containment", "cmp_order")
                 );
-                assert_eq!(ruid2.cmp_order(&ruid2.label_of(a), &ruid2.label_of(b)), ord);
+                assert_eq!(
+                    ruid2.cmp_order(&ruid2.label_of(a), &ruid2.label_of(b)),
+                    ord,
+                    "{}",
+                    pair("ruid2", "cmp_order")
+                );
             }
         }
     }

@@ -78,7 +78,21 @@ fn full_pipeline_on_xmark() {
     mono.load_document(&doc, &scheme2);
     let (a, touched) = partitioned.scan_subtree(&scheme2, 1);
     let (b, _) = mono.scan_subtree(&scheme2, 1);
-    assert_eq!(a.len(), b.len());
+    // Row-for-row identity, not just the count: the same labels must come
+    // back from both layouts (order may differ across tables, so compare
+    // as sorted label sets and print both on mismatch).
+    let mut labels_part: Vec<String> = a.iter().map(|r| r.label.to_string()).collect();
+    let mut labels_mono: Vec<String> = b.iter().map(|r| r.label.to_string()).collect();
+    labels_part.sort();
+    labels_mono.sort();
+    assert_eq!(
+        labels_part, labels_mono,
+        "partitioned vs monolithic scan of area 1 disagree: \
+         partitioned returned {} rows, monolithic {} rows\n  partitioned: {labels_part:?}\n  \
+         monolithic:  {labels_mono:?}",
+        a.len(),
+        b.len()
+    );
     assert!(touched <= partitioned.table_count());
 }
 

@@ -15,7 +15,7 @@
 use ruid::prelude::*;
 use ruid::{
     planned_query, xmark, DocOrder, NameIndex, NameIndexed, NodeId, PartitionConfig as Pc,
-    PathSummary, UidScheme,
+    PathSummary, SplitMix64, UidScheme,
 };
 
 /// All forests (ordered sequences of subtrees) with exactly `m` nodes
@@ -79,17 +79,24 @@ const SMALL_TREE_QUERIES: &[&str] = &[
 /// Runs one query through the planner and through every engine, asserting
 /// byte-identical (node-for-node) answers with the plain tree walk as the
 /// oracle. Queries the evaluator itself rejects must be rejected by the
-/// planner path too.
-fn assert_planner_agrees(doc: &Document, xml: &str, queries: &[&str]) {
+/// planner path too. Takes the path summary and rUID numbering from the
+/// caller so the update sweep can hand in *incrementally maintained*
+/// instances rather than from-scratch rebuilds; `ctx` names the document
+/// (shape index, seed, source XML) in every failure message.
+fn assert_engines_agree(
+    doc: &Document,
+    summary: &PathSummary,
+    ruid2: &Ruid2Scheme,
+    ctx: &str,
+    queries: &[&str],
+) {
     let order = DocOrder::build(doc);
-    let summary = PathSummary::build(doc);
     let index = NameIndex::build(doc);
     let uid = UidScheme::build(doc);
-    let ruid2 = Ruid2Scheme::build(doc, &Pc::by_depth(2));
 
     let tree_eval = Evaluator::new(doc, TreeAxes::with_order(doc, &order));
     let uid_eval = Evaluator::new(doc, UidAxes::with_order(&uid, &order));
-    let ruid_eval = Evaluator::new(doc, RuidAxes::with_order(&ruid2, &order));
+    let ruid_eval = Evaluator::new(doc, RuidAxes::with_order(ruid2, &order));
     let idx_eval = Evaluator::new(
         doc,
         NameIndexed::new(TreeAxes::with_order(doc, &order), doc, &index),
@@ -98,31 +105,42 @@ fn assert_planner_agrees(doc: &Document, xml: &str, queries: &[&str]) {
     for q in queries {
         let oracle: Result<Vec<NodeId>, String> =
             tree_eval.query(q).map_err(|e| e.to_string());
-        let planned = planned_query(q, doc, &summary, &order, &idx_eval);
+        let planned = planned_query(q, doc, summary, &order, &idx_eval);
         match (&oracle, &planned) {
             (Ok(expect), Ok((got, _, _))) => {
-                assert_eq!(got, expect, "planned vs tree walk for {q} on {xml}");
                 assert_eq!(
-                    &uid_eval.query(q).unwrap(),
-                    expect,
-                    "uid engine drifted for {q} on {xml}"
+                    got, expect,
+                    "planned vs tree walk for query {q} {ctx}\n  planned: {got:?}\n  tree:    {expect:?}"
                 );
+                let uid_got = uid_eval.query(q).unwrap();
                 assert_eq!(
-                    &ruid_eval.query(q).unwrap(),
-                    expect,
-                    "ruid engine drifted for {q} on {xml}"
+                    &uid_got, expect,
+                    "uid engine drifted for query {q} {ctx}\n  uid:  {uid_got:?}\n  tree: {expect:?}"
                 );
+                let ruid_got = ruid_eval.query(q).unwrap();
                 assert_eq!(
-                    &idx_eval.query(q).unwrap(),
-                    expect,
-                    "indexed engine drifted for {q} on {xml}"
+                    &ruid_got, expect,
+                    "ruid engine drifted for query {q} {ctx}\n  ruid: {ruid_got:?}\n  tree: {expect:?}"
+                );
+                let idx_got = idx_eval.query(q).unwrap();
+                assert_eq!(
+                    &idx_got, expect,
+                    "indexed engine drifted for query {q} {ctx}\n  indexed: {idx_got:?}\n  tree:    {expect:?}"
                 );
             }
             (Err(_), Err(_)) => {} // both reject — fine, as long as they agree
-            (Ok(_), Err(e)) => panic!("planner rejected {q} the evaluator accepts: {e}"),
-            (Err(e), Ok(_)) => panic!("planner accepted {q} the evaluator rejects: {e}"),
+            (Ok(_), Err(e)) => panic!("planner rejected {q} the evaluator accepts ({ctx}): {e}"),
+            (Err(e), Ok(_)) => panic!("planner accepted {q} the evaluator rejects ({ctx}): {e}"),
         }
     }
+}
+
+/// [`assert_engines_agree`] with a from-scratch summary and numbering —
+/// the static (no-update) sweeps.
+fn assert_planner_agrees(doc: &Document, xml: &str, queries: &[&str]) {
+    let summary = PathSummary::build(doc);
+    let ruid2 = Ruid2Scheme::build(doc, &Pc::by_depth(2));
+    assert_engines_agree(doc, &summary, &ruid2, &format!("on {xml}"), queries);
 }
 
 /// The depth-cycled enumeration still follows the Catalan numbers, so the
@@ -149,6 +167,94 @@ fn planner_agrees_with_every_engine_on_every_small_tree() {
         }
     }
     assert_eq!(total, 197, "full Catalan sweep: 1+1+2+5+14+42+132 shapes");
+}
+
+/// The update dimension over the same 197 shapes: a seeded insert then
+/// (where a non-root victim exists) a seeded delete, renumbering
+/// incrementally through the scheme's own `on_insert`/`on_delete` and
+/// patching the path summary in place exactly as the serving catalog's
+/// copy-on-write commit path does (with the same rebuild fallback). After
+/// each mutation the patched summary must canonically equal a from-scratch
+/// rebuild, and all four engines must stay node-identical on the corpus.
+#[test]
+fn updates_preserve_engine_agreement_on_every_small_tree() {
+    const SEED: u64 = 0x5EED_2026;
+    let mut shape = 0usize;
+    let mut deletes = 0usize;
+    for n in 1..=7 {
+        for xml in trees(n, 0) {
+            let mut doc = Document::parse(&xml)
+                .unwrap_or_else(|e| panic!("generated XML {xml} must parse: {e}"));
+            let mut scheme = Ruid2Scheme::build(&doc, &Pc::by_depth(2));
+            let mut summary = PathSummary::build(&doc);
+            let mut rng = SplitMix64::seed_from_u64(SEED ^ shape as u64);
+            let root = doc.root_element().expect("generated trees have a root element");
+
+            // Seeded insert: a fresh element (or, one time in four, a text
+            // node) at a random position under a random existing element.
+            let parents: Vec<NodeId> =
+                doc.descendants(root).filter(|&d| doc.element_name(d).is_some()).collect();
+            let parent = parents[rng.gen_range(0..parents.len())];
+            let slots = doc.children(parent).count() + 1;
+            let position = rng.gen_range(0..slots);
+            let new_node = if rng.gen_bool(0.25) {
+                doc.create_text("t")
+            } else {
+                let tag = ["a", "b", "c"][rng.gen_range(0..3usize)];
+                doc.create_element(tag)
+            };
+            match doc.children(parent).nth(position) {
+                Some(anchor) => doc.insert_before(anchor, new_node),
+                None => doc.append_child(parent, new_node),
+            }
+            scheme.on_insert(&doc, new_node);
+            let order = DocOrder::build(&doc);
+            if !summary.patch_insert(&doc, &order, new_node) {
+                summary = PathSummary::build(&doc);
+            }
+            assert_eq!(
+                summary.canonical(&doc),
+                PathSummary::build(&doc).canonical(&doc),
+                "patched summary drifted from a rebuild after insert: \
+                 shape #{shape} seed {SEED:#x} on {xml}"
+            );
+            let ctx = format!("shape #{shape} seed {SEED:#x} after insert (from {xml})");
+            assert_engines_agree(&doc, &summary, &scheme, &ctx, SMALL_TREE_QUERIES);
+
+            // Seeded delete of a random non-root subtree, when one exists.
+            let victims: Vec<NodeId> = doc
+                .descendants(root)
+                .skip(1)
+                .filter(|&d| doc.element_name(d).is_some())
+                .collect();
+            if !victims.is_empty() {
+                let victim = victims[rng.gen_range(0..victims.len())];
+                let removed: Vec<NodeId> = doc
+                    .descendants(victim)
+                    .filter(|&d| doc.element_name(d).is_some())
+                    .collect();
+                let parent = doc.parent(victim).expect("non-root victim has a parent");
+                doc.detach(victim);
+                scheme.on_delete(&doc, parent, victim);
+                if !summary.patch_delete(&removed) {
+                    summary = PathSummary::build(&doc);
+                }
+                assert_eq!(
+                    summary.canonical(&doc),
+                    PathSummary::build(&doc).canonical(&doc),
+                    "patched summary drifted from a rebuild after delete: \
+                     shape #{shape} seed {SEED:#x} on {xml}"
+                );
+                let ctx =
+                    format!("shape #{shape} seed {SEED:#x} after insert+delete (from {xml})");
+                assert_engines_agree(&doc, &summary, &scheme, &ctx, SMALL_TREE_QUERIES);
+                deletes += 1;
+            }
+            shape += 1;
+        }
+    }
+    assert_eq!(shape, 197, "full Catalan sweep: 1+1+2+5+14+42+132 shapes");
+    assert!(deletes >= 150, "most shapes must exercise the delete path, got {deletes}");
 }
 
 /// The E4/E14 benchmark corpus (plus the two historically slow queries) on
