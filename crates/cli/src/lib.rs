@@ -12,7 +12,7 @@
 //! ```
 
 use ruid::prelude::*;
-use ruid::{Client, DocOrder, Executor, FsyncPolicy, LoadedDoc, NameIndex, NameIndexed, PathSummary, Ruid2, Server, ServerConfig, ServerHandle, UidScheme, WalOp};
+use ruid::{BinaryClient, Client, DocOrder, Executor, FsyncPolicy, LoadedDoc, NameIndex, NameIndexed, PathSummary, Ruid2, Server, ServerConfig, ServerHandle, UidScheme, WalOp};
 
 /// The usage banner printed on argument errors.
 pub const USAGE: &str = "usage:
@@ -24,12 +24,15 @@ pub const USAGE: &str = "usage:
   ruid-xml parent <file.xml> <global> <local> <true|false>
   ruid-xml serve  [<file.xml>...] [--addr 127.0.0.1:PORT] [--threads N] [--depth D]
                   [--queue-cap N] [--max-line-bytes N] [--read-timeout-ms MS]
+                  [--mux-workers N]
                   [--data-dir DIR] [--fsync always|never|every=<n>]
                   [--metrics-addr 127.0.0.1:PORT]
-  ruid-xml client <addr> <command...>
+  ruid-xml client <addr> [--protocol text|binary] <command...>
      wire verbs include PING, LOAD, QUERY, LABEL, EXPLAIN, and the
      structural updates INSERT <doc> <g> <l> <r> <pos> <fragment>,
-     DELETE <doc> <g> <l> <r>, RELABEL <doc>";
+     DELETE <doc> <g> <l> <r>, RELABEL <doc>
+     --protocol binary sends the same verb in one pipelined binary
+     frame (MQUERY/MLABEL batches need the library BinaryClient)";
 
 /// Dispatches one invocation; `args` excludes the program name.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -243,6 +246,10 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
         config.queue_cap =
             cap.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
     }
+    if let Some(workers) = option(args, "--mux-workers") {
+        config.mux_workers =
+            workers.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
+    }
     if let Some(bytes) = option(args, "--max-line-bytes") {
         config.max_line_bytes =
             bytes.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
@@ -320,13 +327,37 @@ fn serve(args: &[String]) -> Result<(), String> {
 
 fn client(args: &[String]) -> Result<(), String> {
     let addr = args.first().ok_or("missing server address")?;
-    let line = args[1..].join(" ");
+    let protocol = option(args, "--protocol").unwrap_or("text");
+    // Everything after the address that isn't the --protocol flag pair
+    // joins into the request line.
+    let mut words: Vec<&str> = Vec::new();
+    let mut rest = args[1..].iter().map(String::as_str);
+    while let Some(word) = rest.next() {
+        if word == "--protocol" {
+            rest.next(); // skip the flag value
+        } else {
+            words.push(word);
+        }
+    }
+    let line = words.join(" ");
     if line.trim().is_empty() {
         return Err("missing command (e.g. `ruid-xml client 127.0.0.1:7070 PING`)".into());
     }
-    let mut client =
-        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let response = client.request(&line).map_err(|e| e.to_string())?;
+    let response = match protocol {
+        "text" => {
+            let mut client = Client::connect(addr.as_str())
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            client.request(&line).map_err(|e| e.to_string())?
+        }
+        "binary" => {
+            // Same verb, carried over a binary frame (the compatibility
+            // Text verb) — responses are byte-identical by design.
+            let mut client = BinaryClient::connect(addr.as_str())
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            client.request(&line).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown protocol {other:?} (text|binary)")),
+    };
     println!("{response}");
     if let Some(err) = response.strip_prefix("ERR ") {
         return Err(format!("server: {err}"));

@@ -68,7 +68,7 @@ pub use plan::{
     PathSummary, Plan, PlanOp, ResultCache,
 };
 pub use ruid_service as service;
-pub use ruid_service::{Catalog, Client, Durability, FsyncPolicy, LoadedDoc, Metrics, Server, ServerConfig, ServerHandle, ThreadPool, WalOp};
+pub use ruid_service::{BinaryClient, Catalog, Client, Durability, FsyncPolicy, LoadedDoc, Metrics, Server, ServerConfig, ServerHandle, ThreadPool, WalOp};
 
 /// Everything a typical user needs, for `use ruid::prelude::*`.
 pub mod prelude {

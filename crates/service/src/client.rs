@@ -1,18 +1,24 @@
-//! A minimal blocking client for the line protocol, used by the CLI's
-//! `client` subcommand and by the test suite.
+//! Blocking clients for both wire protocols, used by the CLI's `client`
+//! subcommand and by the test suite: [`Client`] speaks the line protocol,
+//! [`BinaryClient`] the length-prefixed binary frames (with pipelining —
+//! issue K requests, then match the replies by id as they arrive, in
+//! whatever order the server finished them).
 //!
-//! The client can carry a [`FaultPlan`]: faults fire at the request
+//! Either client can carry a [`FaultPlan`]: faults fire at the request
 //! indices the plan names, simulating a hostile or broken peer — a torn
-//! request (partial line, then the socket severed), a slow-loris pause
-//! mid-line, or an abrupt EOF. That is how the chaos tests drive the
-//! server's deadlines and framing limits from the outside.
+//! request (a partial line or frame, then the socket severed), a
+//! slow-loris pause mid-transfer, a forged oversized frame header, or an
+//! abrupt EOF. That is how the chaos tests drive the server's deadlines
+//! and framing limits from the outside.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::fault::{Fault, FaultPlan};
+use crate::proto::Engine;
+use crate::wire::{self, Decoded, ResponseFrame, WireRequest, WireResponse};
 
 /// One connection to a running service.
 pub struct Client {
@@ -95,8 +101,12 @@ impl Client {
                 self.writer.write_all(&message.as_bytes()[half..])?;
                 self.writer.flush()?;
             }
-            // Server-side-only faults are a no-op on the client.
-            Some(Fault::ForceBusy | Fault::StallHandler { .. }) | None => {
+            // Server-side-only faults (and the binary-only oversized
+            // frame) are a no-op on the text client.
+            Some(
+                Fault::ForceBusy | Fault::StallHandler { .. } | Fault::OversizedFrame { .. },
+            )
+            | None => {
                 self.writer.write_all(message.as_bytes())?;
                 self.writer.flush()?;
             }
@@ -110,5 +120,290 @@ impl Client {
             ));
         }
         Ok(response.trim_end_matches(['\r', '\n']).to_owned())
+    }
+}
+
+/// One binary-protocol connection: buffered sends with client-chosen
+/// request ids, explicit [`BinaryClient::flush`], and
+/// [`BinaryClient::recv`] returning response frames in whatever order
+/// the server produced them.
+///
+/// The pipelined pattern is `send`×K → `flush` → `recv`×K (or the
+/// [`BinaryClient::pipeline`] convenience, which restores request
+/// order). The very first byte this client writes is
+/// [`wire::REQ_MAGIC`], which is what flips the server's front-end
+/// sniff to binary.
+pub struct BinaryClient {
+    stream: TcpStream,
+    /// Received-but-undecoded bytes (partial trailing frame).
+    rbuf: Vec<u8>,
+    /// Decode offset into `rbuf` (drained lazily between recvs).
+    roff: usize,
+    /// Encoded-but-unflushed request frames.
+    wbuf: Vec<u8>,
+    next_id: u64,
+    plan: Option<Arc<FaultPlan>>,
+    sent: u64,
+}
+
+impl BinaryClient {
+    /// Connects to `addr` speaking the binary protocol.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<BinaryClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(BinaryClient {
+            stream,
+            rbuf: Vec::new(),
+            roff: 0,
+            wbuf: Vec::new(),
+            next_id: 1,
+            plan: None,
+            sent: 0,
+        })
+    }
+
+    /// Connects with a fault plan; each [`BinaryClient::send`] consumes
+    /// one request index.
+    pub fn connect_with_faults<A: ToSocketAddrs>(
+        addr: A,
+        plan: Arc<FaultPlan>,
+    ) -> std::io::Result<BinaryClient> {
+        let mut client = BinaryClient::connect(addr)?;
+        client.plan = Some(plan);
+        Ok(client)
+    }
+
+    /// Caps how long [`BinaryClient::recv`] waits for response bytes.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn severed(reason: &str) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::ConnectionAborted, format!("injected fault: {reason}"))
+    }
+
+    /// Encodes one request into the send buffer (applying any client
+    /// fault scheduled for this index) and returns its request id.
+    /// Nothing hits the wire until [`BinaryClient::flush`].
+    pub fn send(&mut self, request: &WireRequest) -> std::io::Result<u64> {
+        let index = self.sent;
+        self.sent += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let fault = self.plan.as_ref().and_then(|p| p.fault_at(index)).cloned();
+        match fault {
+            Some(Fault::EarlyEof) => {
+                let _ = self.stream.shutdown(Shutdown::Both);
+                return Err(Self::severed("early EOF"));
+            }
+            Some(Fault::TornWrite { bytes }) => {
+                // Flush what honest requests are already owed, then send
+                // a strictly incomplete frame and sever.
+                let mut frame = Vec::new();
+                wire::encode_request(id, request, &mut frame);
+                let n = bytes.min(frame.len().saturating_sub(1));
+                self.flush()?;
+                self.stream.write_all(&frame[..n])?;
+                self.stream.flush()?;
+                let _ = self.stream.shutdown(Shutdown::Both);
+                return Err(Self::severed("torn frame"));
+            }
+            Some(Fault::OversizedFrame { declared }) => {
+                // A forged header claiming a `declared`-byte body, then a
+                // few junk bytes: the server must reject from the header
+                // alone and close. The frame is never completed.
+                self.flush()?;
+                let mut forged = vec![wire::REQ_MAGIC];
+                forged.extend_from_slice(&declared.to_le_bytes());
+                forged.extend_from_slice(&[0xEE; 4]);
+                self.stream.write_all(&forged)?;
+                self.stream.flush()?;
+                return Ok(id);
+            }
+            Some(Fault::DelayMs { ms }) => {
+                // Slow-loris a frame: half now, a pause, the rest.
+                let mut frame = Vec::new();
+                wire::encode_request(id, request, &mut frame);
+                let half = frame.len() / 2;
+                self.flush()?;
+                self.stream.write_all(&frame[..half])?;
+                self.stream.flush()?;
+                std::thread::sleep(Duration::from_millis(ms));
+                self.stream.write_all(&frame[half..])?;
+                self.stream.flush()?;
+                return Ok(id);
+            }
+            Some(Fault::ForceBusy | Fault::StallHandler { .. }) | None => {}
+        }
+        wire::encode_request(id, request, &mut self.wbuf);
+        Ok(id)
+    }
+
+    /// Writes every buffered request frame to the socket.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.stream.flush()?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Receives the next response frame, in server completion order —
+    /// under pipelining this is *not* necessarily send order; match on
+    /// [`ResponseFrame::id`].
+    pub fn recv(&mut self) -> std::io::Result<ResponseFrame> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match wire::decode_response(&self.rbuf[self.roff..]) {
+                Decoded::Frame { frame, consumed } => {
+                    self.roff += consumed;
+                    if self.roff == self.rbuf.len() {
+                        self.rbuf.clear();
+                        self.roff = 0;
+                    }
+                    return Ok(frame);
+                }
+                Decoded::Incomplete => {}
+                Decoded::Oversized { declared } => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("response frame declares {declared} bytes"),
+                    ));
+                }
+                Decoded::Malformed { reason, .. } => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad response frame: {reason}"),
+                    ));
+                }
+                Decoded::Corrupt { reason } => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad response frame: {reason}"),
+                    ));
+                }
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            // Compact the consumed prefix before growing the buffer.
+            if self.roff > 0 {
+                self.rbuf.drain(..self.roff);
+                self.roff = 0;
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// One synchronous request/response over the compatibility verb: the
+    /// text-protocol `line` in, the text-protocol response line out.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        let id = self.send(&WireRequest::Text { line: line.trim_end().to_owned() })?;
+        self.flush()?;
+        let frame = self.expect(id)?;
+        match frame.response {
+            WireResponse::Line(line) => Ok(line),
+            WireResponse::Batch(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "batch response to a line request",
+            )),
+        }
+    }
+
+    /// One synchronous planned `QUERY` (the hot cached path).
+    pub fn query(&mut self, doc: u64, xpath: &str) -> std::io::Result<String> {
+        let id = self.send(&WireRequest::Query {
+            doc,
+            engine: Engine::Planned,
+            xpath: xpath.to_owned(),
+        })?;
+        self.flush()?;
+        match self.expect(id)?.response {
+            WireResponse::Line(line) => Ok(line),
+            WireResponse::Batch(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "batch response to a single query",
+            )),
+        }
+    }
+
+    /// One `MQUERY` batch: one frame out, one response line per xpath
+    /// back, in xpath order.
+    pub fn mquery(&mut self, doc: u64, xpaths: &[&str]) -> std::io::Result<Vec<String>> {
+        self.batch(doc, xpaths, false)
+    }
+
+    /// One `MLABEL` batch (same shape as [`BinaryClient::mquery`]).
+    pub fn mlabel(&mut self, doc: u64, xpaths: &[&str]) -> std::io::Result<Vec<String>> {
+        self.batch(doc, xpaths, true)
+    }
+
+    fn batch(
+        &mut self,
+        doc: u64,
+        xpaths: &[&str],
+        labels: bool,
+    ) -> std::io::Result<Vec<String>> {
+        let xpaths: Vec<String> = xpaths.iter().map(|x| (*x).to_owned()).collect();
+        let request = if labels {
+            WireRequest::MLabel { doc, xpaths }
+        } else {
+            WireRequest::MQuery { doc, xpaths }
+        };
+        let id = self.send(&request)?;
+        self.flush()?;
+        match self.expect(id)?.response {
+            WireResponse::Batch(lines) => Ok(lines),
+            WireResponse::Line(line) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a batch response, got: {line}"),
+            )),
+        }
+    }
+
+    /// Pipelines `requests` — all sent before any response is read —
+    /// and returns the responses **in request order**, re-associated by
+    /// id however the server interleaved them.
+    pub fn pipeline(
+        &mut self,
+        requests: &[WireRequest],
+    ) -> std::io::Result<Vec<WireResponse>> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for request in requests {
+            ids.push(self.send(request)?);
+        }
+        self.flush()?;
+        let mut by_id: Vec<Option<WireResponse>> = vec![None; requests.len()];
+        for _ in 0..requests.len() {
+            let frame = self.recv()?;
+            match ids.iter().position(|&id| id == frame.id) {
+                Some(slot) if by_id[slot].is_none() => by_id[slot] = Some(frame.response),
+                _ => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected response id {}", frame.id),
+                    ));
+                }
+            }
+        }
+        Ok(by_id.into_iter().map(|r| r.expect("all slots filled")).collect())
+    }
+
+    /// Receives until the frame answering `id` arrives; any other frame
+    /// arriving first is a protocol error for the synchronous helpers.
+    fn expect(&mut self, id: u64) -> std::io::Result<ResponseFrame> {
+        let frame = self.recv()?;
+        if frame.id != id {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response id {} does not answer request {id}", frame.id),
+            ));
+        }
+        Ok(frame)
     }
 }

@@ -41,9 +41,20 @@ pub enum Fault {
     ForceBusy,
     /// Server only: sleep `ms` milliseconds inside the handler before
     /// executing — the way to trip the per-request deadline on demand.
+    /// On the binary path the stalled request is offloaded, so later
+    /// pipelined requests on the same connection overtake it (the
+    /// out-of-order response tests hang off this).
     StallHandler {
         /// Stall length in milliseconds.
         ms: u64,
+    },
+    /// Client only, binary protocol: send a frame header declaring a
+    /// `declared`-byte body (pick one beyond the server's cap), followed
+    /// by a few junk bytes. The server must reject it from the header
+    /// alone — before any body arrives — and close.
+    OversizedFrame {
+        /// The body length the forged header declares.
+        declared: u32,
     },
 }
 

@@ -14,7 +14,7 @@
 //! the framing layer resynchronizes on the next newline.
 
 use std::io::{BufRead, ErrorKind};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// What one framed-read attempt produced. `Line` means `buf` holds a
@@ -46,7 +46,10 @@ pub(crate) enum ReadOutcome {
 
 /// Reads one `\n`-terminated line into `buf` (cleared first), holding at
 /// most `max_bytes` of it, polling `shutdown`, and bounding the time from
-/// first byte to terminator by `deadline`.
+/// first byte to terminator by `deadline`. Every byte consumed off the
+/// stream (including drained oversized excess) is added to `bytes_read`,
+/// which is how the `ruid_net_bytes_read_total` counter stays exact on
+/// the text path.
 ///
 /// The reader's underlying stream should have a short read timeout set
 /// (the poll interval); `WouldBlock`/`TimedOut` errors are the polling
@@ -57,6 +60,7 @@ pub(crate) fn read_request_line<R: BufRead>(
     max_bytes: usize,
     deadline: Duration,
     shutdown: &AtomicBool,
+    bytes_read: &AtomicU64,
 ) -> std::io::Result<ReadOutcome> {
     buf.clear();
     let mut started: Option<Instant> = None;
@@ -88,6 +92,7 @@ pub(crate) fn read_request_line<R: BufRead>(
         started.get_or_insert_with(Instant::now);
         let newline = chunk.iter().position(|&b| b == b'\n');
         let take = newline.map_or(chunk.len(), |i| i + 1);
+        bytes_read.fetch_add(take as u64, Ordering::Relaxed);
         if discarding {
             reader.consume(take);
             if newline.is_some() {
@@ -134,8 +139,10 @@ mod tests {
         let mut reader = BufReader::with_capacity(4, std::io::Cursor::new(input.to_vec()));
         let mut buf = Vec::new();
         let shutdown = AtomicBool::new(false);
+        let bytes = AtomicU64::new(0);
         let out =
-            read_request_line(&mut reader, &mut buf, max, NO_DEADLINE, &shutdown).unwrap();
+            read_request_line(&mut reader, &mut buf, max, NO_DEADLINE, &shutdown, &bytes)
+                .unwrap();
         (out, buf, reader)
     }
 
@@ -158,14 +165,15 @@ mod tests {
             BufReader::with_capacity(4, std::io::Cursor::new(b"LIST\nPING\n".to_vec()));
         let mut buf = Vec::new();
         let shutdown = AtomicBool::new(false);
+        let bytes = AtomicU64::new(0);
         let out =
-            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"LIST".as_slice()));
         let out =
-            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"PING".as_slice()));
         let out =
-            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!(out, ReadOutcome::Eof);
     }
 
@@ -182,10 +190,11 @@ mod tests {
         let mut reader = BufReader::with_capacity(4, std::io::Cursor::new(input.to_vec()));
         let mut buf = Vec::new();
         let shutdown = AtomicBool::new(false);
-        let out = read_request_line(&mut reader, &mut buf, 8, NO_DEADLINE, &shutdown).unwrap();
+        let bytes = AtomicU64::new(0);
+        let out = read_request_line(&mut reader, &mut buf, 8, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!(out, ReadOutcome::Oversized { drained: true });
         // The next request on the same connection still parses.
-        let out = read_request_line(&mut reader, &mut buf, 8, NO_DEADLINE, &shutdown).unwrap();
+        let out = read_request_line(&mut reader, &mut buf, 8, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"PING".as_slice()));
     }
 
@@ -209,11 +218,12 @@ mod tests {
             BufReader::with_capacity(4, std::io::Cursor::new(b"\xff\xfe\nPING\n".to_vec()));
         let mut buf = Vec::new();
         let shutdown = AtomicBool::new(false);
+        let bytes = AtomicU64::new(0);
         let out =
-            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!(out, ReadOutcome::BadUtf8);
         let out =
-            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!((out, buf.as_slice()), (ReadOutcome::Line, b"PING".as_slice()));
     }
 
@@ -222,8 +232,9 @@ mod tests {
         let mut reader = BufReader::new(std::io::Cursor::new(b"PING\n".to_vec()));
         let mut buf = Vec::new();
         let shutdown = AtomicBool::new(true);
+        let bytes = AtomicU64::new(0);
         let out =
-            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown).unwrap();
+            read_request_line(&mut reader, &mut buf, 100, NO_DEADLINE, &shutdown, &bytes).unwrap();
         assert_eq!(out, ReadOutcome::Shutdown);
     }
 }

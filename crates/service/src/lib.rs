@@ -69,8 +69,21 @@
 //!
 //! ## Protocol
 //!
-//! One request per line, one response line per request (`OK ...` or
-//! `ERR <message>`); see [`proto`] for the grammar:
+//! Two front ends share one port, negotiated from the first byte of the
+//! connection (`0xB1` opens a binary frame and can never start a UTF-8
+//! text line):
+//!
+//! * **Text** — one request per line, one response line per request
+//!   (`OK ...` or `ERR <message>`), served thread-per-connection.
+//! * **Binary** — length-prefixed frames with client-chosen request ids
+//!   (see [`wire`]), N-deep pipelining with out-of-order responses, and
+//!   the batch verbs `MQUERY`/`MLABEL` that answer many sub-queries
+//!   under one catalog snapshot pin. Binary connections are drained by
+//!   a small poll-loop multiplexer instead of parking one thread each;
+//!   [`BinaryClient`] is the pipelining client side. Responses carry the
+//!   exact bytes the text protocol would have written.
+//!
+//! The text grammar (see [`proto`]):
 //!
 //! ```text
 //! PING                                  liveness probe
@@ -125,19 +138,21 @@ mod client;
 mod fault;
 mod framing;
 mod metrics;
+mod mux;
 mod persist;
 mod prom;
 pub mod proto;
 mod server;
 mod trace;
+pub mod wire;
 
 pub use catalog::{Catalog, DocId, LoadedDoc};
-pub use client::Client;
+pub use client::{BinaryClient, Client};
 // Durability building blocks, re-exported so embedders configure the
 // server without naming the `durable` crate directly.
 pub use durable::{FsyncPolicy, WalOp};
 pub use fault::{Fault, FaultPlan};
-pub use metrics::{Command, CommandSummary, Histogram, Metrics};
+pub use metrics::{Command, CommandSummary, Histogram, Metrics, Protocol, ValueHistogram};
 pub use persist::{Durability, DurabilityStats, RecoverySummary};
 pub use trace::{RequestTrace, SlowEntry, Span, Tracer, SPANS, SPAN_COUNT};
 // The pool moved to the reusable `par` crate so the build pipeline and the

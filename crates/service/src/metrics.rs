@@ -134,6 +134,82 @@ impl Histogram {
     }
 }
 
+/// Bucket count of a [`ValueHistogram`]: upper bounds 1, 2, 4, …, 2^15
+/// plus the open-ended tail — wide enough for any pipeline depth or
+/// batch size the frame caps allow.
+const VALUE_BUCKETS: usize = 16;
+
+/// A fixed-bucket histogram over small dimensionless counts (pipeline
+/// depths, batch sizes) with power-of-two value buckets: bucket `i`
+/// counts samples `v <= 2^i`, the final bucket is open-ended. Same
+/// lock-free recording discipline as the latency [`Histogram`].
+pub struct ValueHistogram {
+    buckets: [AtomicU64; VALUE_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for ValueHistogram {
+    fn default() -> ValueHistogram {
+        ValueHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ValueHistogram {
+    /// Number of buckets (fixed).
+    pub const BUCKET_COUNT: usize = VALUE_BUCKETS;
+
+    /// Creates an empty histogram.
+    pub fn new() -> ValueHistogram {
+        ValueHistogram::default()
+    }
+
+    /// The inclusive upper bound of bucket `i`, or `None` for the
+    /// open-ended final bucket.
+    pub fn bucket_upper(i: usize) -> Option<u64> {
+        (i + 1 < VALUE_BUCKETS).then(|| 1u64 << i)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        // v <= 2^i  ⇔  i >= bits(v - 1); 0 and 1 land in bucket 0.
+        let bucket = (64 - value.saturating_sub(1).leading_zeros() as usize)
+            .min(VALUE_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded sample values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the raw bucket counts.
+    pub fn bucket_counts(&self) -> [u64; VALUE_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The protocol front ends the service meters, in counter order (the
+/// `ruid_protocol_requests_total` Prometheus family).
+pub const PROTOCOLS: [&str; 2] = ["text", "binary"];
+
+/// Selects a per-protocol counter slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The line-delimited text front end.
+    Text = 0,
+    /// The length-prefixed binary front end.
+    Binary = 1,
+}
+
 /// The protocol commands the service meters, in wire order.
 ///
 /// `Invalid` accounts for lines that fail to parse at all.
@@ -180,12 +256,16 @@ pub enum Command {
     Delete,
     /// `RELABEL <doc>`
     Relabel,
+    /// Binary batch verb: one frame of planned queries.
+    MQuery,
+    /// Binary batch verb: one frame of planned label lookups.
+    MLabel,
     /// Unparseable input.
     Invalid,
 }
 
 /// Every command, aligned with the `repr(usize)` discriminants.
-pub const COMMANDS: [Command; 21] = [
+pub const COMMANDS: [Command; 23] = [
     Command::Ping,
     Command::Load,
     Command::Unload,
@@ -206,6 +286,8 @@ pub const COMMANDS: [Command; 21] = [
     Command::Insert,
     Command::Delete,
     Command::Relabel,
+    Command::MQuery,
+    Command::MLabel,
     Command::Invalid,
 ];
 
@@ -233,6 +315,8 @@ impl Command {
             Command::Insert => "INSERT",
             Command::Delete => "DELETE",
             Command::Relabel => "RELABEL",
+            Command::MQuery => "MQUERY",
+            Command::MLabel => "MLABEL",
             Command::Invalid => "INVALID",
         }
     }
@@ -271,6 +355,17 @@ pub struct Metrics {
     planner_time: Histogram,
     /// Committed structural updates, in [`UPDATE_OPS`] order.
     updates: [AtomicU64; UPDATE_OPS.len()],
+    /// Request bytes consumed off the wire (both protocols).
+    net_read: AtomicU64,
+    /// Response bytes written to the wire (both protocols).
+    net_written: AtomicU64,
+    /// Requests per front end, in [`PROTOCOLS`] order.
+    protocol_requests: [AtomicU64; PROTOCOLS.len()],
+    /// Frames decoded per multiplexer drain of one connection — the
+    /// realized pipelining depth.
+    pipeline_depth: ValueHistogram,
+    /// Sub-queries per `MQUERY`/`MLABEL` frame.
+    batch_size: ValueHistogram,
 }
 
 /// The structural update kinds the service counts (the
@@ -351,6 +446,63 @@ impl Metrics {
     /// Counts one torn request (EOF mid-line).
     pub fn record_torn(&self) {
         self.torn.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates request bytes consumed off the wire.
+    pub fn add_net_read(&self, bytes: u64) {
+        self.net_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Accumulates response bytes written to the wire.
+    pub fn add_net_written(&self, bytes: u64) {
+        self.net_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Request bytes consumed so far.
+    pub fn net_bytes_read(&self) -> u64 {
+        self.net_read.load(Ordering::Relaxed)
+    }
+
+    /// Response bytes written so far.
+    pub fn net_bytes_written(&self) -> u64 {
+        self.net_written.load(Ordering::Relaxed)
+    }
+
+    /// The wire-read byte counter itself, for the framing layer to feed
+    /// as it consumes.
+    pub(crate) fn net_read_counter(&self) -> &AtomicU64 {
+        &self.net_read
+    }
+
+    /// Counts one request arriving on the given front end.
+    pub fn record_protocol_request(&self, protocol: Protocol) {
+        self.protocol_requests[protocol as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests per front end so far ([`PROTOCOLS`] order).
+    pub fn protocol_requests(&self) -> [u64; PROTOCOLS.len()] {
+        std::array::from_fn(|i| self.protocol_requests[i].load(Ordering::Relaxed))
+    }
+
+    /// Records the number of frames one multiplexer drain decoded on one
+    /// connection (only called when at least one frame arrived).
+    pub fn record_pipeline_depth(&self, frames: u64) {
+        self.pipeline_depth.record(frames);
+    }
+
+    /// The realized pipelining-depth histogram.
+    pub fn pipeline_depth(&self) -> &ValueHistogram {
+        &self.pipeline_depth
+    }
+
+    /// Records the sub-query count of one `MQUERY`/`MLABEL` frame.
+    pub fn record_batch_size(&self, entries: u64) {
+        self.batch_size.record(entries);
+    }
+
+    /// The batch-size histogram.
+    pub fn batch_size(&self) -> &ValueHistogram {
+        &self.batch_size
     }
 
     /// Accumulates per-axis XPath step counts from one evaluation.
@@ -772,6 +924,49 @@ mod tests {
         assert_eq!(m.plan_ops(), [3, 1, 1, 3]);
         m.record_planner_time(Duration::from_micros(5));
         assert_eq!(m.planner_time().total(), 1);
+    }
+
+    #[test]
+    fn value_histogram_buckets_and_sums() {
+        let h = ValueHistogram::new();
+        assert_eq!(h.total(), 0);
+        for v in [0u64, 1, 2, 3, 4, 32, 33, 1 << 20] {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2, "0 and 1 land in le=1");
+        assert_eq!(counts[1], 1, "2 lands in le=2");
+        assert_eq!(counts[2], 2, "3 and 4 land in le=4");
+        assert_eq!(counts[5], 1, "32 lands in le=32");
+        assert_eq!(counts[6], 1, "33 lands in le=64");
+        assert_eq!(counts[VALUE_BUCKETS - 1], 1, "huge values land in the tail");
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.sum(), 75 + (1 << 20));
+        assert_eq!(ValueHistogram::bucket_upper(0), Some(1));
+        assert_eq!(ValueHistogram::bucket_upper(5), Some(32));
+        assert_eq!(ValueHistogram::bucket_upper(VALUE_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn wire_layer_counters() {
+        let m = Metrics::new();
+        m.add_net_read(100);
+        m.add_net_read(28);
+        m.add_net_written(512);
+        m.record_protocol_request(Protocol::Text);
+        m.record_protocol_request(Protocol::Binary);
+        m.record_protocol_request(Protocol::Binary);
+        m.record_pipeline_depth(16);
+        m.record_batch_size(64);
+        assert_eq!(m.net_bytes_read(), 128);
+        assert_eq!(m.net_bytes_written(), 512);
+        assert_eq!(m.protocol_requests(), [1, 2]);
+        assert_eq!(m.pipeline_depth().total(), 1);
+        assert_eq!(m.pipeline_depth().sum(), 16);
+        assert_eq!(m.batch_size().sum(), 64);
+        m.record(Command::MQuery, false, Duration::from_micros(9));
+        assert_eq!(m.count_of(Command::MQuery), 1);
+        assert!(m.render_line().contains("MQUERY=1/0/"));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use par::PoolStats;
 use plan::ResultCache;
 
 use crate::catalog::Catalog;
-use crate::metrics::{Histogram, Metrics, PLAN_OPERATORS, UPDATE_OPS};
+use crate::metrics::{Histogram, Metrics, ValueHistogram, PLAN_OPERATORS, PROTOCOLS, UPDATE_OPS};
 use crate::persist::Durability;
 use crate::trace::Tracer;
 
@@ -64,6 +64,24 @@ fn histogram(out: &mut String, name: &str, label: &str, h: &Histogram) {
     out.push_str(&format!("{name}_bucket{{{label},le=\"+Inf\"}} {total}\n"));
     out.push_str(&format!("{name}_sum{{{label}}} {}\n", secs(h.sum_ns())));
     out.push_str(&format!("{name}_count{{{label}}} {total}\n"));
+}
+
+/// Renders an unlabeled dimensionless [`ValueHistogram`] (pipeline
+/// depths, batch sizes): power-of-two `le` bounds as plain integers.
+fn value_histogram(out: &mut String, name: &str, h: &ValueHistogram) {
+    let counts = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, count) in counts.iter().enumerate() {
+        let Some(upper) = ValueHistogram::bucket_upper(i) else {
+            break; // the open-ended final bucket is the `+Inf` line
+        };
+        cumulative += count;
+        out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+    }
+    let total = h.total();
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {total}\n"));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {total}\n"));
 }
 
 /// Renders the full exposition. Families with no possible members yet
@@ -119,6 +137,46 @@ pub fn render(ctx: &PromCtx<'_>) -> String {
     for (kind, value) in m.robustness_counters() {
         out.push_str(&format!("ruid_robustness_events_total{{kind=\"{kind}\"}} {value}\n"));
     }
+
+    family(
+        &mut out,
+        "ruid_net_bytes_read_total",
+        "counter",
+        "Request bytes consumed off served connections (both protocols).",
+    );
+    out.push_str(&format!("ruid_net_bytes_read_total {}\n", m.net_bytes_read()));
+    family(
+        &mut out,
+        "ruid_net_bytes_written_total",
+        "counter",
+        "Response bytes written to served connections (both protocols).",
+    );
+    out.push_str(&format!("ruid_net_bytes_written_total {}\n", m.net_bytes_written()));
+    family(
+        &mut out,
+        "ruid_protocol_requests_total",
+        "counter",
+        "Requests received, per wire protocol front end.",
+    );
+    for (protocol, count) in PROTOCOLS.iter().zip(m.protocol_requests()) {
+        out.push_str(&format!(
+            "ruid_protocol_requests_total{{protocol=\"{protocol}\"}} {count}\n"
+        ));
+    }
+    family(
+        &mut out,
+        "ruid_pipeline_depth",
+        "histogram",
+        "Complete binary frames served per connection service pass.",
+    );
+    value_histogram(&mut out, "ruid_pipeline_depth", m.pipeline_depth());
+    family(
+        &mut out,
+        "ruid_batch_size",
+        "histogram",
+        "Sub-queries per MQUERY/MLABEL batch frame.",
+    );
+    value_histogram(&mut out, "ruid_batch_size", m.batch_size());
 
     family(
         &mut out,
@@ -348,6 +406,33 @@ mod tests {
         });
         assert!(body.contains("ruid_trace_enabled 1"), "{body}");
         assert!(body.contains("ruid_slowlog_captured_total 0"), "{body}");
+    }
+
+    #[test]
+    fn wire_layer_families_render() {
+        use crate::metrics::Protocol;
+        let m = Metrics::new();
+        m.add_net_read(120);
+        m.add_net_written(456);
+        m.record_protocol_request(Protocol::Text);
+        m.record_protocol_request(Protocol::Binary);
+        m.record_protocol_request(Protocol::Binary);
+        m.record_pipeline_depth(1);
+        m.record_pipeline_depth(32);
+        m.record_batch_size(64);
+        let body = ctx_metrics_only(&m);
+        assert!(body.contains("ruid_net_bytes_read_total 120"), "{body}");
+        assert!(body.contains("ruid_net_bytes_written_total 456"), "{body}");
+        assert!(body.contains("ruid_protocol_requests_total{protocol=\"text\"} 1"), "{body}");
+        assert!(body.contains("ruid_protocol_requests_total{protocol=\"binary\"} 2"), "{body}");
+        // Value histograms: integer le bounds, cumulative counts.
+        assert!(body.contains("ruid_pipeline_depth_bucket{le=\"1\"} 1"), "{body}");
+        assert!(body.contains("ruid_pipeline_depth_bucket{le=\"32\"} 2"), "{body}");
+        assert!(body.contains("ruid_pipeline_depth_bucket{le=\"+Inf\"} 2"), "{body}");
+        assert!(body.contains("ruid_pipeline_depth_sum 33"), "{body}");
+        assert!(body.contains("ruid_pipeline_depth_count 2"), "{body}");
+        assert!(body.contains("ruid_batch_size_bucket{le=\"64\"} 1"), "{body}");
+        assert!(body.contains("ruid_batch_size_sum 64"), "{body}");
     }
 
     #[test]

@@ -35,11 +35,13 @@ use durable::{Applied, FsyncPolicy, WalOp};
 use crate::catalog::{Catalog, LoadedDoc};
 use crate::fault::{Fault, FaultPlan};
 use crate::framing::{read_request_line, ReadOutcome};
-use crate::metrics::{Command, Metrics};
+use crate::metrics::{Command, Metrics, Protocol};
+use crate::mux::{Mux, MuxShared};
 use crate::persist::Durability;
 use crate::prom::PromCtx;
 use crate::proto::{self, Engine, Request, TraceCmd};
 use crate::trace::{RequestTrace, Span, Tracer};
+use crate::wire::{self, WireRequest, WireResponse};
 use par::{PoolStats, SubmitError, ThreadPool};
 
 /// How often a parked read wakes up to check deadlines and shutdown.
@@ -95,6 +97,10 @@ pub struct ServerConfig {
     pub slowlog_capacity: usize,
     /// Capacity of the planned-query result cache (entries).
     pub plan_cache_cap: usize,
+    /// Poll-loop threads for the binary protocol's connection
+    /// multiplexer; each drains many sockets. The text protocol's
+    /// thread-per-connection pool (`threads`) is unaffected.
+    pub mux_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -117,20 +123,21 @@ impl Default for ServerConfig {
             metrics_addr: None,
             slowlog_capacity: 128,
             plan_cache_cap: 1024,
+            mux_workers: 2,
         }
     }
 }
 
 impl ServerConfig {
-    fn read_deadline(&self) -> Duration {
+    pub(crate) fn read_deadline(&self) -> Duration {
         Duration::from_millis(self.read_timeout_ms.max(1))
     }
 
-    fn write_deadline(&self) -> Duration {
+    pub(crate) fn write_deadline(&self) -> Duration {
         Duration::from_millis(self.write_timeout_ms.max(1))
     }
 
-    fn request_deadline(&self) -> Duration {
+    pub(crate) fn request_deadline(&self) -> Duration {
         Duration::from_millis(self.request_timeout_ms.max(1))
     }
 }
@@ -242,6 +249,24 @@ impl Server {
             None => (None, None),
         };
 
+        // Monotone request index driving the fault plan, shared by every
+        // connection of this server instance — text and binary alike.
+        let request_counter = Arc::new(AtomicU64::new(0));
+        // The binary protocol's poll-loop multiplexer; sniffed-as-binary
+        // connections are handed to it and their pool worker is freed.
+        let mux = Arc::new(Mux::start(Arc::new(MuxShared {
+            config: config.clone(),
+            catalog: Arc::clone(&catalog),
+            metrics: Arc::clone(&metrics),
+            durability: durability.clone(),
+            tracer: Arc::clone(&tracer),
+            pool_stats: Arc::clone(&pool_stats),
+            plan_cache: Arc::clone(&plan_cache),
+            shutdown: Arc::clone(&shutdown),
+            request_counter: Arc::clone(&request_counter),
+            listen_addr: addr,
+        })));
+
         let acceptor = {
             let catalog = Arc::clone(&catalog);
             let metrics = Arc::clone(&metrics);
@@ -250,9 +275,7 @@ impl Server {
             let tracer = Arc::clone(&tracer);
             let pool_stats = Arc::clone(&pool_stats);
             let plan_cache = Arc::clone(&plan_cache);
-            // Monotone request index driving the fault plan, shared by
-            // every connection of this server instance.
-            let request_counter = Arc::new(AtomicU64::new(0));
+            let mux = Arc::clone(&mux);
             std::thread::Builder::new()
                 .name("ruid-acceptor".into())
                 .spawn(move || {
@@ -268,8 +291,10 @@ impl Server {
                         &pool_stats,
                         &plan_cache,
                         &request_counter,
+                        &mux,
                     );
                     pool.shutdown();
+                    mux.join();
                     // Best-effort: whatever reached the WAL is on disk
                     // before the process can exit.
                     if let Some(d) = &durability {
@@ -463,6 +488,7 @@ fn accept_loop(
     pool_stats: &Arc<PoolStats>,
     plan_cache: &Arc<ResultCache>,
     request_counter: &Arc<AtomicU64>,
+    mux: &Arc<Mux>,
 ) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
@@ -482,6 +508,7 @@ fn accept_loop(
         let pool_stats = Arc::clone(pool_stats);
         let plan_cache = Arc::clone(plan_cache);
         let request_counter = Arc::clone(request_counter);
+        let mux = Arc::clone(mux);
         let submitted = pool.try_execute(move || {
             let _ = serve_connection(
                 stream,
@@ -494,6 +521,7 @@ fn accept_loop(
                 &pool_stats,
                 &plan_cache,
                 &request_counter,
+                &mux,
             );
         });
         match submitted {
@@ -536,7 +564,10 @@ fn write_response(
         .and_then(|()| writer.write_all(b"\n"))
         .and_then(|()| writer.flush());
     match write {
-        Ok(()) => WriteOutcome::Written,
+        Ok(()) => {
+            metrics.add_net_written(response.len() as u64 + 1);
+            WriteOutcome::Written
+        }
         Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
             metrics.record_deadline_write();
             WriteOutcome::Lost
@@ -545,8 +576,10 @@ fn write_response(
     }
 }
 
-/// Drives one connection: read a framed line, dispatch under the request
-/// deadline, write one response line back.
+/// Drives one connection: sniff the protocol from the first byte, then
+/// either hand the socket to the binary multiplexer or run the text
+/// loop — read a framed line, dispatch under the request deadline, write
+/// one response line back.
 #[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
@@ -559,6 +592,7 @@ fn serve_connection(
     pool_stats: &PoolStats,
     plan_cache: &ResultCache,
     request_counter: &AtomicU64,
+    mux: &Mux,
 ) -> std::io::Result<()> {
     let ctx =
         ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats, plan_cache };
@@ -568,6 +602,29 @@ fn serve_connection(
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_write_timeout(Some(config.write_deadline()))?;
     stream.set_nodelay(true)?;
+    // Protocol negotiation is one peeked byte: [`wire::REQ_MAGIC`] can
+    // never start a UTF-8 text line, so the first byte decides which
+    // front end drives the connection.
+    let mut first = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.peek(&mut first) {
+            Ok(0) => return Ok(()), // closed before the first byte
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if first[0] == wire::REQ_MAGIC {
+        // Binary: this worker's job ends here — the multiplexer drains
+        // the socket from its poll loop, freeing the pool slot.
+        stream.set_nonblocking(true)?;
+        mux.adopt(stream);
+        return Ok(());
+    }
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
@@ -578,9 +635,10 @@ fn serve_connection(
             config.max_line_bytes,
             config.read_deadline(),
             shutdown,
+            metrics.net_read_counter(),
         )?;
         match outcome {
-            ReadOutcome::Line => {}
+            ReadOutcome::Line => metrics.record_protocol_request(Protocol::Text),
             ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
             ReadOutcome::TornEof => {
                 metrics.record_torn();
@@ -665,7 +723,9 @@ fn serve_connection(
             let mut full = response;
             full.push('\n');
             let n = bytes.min(full.len());
-            let _ = writer.write_all(&full.as_bytes()[..n]).and_then(|()| writer.flush());
+            if writer.write_all(&full.as_bytes()[..n]).and_then(|()| writer.flush()).is_ok() {
+                metrics.add_net_written(n as u64);
+            }
             return Ok(());
         }
         let write_started = Instant::now();
@@ -692,15 +752,17 @@ fn serve_connection(
 
 /// Everything the dispatcher reads, bundled so new layers (tracing, the
 /// pool's stats, …) don't keep growing a positional argument list.
+/// Crate-visible because the binary multiplexer borrows one per request
+/// out of its owned [`crate::mux::MuxShared`].
 #[derive(Clone, Copy)]
-struct ServiceCtx<'a> {
-    config: &'a ServerConfig,
-    catalog: &'a Catalog,
-    metrics: &'a Metrics,
-    durability: Option<&'a Durability>,
-    tracer: &'a Tracer,
-    pool_stats: &'a PoolStats,
-    plan_cache: &'a ResultCache,
+pub(crate) struct ServiceCtx<'a> {
+    pub(crate) config: &'a ServerConfig,
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) metrics: &'a Metrics,
+    pub(crate) durability: Option<&'a Durability>,
+    pub(crate) tracer: &'a Tracer,
+    pub(crate) pool_stats: &'a PoolStats,
+    pub(crate) plan_cache: &'a ResultCache,
 }
 
 /// Runs `f`, charging its wall time to `span` when the request is traced.
@@ -739,6 +801,146 @@ fn handle_line(
         }
         Err(e) => (Command::Invalid, format!("ERR {e}")),
     }
+}
+
+/// The result of executing one binary-protocol frame.
+pub(crate) struct FrameOutcome {
+    /// What to encode back (under the request's own id).
+    pub(crate) response: WireResponse,
+    /// True when this was a successful `SHUTDOWN` — the caller must set
+    /// the server-wide flag and wake the acceptor.
+    pub(crate) shutdown: bool,
+}
+
+/// A one-line rendering of a binary request for the slowlog, mirroring
+/// what the text protocol would have logged.
+fn describe_wire(request: &WireRequest) -> String {
+    match request {
+        WireRequest::Ping => "PING".into(),
+        WireRequest::Query { doc, engine, xpath } => {
+            format!("QUERY {doc} {xpath} {engine:?}")
+        }
+        WireRequest::Label { doc, xpath } => format!("LABEL {doc} {xpath}"),
+        WireRequest::Parent { doc, label } => {
+            format!("PARENT {doc} {}", proto::fmt_label(label))
+        }
+        WireRequest::Get { doc, label } => {
+            format!("GET {doc} {}", proto::fmt_label(label))
+        }
+        WireRequest::MQuery { doc, xpaths } => {
+            format!("MQUERY {doc} [{} queries]", xpaths.len())
+        }
+        WireRequest::MLabel { doc, xpaths } => {
+            format!("MLABEL {doc} [{} queries]", xpaths.len())
+        }
+        WireRequest::Text { line } => line.clone(),
+    }
+}
+
+/// The batch body shared by `MQUERY`/`MLABEL`: pin the document's
+/// snapshot `Arc` once, answer every sub-query from the planned engine
+/// (and its result cache) against that one pinned generation. A missing
+/// document still answers one line per sub-query, so the batch reply
+/// always has the arity the client sent.
+fn run_batch(
+    ctx: &ServiceCtx<'_>,
+    trace: &mut Option<&mut RequestTrace>,
+    doc: u64,
+    xpaths: &[String],
+) -> Vec<String> {
+    ctx.metrics.record_batch_size(xpaths.len() as u64);
+    let loaded = match timed(trace, Span::Lookup, || fetch(ctx.catalog, doc)) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            let err = format!("ERR {}", proto::escape_line(&e));
+            return vec![err; xpaths.len()];
+        }
+    };
+    timed(trace, Span::Eval, || {
+        xpaths
+            .iter()
+            .map(|xpath| {
+                match planned_cached(&loaded, doc, xpath, ctx.plan_cache, ctx.metrics) {
+                    Ok(line) => line,
+                    Err(e) => format!("ERR {}", proto::escape_line(&e)),
+                }
+            })
+            .collect()
+    })
+}
+
+/// Executes one decoded binary request end to end — fault stall, the
+/// per-request deadline, metrics, slowlog — and returns the response
+/// body. Single verbs run through the same [`execute`] dispatcher as
+/// their text spellings, so byte-identical responses across the two
+/// front ends hold by construction.
+pub(crate) fn execute_frame(
+    ctx: &ServiceCtx<'_>,
+    request: WireRequest,
+    stall_ms: Option<u64>,
+) -> FrameOutcome {
+    let ServiceCtx { config, metrics, tracer, .. } = *ctx;
+    let started = Instant::now();
+    let mut request_trace = tracer.enabled().then(|| tracer.begin());
+    let trace_line = request_trace.as_ref().map(|_| describe_wire(&request));
+    if let Some(ms) = stall_ms {
+        // The stall happens "inside" handling, so it counts against the
+        // per-request deadline — same as the text path.
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    let single = |request: Request, trace: Option<&mut RequestTrace>| {
+        let command = request.command();
+        let response = match execute(request, ctx, trace) {
+            Ok(ok) => ok,
+            Err(e) => format!("ERR {}", proto::escape_line(&e)),
+        };
+        (command, WireResponse::Line(response))
+    };
+    let mut trace = request_trace.as_mut();
+    let (command, mut response) = match request {
+        WireRequest::Ping => single(Request::Ping, trace.take()),
+        WireRequest::Query { doc, engine, xpath } => {
+            single(Request::Query { doc, xpath, engine }, trace.take())
+        }
+        WireRequest::Label { doc, xpath } => {
+            single(Request::Label { doc, xpath }, trace.take())
+        }
+        WireRequest::Parent { doc, label } => {
+            single(Request::Parent { doc, label }, trace.take())
+        }
+        WireRequest::Get { doc, label } => {
+            single(Request::Get { doc, label }, trace.take())
+        }
+        WireRequest::Text { line } => {
+            let (command, response) = handle_line(&line, ctx, trace.take());
+            (command, WireResponse::Line(response))
+        }
+        WireRequest::MQuery { doc, xpaths } => {
+            (Command::MQuery, WireResponse::Batch(run_batch(ctx, &mut trace, doc, &xpaths)))
+        }
+        WireRequest::MLabel { doc, xpaths } => {
+            (Command::MLabel, WireResponse::Batch(run_batch(ctx, &mut trace, doc, &xpaths)))
+        }
+    };
+    let elapsed = started.elapsed();
+    let mut is_error = match &response {
+        WireResponse::Line(line) => line.starts_with("ERR"),
+        WireResponse::Batch(lines) => lines.iter().any(|line| line.starts_with("ERR")),
+    };
+    if elapsed > config.request_deadline() {
+        metrics.record_deadline_request();
+        response = WireResponse::Line(format!(
+            "ERR request deadline exceeded ({} ms limit)",
+            config.request_timeout_ms
+        ));
+        is_error = true;
+    }
+    metrics.record(command, is_error, elapsed);
+    if let Some(t) = &request_trace {
+        let line = trace_line.as_deref().unwrap_or("");
+        tracer.observe(command, line, started.elapsed().as_nanos() as u64, t);
+    }
+    FrameOutcome { response, shutdown: command == Command::Shutdown && !is_error }
 }
 
 fn fetch(catalog: &Catalog, id: u64) -> Result<Arc<LoadedDoc>, String> {

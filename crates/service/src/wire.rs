@@ -1,0 +1,653 @@
+//! Length-prefixed binary framing: the pipelined wire protocol.
+//!
+//! The text protocol spends one syscall pair and one response write per
+//! request, and a worker thread parks on every idle connection. The
+//! binary protocol fixes the serving economics without touching request
+//! semantics: every frame carries a client-chosen **request id**, many
+//! frames can be in flight per connection (pipelining), and responses may
+//! come back **out of order** — the id is what matches them up. Batch
+//! verbs (`MQUERY`/`MLABEL`) go further and amortize one catalog snapshot
+//! pin and one reply write over a whole batch of XPath expressions.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! request   0xB1 | len:u32 LE | id:u64 LE | verb:u8 | payload
+//! response  0xB2 | len:u32 LE | id:u64 LE | status:u8 | payload
+//! ```
+//!
+//! `len` counts the *body* (id + verb/status + payload), so a frame is
+//! `5 + len` bytes on the wire. The magics `0xB1`/`0xB2` are invalid as a
+//! UTF-8 lead byte, which is what lets the server sniff the protocol from
+//! the first byte of a connection: a text request line can never start
+//! with them.
+//!
+//! ## Verbs
+//!
+//! | code | verb     | payload                                              |
+//! |------|----------|------------------------------------------------------|
+//! | 0x01 | `PING`   | empty                                                |
+//! | 0x02 | `QUERY`  | `doc:u64 \| engine:u8 \| xpath:utf8…`                |
+//! | 0x03 | `LABEL`  | `doc:u64 \| xpath:utf8…`                             |
+//! | 0x04 | `PARENT` | `doc:u64 \| g:u64 \| l:u64 \| root:u8`               |
+//! | 0x05 | `GET`    | `doc:u64 \| g:u64 \| l:u64 \| root:u8`               |
+//! | 0x06 | `MQUERY` | `doc:u64 \| n:u32 \| n × (len:u32 \| xpath:utf8)`    |
+//! | 0x07 | `MLABEL` | `doc:u64 \| n:u32 \| n × (len:u32 \| xpath:utf8)`    |
+//! | 0x08 | `TEXT`   | one text-protocol request line (escape hatch for     |
+//! |      |          | every other verb: `LOAD`, `METRICS`, `SHUTDOWN`, …)  |
+//!
+//! Engine codes: 0 = planned (default), 1 = tree, 2 = ruid, 3 = indexed.
+//!
+//! ## Responses
+//!
+//! Status 0 (`LINE`) carries exactly the bytes the text protocol would
+//! have answered for the same request (without the `\n` terminator) — the
+//! two front ends are byte-identical by construction. Status 1 (`BATCH`)
+//! answers `MQUERY`/`MLABEL` with `n:u32 | n × (len:u32 | line)`, one
+//! text-identical response line per sub-query, in sub-query order.
+//!
+//! ## Robustness
+//!
+//! Decoding is **total**: any byte slice decodes to exactly one of
+//! [`Decoded`]'s arms without panicking. Truncations of a valid frame
+//! always decode `Incomplete` (the caller waits for more bytes); a frame
+//! whose declared body length exceeds the configured cap is `Oversized`
+//! *before* any allocation happens; a structurally complete frame with a
+//! bad interior (unknown verb, bad UTF-8, short counts) is `Malformed`
+//! and names how many bytes to skip, so one bad frame costs one `ERR`
+//! response, not the connection.
+
+use crate::proto::Engine;
+use ruid_core::Ruid2;
+
+/// First byte of every binary request frame (never a UTF-8 lead byte).
+pub const REQ_MAGIC: u8 = 0xB1;
+/// First byte of every binary response frame.
+pub const RESP_MAGIC: u8 = 0xB2;
+/// Bytes before the body: magic + the `u32` body length.
+pub const HEADER_BYTES: usize = 5;
+/// The smallest legal body: an id and a verb/status byte.
+const MIN_BODY: usize = 9;
+/// Upper bound on `MQUERY`/`MLABEL` sub-queries per frame.
+pub const MAX_BATCH: usize = 4096;
+
+/// One decoded binary request (the typed mirror of the verb table above).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// `PING`.
+    Ping,
+    /// `QUERY <doc> <xpath> [engine]`.
+    Query {
+        /// Target document id.
+        doc: u64,
+        /// Which axis engine evaluates it.
+        engine: Engine,
+        /// XPath expression.
+        xpath: String,
+    },
+    /// `LABEL <doc> <xpath>`.
+    Label {
+        /// Target document id.
+        doc: u64,
+        /// XPath expression.
+        xpath: String,
+    },
+    /// `PARENT <doc> <g> <l> <r>`.
+    Parent {
+        /// Target document id.
+        doc: u64,
+        /// The identifier to take the parent of.
+        label: Ruid2,
+    },
+    /// `GET <doc> <g> <l> <r>`.
+    Get {
+        /// Target document id.
+        doc: u64,
+        /// The identifier to fetch.
+        label: Ruid2,
+    },
+    /// `MQUERY <doc>` over a batch of XPath expressions: one catalog
+    /// snapshot pin, one planned/cached evaluation per entry, one reply.
+    MQuery {
+        /// Target document id.
+        doc: u64,
+        /// The batched XPath expressions.
+        xpaths: Vec<String>,
+    },
+    /// `MLABEL <doc>`: identical to `MQUERY` (labels *are* the planned
+    /// rendering), metered under its own command bucket.
+    MLabel {
+        /// Target document id.
+        doc: u64,
+        /// The batched XPath expressions.
+        xpaths: Vec<String>,
+    },
+    /// A raw text-protocol request line carried over a binary frame —
+    /// the compatibility escape hatch for every other verb.
+    Text {
+        /// The request line, exactly as the text protocol would read it.
+        line: String,
+    },
+}
+
+/// One decoded binary response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// Status 0: the text-protocol response line (no terminator).
+    Line(String),
+    /// Status 1: one text-identical response line per sub-query.
+    Batch(Vec<String>),
+}
+
+/// A request frame: the id the client chose plus the request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: u64,
+    /// The decoded request.
+    pub request: WireRequest,
+}
+
+/// A response frame: the echoed id plus the response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// The id of the request this answers (0 for connection-level errors
+    /// the server raises on its own, e.g. an oversized frame).
+    pub id: u64,
+    /// The decoded response.
+    pub response: WireResponse,
+}
+
+/// The total outcome of one decode attempt over a byte buffer.
+#[derive(Debug, PartialEq)]
+pub enum Decoded<T> {
+    /// A complete frame; `consumed` bytes of the buffer belong to it.
+    Frame {
+        /// The decoded frame.
+        frame: T,
+        /// Bytes of the input the frame occupied.
+        consumed: usize,
+    },
+    /// Not enough bytes yet — read more and retry with a longer slice.
+    Incomplete,
+    /// The header declares a body larger than the configured cap. The
+    /// connection cannot resynchronize (the length itself is untrusted):
+    /// answer an error and close.
+    Oversized {
+        /// The declared body length.
+        declared: usize,
+    },
+    /// A structurally complete frame with a bad interior. Skipping
+    /// `consumed` bytes resynchronizes on the next frame.
+    Malformed {
+        /// The frame's request id when it could be read, else 0.
+        id: u64,
+        /// What was wrong.
+        reason: String,
+        /// Bytes to skip to reach the next frame.
+        consumed: usize,
+    },
+    /// The first byte is not the expected magic — this is not a binary
+    /// frame stream. Close.
+    Corrupt {
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+fn engine_code(engine: Engine) -> u8 {
+    match engine {
+        Engine::Planned => 0,
+        Engine::Tree => 1,
+        Engine::Ruid => 2,
+        Engine::Indexed => 3,
+    }
+}
+
+fn engine_from(code: u8) -> Option<Engine> {
+    match code {
+        0 => Some(Engine::Planned),
+        1 => Some(Engine::Tree),
+        2 => Some(Engine::Ruid),
+        3 => Some(Engine::Indexed),
+        _ => None,
+    }
+}
+
+fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for item in items {
+        out.extend_from_slice(&(item.len() as u32).to_le_bytes());
+        out.extend_from_slice(item.as_bytes());
+    }
+}
+
+fn put_label(out: &mut Vec<u8>, label: &Ruid2) {
+    out.extend_from_slice(&label.global.to_le_bytes());
+    out.extend_from_slice(&label.local.to_le_bytes());
+    out.push(u8::from(label.is_root));
+}
+
+/// Appends one encoded request frame to `out` (which may already hold
+/// other frames — that is how a pipelined client builds one write).
+pub fn encode_request(id: u64, request: &WireRequest, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.push(REQ_MAGIC);
+    out.extend_from_slice(&[0u8; 4]); // length back-patched below
+    out.extend_from_slice(&id.to_le_bytes());
+    match request {
+        WireRequest::Ping => out.push(0x01),
+        WireRequest::Query { doc, engine, xpath } => {
+            out.push(0x02);
+            out.extend_from_slice(&doc.to_le_bytes());
+            out.push(engine_code(*engine));
+            out.extend_from_slice(xpath.as_bytes());
+        }
+        WireRequest::Label { doc, xpath } => {
+            out.push(0x03);
+            out.extend_from_slice(&doc.to_le_bytes());
+            out.extend_from_slice(xpath.as_bytes());
+        }
+        WireRequest::Parent { doc, label } => {
+            out.push(0x04);
+            out.extend_from_slice(&doc.to_le_bytes());
+            put_label(out, label);
+        }
+        WireRequest::Get { doc, label } => {
+            out.push(0x05);
+            out.extend_from_slice(&doc.to_le_bytes());
+            put_label(out, label);
+        }
+        WireRequest::MQuery { doc, xpaths } => {
+            out.push(0x06);
+            out.extend_from_slice(&doc.to_le_bytes());
+            put_str_list(out, xpaths);
+        }
+        WireRequest::MLabel { doc, xpaths } => {
+            out.push(0x07);
+            out.extend_from_slice(&doc.to_le_bytes());
+            put_str_list(out, xpaths);
+        }
+        WireRequest::Text { line } => {
+            out.push(0x08);
+            out.extend_from_slice(line.as_bytes());
+        }
+    }
+    patch_len(out, start);
+}
+
+/// Appends one encoded response frame to `out`.
+pub fn encode_response(id: u64, response: &WireResponse, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.push(RESP_MAGIC);
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend_from_slice(&id.to_le_bytes());
+    match response {
+        WireResponse::Line(line) => {
+            out.push(0);
+            out.extend_from_slice(line.as_bytes());
+        }
+        WireResponse::Batch(lines) => {
+            out.push(1);
+            put_str_list(out, lines);
+        }
+    }
+    patch_len(out, start);
+}
+
+fn patch_len(out: &mut [u8], start: usize) {
+    let len = (out.len() - start - HEADER_BYTES) as u32;
+    out[start + 1..start + HEADER_BYTES].copy_from_slice(&len.to_le_bytes());
+}
+
+/// A bounds-checked cursor over a frame body; every `take_*` fails with a
+/// message instead of slicing out of range, which is what keeps decoding
+/// total.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.rest.len() < n {
+            return Err(format!("truncated {what} ({} of {n} bytes)", self.rest.len()));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn take_u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn take_u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn take_u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn take_label(&mut self) -> Result<Ruid2, String> {
+        let global = self.take_u64("global index")?;
+        let local = self.take_u64("local index")?;
+        let is_root = match self.take_u8("root flag")? {
+            0 => false,
+            1 => true,
+            other => return Err(format!("bad root flag {other} (want 0|1)")),
+        };
+        Ok(Ruid2::new(global, local, is_root))
+    }
+
+    fn take_str_rest(&mut self, what: &str) -> Result<String, String> {
+        let bytes = std::mem::take(&mut self.rest);
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not valid utf-8"))
+    }
+
+    fn take_str_list(&mut self) -> Result<Vec<String>, String> {
+        let count = self.take_u32("batch count")? as usize;
+        if count > MAX_BATCH {
+            return Err(format!("batch of {count} exceeds the {MAX_BATCH}-entry limit"));
+        }
+        let mut items = Vec::with_capacity(count.min(64));
+        for i in 0..count {
+            let len = self.take_u32("batch entry length")? as usize;
+            let bytes = self.take(len, "batch entry")?;
+            items.push(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| format!("batch entry {i} is not valid utf-8"))?
+                    .to_owned(),
+            );
+        }
+        Ok(items)
+    }
+
+    fn finish(&self, what: &str) -> Result<(), String> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after {what}", self.rest.len()))
+        }
+    }
+}
+
+/// Splits one frame off the front of `buf`: checks the magic, reads the
+/// declared body length against `cap + MIN_BODY` (so `cap` bounds the
+/// payload, exactly like `max_line_bytes` bounds a text line), and hands
+/// the body to `parse`.
+fn decode_frame<T>(
+    buf: &[u8],
+    magic: u8,
+    bad_magic: &'static str,
+    cap: usize,
+    parse: impl FnOnce(u64, u8, Cursor<'_>) -> Result<T, String>,
+) -> Decoded<T> {
+    let Some(&first) = buf.first() else { return Decoded::Incomplete };
+    if first != magic {
+        return Decoded::Corrupt { reason: bad_magic };
+    }
+    if buf.len() < HEADER_BYTES {
+        return Decoded::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[1..HEADER_BYTES].try_into().expect("4 bytes")) as usize;
+    if len > cap.saturating_add(MIN_BODY) {
+        return Decoded::Oversized { declared: len };
+    }
+    let consumed = HEADER_BYTES + len;
+    if buf.len() < consumed {
+        return Decoded::Incomplete;
+    }
+    let body = &buf[HEADER_BYTES..consumed];
+    if body.len() < MIN_BODY {
+        return Decoded::Malformed {
+            id: 0,
+            reason: format!("frame body too short ({} bytes)", body.len()),
+            consumed,
+        };
+    }
+    let id = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    let tag = body[8];
+    match parse(id, tag, Cursor { rest: &body[MIN_BODY..] }) {
+        Ok(frame) => Decoded::Frame { frame, consumed },
+        Err(reason) => Decoded::Malformed { id, reason, consumed },
+    }
+}
+
+/// Decodes one request frame off the front of `buf`. `cap` is the payload
+/// cap (the server passes its `max_line_bytes`).
+pub fn decode_request(buf: &[u8], cap: usize) -> Decoded<RequestFrame> {
+    decode_frame(buf, REQ_MAGIC, "bad request magic", cap, |id, verb, mut c| {
+        let request = match verb {
+            0x01 => {
+                c.finish("PING")?;
+                WireRequest::Ping
+            }
+            0x02 => {
+                let doc = c.take_u64("document id")?;
+                let engine = engine_from(c.take_u8("engine code")?)
+                    .ok_or("bad engine code (want 0..=3)")?;
+                WireRequest::Query { doc, engine, xpath: c.take_str_rest("xpath")? }
+            }
+            0x03 => {
+                let doc = c.take_u64("document id")?;
+                WireRequest::Label { doc, xpath: c.take_str_rest("xpath")? }
+            }
+            0x04 => {
+                let doc = c.take_u64("document id")?;
+                let label = c.take_label()?;
+                c.finish("PARENT")?;
+                WireRequest::Parent { doc, label }
+            }
+            0x05 => {
+                let doc = c.take_u64("document id")?;
+                let label = c.take_label()?;
+                c.finish("GET")?;
+                WireRequest::Get { doc, label }
+            }
+            0x06 => {
+                let doc = c.take_u64("document id")?;
+                let xpaths = c.take_str_list()?;
+                c.finish("MQUERY")?;
+                WireRequest::MQuery { doc, xpaths }
+            }
+            0x07 => {
+                let doc = c.take_u64("document id")?;
+                let xpaths = c.take_str_list()?;
+                c.finish("MLABEL")?;
+                WireRequest::MLabel { doc, xpaths }
+            }
+            0x08 => WireRequest::Text { line: c.take_str_rest("request line")? },
+            other => return Err(format!("unknown verb 0x{other:02x}")),
+        };
+        Ok(RequestFrame { id, request })
+    })
+}
+
+/// Decodes one response frame off the front of `buf`. Responses have no
+/// payload cap (a `QUERY` answer can be arbitrarily long); the length
+/// field still bounds the read.
+pub fn decode_response(buf: &[u8]) -> Decoded<ResponseFrame> {
+    decode_frame(buf, RESP_MAGIC, "bad response magic", u32::MAX as usize, |id, status, mut c| {
+        let response = match status {
+            0 => WireResponse::Line(c.take_str_rest("response line")?),
+            1 => {
+                let lines = c.take_str_list()?;
+                c.finish("batch response")?;
+                WireResponse::Batch(lines)
+            }
+            other => return Err(format!("unknown status {other}")),
+        };
+        Ok(ResponseFrame { id, response })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(request: WireRequest) {
+        let mut buf = Vec::new();
+        encode_request(7, &request, &mut buf);
+        match decode_request(&buf, 64 * 1024) {
+            Decoded::Frame { frame, consumed } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(frame.id, 7);
+                assert_eq!(frame.request, request);
+            }
+            other => panic!("{request:?} decoded to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        roundtrip(WireRequest::Ping);
+        roundtrip(WireRequest::Query {
+            doc: 3,
+            engine: Engine::Indexed,
+            xpath: "//b[c]/c".into(),
+        });
+        roundtrip(WireRequest::Label { doc: 1, xpath: "//a".into() });
+        roundtrip(WireRequest::Parent { doc: 2, label: Ruid2::new(4, 9, false) });
+        roundtrip(WireRequest::Get { doc: 2, label: Ruid2::new(1, 1, true) });
+        roundtrip(WireRequest::MQuery {
+            doc: 5,
+            xpaths: vec!["//a".into(), "/a/b[c]".into(), String::new()],
+        });
+        roundtrip(WireRequest::MLabel { doc: 5, xpaths: vec![] });
+        roundtrip(WireRequest::Text { line: "METRICS prom".into() });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for response in [
+            WireResponse::Line("OK 2 (1,1,true) (2,3,false)".into()),
+            WireResponse::Line(String::new()),
+            WireResponse::Batch(vec!["OK 0".into(), "ERR no document 9".into()]),
+            WireResponse::Batch(vec![]),
+        ] {
+            let mut buf = Vec::new();
+            encode_response(99, &response, &mut buf);
+            match decode_response(&buf) {
+                Decoded::Frame { frame, consumed } => {
+                    assert_eq!(consumed, buf.len());
+                    assert_eq!(frame.id, 99);
+                    assert_eq!(frame.response, response);
+                }
+                other => panic!("{response:?} decoded to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete() {
+        let mut buf = Vec::new();
+        encode_request(
+            1,
+            &WireRequest::MQuery { doc: 1, xpaths: vec!["//a".into(), "//b/c".into()] },
+            &mut buf,
+        );
+        for n in 0..buf.len() {
+            assert_eq!(
+                decode_request(&buf[..n], 64 * 1024),
+                Decoded::Incomplete,
+                "prefix of {n} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt() {
+        assert!(matches!(decode_request(b"PING\n", 1024), Decoded::Corrupt { .. }));
+        assert!(matches!(decode_response(b"OK pong\n"), Decoded::Corrupt { .. }));
+        assert_eq!(decode_request(&[], 1024), Decoded::Incomplete);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_the_body_arrives() {
+        let mut buf = vec![REQ_MAGIC];
+        buf.extend_from_slice(&(1_000_000u32).to_le_bytes());
+        assert_eq!(decode_request(&buf, 1024), Decoded::Oversized { declared: 1_000_000 });
+        // The cap bounds the payload: a body of exactly cap + MIN_BODY is
+        // still allowed (mirrors a text line of exactly max_line_bytes).
+        let mut ok = Vec::new();
+        encode_request(1, &WireRequest::Text { line: "x".repeat(1024) }, &mut ok);
+        assert!(matches!(decode_request(&ok, 1024), Decoded::Frame { .. }));
+    }
+
+    #[test]
+    fn malformed_frames_resync_at_the_next_frame() {
+        // Unknown verb.
+        let mut buf = vec![REQ_MAGIC];
+        buf.extend_from_slice(&(MIN_BODY as u32).to_le_bytes());
+        buf.extend_from_slice(&42u64.to_le_bytes());
+        buf.push(0xEE);
+        let tail = buf.len();
+        encode_request(43, &WireRequest::Ping, &mut buf);
+        match decode_request(&buf, 1024) {
+            Decoded::Malformed { id, consumed, .. } => {
+                assert_eq!(id, 42);
+                assert_eq!(consumed, tail);
+                assert!(matches!(decode_request(&buf[consumed..], 1024), Decoded::Frame { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Body shorter than id + verb.
+        let mut short = vec![REQ_MAGIC];
+        short.extend_from_slice(&3u32.to_le_bytes());
+        short.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            decode_request(&short, 1024),
+            Decoded::Malformed { id: 0, .. }
+        ));
+        // Batch count pointing past the payload.
+        let mut bad = vec![REQ_MAGIC];
+        let body_len = 8 + 1 + 8 + 4; // id + verb + doc + count
+        bad.extend_from_slice(&(body_len as u32).to_le_bytes());
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.push(0x06);
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&9u32.to_le_bytes()); // 9 entries, no bytes
+        assert!(matches!(decode_request(&bad, 1024), Decoded::Malformed { id: 1, .. }));
+        // Bad engine code.
+        let mut bad_engine = Vec::new();
+        encode_request(
+            5,
+            &WireRequest::Query { doc: 1, engine: Engine::Planned, xpath: "//a".into() },
+            &mut bad_engine,
+        );
+        bad_engine[HEADER_BYTES + MIN_BODY + 8] = 7; // engine byte
+        assert!(matches!(decode_request(&bad_engine, 1024), Decoded::Malformed { id: 5, .. }));
+        // Trailing bytes after a fixed-size payload.
+        let mut padded = Vec::new();
+        encode_request(6, &WireRequest::Ping, &mut padded);
+        padded.push(0);
+        patch_len(&mut padded, 0);
+        assert!(matches!(decode_request(&padded, 1024), Decoded::Malformed { id: 6, .. }));
+    }
+
+    #[test]
+    fn frames_concatenate_and_split() {
+        let mut buf = Vec::new();
+        let reqs = [
+            WireRequest::Ping,
+            WireRequest::Query { doc: 1, engine: Engine::Planned, xpath: "//a".into() },
+            WireRequest::Text { line: "LIST".into() },
+        ];
+        for (i, r) in reqs.iter().enumerate() {
+            encode_request(i as u64, r, &mut buf);
+        }
+        let mut off = 0;
+        for (i, r) in reqs.iter().enumerate() {
+            match decode_request(&buf[off..], 1024) {
+                Decoded::Frame { frame, consumed } => {
+                    assert_eq!(frame.id, i as u64);
+                    assert_eq!(&frame.request, r);
+                    off += consumed;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(off, buf.len());
+    }
+}

@@ -11,7 +11,10 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ruid_service::{Client, Fault, FaultPlan, Metrics, Server, ServerConfig, ServerHandle};
+use ruid_service::wire::{WireRequest, WireResponse};
+use ruid_service::{
+    BinaryClient, Client, Fault, FaultPlan, Metrics, Server, ServerConfig, ServerHandle,
+};
 
 fn write_sample() -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("ruid-fault-test-{}", std::process::id()));
@@ -286,6 +289,104 @@ fn delayed_server_response_hits_client_timeout() {
     // The fault index was consumed; the next request is served normally.
     let mut fresh = Client::connect(handle.addr()).unwrap();
     assert_eq!(fresh.request("PING").unwrap(), "OK pong");
+    handle.stop();
+}
+
+#[test]
+fn torn_binary_frame_ticks_torn_counter() {
+    // The binary front end must account a half-written frame followed by
+    // EOF exactly like the text framer accounts a newline-less line.
+    let handle = start_with(ServerConfig::default());
+    let id = load_sample(&handle);
+
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::TornWrite { bytes: 8 }));
+    let mut faulty = BinaryClient::connect_with_faults(handle.addr(), plan).unwrap();
+    let err = faulty.send(&WireRequest::Ping).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
+
+    let metrics = metrics_of(&handle);
+    assert!(wait_for(|| metrics.torn() == 1), "torn counter never ticked");
+    assert_eq!(handle.catalog().len(), 1, "torn frame mutated the catalog");
+    // Both front ends keep serving.
+    let mut binary = BinaryClient::connect(handle.addr()).unwrap();
+    assert_eq!(binary.request("PING").unwrap(), "OK pong");
+    let mut text = Client::connect(handle.addr()).unwrap();
+    assert!(text.request(&format!("STATS {id}")).unwrap().contains("nodes=11"));
+    handle.stop();
+}
+
+#[test]
+fn oversized_binary_frame_is_rejected_from_the_header() {
+    // `max_line_bytes` caps binary frame bodies too. The length field is
+    // untrusted, so the server must reject from the header alone (no
+    // allocation), answer an id-0 error frame, and close.
+    let config = ServerConfig { max_line_bytes: 256, ..ServerConfig::default() };
+    let handle = start_with(config);
+
+    let plan =
+        Arc::new(FaultPlan::new().inject(0, Fault::OversizedFrame { declared: 10_000_000 }));
+    let mut faulty = BinaryClient::connect_with_faults(handle.addr(), plan).unwrap();
+    faulty.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    faulty.send(&WireRequest::Ping).unwrap();
+
+    let frame = faulty.recv().unwrap();
+    assert_eq!(frame.id, 0, "connection-level errors carry id 0");
+    assert_eq!(
+        frame.response,
+        WireResponse::Line(
+            "ERR frame too large (10000000 bytes declared, limit 256)".to_owned()
+        )
+    );
+    let err = faulty.recv().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "connection must close");
+
+    let metrics = metrics_of(&handle);
+    assert!(wait_for(|| metrics.oversized() == 1), "oversized counter never ticked");
+    // Fresh connections are unaffected.
+    let mut binary = BinaryClient::connect(handle.addr()).unwrap();
+    assert_eq!(binary.request("PING").unwrap(), "OK pong");
+    handle.stop();
+}
+
+#[test]
+fn slow_binary_frame_trips_read_deadline() {
+    // A frame, like a line, must complete within `read_timeout_ms` of its
+    // first byte.
+    let config = ServerConfig { read_timeout_ms: 200, ..ServerConfig::default() };
+    let handle = start_with(config);
+
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::DelayMs { ms: 1_200 }));
+    let mut faulty = BinaryClient::connect_with_faults(handle.addr(), plan).unwrap();
+    faulty.set_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // The second half of the frame lands after the server gave up; the
+    // client either reads the deadline error frame or finds the
+    // connection severed, depending on timing.
+    let outcome = faulty.send(&WireRequest::Ping).and_then(|_| faulty.recv());
+    match outcome {
+        Ok(frame) => {
+            assert_eq!(frame.id, 0);
+            assert_eq!(
+                frame.response,
+                WireResponse::Line(
+                    "ERR read deadline exceeded (200 ms to complete a frame)".to_owned()
+                )
+            );
+        }
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+            ),
+            "unexpected error: {e}"
+        ),
+    }
+    let metrics = metrics_of(&handle);
+    assert!(wait_for(|| metrics.deadline_read() == 1), "deadline_read never ticked");
+    let mut binary = BinaryClient::connect(handle.addr()).unwrap();
+    assert_eq!(binary.request("PING").unwrap(), "OK pong");
     handle.stop();
 }
 

@@ -108,6 +108,30 @@ if command -v jq >/dev/null; then
         || { echo "ci: BENCH_pr7.json fails the 10x locality gate" >&2; exit 1; }
 fi
 
+# E16 smoke: the binary protocol must answer byte-identically to the text
+# front end (the bin checks all four paths over the differential corpus)
+# and beat text-sequential by >= 5x on the closed-loop scoreboard.
+cargo run --release --offline -p bench --bin report_e16_throughput -- \
+    --smoke --out target/bench_e16_smoke.json
+if command -v jq >/dev/null; then
+    jq -e '.experiment == "E16"
+           and .byte_identical
+           and (.binary_vs_text_speedup >= 5)
+           and (.closed_loop | length == 4)' \
+        target/bench_e16_smoke.json >/dev/null \
+        || { echo "ci: E16 smoke report malformed" >&2; exit 1; }
+    # The checked-in full-mode report gates the PR 8 throughput claim:
+    # >= 100k req/s on batched binary MQUERY (or an honestly named
+    # limiting factor), byte identity, and >= 5x over the text baseline.
+    jq -e '.experiment == "E16"
+           and .mode == "full"
+           and .byte_identical
+           and (.binary_vs_text_speedup >= 5)
+           and (.hit_100k or (.limiting_factor | length > 0))' \
+        BENCH_pr8.json >/dev/null \
+        || { echo "ci: BENCH_pr8.json fails the throughput gate" >&2; exit 1; }
+fi
+
 # Crash-recovery smoke: serve with a data dir, load, record an answer,
 # SIGKILL the server (no SHUTDOWN, no snapshot), restart on the same data
 # dir, and demand the byte-identical answer back.
@@ -232,11 +256,48 @@ printf '%s\n' "$SCRAPE" | awk '
         exit bad
     }' || { echo "ci: prometheus scrape failed validation" >&2; exit 1; }
 
-# The wire transport shares the same renderer.
+# The wire transport shares the same renderer, and now exposes the
+# per-protocol request counters and the wire-layer histograms.
 PROM=$("$RUID_XML" client 127.0.0.1:7443 "METRICS prom")
 case "$PROM" in
     "OK # HELP"*) ;;
     *) echo "ci: METRICS prom malformed: $PROM" >&2; exit 1 ;;
 esac
+case "$PROM" in
+    *'ruid_protocol_requests_total{protocol="text"}'*) ;;
+    *) echo "ci: METRICS prom missing protocol counters" >&2; exit 1 ;;
+esac
+case "$PROM" in
+    *"ruid_net_bytes_read_total"*"ruid_pipeline_depth_bucket"*"ruid_batch_size_bucket"*) ;;
+    *) echo "ci: METRICS prom missing wire-layer families" >&2; exit 1 ;;
+esac
 "$RUID_XML" client 127.0.0.1:7443 SHUTDOWN >/dev/null
+wait "$SRV" 2>/dev/null || true
+
+# Mixed-protocol smoke: text and binary clients on one port at once, the
+# front end negotiated from the first byte of each connection. The same
+# request over both protocols must print the same bytes.
+MIX_DIR=target/ci-mixed
+rm -rf "$MIX_DIR"; mkdir -p "$MIX_DIR"
+printf '<a><b><c/><a/></b><b/></a>' > "$MIX_DIR/sample.xml"
+"$RUID_XML" serve --addr 127.0.0.1:7445 &
+SRV=$!
+wait_ping 127.0.0.1:7445
+"$RUID_XML" client 127.0.0.1:7445 "LOAD $MIX_DIR/sample.xml" >/dev/null
+for REQ in "PING" "QUERY 1 //b[c]" "LABEL 1 //b" "STATS 1"; do
+    TEXT_ANS=$("$RUID_XML" client 127.0.0.1:7445 "$REQ")
+    BIN_ANS=$("$RUID_XML" client 127.0.0.1:7445 --protocol binary "$REQ")
+    if [ "$TEXT_ANS" != "$BIN_ANS" ]; then
+        echo "ci: protocol fork on '$REQ': text='$TEXT_ANS' binary='$BIN_ANS'" >&2
+        exit 1
+    fi
+done
+# Both front ends were actually exercised on this server. (The wire
+# response is one escaped line, so count occurrences, not lines.)
+PROTO_COUNTS=$("$RUID_XML" client 127.0.0.1:7445 "METRICS prom" \
+    | grep -o 'ruid_protocol_requests_total{protocol=' | wc -l)
+if [ "$PROTO_COUNTS" -ne 2 ]; then
+    echo "ci: expected 2 protocol counter samples, got $PROTO_COUNTS" >&2; exit 1
+fi
+"$RUID_XML" client 127.0.0.1:7445 --protocol binary SHUTDOWN >/dev/null
 wait "$SRV" 2>/dev/null || true
