@@ -1,0 +1,269 @@
+//! E17 — WAL-shipping replication and failover scoreboard. PR 9 added
+//! follower replicas (`serve --follow`): snapshot bootstrap + WAL tail
+//! over the binary wire protocol, read-only serving, and `PROMOTE`
+//! leader failover.
+//!
+//! The scoreboard answers three questions:
+//!
+//! 1. **Byte identity** — across the differential-test query corpus,
+//!    does a caught-up follower answer every query byte-identically to
+//!    the leader, and does a *promoted* follower answer byte-identically
+//!    to the leader's final pre-kill state? (Gated in `scripts/ci.sh`:
+//!    replication is a replay of the mutation history, never a fork —
+//!    the paper's label-determinism made executable.)
+//! 2. **Catch-up throughput** — WAL records/s a follower applies when
+//!    bootstrapping behind a leader that already committed a write
+//!    burst.
+//! 3. **Failover latency** — kill-the-leader trials: leader dies with
+//!    the follower caught up; the sweep measures `PROMOTE` round-trip
+//!    latency and the full time-to-first-write on the promoted leader,
+//!    reporting p50/p99.
+//!
+//! Emits `BENCH_pr9.json` (override with `--out PATH`); `--smoke`
+//! shrinks the trial counts for CI.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use ruid::prelude::NumberingScheme;
+use ruid::{Client, FsyncPolicy, Server, ServerConfig, ServerHandle};
+
+/// The planner differential corpus (`tests/planner_differential.rs`).
+const CORPUS: &[&str] = &[
+    "/a",
+    "/a/b",
+    "/a/b/c",
+    "//b",
+    "//c",
+    "//b/c",
+    "//b//a",
+    "/a//c",
+    "//*",
+    "/a/*",
+    "//b/*",
+    "/a/b[c]",
+    "//b[c]/c",
+    "//b[c]//a",
+    "//b[not(c)]",
+    "//b[c][a]",
+    "//b[1]",
+    "//b[last()]",
+    "//b[c][1]",
+    "//b/c/..",
+    "//c/parent::b",
+    "//b[count(c) >= 1]",
+    "//a[b or c]",
+];
+
+/// A small a/b/c document (fanout 3, four levels below the root).
+fn corpus_xml() -> String {
+    fn node(depth: usize, out: &mut String) {
+        let tag = ["a", "b", "c"][depth % 3];
+        if depth == 4 {
+            let _ = write!(out, "<{tag}/>");
+            return;
+        }
+        let _ = write!(out, "<{tag}>");
+        for _ in 0..3 {
+            node(depth + 1, out);
+        }
+        let _ = write!(out, "</{tag}>");
+    }
+    let mut xml = String::new();
+    node(0, &mut xml);
+    xml
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruid-e17-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_leader(data_dir: &std::path::Path) -> (ServerHandle, Client) {
+    let config = ServerConfig {
+        data_dir: Some(data_dir.to_path_buf()),
+        fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    (handle, client)
+}
+
+fn start_follower(leader: &ServerHandle, poll_ms: u64) -> (ServerHandle, Client) {
+    let config = ServerConfig {
+        follow: Some(leader.addr().to_string()),
+        repl_poll_ms: poll_ms,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    (handle, client)
+}
+
+fn answer_vector(client: &mut Client, doc: u64) -> Vec<String> {
+    CORPUS
+        .iter()
+        .map(|q| client.request(&format!("QUERY {doc} {q}")).unwrap())
+        .collect()
+}
+
+/// INSERT line for one more `<b/>` under the root of `doc`.
+fn insert_line(handle: &ServerHandle, doc: u64) -> String {
+    let loaded = handle.catalog().get(doc).unwrap();
+    let root = loaded.scheme.label_of(loaded.doc.root_element().unwrap());
+    format!("INSERT {doc} {} {} {} 0 <b/>", root.global, root.local, root.is_root)
+}
+
+fn wait_until(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Caught-up read identity plus catch-up throughput: the follower
+/// bootstraps behind `writes` committed records and we time how long it
+/// takes to serve the leader's exact answers.
+fn replica_identity(writes: usize) -> (bool, f64, u64) {
+    let dir = scratch("identity");
+    let (leader, mut lc) = start_leader(&dir);
+    let path = dir.join("corpus.xml");
+    std::fs::write(&path, corpus_xml()).unwrap();
+    assert!(lc.request(&format!("LOAD {}", path.display())).unwrap().starts_with("OK id=1"));
+    for _ in 0..writes {
+        let line = insert_line(&leader, 1);
+        assert!(lc.request(&line).unwrap().starts_with("OK"), "{line}");
+    }
+    let want = answer_vector(&mut lc, 1);
+
+    let started = Instant::now();
+    let (follower, mut fc) = start_follower(&leader, 2);
+    wait_until("follower catch-up", Duration::from_secs(30), || {
+        answer_vector(&mut Client::connect(follower.addr()).unwrap(), 1) == want
+    });
+    let catchup = started.elapsed();
+    let identical = answer_vector(&mut fc, 1) == want;
+    let applied = follower.repl().sample().records_applied;
+    follower.stop();
+    leader.stop();
+    (identical, applied as f64 / catchup.as_secs_f64(), applied)
+}
+
+struct Trial {
+    promote: Duration,
+    /// Leader death to the first committed write on the promoted leader.
+    first_write: Duration,
+    identical: bool,
+}
+
+/// One kill-the-leader trial: build state, let the follower catch up,
+/// stop the leader abruptly, promote, verify byte identity against the
+/// pre-kill oracle, and commit a write.
+fn failover_trial(case: usize, writes: usize) -> Trial {
+    let dir = scratch(&format!("failover-{case}"));
+    let (leader, mut lc) = start_leader(&dir);
+    let path = dir.join("corpus.xml");
+    std::fs::write(&path, corpus_xml()).unwrap();
+    assert!(lc.request(&format!("LOAD {}", path.display())).unwrap().starts_with("OK id=1"));
+    for _ in 0..writes {
+        let line = insert_line(&leader, 1);
+        assert!(lc.request(&line).unwrap().starts_with("OK"), "{line}");
+    }
+    let oracle = answer_vector(&mut lc, 1);
+    let (follower, mut fc) = start_follower(&leader, 2);
+    wait_until("follower catch-up", Duration::from_secs(30), || {
+        answer_vector(&mut Client::connect(follower.addr()).unwrap(), 1) == oracle
+    });
+
+    let killed = Instant::now();
+    leader.stop(); // the in-process stand-in for kill -9 (ci.sh does the real one)
+
+    let t = Instant::now();
+    let resp = fc.request("PROMOTE").unwrap();
+    assert_eq!(resp, "OK role=leader promoted=true", "{resp}");
+    let promote = t.elapsed();
+
+    let identical = answer_vector(&mut fc, 1) == oracle;
+    let line = insert_line(&follower, 1);
+    assert!(fc.request(&line).unwrap().starts_with("OK label="), "{line}");
+    let first_write = killed.elapsed();
+    follower.stop();
+    Trial { promote, first_write, identical }
+}
+
+fn pct(samples: &mut [Duration], p: f64) -> Duration {
+    samples.sort();
+    samples[((samples.len() as f64 - 1.0) * p).round() as usize]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_pr9.json".into());
+    let trials = if smoke { 5 } else { 20 };
+    let writes = if smoke { 16 } else { 64 };
+
+    println!(
+        "E17: replication + failover scoreboard (mode: {})\n",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let (replica_identical, catchup_rps, applied) = replica_identity(writes);
+    println!(
+        "caught-up replica byte identity over {} queries: {} \
+         (bootstrap+catch-up applied {applied} records at {catchup_rps:.0} records/s)",
+        CORPUS.len(),
+        if replica_identical { "PASS" } else { "FAIL" }
+    );
+
+    let mut promote: Vec<Duration> = Vec::with_capacity(trials);
+    let mut first_write: Vec<Duration> = Vec::with_capacity(trials);
+    let mut failover_identical = true;
+    for case in 0..trials {
+        let trial = failover_trial(case, writes);
+        failover_identical &= trial.identical;
+        promote.push(trial.promote);
+        first_write.push(trial.first_write);
+    }
+    let byte_identical = replica_identical && failover_identical;
+    let promote_p50 = pct(&mut promote, 0.50);
+    let promote_p99 = pct(&mut promote, 0.99);
+    let fw_p50 = pct(&mut first_write, 0.50);
+    let fw_p99 = pct(&mut first_write, 0.99);
+    println!(
+        "\nfailover over {trials} kill-the-leader trials: promoted replicas \
+         byte-identical to the pre-kill oracle: {}",
+        if failover_identical { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "PROMOTE round trip    p50 {promote_p50:.2?}  p99 {promote_p99:.2?}\n\
+         death-to-first-write  p50 {fw_p50:.2?}  p99 {fw_p99:.2?}"
+    );
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"experiment\": \"E17\",");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(j, "  \"queries\": {},", CORPUS.len());
+    let _ = writeln!(j, "  \"writes_per_trial\": {writes},");
+    let _ = writeln!(j, "  \"byte_identical\": {byte_identical},");
+    let _ = writeln!(j, "  \"replica_byte_identical\": {replica_identical},");
+    let _ = writeln!(j, "  \"failover_byte_identical\": {failover_identical},");
+    let _ = writeln!(j, "  \"catchup_records_applied\": {applied},");
+    let _ = writeln!(j, "  \"catchup_records_per_s\": {catchup_rps:.0},");
+    let _ = writeln!(j, "  \"failover_trials\": {trials},");
+    let _ = writeln!(j, "  \"promote_p50_ms\": {:.3},", ms(promote_p50));
+    let _ = writeln!(j, "  \"promote_p99_ms\": {:.3},", ms(promote_p99));
+    let _ = writeln!(j, "  \"failover_p50_ms\": {:.3},", ms(fw_p50));
+    let _ = writeln!(j, "  \"failover_p99_ms\": {:.3}", ms(fw_p99));
+    j.push_str("}\n");
+    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -27,6 +27,7 @@ pub const USAGE: &str = "usage:
                   [--mux-workers N]
                   [--data-dir DIR] [--fsync always|never|every=<n>]
                   [--metrics-addr 127.0.0.1:PORT]
+                  [--follow LEADER_ADDR] [--repl-poll-ms MS]
   ruid-xml client <addr> [--protocol text|binary] <command...>
      wire verbs include PING, LOAD, QUERY, LABEL, EXPLAIN, and the
      structural updates INSERT <doc> <g> <l> <r> <pos> <fragment>,
@@ -266,6 +267,15 @@ pub fn serve_start(args: &[String]) -> Result<ServerHandle, String> {
     }
     if let Some(addr) = option(args, "--metrics-addr") {
         config.metrics_addr = Some(addr.to_owned());
+    }
+    if let Some(leader) = option(args, "--follow") {
+        // Follower replica: bootstrap from the leader's newest snapshot,
+        // tail its WAL, serve reads, reject writes until PROMOTE.
+        config.follow = Some(leader.to_owned());
+    }
+    if let Some(ms) = option(args, "--repl-poll-ms") {
+        config.repl_poll_ms =
+            ms.parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
     }
     let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     let depth = config.depth;

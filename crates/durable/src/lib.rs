@@ -45,10 +45,14 @@ pub use fault::{IoFault, IoFaultPlan};
 pub use fingerprint::{catalog_fingerprint, doc_fingerprint};
 pub use recovery::{recover, recover_with, Recovered, RecoveryReport};
 pub use snapshot::{
-    read_snapshot, snapshot_file_name, write_snapshot, write_snapshot_with, DocView, SnapshotLoad,
+    read_snapshot, read_snapshot_bytes, snapshot_file_name, snapshot_generation, wal_generation,
+    write_snapshot, write_snapshot_with, DocView, SnapshotLoad,
 };
 pub use state::{Applied, DocState};
-pub use wal::{read_wal, wal_file_name, FsyncPolicy, WalOp, WalReadResult, WalWriter};
+pub use wal::{
+    encode_record, read_segment, read_wal, wal_file_name, FsyncPolicy, RecordStream, StreamStatus,
+    WalOp, WalReadResult, WalWriter,
+};
 
 /// A scratch directory for this crate's tests, unique per test name and
 /// process, wiped on entry.

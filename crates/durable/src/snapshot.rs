@@ -257,8 +257,16 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotLoad, String> {
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut data))
         .map_err(|e| format!("read {}: {e}", path.display()))?;
+    read_snapshot_bytes(&data)
+}
 
-    let mut r = Reader::new(&data);
+/// [`read_snapshot`] over an in-memory image — the follower side of a
+/// replication snapshot bootstrap, where the file bytes arrived over the
+/// wire instead of from local disk. Identical verification: header CRC
+/// condemns the whole image, per-document section damage quarantines just
+/// that document.
+pub fn read_snapshot_bytes(data: &[u8]) -> Result<SnapshotLoad, String> {
+    let mut r = Reader::new(data);
     let magic = r.take(8, "magic").map_err(|e| e.to_string())?;
     if magic != SNAPSHOT_MAGIC {
         return Err("bad magic: not a snapshot file".into());

@@ -132,7 +132,11 @@ impl WalOp {
         }
     }
 
-    pub(crate) fn encode(&self) -> Vec<u8> {
+    /// Serializes this op into a record payload (the bytes the CRC and
+    /// length prefix cover). Public so the replication layer can frame
+    /// records for shipping tests; real segments are written by
+    /// [`WalWriter::append`].
+    pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
             WalOp::Load { doc_id, path, config, with_store, xml } => {
@@ -167,7 +171,8 @@ impl WalOp {
         out
     }
 
-    pub(crate) fn decode(payload: &[u8]) -> Result<WalOp, CodecError> {
+    /// Decodes one record payload (inverse of [`WalOp::encode`]).
+    pub fn decode(payload: &[u8]) -> Result<WalOp, CodecError> {
         let mut r = Reader::new(payload);
         let op = match r.u8("wal op tag")? {
             0 => WalOp::Load {
@@ -202,6 +207,148 @@ fn read_label(r: &mut Reader<'_>) -> Result<Ruid2, CodecError> {
 /// The WAL segment file name for generation `generation`.
 pub fn wal_file_name(generation: u64) -> String {
     format!("wal-{generation:08}.log")
+}
+
+/// Frames one record exactly as [`WalWriter::append`] writes it:
+/// `[payload_len u32][seq u64][crc32(seq ‖ payload) u32][payload]`.
+pub fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
+    let payload = op.encode();
+    let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    put_u32(&mut record, payload.len() as u32);
+    put_u64(&mut record, seq);
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    put_u64(&mut crc_input, seq);
+    crc_input.extend_from_slice(&payload);
+    put_u32(&mut record, crc32(&crc_input));
+    record.extend_from_slice(&payload);
+    record
+}
+
+/// What one [`RecordStream::next_record`] call found.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// A whole valid record, in sequence.
+    Record(u64, WalOp),
+    /// Not enough buffered bytes for the next record yet.
+    NeedMore,
+    /// The buffered bytes cannot be a continuation of this segment — a
+    /// sequence gap, an implausible length, a checksum mismatch, or an
+    /// undecodable payload. Nothing at or past this point may be applied;
+    /// the reason says which check tripped.
+    Refused(String),
+}
+
+/// An incremental decoder over a WAL segment arriving in arbitrary
+/// chunks (replication shipping). It enforces the *same* contract as
+/// [`read_wal`]: records must carry contiguous sequence numbers from the
+/// segment's start, every CRC must verify, and the first invalid byte
+/// poisons everything after it. Unlike `read_wal` (which reads a file it
+/// can trust to be complete-so-far), a refusal here is surfaced as
+/// [`StreamStatus::Refused`] so the consumer can drop the stream instead
+/// of silently truncating bytes a leader claims are committed.
+#[derive(Debug, Default)]
+pub struct RecordStream {
+    buf: Vec<u8>,
+    consumed: u64,
+    expected_seq: u64,
+    refused: Option<String>,
+}
+
+impl RecordStream {
+    /// An empty stream positioned at a segment's first record. The first
+    /// record must carry `first_seq` (0 for a fresh segment; a resumed
+    /// mid-segment tail passes the next expected sequence number).
+    pub fn new(first_seq: u64) -> RecordStream {
+        RecordStream { expected_seq: first_seq, ..RecordStream::default() }
+    }
+
+    /// Appends shipped bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes fully decoded and drained so far — the offset of the next
+    /// undecoded byte from where this stream started.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Bytes buffered but not yet decodable into a whole record.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Sequence number the next record must carry.
+    pub fn expected_seq(&self) -> u64 {
+        self.expected_seq
+    }
+
+    /// Attempts to decode the next record off the buffer. Once this
+    /// returns [`StreamStatus::Refused`] it refuses forever; feeding more
+    /// bytes cannot un-poison a stream.
+    pub fn next_record(&mut self) -> StreamStatus {
+        if let Some(reason) = &self.refused {
+            return StreamStatus::Refused(reason.clone());
+        }
+        let Some(header) = self.buf.get(..RECORD_HEADER_LEN) else {
+            return StreamStatus::NeedMore;
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let crc = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return self.refuse(format!("implausible record length {len}"));
+        }
+        if seq != self.expected_seq {
+            return self.refuse(format!(
+                "sequence gap: expected {}, record carries {seq}",
+                self.expected_seq
+            ));
+        }
+        let end = RECORD_HEADER_LEN + len as usize;
+        let Some(payload) = self.buf.get(RECORD_HEADER_LEN..end) else {
+            return StreamStatus::NeedMore;
+        };
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        put_u64(&mut crc_input, seq);
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != crc {
+            return self.refuse(format!("checksum mismatch on record {seq}"));
+        }
+        let op = match WalOp::decode(payload) {
+            Ok(op) => op,
+            Err(e) => return self.refuse(format!("record {seq} payload: {e}")),
+        };
+        self.buf.drain(..end);
+        self.consumed += end as u64;
+        self.expected_seq += 1;
+        StreamStatus::Record(seq, op)
+    }
+
+    fn refuse(&mut self, reason: String) -> StreamStatus {
+        self.refused = Some(reason.clone());
+        StreamStatus::Refused(reason)
+    }
+}
+
+/// Reads `[offset, offset + max_len)` of a segment file, clamped to the
+/// file's current length — the leader-side chunk read behind `REPL TAIL`.
+/// The caller bounds the read to *committed* bytes; this function only
+/// bounds it to existing ones. A missing file is an error here (unlike
+/// [`read_wal`]): a follower asking for a segment the leader no longer
+/// has must find out, not receive an empty chunk it would mistake for
+/// "caught up".
+pub fn read_segment(path: &Path, offset: u64, max_len: usize) -> io::Result<Vec<u8>> {
+    let mut f = File::open(path)?;
+    let len = f.metadata()?.len();
+    if offset >= len {
+        return Ok(Vec::new());
+    }
+    f.seek(SeekFrom::Start(offset))?;
+    let want = usize::try_from(len - offset).unwrap_or(usize::MAX).min(max_len);
+    let mut out = vec![0u8; want];
+    f.read_exact(&mut out)?;
+    Ok(out)
 }
 
 /// An appender over one WAL segment.
@@ -286,16 +433,8 @@ impl WalWriter {
     /// point) and the call errors; the writer must not be reused after an
     /// error without re-running recovery.
     pub fn append(&mut self, op: &WalOp) -> io::Result<u64> {
-        let payload = op.encode();
         let seq = self.next_seq;
-        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
-        put_u32(&mut record, payload.len() as u32);
-        put_u64(&mut record, seq);
-        let mut crc_input = Vec::with_capacity(8 + payload.len());
-        put_u64(&mut crc_input, seq);
-        crc_input.extend_from_slice(&payload);
-        put_u32(&mut record, crc32(&crc_input));
-        record.extend_from_slice(&payload);
+        let record = encode_record(seq, op);
 
         let fault = self.faults.fault_at(self.io_ops).cloned();
         self.io_ops += 1;
@@ -627,6 +766,84 @@ mod tests {
         .unwrap();
         assert!(r.ops.is_empty());
         assert_eq!(r.torn_bytes, 5);
+    }
+
+    #[test]
+    fn record_stream_decodes_byte_at_a_time() {
+        let ops = sample_ops();
+        let mut wire = Vec::new();
+        for (seq, op) in ops.iter().enumerate() {
+            wire.extend_from_slice(&encode_record(seq as u64, op));
+        }
+        let mut stream = RecordStream::new(0);
+        let mut got = Vec::new();
+        for &b in &wire {
+            stream.feed(&[b]);
+            loop {
+                match stream.next_record() {
+                    StreamStatus::Record(seq, op) => got.push((seq, op)),
+                    StreamStatus::NeedMore => break,
+                    StreamStatus::Refused(r) => panic!("clean stream refused: {r}"),
+                }
+            }
+        }
+        assert_eq!(got.len(), ops.len());
+        for (i, (seq, op)) in got.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(op, &ops[i]);
+        }
+        assert_eq!(stream.consumed(), wire.len() as u64);
+        assert_eq!(stream.pending(), 0);
+        assert_eq!(stream.expected_seq(), ops.len() as u64);
+    }
+
+    #[test]
+    fn record_stream_refusals_are_sticky() {
+        let ops = sample_ops();
+        // Sequence gap: second record skips a number.
+        let mut s = RecordStream::new(0);
+        s.feed(&encode_record(0, &ops[0]));
+        s.feed(&encode_record(2, &ops[1]));
+        assert!(matches!(s.next_record(), StreamStatus::Record(0, _)));
+        assert!(matches!(s.next_record(), StreamStatus::Refused(ref r) if r.contains("gap")));
+        // Poisoned forever, even after feeding a valid continuation.
+        s.feed(&encode_record(1, &ops[1]));
+        assert!(matches!(s.next_record(), StreamStatus::Refused(_)));
+
+        // A flipped payload byte trips the checksum.
+        let mut corrupt = encode_record(0, &ops[0]);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        let mut s = RecordStream::new(0);
+        s.feed(&corrupt);
+        assert!(matches!(s.next_record(), StreamStatus::Refused(ref r) if r.contains("checksum")));
+
+        // An implausible length prefix is refused before any allocation.
+        let mut s = RecordStream::new(0);
+        let mut junk = Vec::new();
+        put_u32(&mut junk, MAX_PAYLOAD + 1);
+        put_u64(&mut junk, 0);
+        put_u32(&mut junk, 0);
+        s.feed(&junk);
+        assert!(matches!(s.next_record(), StreamStatus::Refused(ref r) if r.contains("length")));
+    }
+
+    #[test]
+    fn read_segment_clamps_and_errors_on_missing() {
+        let dir = crate::test_dir("wal_read_segment");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Always).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        let full = std::fs::read(w.path()).unwrap();
+        assert_eq!(read_segment(w.path(), 0, usize::MAX).unwrap(), full);
+        assert_eq!(read_segment(w.path(), 3, 10).unwrap(), full[3..13]);
+        assert_eq!(
+            read_segment(w.path(), full.len() as u64 - 2, 100).unwrap(),
+            full[full.len() - 2..]
+        );
+        assert!(read_segment(w.path(), full.len() as u64 + 5, 10).unwrap().is_empty());
+        assert!(read_segment(&dir.join(wal_file_name(9)), 0, 10).is_err());
     }
 
     #[test]

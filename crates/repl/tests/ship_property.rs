@@ -1,0 +1,222 @@
+//! Property sweep over damaged ship streams: for EVERY single-record
+//! drop, duplication, and adjacent swap of a shipped segment — and for
+//! every chunking of the damaged bytes — the follower tailer must either
+//! refuse the stream or stop at the damage point. It must never apply a
+//! record out of order, and whatever it does apply must be a verbatim
+//! prefix of the original sequence. This is the wire-side mirror of the
+//! durable crate's truncate-at-every-byte crash sweep.
+
+use durable::{encode_record, WalOp};
+use repl::{SegmentTailer, TailChunk, TailError};
+use ruid_core::{PartitionConfig, Ruid2};
+use xmlgen::SplitMix64;
+
+fn sample_ops(n: usize) -> Vec<WalOp> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => WalOp::Load {
+                doc_id: i as u64 + 1,
+                path: format!("doc{i}.xml"),
+                config: PartitionConfig::by_depth(2),
+                with_store: false,
+                xml: format!("<r><a>{i}</a></r>"),
+            },
+            1 => WalOp::Insert {
+                doc_id: (i as u64).max(1),
+                parent: Ruid2::TREE_ROOT,
+                position: 0,
+                content: durable::NodeContent::Element {
+                    name: format!("n{i}"),
+                    attributes: vec![("k".into(), i.to_string())],
+                },
+            },
+            2 => WalOp::Delete { doc_id: (i as u64).max(1), label: Ruid2::new(1, 2, false) },
+            _ => WalOp::Repartition { doc_id: (i as u64).max(1) },
+        })
+        .collect()
+}
+
+/// Ships `wire` to a fresh tailer split into `pieces` chunks at
+/// deterministic cut points, collecting whatever the tailer accepts
+/// until it refuses, errors, or runs out of bytes.
+fn ship(
+    wire: &[u8],
+    segment_len: u64,
+    sealed: bool,
+    pieces: usize,
+    seed: u64,
+) -> (Vec<(u64, WalOp)>, Option<TailError>, u64) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut cuts: Vec<usize> = (0..pieces.saturating_sub(1))
+        .map(|_| rng.gen_range(0..=wire.len()))
+        .collect();
+    cuts.sort_unstable();
+    cuts.push(wire.len());
+    let mut tailer = SegmentTailer::new(0);
+    let mut applied = Vec::new();
+    let mut start = 0usize;
+    for cut in cuts {
+        let chunk = TailChunk {
+            segment: 0,
+            start_offset: start as u64,
+            segment_len,
+            sealed,
+            leader_generation: if sealed { 1 } else { 0 },
+            leader_seq: 0,
+            data: wire[start..cut].to_vec(),
+        };
+        start = cut;
+        match tailer.offer(&chunk) {
+            Ok(batch) => {
+                applied.extend(batch.records);
+                if batch.advanced_segment {
+                    break;
+                }
+            }
+            Err(e) => return (applied, Some(e), tailer.offset()),
+        }
+    }
+    let offset = tailer.offset();
+    (applied, None, offset)
+}
+
+/// The applied records must be a verbatim prefix of `ops`, in order,
+/// with sequence numbers 0..len.
+fn assert_clean_prefix(applied: &[(u64, WalOp)], ops: &[WalOp], what: &str) {
+    assert!(applied.len() <= ops.len(), "{what}: applied more records than exist");
+    for (i, (seq, op)) in applied.iter().enumerate() {
+        assert_eq!(*seq, i as u64, "{what}: out-of-order sequence");
+        assert_eq!(op, &ops[i], "{what}: applied record differs from the original");
+    }
+}
+
+#[test]
+fn undamaged_stream_applies_fully_under_any_chunking() {
+    let ops = sample_ops(9);
+    let records: Vec<Vec<u8>> = ops
+        .iter()
+        .enumerate()
+        .map(|(seq, op)| encode_record(seq as u64, op))
+        .collect();
+    let wire: Vec<u8> = records.concat();
+    for pieces in [1usize, 2, 3, 7, 40] {
+        for seed in 0..5 {
+            let (applied, err, _) = ship(&wire, wire.len() as u64, true, pieces, seed);
+            assert!(err.is_none(), "pieces={pieces} seed={seed}: {err:?}");
+            assert_eq!(applied.len(), ops.len(), "pieces={pieces} seed={seed}");
+            assert_clean_prefix(&applied, &ops, "clean stream");
+        }
+    }
+}
+
+#[test]
+fn any_single_record_drop_duplicate_or_swap_is_refused_or_truncated() {
+    let ops = sample_ops(7);
+    let records: Vec<Vec<u8>> = ops
+        .iter()
+        .enumerate()
+        .map(|(seq, op)| encode_record(seq as u64, op))
+        .collect();
+
+    let mut cases: Vec<(String, Vec<usize>)> = Vec::new();
+    for i in 0..records.len() {
+        cases.push((format!("drop record {i}"), (0..records.len()).filter(|&j| j != i).collect()));
+        let mut dup: Vec<usize> = (0..records.len()).collect();
+        dup.insert(i, i);
+        cases.push((format!("duplicate record {i}"), dup));
+    }
+    for i in 0..records.len() - 1 {
+        let mut swapped: Vec<usize> = (0..records.len()).collect();
+        swapped.swap(i, i + 1);
+        cases.push((format!("swap records {i},{}", i + 1), swapped));
+    }
+
+    // The leader's committed watermark is the ORIGINAL segment length —
+    // damage happens in transit, the leader's coordinates stay honest.
+    let true_len: u64 = records.iter().map(|r| r.len() as u64).sum();
+    for (what, order) in cases {
+        let wire: Vec<u8> = order.iter().flat_map(|&j| records[j].iter().copied()).collect();
+        // The damage point: the longest clean prefix of the reordering.
+        let clean = order.iter().enumerate().take_while(|&(pos, &j)| pos == j).count();
+        for pieces in [1usize, 3, 11] {
+            for seed in [0u64, 1] {
+                let (applied, err, offset) = ship(&wire, true_len, true, pieces, seed);
+                assert_clean_prefix(&applied, &ops, &what);
+                assert!(
+                    applied.len() <= clean,
+                    "{what} pieces={pieces} seed={seed}: applied {} records past \
+                     the damage point {clean}",
+                    applied.len()
+                );
+                // The damage is never silent: the stream is refused, or
+                // the tailer knows it has not reached the committed
+                // watermark (and would keep re-requesting from a clean
+                // offset rather than report itself caught up).
+                assert!(
+                    err.is_some() || offset < true_len,
+                    "{what} pieces={pieces} seed={seed}: damage went unnoticed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sealed_segment_with_dangling_tail_is_refused() {
+    let ops = sample_ops(3);
+    let mut wire: Vec<u8> = ops
+        .iter()
+        .enumerate()
+        .flat_map(|(seq, op)| encode_record(seq as u64, op))
+        .collect();
+    // A torn half-record at the end of a *sealed* segment can never
+    // complete: local recovery would truncate it, but truncating a sealed
+    // shipped segment means the chain itself is damaged — refuse.
+    wire.extend_from_slice(&encode_record(3, &ops[0])[..9]);
+    let (applied, err, _) = ship(&wire, wire.len() as u64, true, 1, 0);
+    assert_clean_prefix(&applied, &ops, "dangling sealed tail");
+    assert!(matches!(err, Some(TailError::Refused(_))), "{err:?}");
+}
+
+#[test]
+fn bytes_past_the_committed_watermark_are_refused() {
+    let ops = sample_ops(4);
+    let wire: Vec<u8> = ops
+        .iter()
+        .enumerate()
+        .flat_map(|(seq, op)| encode_record(seq as u64, op))
+        .collect();
+    // Leader claims fewer committed bytes than it shipped (forged or
+    // stale watermark): nothing past the watermark may apply.
+    let (_, err, _) = ship(&wire, wire.len() as u64 - 4, false, 1, 0);
+    assert!(matches!(err, Some(TailError::Refused(_))), "{err:?}");
+}
+
+#[test]
+fn chunk_discontinuities_are_rejected() {
+    let ops = sample_ops(2);
+    let wire = encode_record(0, &ops[0]);
+    let mut tailer = SegmentTailer::new(0);
+    // Wrong segment.
+    let wrong_segment = TailChunk {
+        segment: 1,
+        start_offset: 0,
+        segment_len: 100,
+        sealed: false,
+        leader_generation: 1,
+        leader_seq: 0,
+        data: wire.clone(),
+    };
+    assert!(matches!(tailer.offer(&wrong_segment), Err(TailError::Discontinuity(_))));
+    // Wrong offset (a hole in the byte stream).
+    let hole = TailChunk {
+        segment: 0,
+        start_offset: 5,
+        segment_len: 100,
+        sealed: false,
+        leader_generation: 0,
+        leader_seq: 0,
+        data: wire,
+    };
+    assert!(matches!(tailer.offer(&hole), Err(TailError::Discontinuity(_))));
+}

@@ -56,6 +56,11 @@ pub enum Fault {
         /// The body length the forged header declares.
         declared: u32,
     },
+    /// Replication channel only (leader side of `REPL TAIL`): corrupt
+    /// the sequence-number field of the first record in the shipped
+    /// chunk. The follower's record validation must refuse the stream —
+    /// a forged sequence is indistinguishable from a gap.
+    ForgeSeq,
 }
 
 /// A deterministic schedule of faults keyed by request index (0-based,

@@ -104,8 +104,21 @@
 //! PERSIST                               fsync the write-ahead log now
 //! TRACE [on|off|<threshold-ms>]         per-request tracing state / slow threshold
 //! SLOWLOG [n]                           newest n captured slow requests with span timings
+//! PROMOTE                               promote a follower replica to leader
 //! SHUTDOWN                              graceful stop
 //! ```
+//!
+//! ## Replication
+//!
+//! Started with `--follow <leader-addr>`, the server runs as a
+//! **follower replica**: it bootstraps from the leader's newest snapshot,
+//! tails the leader's WAL over the binary protocol (`REPL HELLO` /
+//! `REPL SNAPSHOT` / `REPL TAIL` / `REPL ACK`), applies each shipped
+//! record through the same MVCC path as local recovery, serves reads,
+//! and rejects writes with a redirect to the leader. Sequence
+//! discontinuities or torn records force a clean re-bootstrap — the
+//! follower never serves a hybrid state. `PROMOTE` detaches the follower
+//! and flips it to leader. See the `replication` module and DESIGN.md §16.
 //!
 //! ## Observability
 //!
@@ -142,18 +155,20 @@ mod mux;
 mod persist;
 mod prom;
 pub mod proto;
+mod replication;
 mod server;
 mod trace;
 pub mod wire;
 
 pub use catalog::{Catalog, DocId, LoadedDoc};
-pub use client::{BinaryClient, Client};
+pub use client::{client_retries_total, BinaryClient, Client, RetryPolicy};
 // Durability building blocks, re-exported so embedders configure the
 // server without naming the `durable` crate directly.
 pub use durable::{FsyncPolicy, WalOp};
 pub use fault::{Fault, FaultPlan};
 pub use metrics::{Command, CommandSummary, Histogram, Metrics, Protocol, ValueHistogram};
 pub use persist::{Durability, DurabilityStats, RecoverySummary};
+pub use replication::{FollowerAck, ReplSample, ReplState};
 pub use trace::{RequestTrace, SlowEntry, Span, Tracer, SPANS, SPAN_COUNT};
 // The pool moved to the reusable `par` crate so the build pipeline and the
 // server share one threading layer; re-exported here for compatibility.

@@ -260,12 +260,22 @@ pub enum Command {
     MQuery,
     /// Binary batch verb: one frame of planned label lookups.
     MLabel,
+    /// `PROMOTE` — a follower becomes the leader.
+    Promote,
+    /// `REPL HELLO` — a follower introduces itself.
+    ReplHello,
+    /// `REPL SNAPSHOT` — a follower pulls a snapshot image.
+    ReplSnapshot,
+    /// `REPL TAIL` — a follower polls for committed WAL bytes.
+    ReplTail,
+    /// `REPL ACK` — a follower reports its applied position.
+    ReplAck,
     /// Unparseable input.
     Invalid,
 }
 
 /// Every command, aligned with the `repr(usize)` discriminants.
-pub const COMMANDS: [Command; 23] = [
+pub const COMMANDS: [Command; 28] = [
     Command::Ping,
     Command::Load,
     Command::Unload,
@@ -288,6 +298,11 @@ pub const COMMANDS: [Command; 23] = [
     Command::Relabel,
     Command::MQuery,
     Command::MLabel,
+    Command::Promote,
+    Command::ReplHello,
+    Command::ReplSnapshot,
+    Command::ReplTail,
+    Command::ReplAck,
     Command::Invalid,
 ];
 
@@ -317,6 +332,11 @@ impl Command {
             Command::Relabel => "RELABEL",
             Command::MQuery => "MQUERY",
             Command::MLabel => "MLABEL",
+            Command::Promote => "PROMOTE",
+            Command::ReplHello => "REPL-HELLO",
+            Command::ReplSnapshot => "REPL-SNAPSHOT",
+            Command::ReplTail => "REPL-TAIL",
+            Command::ReplAck => "REPL-ACK",
             Command::Invalid => "INVALID",
         }
     }

@@ -39,6 +39,7 @@ use crate::catalog::Catalog;
 use crate::fault::Fault;
 use crate::metrics::{Command, Metrics, Protocol};
 use crate::persist::Durability;
+use crate::replication::ReplState;
 use crate::server::{execute_frame, ServerConfig, ServiceCtx};
 use crate::trace::Tracer;
 use crate::wire::{self, Decoded, RequestFrame, WireResponse};
@@ -71,6 +72,9 @@ pub(crate) struct MuxShared {
     /// Bound address, for the self-connect that wakes the acceptor when
     /// a binary `SHUTDOWN` sets the flag.
     pub(crate) listen_addr: SocketAddr,
+    /// Replication state shared with the serving path (role, counters,
+    /// and the armed `ForgeSeq` fault flag).
+    pub(crate) repl: Arc<ReplState>,
 }
 
 impl MuxShared {
@@ -83,6 +87,7 @@ impl MuxShared {
             tracer: &self.tracer,
             pool_stats: &self.pool_stats,
             plan_cache: &self.plan_cache,
+            repl: &self.repl,
         }
     }
 }
@@ -417,12 +422,24 @@ impl Conn {
             Some(Fault::DelayMs { ms }) => {
                 return self.offload_frame(frame, None, Some(ms), shared, offload, reply);
             }
+            Some(Fault::ForgeSeq) => {
+                // Replication-channel fault: arm the flag; the next
+                // `REPL TAIL` answer corrupts its first record's
+                // sequence field. The frame itself executes normally.
+                shared.repl.arm_forge();
+            }
             Some(Fault::OversizedFrame { .. }) | None => {}
         }
-        if matches!(frame.request, wire::WireRequest::Text { .. }) {
+        if matches!(
+            frame.request,
+            wire::WireRequest::Text { .. }
+                | wire::WireRequest::ReplSnapshot { .. }
+                | wire::WireRequest::ReplTail { .. }
+        ) {
             // The compatibility verb can do anything the text protocol
-            // can — including LOAD file I/O and WAL fsyncs — so it never
-            // runs on the poll loop.
+            // can — including LOAD file I/O and WAL fsyncs — and the
+            // replication shipping verbs read files, so none of them
+            // ever runs on the poll loop.
             return self.offload_frame(frame, None, None, shared, offload, reply);
         }
         let outcome = execute_frame(&shared.ctx(), frame.request, None);

@@ -194,6 +194,33 @@ impl Durability {
         self.inner.lock().unwrap().generation
     }
 
+    /// The leader's WAL coordinates for replication, read atomically
+    /// under the manager's mutex: the live segment generation, the next
+    /// sequence number, and the committed byte watermark. A `REPL TAIL`
+    /// answer must never ship bytes past this watermark — appends that
+    /// race the read are simply not committed yet from the follower's
+    /// point of view.
+    pub fn wal_position(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.generation, inner.wal.next_seq(), inner.wal.bytes())
+    }
+
+    /// Newest installed snapshot generation on disk, if any — what a
+    /// bootstrapping follower should start from.
+    pub fn newest_snapshot(&self) -> Option<u64> {
+        let mut newest = None;
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if let Some(g) = durable::snapshot_generation(name) {
+                        newest = newest.max(Some(g));
+                    }
+                }
+            }
+        }
+        newest
+    }
+
     /// Snapshots installed by this process.
     pub fn snapshots(&self) -> u64 {
         self.snapshots.load(Ordering::Relaxed)

@@ -16,6 +16,7 @@ use plan::ResultCache;
 use crate::catalog::Catalog;
 use crate::metrics::{Histogram, Metrics, ValueHistogram, PLAN_OPERATORS, PROTOCOLS, UPDATE_OPS};
 use crate::persist::Durability;
+use crate::replication::ReplState;
 use crate::trace::Tracer;
 
 /// Everything a scrape can see. `metrics` is always present; the other
@@ -34,6 +35,8 @@ pub struct PromCtx<'a> {
     pub pool: Option<&'a PoolStats>,
     /// The planned-query result cache.
     pub plan_cache: Option<&'a ResultCache>,
+    /// Replication role/lag gauges and shipping counters.
+    pub repl: Option<&'a ReplState>,
 }
 
 fn family(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -300,6 +303,73 @@ pub fn render(ctx: &PromCtx<'_>) -> String {
         out.push_str(&format!("ruid_snapshot_seconds_total {}\n", secs(s.snapshot_ns)));
     }
 
+    if let Some(repl) = ctx.repl {
+        let s = repl.sample();
+        family(
+            &mut out,
+            "ruid_repl_role",
+            "gauge",
+            "Replication role of this process (1 on the active label).",
+        );
+        out.push_str(&format!(
+            "ruid_repl_role{{role=\"leader\"}} {}\n",
+            u8::from(s.is_leader)
+        ));
+        out.push_str(&format!(
+            "ruid_repl_role{{role=\"follower\"}} {}\n",
+            u8::from(!s.is_leader)
+        ));
+        family(
+            &mut out,
+            "ruid_repl_lag_seconds",
+            "gauge",
+            "Seconds this follower has continuously been behind the leader (0 when caught up or leading).",
+        );
+        out.push_str(&format!("ruid_repl_lag_seconds {}\n", s.lag_seconds));
+        family(
+            &mut out,
+            "ruid_repl_lag_records",
+            "gauge",
+            "WAL records the leader has committed beyond this follower's applied position.",
+        );
+        out.push_str(&format!("ruid_repl_lag_records {}\n", s.lag_records));
+        family(&mut out, "ruid_repl_chunks_shipped_total", "counter", "WAL tail chunks shipped to followers.");
+        out.push_str(&format!("ruid_repl_chunks_shipped_total {}\n", s.chunks_shipped));
+        family(&mut out, "ruid_repl_bytes_shipped_total", "counter", "WAL bytes shipped to followers.");
+        out.push_str(&format!("ruid_repl_bytes_shipped_total {}\n", s.bytes_shipped));
+        family(&mut out, "ruid_repl_snapshots_shipped_total", "counter", "Snapshot bootstraps served to followers.");
+        out.push_str(&format!("ruid_repl_snapshots_shipped_total {}\n", s.snapshots_shipped));
+        family(&mut out, "ruid_repl_acks_total", "counter", "Acknowledgements received from followers.");
+        out.push_str(&format!("ruid_repl_acks_total {}\n", s.acks_received));
+        family(&mut out, "ruid_repl_followers", "gauge", "Followers currently attached to this leader.");
+        out.push_str(&format!("ruid_repl_followers {}\n", s.followers));
+        family(&mut out, "ruid_repl_records_applied_total", "counter", "Shipped WAL records applied by this follower.");
+        out.push_str(&format!("ruid_repl_records_applied_total {}\n", s.records_applied));
+        family(&mut out, "ruid_repl_bootstraps_total", "counter", "Snapshot bootstraps this follower performed.");
+        out.push_str(&format!("ruid_repl_bootstraps_total {}\n", s.bootstraps));
+        family(&mut out, "ruid_repl_reconnects_total", "counter", "Leader connections re-established after a transport error.");
+        out.push_str(&format!("ruid_repl_reconnects_total {}\n", s.reconnects));
+        family(&mut out, "ruid_repl_backoff_waits_total", "counter", "Backoff sleeps taken between reconnect attempts.");
+        out.push_str(&format!("ruid_repl_backoff_waits_total {}\n", s.backoff_waits));
+        family(&mut out, "ruid_repl_refusals_total", "counter", "Leader refusals (stream discontinuity or rotation) forcing a re-bootstrap.");
+        out.push_str(&format!("ruid_repl_refusals_total {}\n", s.refusals));
+        family(&mut out, "ruid_repl_quarantined_total", "counter", "Documents quarantined after a shipped record failed to apply.");
+        out.push_str(&format!("ruid_repl_quarantined_total {}\n", s.quarantined));
+        family(&mut out, "ruid_repl_promotions_total", "counter", "Follower-to-leader promotions completed by this process.");
+        out.push_str(&format!("ruid_repl_promotions_total {}\n", s.promotions));
+    }
+
+    family(
+        &mut out,
+        "ruid_client_retries_total",
+        "counter",
+        "Client-side retries after BUSY or a refused/dropped connection (process-wide).",
+    );
+    out.push_str(&format!(
+        "ruid_client_retries_total {}\n",
+        crate::client::client_retries_total()
+    ));
+
     if let Some(t) = ctx.tracer {
         family(&mut out, "ruid_trace_enabled", "gauge", "Whether per-request tracing is on.");
         out.push_str(&format!("ruid_trace_enabled {}\n", u8::from(t.enabled())));
@@ -326,6 +396,7 @@ mod tests {
             tracer: None,
             pool: None,
             plan_cache: None,
+            repl: None,
         })
     }
 
@@ -403,9 +474,66 @@ mod tests {
             tracer: Some(&t),
             pool: None,
             plan_cache: None,
+            repl: None,
         });
         assert!(body.contains("ruid_trace_enabled 1"), "{body}");
         assert!(body.contains("ruid_slowlog_captured_total 0"), "{body}");
+    }
+
+    #[test]
+    fn replication_families_render_for_both_roles() {
+        let m = Metrics::new();
+        let leader = ReplState::new_leader();
+        let body = render(&PromCtx {
+            metrics: &m,
+            catalog: None,
+            durability: None,
+            tracer: None,
+            pool: None,
+            plan_cache: None,
+            repl: Some(&leader),
+        });
+        assert!(body.contains("ruid_repl_role{role=\"leader\"} 1"), "{body}");
+        assert!(body.contains("ruid_repl_role{role=\"follower\"} 0"), "{body}");
+        assert!(body.contains("ruid_repl_lag_seconds 0"), "{body}");
+        assert!(body.contains("ruid_repl_lag_records 0"), "{body}");
+        assert!(body.contains("ruid_repl_chunks_shipped_total 0"), "{body}");
+        assert!(body.contains("ruid_repl_records_applied_total 0"), "{body}");
+        assert!(body.contains("ruid_repl_reconnects_total 0"), "{body}");
+        assert!(body.contains("ruid_repl_backoff_waits_total 0"), "{body}");
+        assert!(body.contains("ruid_client_retries_total"), "{body}");
+
+        let follower = ReplState::new_follower("127.0.0.1:1".into());
+        follower.note_applied();
+        follower.note_applied();
+        follower.note_reconnect();
+        follower.set_lag(7);
+        let body = render(&PromCtx {
+            metrics: &m,
+            catalog: None,
+            durability: None,
+            tracer: None,
+            pool: None,
+            plan_cache: None,
+            repl: Some(&follower),
+        });
+        assert!(body.contains("ruid_repl_role{role=\"leader\"} 0"), "{body}");
+        assert!(body.contains("ruid_repl_role{role=\"follower\"} 1"), "{body}");
+        assert!(body.contains("ruid_repl_lag_records 7"), "{body}");
+        assert!(body.contains("ruid_repl_records_applied_total 2"), "{body}");
+        assert!(body.contains("ruid_repl_reconnects_total 1"), "{body}");
+        // Once caught up the continuous-behind clock resets to zero.
+        follower.set_lag(0);
+        let body = render(&PromCtx {
+            metrics: &m,
+            catalog: None,
+            durability: None,
+            tracer: None,
+            pool: None,
+            plan_cache: None,
+            repl: Some(&follower),
+        });
+        assert!(body.contains("ruid_repl_lag_seconds 0\n"), "{body}");
     }
 
     #[test]
@@ -451,6 +579,7 @@ mod tests {
             tracer: None,
             pool: None,
             plan_cache: Some(&cache),
+            repl: None,
         });
         // Every operator kind is listed, even untouched ones.
         assert!(body.contains("ruid_plan_operators_total{op=\"scan\"} 5"), "{body}");

@@ -115,6 +115,8 @@ pub enum Request {
     Slowlog(usize),
     /// `SHUTDOWN` — stop the server gracefully.
     Shutdown,
+    /// `PROMOTE` — stop following and accept writes (no-op on a leader).
+    Promote,
 }
 
 /// The `TRACE` sub-commands.
@@ -180,6 +182,7 @@ impl Request {
             Request::Trace(_) => Command::Trace,
             Request::Slowlog(_) => Command::Slowlog,
             Request::Shutdown => Command::Shutdown,
+            Request::Promote => Command::Promote,
         }
     }
 }
@@ -339,6 +342,7 @@ pub fn parse(line: &str) -> Result<Request, String> {
             _ => Err("usage: SLOWLOG [n]".into()),
         },
         "SHUTDOWN" => arity(0, "SHUTDOWN").map(|()| Request::Shutdown),
+        "PROMOTE" => arity(0, "PROMOTE").map(|()| Request::Promote),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -446,6 +450,8 @@ mod tests {
         assert_eq!(parse("SLOWLOG").unwrap(), Request::Slowlog(10));
         assert_eq!(parse("SLOWLOG 3").unwrap(), Request::Slowlog(3));
         assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert_eq!(parse("promote").unwrap(), Request::Promote);
+        assert!(parse("PROMOTE now").is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::mux::{Mux, MuxShared};
 use crate::persist::Durability;
 use crate::prom::PromCtx;
 use crate::proto::{self, Engine, Request, TraceCmd};
+use crate::replication::{self, FollowerShared, ReplState};
 use crate::trace::{RequestTrace, Span, Tracer};
 use crate::wire::{self, WireRequest, WireResponse};
 use par::{PoolStats, SubmitError, ThreadPool};
@@ -101,6 +102,13 @@ pub struct ServerConfig {
     /// multiplexer; each drains many sockets. The text protocol's
     /// thread-per-connection pool (`threads`) is unaffected.
     pub mux_workers: usize,
+    /// Follow a leader at this address (`serve --follow`): bootstrap
+    /// from its newest snapshot, tail its WAL, serve reads, and reject
+    /// writes with a redirect until `PROMOTE`.
+    pub follow: Option<String>,
+    /// How long a caught-up follower sleeps between tail polls, in
+    /// milliseconds.
+    pub repl_poll_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +132,8 @@ impl Default for ServerConfig {
             slowlog_capacity: 128,
             plan_cache_cap: 1024,
             mux_workers: 2,
+            follow: None,
+            repl_poll_ms: 40,
         }
     }
 }
@@ -156,6 +166,8 @@ pub struct ServerHandle {
     tracer: Arc<Tracer>,
     pool_stats: Arc<PoolStats>,
     plan_cache: Arc<ResultCache>,
+    repl: Arc<ReplState>,
+    follower: Option<JoinHandle<()>>,
     metrics_http_addr: Option<SocketAddr>,
     metrics_http: Option<JoinHandle<()>>,
 }
@@ -215,6 +227,10 @@ impl Server {
         let plan_cache = Arc::new(ResultCache::new(config.plan_cache_cap));
         let pool = ThreadPool::new(config.threads, config.queue_cap);
         let pool_stats = pool.stats();
+        let repl = Arc::new(match &config.follow {
+            Some(leader) => ReplState::new_follower(leader.clone()),
+            None => ReplState::new_leader(),
+        });
 
         // Optional plain-HTTP Prometheus endpoint: a dedicated listener
         // so scrapers never compete with protocol clients for workers.
@@ -229,6 +245,7 @@ impl Server {
                 let pool_stats = Arc::clone(&pool_stats);
                 let plan_cache = Arc::clone(&plan_cache);
                 let shutdown = Arc::clone(&shutdown);
+                let repl = Arc::clone(&repl);
                 let handle = std::thread::Builder::new()
                     .name("ruid-metrics".into())
                     .spawn(move || {
@@ -240,6 +257,7 @@ impl Server {
                             &tracer,
                             &pool_stats,
                             &plan_cache,
+                            &repl,
                             &shutdown,
                         );
                     })
@@ -265,7 +283,24 @@ impl Server {
             shutdown: Arc::clone(&shutdown),
             request_counter: Arc::clone(&request_counter),
             listen_addr: addr,
+            repl: Arc::clone(&repl),
         })));
+
+        // Follower mode: one dedicated thread bootstraps from the leader
+        // and tails its WAL; the serving path above answers reads from
+        // whatever committed prefix it has applied.
+        let follower = config.follow.as_ref().map(|leader| {
+            replication::spawn_follower(FollowerShared {
+                leader: leader.clone(),
+                name: format!("follower@{addr}"),
+                poll: Duration::from_millis(config.repl_poll_ms.max(1)),
+                catalog: Arc::clone(&catalog),
+                durability: durability.clone(),
+                plan_cache: Arc::clone(&plan_cache),
+                repl: Arc::clone(&repl),
+                shutdown: Arc::clone(&shutdown),
+            })
+        });
 
         let acceptor = {
             let catalog = Arc::clone(&catalog);
@@ -275,6 +310,7 @@ impl Server {
             let tracer = Arc::clone(&tracer);
             let pool_stats = Arc::clone(&pool_stats);
             let plan_cache = Arc::clone(&plan_cache);
+            let repl = Arc::clone(&repl);
             let mux = Arc::clone(&mux);
             std::thread::Builder::new()
                 .name("ruid-acceptor".into())
@@ -290,6 +326,7 @@ impl Server {
                         &tracer,
                         &pool_stats,
                         &plan_cache,
+                        &repl,
                         &request_counter,
                         &mux,
                     );
@@ -322,6 +359,8 @@ impl Server {
             tracer,
             pool_stats,
             plan_cache,
+            repl,
+            follower,
             metrics_http_addr,
             metrics_http,
         })
@@ -341,6 +380,7 @@ fn serve_metrics_http(
     tracer: &Tracer,
     pool_stats: &PoolStats,
     plan_cache: &ResultCache,
+    repl: &ReplState,
     shutdown: &AtomicBool,
 ) {
     for stream in listener.incoming() {
@@ -374,6 +414,7 @@ fn serve_metrics_http(
             tracer: Some(tracer),
             pool: Some(pool_stats),
             plan_cache: Some(plan_cache),
+            repl: Some(repl),
         });
         let response = format!(
             "HTTP/1.0 200 OK\r\n\
@@ -426,6 +467,11 @@ impl ServerHandle {
         &self.plan_cache
     }
 
+    /// The replication state: role, lag gauges, shipping counters.
+    pub fn repl(&self) -> &Arc<ReplState> {
+        &self.repl
+    }
+
     /// The bound address of the Prometheus HTTP endpoint, when enabled.
     pub fn metrics_http_addr(&self) -> Option<SocketAddr> {
         self.metrics_http_addr
@@ -460,6 +506,9 @@ impl ServerHandle {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.follower.take() {
+            let _ = handle.join();
+        }
         if let Some(handle) = self.metrics_http.take() {
             let _ = handle.join();
         }
@@ -487,6 +536,7 @@ fn accept_loop(
     tracer: &Arc<Tracer>,
     pool_stats: &Arc<PoolStats>,
     plan_cache: &Arc<ResultCache>,
+    repl: &Arc<ReplState>,
     request_counter: &Arc<AtomicU64>,
     mux: &Arc<Mux>,
 ) {
@@ -507,6 +557,7 @@ fn accept_loop(
         let tracer = Arc::clone(tracer);
         let pool_stats = Arc::clone(pool_stats);
         let plan_cache = Arc::clone(plan_cache);
+        let repl = Arc::clone(repl);
         let request_counter = Arc::clone(request_counter);
         let mux = Arc::clone(mux);
         let submitted = pool.try_execute(move || {
@@ -520,6 +571,7 @@ fn accept_loop(
                 &tracer,
                 &pool_stats,
                 &plan_cache,
+                &repl,
                 &request_counter,
                 &mux,
             );
@@ -591,11 +643,20 @@ fn serve_connection(
     tracer: &Tracer,
     pool_stats: &PoolStats,
     plan_cache: &ResultCache,
+    repl: &ReplState,
     request_counter: &AtomicU64,
     mux: &Mux,
 ) -> std::io::Result<()> {
-    let ctx =
-        ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats, plan_cache };
+    let ctx = ServiceCtx {
+        config,
+        catalog,
+        metrics,
+        durability,
+        tracer,
+        pool_stats,
+        plan_cache,
+        repl,
+    };
     // The short poll timeout lets the worker notice server shutdown and
     // expired deadlines even while a client holds its connection open
     // silently; the real deadlines are enforced above it.
@@ -763,6 +824,7 @@ pub(crate) struct ServiceCtx<'a> {
     pub(crate) tracer: &'a Tracer,
     pub(crate) pool_stats: &'a PoolStats,
     pub(crate) plan_cache: &'a ResultCache,
+    pub(crate) repl: &'a ReplState,
 }
 
 /// Runs `f`, charging its wall time to `span` when the request is traced.
@@ -834,6 +896,14 @@ fn describe_wire(request: &WireRequest) -> String {
             format!("MLABEL {doc} [{} queries]", xpaths.len())
         }
         WireRequest::Text { line } => line.clone(),
+        WireRequest::ReplHello { follower } => format!("REPL HELLO {follower}"),
+        WireRequest::ReplSnapshot { generation } => format!("REPL SNAPSHOT {generation}"),
+        WireRequest::ReplTail { generation, offset, .. } => {
+            format!("REPL TAIL {generation} {offset}")
+        }
+        WireRequest::ReplAck { generation, seq, bye, follower } => {
+            format!("REPL ACK {follower} {generation} {seq} bye={bye}")
+        }
     }
 }
 
@@ -921,11 +991,26 @@ pub(crate) fn execute_frame(
         WireRequest::MLabel { doc, xpaths } => {
             (Command::MLabel, WireResponse::Batch(run_batch(ctx, &mut trace, doc, &xpaths)))
         }
+        WireRequest::ReplHello { follower } => {
+            (Command::ReplHello, replication::handle_hello(ctx, &follower))
+        }
+        WireRequest::ReplSnapshot { generation } => {
+            (Command::ReplSnapshot, replication::handle_snapshot(ctx, generation))
+        }
+        WireRequest::ReplTail { generation, offset, max_bytes } => {
+            (Command::ReplTail, replication::handle_tail(ctx, generation, offset, max_bytes))
+        }
+        WireRequest::ReplAck { generation, seq, bye, follower } => {
+            (Command::ReplAck, replication::handle_ack(ctx, &follower, generation, seq, bye))
+        }
     };
     let elapsed = started.elapsed();
     let mut is_error = match &response {
         WireResponse::Line(line) => line.starts_with("ERR"),
         WireResponse::Batch(lines) => lines.iter().any(|line| line.starts_with("ERR")),
+        // A blob is raw payload bytes; errors on the replication verbs
+        // are always reported as `Line`s.
+        WireResponse::Blob(_) => false,
     };
     if elapsed > config.request_deadline() {
         metrics.record_deadline_request();
@@ -1027,9 +1112,35 @@ fn execute(
     ctx: &ServiceCtx<'_>,
     mut trace: Option<&mut RequestTrace>,
 ) -> Result<String, String> {
-    let ServiceCtx { config, catalog, metrics, durability, tracer, pool_stats, plan_cache } =
-        *ctx;
+    let ServiceCtx {
+        config,
+        catalog,
+        metrics,
+        durability,
+        tracer,
+        pool_stats,
+        plan_cache,
+        repl,
+    } = *ctx;
     let trace = &mut trace;
+    // A follower's catalog is the leader's replayed history — local
+    // writes would fork it. Reject them with a redirect; reads (and the
+    // replication verbs themselves) flow normally.
+    if matches!(
+        request,
+        Request::Load { .. }
+            | Request::Unload(_)
+            | Request::Insert { .. }
+            | Request::Delete { .. }
+            | Request::Relabel(_)
+    ) {
+        if let Some(leader) = repl.leader_addr() {
+            return Err(format!(
+                "read-only replica: writes go to the leader at {leader} \
+                 (PROMOTE to accept writes here)"
+            ));
+        }
+    }
     match request {
         Request::Ping => Ok("OK pong".into()),
         Request::Load { path, depth } => {
@@ -1217,12 +1328,22 @@ fn execute(
                     tracer: Some(tracer),
                     pool: Some(pool_stats),
                     plan_cache: Some(plan_cache),
+                    repl: Some(repl),
                 });
                 return Ok(format!("OK {}", proto::escape_line(&body)));
             }
             Ok(match durability {
-                Some(d) => format!("OK {} {}", metrics.render_line(), d.render_line()),
-                None => format!("OK {} durability=off", metrics.render_line()),
+                Some(d) => format!(
+                    "OK {} {} {}",
+                    metrics.render_line(),
+                    d.render_line(),
+                    repl.render_line()
+                ),
+                None => format!(
+                    "OK {} durability=off {}",
+                    metrics.render_line(),
+                    repl.render_line()
+                ),
             })
         }
         Request::Snapshot => {
@@ -1256,6 +1377,24 @@ fn execute(
             Ok(format!("OK {}", tracer.render_status()))
         }
         Request::Slowlog(n) => Ok(format!("OK {}", tracer.render_slowlog(n))),
+        Request::Promote => {
+            if !repl.is_follower() {
+                return Ok("OK role=leader promoted=false".into());
+            }
+            // The role flips only after the follower thread has stopped
+            // applying, so no shipped record can land after a write this
+            // newly-promoted leader accepts.
+            repl.request_promotion();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while repl.is_follower() {
+                if Instant::now() >= deadline {
+                    return Err("promotion pending: follower thread did not stop in time"
+                        .into());
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok("OK role=leader promoted=true".into())
+        }
         Request::Shutdown => {
             // The OK-ack is a durability promise: everything the WAL
             // acknowledged must survive a kill right after it. Force the

@@ -35,8 +35,21 @@
 //! | 0x07 | `MLABEL` | `doc:u64 \| n:u32 \| n × (len:u32 \| xpath:utf8)`    |
 //! | 0x08 | `TEXT`   | one text-protocol request line (escape hatch for     |
 //! |      |          | every other verb: `LOAD`, `METRICS`, `SHUTDOWN`, …)  |
+//! | 0x09 | `REPL HELLO`    | `follower:utf8…`                              |
+//! | 0x0A | `REPL SNAPSHOT` | `generation:u64`                              |
+//! | 0x0B | `REPL TAIL`     | `generation:u64 \| offset:u64 \| max:u32`     |
+//! | 0x0C | `REPL ACK`      | `generation:u64 \| seq:u64 \| bye:u8 \|`      |
+//! |      |                 | `follower:utf8…`                              |
 //!
 //! Engine codes: 0 = planned (default), 1 = tree, 2 = ruid, 3 = indexed.
+//!
+//! The `REPL` verbs are the replication channel: a follower greets the
+//! leader (`HELLO`, answered with a [`repl::HelloInfo`] blob), pulls the
+//! newest snapshot image (`SNAPSHOT`, answered with the raw file bytes),
+//! polls for committed WAL bytes (`TAIL`, answered with a
+//! [`repl::TailChunk`] blob), and reports its applied position (`ACK`,
+//! with `bye = 1` meaning a clean detach). They ride the same mux as
+//! every other verb — replication is just another pipelined client.
 //!
 //! ## Responses
 //!
@@ -45,6 +58,8 @@
 //! two front ends are byte-identical by construction. Status 1 (`BATCH`)
 //! answers `MQUERY`/`MLABEL` with `n:u32 | n × (len:u32 | line)`, one
 //! text-identical response line per sub-query, in sub-query order.
+//! Status 2 (`BLOB`) carries raw bytes (snapshot images, tail chunks,
+//! hello payloads) — never UTF-8-validated, never line-framed.
 //!
 //! ## Robustness
 //!
@@ -128,6 +143,41 @@ pub enum WireRequest {
         /// The request line, exactly as the text protocol would read it.
         line: String,
     },
+    /// `REPL HELLO`: a follower introduces itself; the leader answers a
+    /// `Blob` holding an encoded `repl::HelloInfo`.
+    ReplHello {
+        /// The follower's self-chosen name (shows up in leader metrics).
+        follower: String,
+    },
+    /// `REPL SNAPSHOT`: fetch the raw bytes of snapshot `generation`.
+    ReplSnapshot {
+        /// Which snapshot generation to ship.
+        generation: u64,
+    },
+    /// `REPL TAIL`: fetch committed WAL bytes of segment `generation`
+    /// starting at `offset`; the leader answers a `Blob` holding an
+    /// encoded `repl::TailChunk`.
+    ReplTail {
+        /// Which WAL segment to read.
+        generation: u64,
+        /// Byte offset within the segment to start from.
+        offset: u64,
+        /// Upper bound on shipped data bytes in one answer.
+        max_bytes: u32,
+    },
+    /// `REPL ACK`: the follower reports its applied position so the
+    /// leader can compute per-follower lag; `bye` marks a clean detach
+    /// (the follower is shutting down, not crashing).
+    ReplAck {
+        /// Segment generation the follower has applied through.
+        generation: u64,
+        /// Next sequence number the follower expects in that segment.
+        seq: u64,
+        /// True when this is a goodbye: forget the follower.
+        bye: bool,
+        /// The follower's name, matching its `REPL HELLO`.
+        follower: String,
+    },
 }
 
 /// One decoded binary response body.
@@ -137,6 +187,9 @@ pub enum WireResponse {
     Line(String),
     /// Status 1: one text-identical response line per sub-query.
     Batch(Vec<String>),
+    /// Status 2: raw bytes (replication payloads — snapshot images,
+    /// encoded tail chunks, hello infos).
+    Blob(Vec<u8>),
 }
 
 /// A request frame: the id the client chose plus the request.
@@ -272,6 +325,27 @@ pub fn encode_request(id: u64, request: &WireRequest, out: &mut Vec<u8>) {
             out.push(0x08);
             out.extend_from_slice(line.as_bytes());
         }
+        WireRequest::ReplHello { follower } => {
+            out.push(0x09);
+            out.extend_from_slice(follower.as_bytes());
+        }
+        WireRequest::ReplSnapshot { generation } => {
+            out.push(0x0A);
+            out.extend_from_slice(&generation.to_le_bytes());
+        }
+        WireRequest::ReplTail { generation, offset, max_bytes } => {
+            out.push(0x0B);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&max_bytes.to_le_bytes());
+        }
+        WireRequest::ReplAck { generation, seq, bye, follower } => {
+            out.push(0x0C);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.push(u8::from(*bye));
+            out.extend_from_slice(follower.as_bytes());
+        }
     }
     patch_len(out, start);
 }
@@ -290,6 +364,10 @@ pub fn encode_response(id: u64, response: &WireResponse, out: &mut Vec<u8>) {
         WireResponse::Batch(lines) => {
             out.push(1);
             put_str_list(out, lines);
+        }
+        WireResponse::Blob(bytes) => {
+            out.push(2);
+            out.extend_from_slice(bytes);
         }
     }
     patch_len(out, start);
@@ -343,6 +421,10 @@ impl<'a> Cursor<'a> {
     fn take_str_rest(&mut self, what: &str) -> Result<String, String> {
         let bytes = std::mem::take(&mut self.rest);
         String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not valid utf-8"))
+    }
+
+    fn take_bytes_rest(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.rest).to_vec()
     }
 
     fn take_str_list(&mut self) -> Result<Vec<String>, String> {
@@ -458,6 +540,30 @@ pub fn decode_request(buf: &[u8], cap: usize) -> Decoded<RequestFrame> {
                 WireRequest::MLabel { doc, xpaths }
             }
             0x08 => WireRequest::Text { line: c.take_str_rest("request line")? },
+            0x09 => WireRequest::ReplHello { follower: c.take_str_rest("follower name")? },
+            0x0A => {
+                let generation = c.take_u64("snapshot generation")?;
+                c.finish("REPL SNAPSHOT")?;
+                WireRequest::ReplSnapshot { generation }
+            }
+            0x0B => {
+                let generation = c.take_u64("segment generation")?;
+                let offset = c.take_u64("segment offset")?;
+                let max_bytes = c.take_u32("tail byte cap")?;
+                c.finish("REPL TAIL")?;
+                WireRequest::ReplTail { generation, offset, max_bytes }
+            }
+            0x0C => {
+                let generation = c.take_u64("ack generation")?;
+                let seq = c.take_u64("ack sequence")?;
+                let bye = match c.take_u8("bye flag")? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(format!("bad bye flag {other} (want 0|1)")),
+                };
+                let follower = c.take_str_rest("follower name")?;
+                WireRequest::ReplAck { generation, seq, bye, follower }
+            }
             other => return Err(format!("unknown verb 0x{other:02x}")),
         };
         Ok(RequestFrame { id, request })
@@ -476,6 +582,7 @@ pub fn decode_response(buf: &[u8]) -> Decoded<ResponseFrame> {
                 c.finish("batch response")?;
                 WireResponse::Batch(lines)
             }
+            2 => WireResponse::Blob(c.take_bytes_rest()),
             other => return Err(format!("unknown status {other}")),
         };
         Ok(ResponseFrame { id, response })
@@ -516,6 +623,16 @@ mod tests {
         });
         roundtrip(WireRequest::MLabel { doc: 5, xpaths: vec![] });
         roundtrip(WireRequest::Text { line: "METRICS prom".into() });
+        roundtrip(WireRequest::ReplHello { follower: "replica-1".into() });
+        roundtrip(WireRequest::ReplHello { follower: String::new() });
+        roundtrip(WireRequest::ReplSnapshot { generation: 17 });
+        roundtrip(WireRequest::ReplTail { generation: 4, offset: 8192, max_bytes: 1 << 20 });
+        roundtrip(WireRequest::ReplAck {
+            generation: 4,
+            seq: 99,
+            bye: true,
+            follower: "replica-1".into(),
+        });
     }
 
     #[test]
@@ -525,6 +642,8 @@ mod tests {
             WireResponse::Line(String::new()),
             WireResponse::Batch(vec!["OK 0".into(), "ERR no document 9".into()]),
             WireResponse::Batch(vec![]),
+            WireResponse::Blob(vec![0xFF, 0x00, 0xB1, 0xB2, 7]),
+            WireResponse::Blob(Vec::new()),
         ] {
             let mut buf = Vec::new();
             encode_response(99, &response, &mut buf);

@@ -301,3 +301,97 @@ if [ "$PROTO_COUNTS" -ne 2 ]; then
 fi
 "$RUID_XML" client 127.0.0.1:7445 --protocol binary SHUTDOWN >/dev/null
 wait "$SRV" 2>/dev/null || true
+
+# E17 smoke: a caught-up follower and every promoted replica must answer
+# the differential corpus byte-identically to the single-node oracle, and
+# failover must complete promptly.
+cargo run --release --offline -p bench --bin report_e17_failover -- \
+    --smoke --out target/bench_e17_smoke.json
+if command -v jq >/dev/null; then
+    jq -e '.experiment == "E17"
+           and .byte_identical
+           and (.failover_trials >= 5)
+           and (.failover_p99_ms < 5000)' \
+        target/bench_e17_smoke.json >/dev/null \
+        || { echo "ci: E17 smoke report malformed" >&2; exit 1; }
+    # The checked-in full-mode report gates the PR 9 failover claim:
+    # byte identity on every trial and a bounded death-to-first-write tail.
+    jq -e '.experiment == "E17"
+           and .mode == "full"
+           and .byte_identical
+           and .replica_byte_identical
+           and .failover_byte_identical
+           and (.failover_trials >= 20)
+           and (.failover_p99_ms < 5000)' \
+        BENCH_pr9.json >/dev/null \
+        || { echo "ci: BENCH_pr9.json fails the failover gate" >&2; exit 1; }
+fi
+
+# Replication smoke: boot a leader and a follower as real processes,
+# kill -9 the leader, promote the follower, and demand the promoted
+# replica serve the byte-identical pre-kill answer — then accept writes.
+REPL_DIR=target/ci-replication
+rm -rf "$REPL_DIR"; mkdir -p "$REPL_DIR"
+printf '<catalog><book id="b1"><title>A</title><price>35</price></book><book id="b2"><title>B</title><price>20</price></book></catalog>' \
+    > "$REPL_DIR/sample.xml"
+
+"$RUID_XML" serve --addr 127.0.0.1:7446 --data-dir "$REPL_DIR/leader" --fsync always &
+LEADER=$!
+wait_ping 127.0.0.1:7446
+"$RUID_XML" client 127.0.0.1:7446 "LOAD $REPL_DIR/sample.xml" >/dev/null
+BEFORE=$("$RUID_XML" client 127.0.0.1:7446 "QUERY 1 //book/title")
+
+"$RUID_XML" serve --addr 127.0.0.1:7447 --data-dir "$REPL_DIR/follower" \
+    --fsync always --follow 127.0.0.1:7446 --repl-poll-ms 10 \
+    --metrics-addr 127.0.0.1:7448 &
+FOLLOWER=$!
+wait_ping 127.0.0.1:7447
+for _ in $(seq 1 100); do
+    REPLICA=$("$RUID_XML" client 127.0.0.1:7447 "QUERY 1 //book/title" 2>/dev/null || true)
+    [ "$REPLICA" = "$BEFORE" ] && break
+    sleep 0.1
+done
+if [ "$REPLICA" != "$BEFORE" ]; then
+    echo "ci: follower never converged: '$REPLICA' vs '$BEFORE'" >&2; exit 1
+fi
+
+# Writes bounce off the replica with a redirect to the leader.
+RO=$("$RUID_XML" client 127.0.0.1:7447 "LOAD $REPL_DIR/sample.xml" 2>/dev/null || true)
+case "$RO" in
+    "ERR read-only replica"*"127.0.0.1:7446"*) ;;
+    *) echo "ci: replica accepted a write: $RO" >&2; exit 1 ;;
+esac
+
+# The follower's Prometheus endpoint exposes the role and lag gauges.
+exec 3<>/dev/tcp/127.0.0.1/7448
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+REPL_SCRAPE=$(cat <&3)
+exec 3<&- 3>&-
+case "$REPL_SCRAPE" in
+    *'ruid_repl_role{role="follower"} 1'*) ;;
+    *) echo "ci: follower scrape missing role gauge" >&2; exit 1 ;;
+esac
+case "$REPL_SCRAPE" in
+    *"ruid_repl_lag_seconds"*"ruid_repl_records_applied_total"*) ;;
+    *) echo "ci: follower scrape missing replication families" >&2; exit 1 ;;
+esac
+
+# Kill the leader dead — no SHUTDOWN, no snapshot — and fail over.
+kill -9 "$LEADER"; wait "$LEADER" 2>/dev/null || true
+PROMOTED=$("$RUID_XML" client 127.0.0.1:7447 PROMOTE)
+if [ "$PROMOTED" != "OK role=leader promoted=true" ]; then
+    echo "ci: promotion failed: $PROMOTED" >&2; exit 1
+fi
+AFTER=$("$RUID_XML" client 127.0.0.1:7447 "QUERY 1 //book/title")
+if [ "$AFTER" != "$BEFORE" ]; then
+    echo "ci: failover answer diverged: '$BEFORE' vs '$AFTER'" >&2; exit 1
+fi
+# The promoted leader accepts writes again, and says so in METRICS.
+"$RUID_XML" client 127.0.0.1:7447 "LOAD $REPL_DIR/sample.xml" >/dev/null
+REPL_METRICS=$("$RUID_XML" client 127.0.0.1:7447 METRICS)
+case "$REPL_METRICS" in
+    *"repl_role=leader"*"repl_promotions=1"*) ;;
+    *) echo "ci: promoted metrics malformed: $REPL_METRICS" >&2; exit 1 ;;
+esac
+"$RUID_XML" client 127.0.0.1:7447 SHUTDOWN >/dev/null
+wait "$FOLLOWER" 2>/dev/null || true
