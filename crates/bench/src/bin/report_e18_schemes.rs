@@ -1,0 +1,248 @@
+//! E18 — the scheme frontier: label storage and axis throughput of the
+//! nested-interval and compact-ancestry engines against rUID, plus a
+//! byte-identity check of their incremental maintenance.
+//!
+//! Three numbers per engine answer the PR 10 questions:
+//!
+//! * **bytes/label** — what the encoding costs at rest (varint interval
+//!   spans vs packed ancestry paths vs the fixed-width rUID triple);
+//! * **calls/s per axis** — what each label representation buys the
+//!   evaluator on every XPath axis family;
+//! * **byte identity** — whether a seeded insert/delete sequence through
+//!   the incremental `on_insert`/`on_delete` hooks lands on exactly the
+//!   numbering a from-scratch rebuild produces.
+//!
+//! Emits `BENCH_pr10.json` (override with `--out PATH`); `--smoke`
+//! shrinks the document and round counts for the CI gate.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use bench::{default_partition, median_time, per_item, xmark_tree, Table};
+use ruid::prelude::*;
+use ruid::{
+    AncestryScheme, AxisProvider, DeweyScheme, DocOrder, IntervalScheme, RuidAxes, SpanAxes,
+    SplitMix64,
+};
+
+/// One measured point: (provider, axis, calls per second).
+type Point = (String, String, f64);
+
+fn measure_axes<P: AxisProvider>(
+    provider: &P,
+    name: &str,
+    sample: &[NodeId],
+    pairs: &[(NodeId, NodeId)],
+    table: &Table,
+    points: &mut Vec<Point>,
+) {
+    let mut emit = |axis: &str, items: usize, t: Duration| {
+        let per_s = items as f64 / t.as_secs_f64().max(1e-9);
+        table.row(&[
+            name.to_string(),
+            axis.to_string(),
+            items.to_string(),
+            format!("{t:.2?}"),
+            per_item(t, items),
+        ]);
+        points.push((name.to_string(), axis.to_string(), per_s));
+    };
+
+    let t = median_time(7, || sample.iter().map(|&n| provider.children(n).len()).sum::<usize>());
+    emit("children", sample.len(), t);
+    let t = median_time(7, || sample.iter().filter(|&&n| provider.parent(n).is_some()).count());
+    emit("parent", sample.len(), t);
+    let t = median_time(3, || {
+        sample.iter().step_by(7).map(|&n| provider.descendants(n).len()).sum::<usize>()
+    });
+    emit("descendants", sample.len() / 7 + 1, t);
+    let t = median_time(7, || sample.iter().map(|&n| provider.ancestors(n).len()).sum::<usize>());
+    emit("ancestors", sample.len(), t);
+    let t = median_time(7, || {
+        sample
+            .iter()
+            .map(|&n| {
+                provider.following_siblings(n).len() + provider.preceding_siblings(n).len()
+            })
+            .sum::<usize>()
+    });
+    emit("siblings", sample.len(), t);
+    let t = median_time(3, || {
+        sample
+            .iter()
+            .step_by(9)
+            .map(|&n| provider.following(n).len() + provider.preceding(n).len())
+            .sum::<usize>()
+    });
+    emit("following+preceding", sample.len() / 9 + 1, t);
+    let t = median_time(7, || {
+        pairs.iter().filter(|&&(a, b)| provider.is_ancestor(a, b)).count()
+    });
+    emit("is_ancestor", pairs.len(), t);
+    let t = median_time(7, || {
+        pairs.iter().map(|&(a, b)| provider.cmp_doc_order(a, b) as i64).sum::<i64>()
+    });
+    emit("cmp_doc_order", pairs.len(), t);
+}
+
+/// Runs a seeded insert/delete sequence through the incremental hooks and
+/// reports whether every label — and the aggregate encoded size — equals
+/// a from-scratch rebuild on the final tree.
+fn byte_identity(mut doc: Document, rounds: usize) -> (bool, bool) {
+    let root = doc.root_element().unwrap();
+    let mut interval = IntervalScheme::build(&doc);
+    let mut ancestry = AncestryScheme::build(&doc);
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_2026);
+    for round in 0..rounds {
+        let elems: Vec<NodeId> = doc
+            .descendants(root)
+            .filter(|&n| doc.element_name(n).is_some())
+            .collect();
+        if round % 3 != 2 || elems.len() < 2 {
+            let parent = elems[rng.gen_range(0..elems.len() as u64) as usize];
+            let new = doc.create_element("ins");
+            doc.append_child(parent, new);
+            interval.on_insert(&doc, new);
+            ancestry.on_insert(&doc, new);
+        } else {
+            let victim = elems[1 + rng.gen_range(0..elems.len() as u64 - 1) as usize];
+            let parent = doc.parent(victim).unwrap();
+            doc.detach(victim);
+            interval.on_delete(&doc, parent, victim);
+            ancestry.on_delete(&doc, parent, victim);
+        }
+    }
+    let fresh_interval = IntervalScheme::build(&doc);
+    let fresh_ancestry = AncestryScheme::build(&doc);
+    let interval_ok = doc
+        .descendants(root)
+        .all(|n| interval.label_of(n) == fresh_interval.label_of(n))
+        && doc
+            .descendants(root)
+            .map(|n| interval.encoded_bytes(&interval.label_of(n)))
+            .sum::<usize>()
+            == doc
+                .descendants(root)
+                .map(|n| fresh_interval.encoded_bytes(&fresh_interval.label_of(n)))
+                .sum::<usize>();
+    let ancestry_ok = doc
+        .descendants(root)
+        .all(|n| ancestry.label_of(n) == fresh_ancestry.label_of(n))
+        && doc
+            .descendants(root)
+            .map(|n| ancestry.encoded_bytes(&ancestry.label_of(n)))
+            .sum::<usize>()
+            == doc
+                .descendants(root)
+                .map(|n| fresh_ancestry.encoded_bytes(&fresh_ancestry.label_of(n)))
+                .sum::<usize>();
+    (interval_ok, ancestry_ok)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_pr10.json".into());
+    let nodes = if smoke { 2_000 } else { 20_000 };
+    let rounds = if smoke { 60 } else { 400 };
+
+    let doc = xmark_tree(nodes, 42);
+    let root = doc.root_element().unwrap();
+    let n = doc.descendants(root).count();
+    let order = DocOrder::build(&doc);
+    let ruid2 = Ruid2Scheme::build(&doc, &default_partition());
+    let interval = IntervalScheme::build(&doc);
+    let ancestry = AncestryScheme::build(&doc);
+    let dewey = DeweyScheme::build(&doc);
+
+    println!(
+        "E18: scheme frontier on XMark-lite ({n} nodes, mode: {})\n",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // --- label storage -------------------------------------------------
+    let interval_bytes: usize =
+        doc.descendants(root).map(|nd| interval.encoded_bytes(&interval.label_of(nd))).sum();
+    let ancestry_bytes: usize =
+        doc.descendants(root).map(|nd| ancestry.encoded_bytes(&ancestry.label_of(nd))).sum();
+    let ruid_bytes = n * Ruid2::ENCODED_LEN;
+    let dewey_bytes = dewey.total_label_bytes();
+    let per_node = |total: usize| total as f64 / n as f64;
+
+    println!("E18a: label storage");
+    let table = Table::new(&["scheme", "bytes/label", "total KiB"], &[10, 12, 10]);
+    table.row(&["interval".into(), format!("{:.2}", per_node(interval_bytes)), (interval_bytes / 1024).to_string()]);
+    table.row(&["ancestry".into(), format!("{:.2}", per_node(ancestry_bytes)), (ancestry_bytes / 1024).to_string()]);
+    table.row(&["ruid2".into(), format!("{:.2}", per_node(ruid_bytes)), (ruid_bytes / 1024).to_string()]);
+    table.row(&["dewey".into(), format!("{:.2}", per_node(dewey_bytes)), (dewey_bytes / 1024).to_string()]);
+
+    // --- axis throughput -----------------------------------------------
+    let all: Vec<NodeId> = doc.descendants(root).collect();
+    let step = (all.len() / 400).max(1);
+    let sample: Vec<NodeId> = all.iter().copied().step_by(step).collect();
+    let pairs: Vec<(NodeId, NodeId)> =
+        sample.windows(2).map(|w| (w[0], w[1])).collect();
+
+    println!("\nE18b: axis throughput ({} sample nodes)", sample.len());
+    let table =
+        Table::new(&["engine", "axis", "items", "median total", "per call"], &[10, 20, 7, 13, 10]);
+    let mut points: Vec<Point> = Vec::new();
+    measure_axes(
+        &SpanAxes::with_order(interval.span_index(), "interval", &order),
+        "interval",
+        &sample,
+        &pairs,
+        &table,
+        &mut points,
+    );
+    measure_axes(
+        &SpanAxes::with_order(ancestry.span_index(), "ancestry", &order),
+        "ancestry",
+        &sample,
+        &pairs,
+        &table,
+        &mut points,
+    );
+    measure_axes(&RuidAxes::with_order(&ruid2, &order), "ruid", &sample, &pairs, &table, &mut points);
+
+    // --- byte identity under updates -----------------------------------
+    let (interval_identical, ancestry_identical) = byte_identity(doc, rounds);
+    println!(
+        "\nE18c: incremental maintenance byte-identical to rebuild after \
+         {rounds} seeded updates: interval {} / ancestry {}",
+        if interval_identical { "PASS" } else { "FAIL" },
+        if ancestry_identical { "PASS" } else { "FAIL" },
+    );
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"experiment\": \"E18\",");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(j, "  \"nodes\": {n},");
+    let _ = writeln!(j, "  \"update_rounds\": {rounds},");
+    let _ = writeln!(j, "  \"label_bytes_per_node\": {{");
+    let _ = writeln!(j, "    \"interval\": {:.3},", per_node(interval_bytes));
+    let _ = writeln!(j, "    \"ancestry\": {:.3},", per_node(ancestry_bytes));
+    let _ = writeln!(j, "    \"ruid\": {:.3},", per_node(ruid_bytes));
+    let _ = writeln!(j, "    \"dewey\": {:.3}", per_node(dewey_bytes));
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"byte_identity\": {{");
+    let _ = writeln!(j, "    \"interval\": {interval_identical},");
+    let _ = writeln!(j, "    \"ancestry\": {ancestry_identical}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"axes\": [");
+    for (i, (provider, axis, per_s)) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"provider\": \"{provider}\", \"axis\": \"{axis}\", \
+             \"calls_per_s\": {per_s:.0}}}{comma}"
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    j.push_str("}\n");
+    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -4,6 +4,7 @@
 //! ruid-xml stats  <file.xml>                       tree + numbering statistics
 //! ruid-xml label  <file.xml> [--depth D] [--limit N]   print labels and table K
 //! ruid-xml query  <file.xml> <xpath> [--engine E]  run an XPath query
+//!                 (E: tree, uid, ruid, indexed, interval, ancestry, planned)
 //! ruid-xml explain <file.xml> <xpath>              show the physical query plan
 //! ruid-xml axes   <file.xml> <xpath>               show every axis of the first match
 //! ruid-xml parent <file.xml> <g> <l> <r>           rparent() of an identifier
@@ -12,13 +13,13 @@
 //! ```
 
 use ruid::prelude::*;
-use ruid::{BinaryClient, Client, DocOrder, Executor, FsyncPolicy, LoadedDoc, NameIndex, NameIndexed, PathSummary, Ruid2, Server, ServerConfig, ServerHandle, UidScheme, WalOp};
+use ruid::{AncestryScheme, BinaryClient, Client, DocOrder, Executor, FsyncPolicy, IntervalScheme, LoadedDoc, NameIndex, NameIndexed, PathSummary, Ruid2, Server, ServerConfig, ServerHandle, SpanAxes, UidScheme, WalOp};
 
 /// The usage banner printed on argument errors.
 pub const USAGE: &str = "usage:
   ruid-xml stats  <file.xml>
   ruid-xml label  <file.xml> [--depth D] [--limit N]
-  ruid-xml query  <file.xml> <xpath> [--engine tree|uid|ruid|indexed|planned]
+  ruid-xml query  <file.xml> <xpath> [--engine tree|uid|ruid|indexed|interval|ancestry|planned]
   ruid-xml explain <file.xml> <xpath>
   ruid-xml axes   <file.xml> <xpath>
   ruid-xml parent <file.xml> <global> <local> <true|false>
@@ -145,6 +146,18 @@ fn query(args: &[String]) -> Result<(), String> {
             Evaluator::new(&doc, UidAxes::new(&uid_scheme)).query(xpath)?
         }
         "ruid" => Evaluator::new(&doc, RuidAxes::new(&scheme)).query(xpath)?,
+        "interval" => {
+            let interval = IntervalScheme::build(&doc);
+            let order = DocOrder::build(&doc);
+            Evaluator::new(&doc, SpanAxes::with_order(interval.span_index(), "interval", &order))
+                .query(xpath)?
+        }
+        "ancestry" => {
+            let ancestry = AncestryScheme::build(&doc);
+            let order = DocOrder::build(&doc);
+            Evaluator::new(&doc, SpanAxes::with_order(ancestry.span_index(), "ancestry", &order))
+                .query(xpath)?
+        }
         "indexed" => {
             index = NameIndex::build(&doc);
             Evaluator::new(&doc, NameIndexed::new(RuidAxes::new(&scheme), &doc, &index))

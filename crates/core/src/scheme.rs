@@ -19,29 +19,57 @@ use crate::table::{AreaEntry, KTable};
 ///
 /// # Panics
 /// Panics if the label references an area missing from `ktable` — labels and
-/// table must come from the same numbering.
+/// table must come from the same numbering. For labels of unknown
+/// provenance (client bytes) use [`rparent_checked`].
 pub fn rparent_with(kappa: u64, ktable: &KTable, label: &Ruid2) -> Option<Ruid2> {
+    rparent_checked(kappa, ktable, label)
+        .unwrap_or_else(|e| panic!("label/table mismatch: {e}"))
+}
+
+/// Total variant of [`rparent_with`]: a label this numbering could never
+/// have issued (zero indices, an area missing from K, an "area root"
+/// flag above the tree root, a local slot outside the area's fan-out
+/// range) is reported as an `Err` instead of a panic. This is the form
+/// the serving layer uses — `PARENT` feeds client-controlled bytes
+/// straight into this arithmetic, and a fabricated label must answer
+/// `ERR`, not kill the worker.
+pub fn rparent_checked(
+    kappa: u64,
+    ktable: &KTable,
+    label: &Ruid2,
+) -> Result<Option<Ruid2>, String> {
+    if label.global == 0 || label.local == 0 {
+        return Err(format!("invalid label {label}: indices start at 1"));
+    }
     if label.is_tree_root() {
-        return None;
+        return Ok(None);
     }
     // Step 1-5: the area holding the parent.
     let g = if label.is_root {
-        kary::parent_u64(label.global, kappa)
-            .expect("non-tree-root area root must have an upper area")
+        match kary::parent_u64(label.global, kappa) {
+            Some(g) => g,
+            // global == 1 with is_root but not the tree root: no upper
+            // area exists for it to be the root of.
+            None => return Err(format!("invalid label {label}: no area above it")),
+        }
     } else {
         label.global
     };
     // Step 6-7: local k-ary parent inside that area.
-    let k = ktable.fanout(g);
-    let l = kary::parent_u64(label.local, k)
-        .expect("a non-root label's local index is at least 2");
+    let Some(entry) = ktable.get(g) else {
+        return Err(format!("invalid label {label}: area {g} not in table K"));
+    };
+    let Some(l) = kary::parent_u64(label.local, entry.fanout) else {
+        // local == 1 without the root flag: slot 1 is the area root
+        // itself, which carries `is_root` — no issued label looks like this.
+        return Err(format!("invalid label {label}: local slot 1 must be an area root"));
+    };
     // Step 8-13: landing on local index 1 means the parent is the area root,
     // whose public local index lives in the *upper* area (table K).
     if l == 1 {
-        let entry = ktable.get(g).unwrap_or_else(|| panic!("area {g} not in table K"));
-        Some(Ruid2::new(g, entry.local, true))
+        Ok(Some(Ruid2::new(g, entry.local, true)))
     } else {
-        Some(Ruid2::new(g, l, false))
+        Ok(Some(Ruid2::new(g, l, false)))
     }
 }
 
@@ -469,6 +497,13 @@ impl Ruid2Scheme {
     /// label arithmetic over the in-memory κ and K — no tree access.
     pub fn rparent(&self, label: &Ruid2) -> Option<Ruid2> {
         rparent_with(self.kappa, &self.ktable, label)
+    }
+
+    /// [`Ruid2Scheme::rparent`] that answers `Err` instead of panicking
+    /// when `label` could not have been issued by this numbering — the
+    /// serving layer's entry point for client-supplied labels.
+    pub fn rparent_checked(&self, label: &Ruid2) -> Result<Option<Ruid2>, String> {
+        rparent_checked(self.kappa, &self.ktable, label)
     }
 
     /// The area whose inside holds `label`'s children: the node's own area

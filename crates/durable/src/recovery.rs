@@ -163,6 +163,15 @@ fn apply_catalog_op(docs: &mut Vec<DocState>, op: &WalOp, report: &mut RecoveryR
                 Err(reason) => report.quarantined.push((*doc_id, reason)),
             }
         }
+        WalOp::LoadStream { doc_id, path, config, with_store, events } => {
+            match DocState::build_stream(*doc_id, path.clone(), events, *config, *with_store) {
+                Ok(state) => {
+                    docs.retain(|d| d.id != *doc_id);
+                    docs.push(state);
+                }
+                Err(reason) => report.quarantined.push((*doc_id, reason)),
+            }
+        }
         WalOp::Unload { doc_id } => {
             docs.retain(|d| d.id != *doc_id);
         }

@@ -32,6 +32,10 @@ pub enum Applied {
         elements: Vec<(NameId, NodeId)>,
         /// Every removed node (elements, text, comments, PIs).
         nodes: usize,
+        /// The parent the subtree hung under (still attached).
+        parent: NodeId,
+        /// The detached subtree's root.
+        root: NodeId,
         /// Relabel cost of the incremental renumbering.
         stats: RelabelStats,
     },
@@ -87,6 +91,23 @@ impl DocState {
         Ok(DocState { id, path, config, with_store, doc, scheme })
     }
 
+    /// Builds the tree from an interval-encoded flat event stream and
+    /// numbers it — the state a [`WalOp::LoadStream`] creates. No XML
+    /// text is ever materialized.
+    pub fn build_stream(
+        id: u64,
+        path: String,
+        events: &str,
+        config: PartitionConfig,
+        with_store: bool,
+    ) -> Result<DocState, String> {
+        let doc = schemes::interval::document_from_stream(events)
+            .map_err(|e| format!("stream {path}: {e}"))?;
+        let scheme =
+            Ruid2Scheme::try_build(&doc, &config).map_err(|e| format!("number {path}: {e}"))?;
+        Ok(DocState { id, path, config, with_store, doc, scheme })
+    }
+
     /// Applies one structural op ([`WalOp::Insert`] / [`WalOp::Delete`] /
     /// [`WalOp::Repartition`]) to this document. `Load`/`Unload` are
     /// catalog-level and rejected here.
@@ -109,7 +130,7 @@ impl DocState {
                 .repartition(&self.doc)
                 .map(|stats| Applied::Repartitioned { stats })
                 .map_err(|e| format!("repartition: {e}")),
-            WalOp::Load { .. } | WalOp::Unload { .. } => {
+            WalOp::Load { .. } | WalOp::LoadStream { .. } | WalOp::Unload { .. } => {
                 Err("load/unload are catalog ops, not document ops".into())
             }
         }
@@ -151,6 +172,6 @@ impl DocState {
             .collect();
         self.doc.detach(node);
         let stats = self.scheme.on_delete(&self.doc, parent, node);
-        Ok(Applied::Deleted { elements, nodes, stats })
+        Ok(Applied::Deleted { elements, nodes, parent, root: node, stats })
     }
 }

@@ -118,6 +118,21 @@ pub enum WalOp {
         /// Catalog id of the relabelled document.
         doc_id: u64,
     },
+    /// A document entered the catalog from an interval-encoded flat event
+    /// stream (`LOADSTREAM`). Carries the event text so replay rebuilds
+    /// the identical tree without any XML materialization.
+    LoadStream {
+        /// Catalog id assigned to the document.
+        doc_id: u64,
+        /// Display name (reporting only).
+        path: String,
+        /// Partition policy the numbering was built with.
+        config: ruid_core::PartitionConfig,
+        /// Whether a node store accompanies the document.
+        with_store: bool,
+        /// The whitespace-separated `start:end:content` event tokens.
+        events: String,
+    },
 }
 
 impl WalOp {
@@ -128,7 +143,8 @@ impl WalOp {
             | WalOp::Unload { doc_id }
             | WalOp::Insert { doc_id, .. }
             | WalOp::Delete { doc_id, .. }
-            | WalOp::Repartition { doc_id } => *doc_id,
+            | WalOp::Repartition { doc_id }
+            | WalOp::LoadStream { doc_id, .. } => *doc_id,
         }
     }
 
@@ -167,6 +183,14 @@ impl WalOp {
                 put_u8(&mut out, 4);
                 put_u64(&mut out, *doc_id);
             }
+            WalOp::LoadStream { doc_id, path, config, with_store, events } => {
+                put_u8(&mut out, 5);
+                put_u64(&mut out, *doc_id);
+                put_str(&mut out, path);
+                crate::codec::put_config(&mut out, config);
+                put_u8(&mut out, u8::from(*with_store));
+                put_str(&mut out, events);
+            }
         }
         out
     }
@@ -191,6 +215,13 @@ impl WalOp {
             },
             3 => WalOp::Delete { doc_id: r.u64("doc id")?, label: read_label(&mut r)? },
             4 => WalOp::Repartition { doc_id: r.u64("doc id")? },
+            5 => WalOp::LoadStream {
+                doc_id: r.u64("doc id")?,
+                path: r.str("path")?,
+                config: crate::codec::read_config(&mut r)?,
+                with_store: r.u8("with_store")? != 0,
+                events: r.str("event stream")?,
+            },
             other => return Err(CodecError(format!("unknown wal op tag {other}"))),
         };
         r.expect_end("wal record payload")?;

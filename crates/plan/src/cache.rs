@@ -42,7 +42,23 @@ struct Entry {
 #[derive(Default)]
 struct Inner {
     map: HashMap<(u64, String), Entry>,
+    /// Insertion order of the keys in `map`. Invariant: `fifo` holds
+    /// exactly the keys of `map`, each once — every removal from the map
+    /// (invalidation, purge, eviction) drops the key here too. Without
+    /// that, a reinsert after an invalidation leaves a stale duplicate at
+    /// the front, and eviction kills the *newest* entry while the queue
+    /// grows without bound.
     fifo: VecDeque<(u64, String)>,
+}
+
+impl Inner {
+    /// Drops `key`'s position from the insertion-order queue (paired with
+    /// every `map.remove` outside the eviction loop).
+    fn unqueue(&mut self, key: &(u64, String)) {
+        if let Some(pos) = self.fifo.iter().position(|k| k == key) {
+            self.fifo.remove(pos);
+        }
+    }
 }
 
 /// A bounded result cache for planned query responses.
@@ -81,6 +97,7 @@ impl ResultCache {
             }
             Some(_) => {
                 inner.map.remove(&key);
+                inner.unqueue(&key);
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -110,8 +127,8 @@ impl ResultCache {
         let key = (doc, query.to_owned());
         if !inner.map.contains_key(&key) {
             while inner.map.len() >= self.cap {
-                // FIFO order may reference keys that were since removed
-                // (purged or invalidated); pop until a live one goes.
+                // The queue mirrors the map exactly, so the front is
+                // always the oldest *live* entry.
                 match inner.fifo.pop_front() {
                     Some(victim) => {
                         if inner.map.remove(&victim).is_some() {
@@ -132,6 +149,7 @@ impl ResultCache {
         let mut inner = self.inner.lock().unwrap();
         let before = inner.map.len();
         inner.map.retain(|&(d, _), _| d != doc);
+        inner.fifo.retain(|&(d, _)| d != doc);
         let dropped = (before - inner.map.len()) as u64;
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
         dropped
@@ -212,5 +230,72 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.entries, 1);
         assert_eq!(cache.lookup(1, "q", 2).unwrap().as_str(), "b");
+    }
+
+    #[test]
+    fn reinsert_after_invalidation_is_newest_not_oldest() {
+        // Regression: the stale-lookup path used to leave the key's old
+        // position in the FIFO. Reinserting then queued it a second time,
+        // so when the cache filled, eviction popped the *stale* front
+        // entry — which now named a live, freshly reinserted value — and
+        // killed the newest entry instead of the oldest.
+        let cache = ResultCache::new(2);
+        cache.insert(1, "q1", 1, "a".into());
+        assert!(cache.lookup(1, "q1", 2).is_none(), "stale: invalidated");
+        cache.insert(1, "q1", 2, "a2".into()); // reinsert: q1 is newest again
+        cache.insert(1, "q2", 2, "b".into()); // cache now full (cap 2)
+        cache.insert(1, "q3", 2, "c".into()); // must evict q1 (oldest live)
+        assert!(cache.lookup(1, "q1", 2).is_none(), "q1 is the oldest live entry");
+        assert_eq!(cache.lookup(1, "q2", 2).unwrap().as_str(), "b");
+        assert_eq!(cache.lookup(1, "q3", 2).unwrap().as_str(), "c");
+        assert_eq!(cache.stats().evictions, 1, "exactly one eviction, of a live entry");
+    }
+
+    #[test]
+    fn purge_then_refill_evicts_in_true_order() {
+        // Regression: purge_doc dropped map entries but left their FIFO
+        // positions behind, so a purge/refill cycle evicted against a
+        // queue full of ghosts.
+        let cache = ResultCache::new(2);
+        cache.insert(1, "q1", 1, "a".into());
+        cache.insert(2, "q1", 1, "b".into());
+        assert_eq!(cache.purge_doc(1), 1);
+        cache.insert(3, "q1", 1, "c".into()); // full again: docs 2, 3
+        cache.insert(4, "q1", 1, "d".into()); // must evict doc 2 (oldest)
+        assert!(cache.lookup(2, "q1", 1).is_none());
+        assert_eq!(cache.lookup(3, "q1", 1).unwrap().as_str(), "c");
+        assert_eq!(cache.lookup(4, "q1", 1).unwrap().as_str(), "d");
+    }
+
+    #[test]
+    fn wrap_churn_keeps_fifo_bounded_and_live_entries_resident() {
+        // Thousands of invalidate/reinsert cycles on a full cache: the
+        // FIFO must track the map exactly (no duplicate ghosts piling
+        // up), and the working set must stay resident under its cap.
+        let cap = 8;
+        let cache = ResultCache::new(cap);
+        let queries: Vec<String> = (0..cap).map(|i| format!("q{i}")).collect();
+        for generation in 1..=1000u64 {
+            for q in &queries {
+                // Each round invalidates the previous generation's entry
+                // and reinserts at the new one — the wrap-churn pattern a
+                // hot document under a write stream produces.
+                assert!(cache.lookup(7, q, generation).is_none());
+                cache.insert(7, q, generation, format!("v{generation}"));
+            }
+            // The whole working set fits in the cache, so within the
+            // round every entry must still be resident.
+            for q in &queries {
+                assert!(
+                    cache.peek(7, q, generation),
+                    "live entry evicted during wrap churn (round {generation})"
+                );
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, cap as u64);
+        assert_eq!(s.evictions, 0, "working set fits: nothing should ever be evicted");
+        let inner = cache.inner.lock().unwrap();
+        assert_eq!(inner.fifo.len(), inner.map.len(), "FIFO mirrors the map exactly");
     }
 }

@@ -47,8 +47,14 @@ pub use ruid_core::{
     Partition, PartitionConfig, PartitionStrategy, Ruid2, Ruid2Scheme,
 };
 pub use schemes::{
-    containment::ContainmentScheme, dewey::DeweyScheme, kary, prepost::PrePostScheme,
-    uid::UidScheme, NumberingScheme, RelabelStats,
+    ancestry::{AncestryLabel, AncestryMode, AncestryScheme},
+    containment::ContainmentScheme,
+    dewey::DeweyScheme,
+    interval::{document_from_stream, IntervalLabel, IntervalScheme, SpanIndex},
+    kary,
+    prepost::PrePostScheme,
+    uid::UidScheme,
+    NumberingScheme, RelabelStats,
 };
 pub use ubig::Uint;
 pub use xmldom::{
@@ -61,7 +67,7 @@ pub use xmlstore::{
 };
 pub use xpath::{
     containment_join, parent_join, parse as parse_xpath, AxisProvider, Evaluator, NameIndex,
-    NameIndexed, RuidAxes, TreeAxes, UidAxes,
+    NameIndexed, RuidAxes, SpanAxes, TreeAxes, UidAxes,
 };
 pub use plan::{
     execute as execute_plan, plan as plan_query, planned_query, render_explain, ExecStats,

@@ -15,12 +15,22 @@
 //! * [`containment`] — (start, end, level) containment intervals as used for
 //!   relational containment joins (paper citation \[11\]).
 //!
+//! Two post-paper engines widen the design space the experiments sweep:
+//!
+//! * [`interval`] — nested-set `[rank, last_descendant]` labels with
+//!   stack-based edge reconstruction from flat markers (Tropashko's
+//!   nested-set model; also the `LOADSTREAM` ingestion format).
+//! * [`ancestry`] — compact ancestry labels in the Dahlgaard et al.
+//!   `lg n + 2 lg lg n` style, with a small-depth specialization.
+//!
 //! All schemes implement [`NumberingScheme`], which exposes label lookup,
 //! label-only relationship tests, and structural-update relabelling with
 //! cost accounting ([`RelabelStats`]) — the quantity experiment E1 measures.
 
+pub mod ancestry;
 pub mod containment;
 pub mod dewey;
+pub mod interval;
 pub mod kary;
 pub mod prepost;
 pub mod uid;

@@ -16,6 +16,8 @@ use durable::{Applied, DocState, WalOp};
 use par::Executor;
 use plan::PathSummary;
 use ruid_core::{PartitionConfig, Ruid2Scheme};
+use schemes::ancestry::AncestryScheme;
+use schemes::interval::{document_from_stream, IntervalScheme};
 use schemes::NumberingScheme;
 use xmldom::{DocOrder, Document, NodeId};
 use xmlstore::{MemPager, XmlStore};
@@ -34,6 +36,10 @@ pub struct LoadedDoc {
     pub doc: Document,
     /// The rUID numbering (labels, table K, axis routines).
     pub scheme: Ruid2Scheme,
+    /// The nested-set numbering backing the `interval` query engine.
+    pub interval: IntervalScheme,
+    /// The compact-ancestry numbering backing the `ancestry` engine.
+    pub ancestry: AncestryScheme,
     /// Element-name index backing the `indexed` query engine.
     pub index: NameIndex,
     /// Precomputed document-order ranks: query engines sort result unions
@@ -77,11 +83,26 @@ impl LoadedDoc {
     ) -> Result<LoadedDoc, String> {
         let doc =
             Document::parse(text).map_err(|e| format!("parse error in {path}: {e}"))?;
+        LoadedDoc::build_from_doc(path, doc, depth, with_store, exec)
+    }
+
+    /// Builds the full bundle around an already-constructed tree — the
+    /// shared tail of [`LoadedDoc::build_with`] (XML text) and
+    /// [`LoadedDoc::build_stream`] (flat events).
+    pub fn build_from_doc(
+        path: &str,
+        doc: Document,
+        depth: usize,
+        with_store: bool,
+        exec: &Executor,
+    ) -> Result<LoadedDoc, String> {
         if doc.root_element().is_none() {
             return Err(format!("{path}: document has no root element"));
         }
         let scheme = Ruid2Scheme::try_build_with(&doc, &PartitionConfig::by_depth(depth), exec)
             .map_err(|e| e.to_string())?;
+        let interval = IntervalScheme::build(&doc);
+        let ancestry = AncestryScheme::build(&doc);
         let index = NameIndex::build_with(&doc, exec);
         let order = DocOrder::build(&doc);
         let summary = PathSummary::build(&doc);
@@ -94,12 +115,27 @@ impl LoadedDoc {
             path: path.to_owned(),
             doc,
             scheme,
+            interval,
+            ancestry,
             index,
             order,
             summary,
             store,
             generation: 0,
         })
+    }
+
+    /// Builds the bundle from an interval-encoded flat event stream
+    /// (the `LOADSTREAM` verb) — no XML text is ever materialized.
+    pub fn build_stream(
+        name: &str,
+        events: &str,
+        depth: usize,
+        with_store: bool,
+        exec: &Executor,
+    ) -> Result<LoadedDoc, String> {
+        let doc = document_from_stream(events).map_err(|e| format!("stream {name}: {e}"))?;
+        LoadedDoc::build_from_doc(name, doc, depth, with_store, exec)
     }
 
     /// Rebuilds the serving bundle around a document and numbering that
@@ -113,6 +149,8 @@ impl LoadedDoc {
         scheme: Ruid2Scheme,
         with_store: bool,
     ) -> LoadedDoc {
+        let interval = IntervalScheme::build(&doc);
+        let ancestry = AncestryScheme::build(&doc);
         let index = NameIndex::build(&doc);
         let order = DocOrder::build(&doc);
         let summary = PathSummary::build(&doc);
@@ -121,7 +159,7 @@ impl LoadedDoc {
             store.load_document(&doc, &scheme);
             store
         });
-        LoadedDoc { path, doc, scheme, index, order, summary, store, generation: 0 }
+        LoadedDoc { path, doc, scheme, interval, ancestry, index, order, summary, store, generation: 0 }
     }
 
     /// Copy-on-write structural update: clones the tree and numbering,
@@ -163,22 +201,32 @@ impl LoadedDoc {
         let order = DocOrder::build(&doc);
         let mut index = self.index.clone();
         let mut summary = self.summary.clone();
+        // The interval and ancestry numberings ride the same commit: they
+        // go through their own incremental on_insert/on_delete hooks so a
+        // long update sequence exercises the maintenance path rather than
+        // silently rebuilding from scratch each commit.
+        let mut interval = self.interval.clone();
+        let mut ancestry = self.ancestry.clone();
         match &applied {
             Applied::Inserted { node, .. } => {
                 index.patch_insert(&doc, &order, *node);
                 if !summary.patch_insert(&doc, &order, *node) {
                     summary = PathSummary::build(&doc);
                 }
+                interval.on_insert(&doc, *node);
+                ancestry.on_insert(&doc, *node);
             }
-            Applied::Deleted { elements, .. } => {
+            Applied::Deleted { elements, parent, root, .. } => {
                 index.patch_delete(elements);
                 let removed: Vec<NodeId> = elements.iter().map(|&(_, n)| n).collect();
                 if !summary.patch_delete(&removed) {
                     summary = PathSummary::build(&doc);
                 }
+                interval.on_delete(&doc, *parent, *root);
+                ancestry.on_delete(&doc, *parent, *root);
             }
-            // Repartitioning renumbers labels but leaves the tree — and
-            // every tree-derived index — untouched.
+            // Repartitioning renumbers rUID labels but leaves the tree —
+            // and every tree-derived index — untouched.
             Applied::Repartitioned { .. } => {}
         }
         // The store keys rows by label, which updates (and especially
@@ -193,6 +241,8 @@ impl LoadedDoc {
                 path: self.path.clone(),
                 doc,
                 scheme,
+                interval,
+                ancestry,
                 index,
                 order,
                 summary,

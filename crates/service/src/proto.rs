@@ -21,6 +21,15 @@ pub enum Request {
         /// `PartitionConfig::by_depth` parameter.
         depth: usize,
     },
+    /// `LOADSTREAM <name> <event>...` — build and label a document
+    /// directly from interval-encoded flat events (`start:end:name` /
+    /// `start:end:=text` tokens), without materializing XML text.
+    LoadStream {
+        /// Display name the document is catalogued under.
+        name: String,
+        /// The whitespace-joined event tokens.
+        events: String,
+    },
     /// `UNLOAD <doc>` — drop a loaded document.
     Unload(u64),
     /// `LIST` — ids and paths of loaded documents.
@@ -45,7 +54,8 @@ pub enum Request {
         doc: u64,
         /// XPath expression (may contain spaces).
         xpath: String,
-        /// `tree`, `ruid`, `indexed`, or `planned`.
+        /// `tree`, `ruid`, `indexed`, `interval`, `ancestry`, or
+        /// `planned`.
         engine: Engine,
     },
     /// `EXPLAIN <doc> <xpath>` — the chosen physical plan, per-step
@@ -141,6 +151,10 @@ pub enum Engine {
     Ruid,
     /// rUID arithmetic + element-name index.
     Indexed,
+    /// Nested-set `[rank, last_descendant]` position arithmetic.
+    Interval,
+    /// Compact ancestry labels (small-depth / Dahlgaard-style).
+    Ancestry,
     /// Path-summary planner: containment-join physical plans with the
     /// step-by-step evaluator as fallback (the default).
     Planned,
@@ -152,6 +166,8 @@ impl Engine {
             "tree" => Some(Engine::Tree),
             "ruid" => Some(Engine::Ruid),
             "indexed" => Some(Engine::Indexed),
+            "interval" => Some(Engine::Interval),
+            "ancestry" => Some(Engine::Ancestry),
             "planned" => Some(Engine::Planned),
             _ => None,
         }
@@ -164,6 +180,7 @@ impl Request {
         match self {
             Request::Ping => Command::Ping,
             Request::Load { .. } => Command::Load,
+            Request::LoadStream { .. } => Command::Load,
             Request::Unload(_) => Command::Unload,
             Request::List => Command::List,
             Request::Label { .. } => Command::Label,
@@ -233,6 +250,12 @@ pub fn parse(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Load { path: args[0].to_owned(), depth })
         }
+        "LOADSTREAM" => {
+            if args.len() < 2 {
+                return Err("usage: LOADSTREAM <name> <start:end:content>...".into());
+            }
+            Ok(Request::LoadStream { name: args[0].to_owned(), events: args[1..].join(" ") })
+        }
         "UNLOAD" => {
             arity(1, "UNLOAD <doc>")?;
             Ok(Request::Unload(parse_u64(args[0], "document id")?))
@@ -256,7 +279,10 @@ pub fn parse(line: &str) -> Result<Request, String> {
         }
         "QUERY" => {
             if args.len() < 2 {
-                return Err("usage: QUERY <doc> <xpath> [tree|ruid|indexed|planned]".into());
+                return Err(
+                    "usage: QUERY <doc> <xpath> [tree|ruid|indexed|interval|ancestry|planned]"
+                        .into(),
+                );
             }
             let doc = parse_u64(args[0], "document id")?;
             // A trailing engine keyword is only an engine when an xpath
@@ -383,6 +409,10 @@ mod tests {
             parse("load /tmp/x.xml 2").unwrap(),
             Request::Load { path: "/tmp/x.xml".into(), depth: 2 }
         );
+        assert_eq!(
+            parse("LOADSTREAM feed 1:4:a 2:3:b").unwrap(),
+            Request::LoadStream { name: "feed".into(), events: "1:4:a 2:3:b".into() }
+        );
         assert_eq!(parse("UNLOAD 7").unwrap(), Request::Unload(7));
         assert_eq!(parse("LIST").unwrap(), Request::List);
         assert_eq!(
@@ -483,10 +513,23 @@ mod tests {
                 engine: Engine::Ruid
             }
         );
+        // The new engines parse like the old ones.
+        assert_eq!(
+            parse("QUERY 1 //a/b interval").unwrap(),
+            Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Interval }
+        );
+        assert_eq!(
+            parse("QUERY 1 //a/b ancestry").unwrap(),
+            Request::Query { doc: 1, xpath: "//a/b".into(), engine: Engine::Ancestry }
+        );
         // A bare engine-looking token is the xpath when nothing precedes it.
         assert_eq!(
             parse("QUERY 1 tree").unwrap(),
             Request::Query { doc: 1, xpath: "tree".into(), engine: Engine::Planned }
+        );
+        assert_eq!(
+            parse("QUERY 1 ancestry").unwrap(),
+            Request::Query { doc: 1, xpath: "ancestry".into(), engine: Engine::Planned }
         );
     }
 
@@ -520,6 +563,8 @@ mod tests {
         assert!(parse("TRACE on off").is_err());
         assert!(parse("SLOWLOG x").is_err());
         assert!(parse("SLOWLOG 1 2").is_err());
+        assert!(parse("LOADSTREAM").is_err());
+        assert!(parse("LOADSTREAM feed").is_err(), "missing events");
     }
 
     #[test]

@@ -572,6 +572,18 @@ fn apply_op(shared: &FollowerShared, op: &WalOp) -> Result<(), String> {
                 catalog.ensure_next_id(*doc_id + 1);
             })
         }
+        WalOp::LoadStream { doc_id, path, config, with_store, events } => {
+            let state =
+                DocState::build_stream(*doc_id, path.clone(), events, *config, *with_store)?;
+            let mut loaded =
+                LoadedDoc::from_recovered(state.path, state.doc, state.scheme, state.with_store);
+            loaded.generation = catalog.next_generation();
+            let _writers = catalog.begin_write();
+            log_local(shared, op, || {
+                catalog.insert_with_id(*doc_id, loaded);
+                catalog.ensure_next_id(*doc_id + 1);
+            })
+        }
         WalOp::Unload { doc_id } => {
             let _writers = catalog.begin_write();
             log_local(shared, op, || {
@@ -599,13 +611,19 @@ fn apply_op(shared: &FollowerShared, op: &WalOp) -> Result<(), String> {
 /// raw image, validate it with the checksummed snapshot reader, swap the
 /// whole catalog under the writer lock, and (with local durability)
 /// freeze the result in our own snapshot. Returns the WAL segment to
-/// tail from.
+/// tail from, or `Ok(None)` when a stop/promotion arrived mid-bootstrap —
+/// in that case the local catalog is left exactly as it was, because a
+/// node that is about to become the leader must not have its state
+/// clobbered by a half-installed snapshot of the *old* leader.
 fn bootstrap(
     shared: &FollowerShared,
     client: &mut BinaryClient,
     hello: &HelloInfo,
-) -> Result<u64, PollFail> {
+) -> Result<Option<u64>, PollFail> {
     shared.repl.note_bootstrap();
+    if stop_requested(shared) {
+        return Ok(None);
+    }
     let (start_segment, states, quarantined) = match hello.snapshot {
         Some(generation) => {
             let bytes =
@@ -618,6 +636,13 @@ fn bootstrap(
         // segment 0 with an empty catalog.
         None => (0, Vec::new(), Vec::new()),
     };
+    // The snapshot fetch can stall for a long time (slow leader, big
+    // image). A PROMOTE that landed meanwhile must win: installing the
+    // fetched image now would throw away the promoted node's serving
+    // state *after* the operator decided it is the new source of truth.
+    if stop_requested(shared) {
+        return Ok(None);
+    }
     for (id, reason) in &quarantined {
         eprintln!("[ruid-follower] leader snapshot quarantined document {id}: {reason}");
         shared.repl.note_quarantined();
@@ -649,7 +674,7 @@ fn bootstrap(
             eprintln!("[ruid-follower] local snapshot failed: {e}");
         }
     }
-    Ok(start_segment)
+    Ok(Some(start_segment))
 }
 
 /// One tail poll: request bytes at the tailer's position, validate,
@@ -740,7 +765,11 @@ fn run_follower(shared: &FollowerShared) {
             }
         };
         let start_segment = match bootstrap(shared, &mut client, &hello) {
-            Ok(segment) => segment,
+            Ok(Some(segment)) => segment,
+            // Stop/promotion raced the bootstrap: nothing was installed,
+            // exit the session loop so the promotion completes on an
+            // unclobbered catalog.
+            Ok(None) => break 'session,
             Err(PollFail::Refused(reason)) => {
                 eprintln!("[ruid-follower] bootstrap refused: {reason}");
                 shared.repl.note_refusal();

@@ -28,7 +28,7 @@ use plan::ResultCache;
 use schemes::NumberingScheme;
 use xmldom::TreeStats;
 use xmlstore::record::StoredKind;
-use xpath::{Evaluator, NameIndexed, RuidAxes, TreeAxes};
+use xpath::{Evaluator, NameIndexed, RuidAxes, SpanAxes, TreeAxes};
 
 use durable::{Applied, FsyncPolicy, WalOp};
 
@@ -895,6 +895,9 @@ fn describe_wire(request: &WireRequest) -> String {
         WireRequest::MLabel { doc, xpaths } => {
             format!("MLABEL {doc} [{} queries]", xpaths.len())
         }
+        WireRequest::LoadStream { name, events } => {
+            format!("LOADSTREAM {name} [{} bytes]", events.len())
+        }
         WireRequest::Text { line } => line.clone(),
         WireRequest::ReplHello { follower } => format!("REPL HELLO {follower}"),
         WireRequest::ReplSnapshot { generation } => format!("REPL SNAPSHOT {generation}"),
@@ -980,6 +983,9 @@ pub(crate) fn execute_frame(
         }
         WireRequest::Get { doc, label } => {
             single(Request::Get { doc, label }, trace.take())
+        }
+        WireRequest::LoadStream { name, events } => {
+            single(Request::LoadStream { name, events }, trace.take())
         }
         WireRequest::Text { line } => {
             let (command, response) = handle_line(&line, ctx, trace.take());
@@ -1129,6 +1135,7 @@ fn execute(
     if matches!(
         request,
         Request::Load { .. }
+            | Request::LoadStream { .. }
             | Request::Unload(_)
             | Request::Insert { .. }
             | Request::Delete { .. }
@@ -1185,6 +1192,47 @@ fn execute(
             };
             Ok(format!("OK id={id} nodes={nodes} areas={areas}"))
         }
+        Request::LoadStream { name, events } => {
+            let exec = par::Executor::new(config.build_threads);
+            // Same shape as LOAD, except the tree comes straight from the
+            // interval-encoded event stream — no XML text exists at any
+            // point, and the WAL logs the events verbatim so replay
+            // rebuilds the identical tree.
+            let mut loaded = timed(trace, Span::Eval, || {
+                LoadedDoc::build_stream(
+                    &name,
+                    &events,
+                    config.depth,
+                    config.with_store,
+                    &exec,
+                )
+            })?;
+            let nodes = loaded.doc.node_count();
+            let areas = loaded.scheme.area_count();
+            loaded.generation = catalog.next_generation();
+            let id = match durability {
+                Some(d) => {
+                    let id = catalog.reserve_id();
+                    let op = WalOp::LoadStream {
+                        doc_id: id,
+                        path: name.clone(),
+                        config: *loaded.scheme.config(),
+                        with_store: loaded.store.is_some(),
+                        events,
+                    };
+                    timed(trace, Span::Wal, || {
+                        d.log_with(&op, || catalog.insert_with_id(id, loaded))
+                    })?;
+                    id
+                }
+                None => {
+                    let id = catalog.reserve_id();
+                    catalog.insert_with_id(id, loaded);
+                    id
+                }
+            };
+            Ok(format!("OK id={id} nodes={nodes} areas={areas}"))
+        }
         Request::Unload(id) => {
             // Unload is a structural writer too: holding the writer lock
             // keeps an in-flight INSERT/DELETE from appending a WAL record
@@ -1224,11 +1272,13 @@ fn execute(
         }
         Request::Parent { doc, label } => {
             let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
-            // Pure arithmetic (Fig. 6) — no node lookup, no I/O.
-            Ok(match timed(trace, Span::Eval, || loaded.scheme.rparent(&label)) {
-                Some(parent) => format!("OK {}", proto::fmt_label(&parent)),
-                None => "OK none".into(),
-            })
+            // Pure arithmetic (Fig. 6) — no node lookup, no I/O. The
+            // checked form turns fabricated labels into ERR lines instead
+            // of panicking the worker.
+            match timed(trace, Span::Eval, || loaded.scheme.rparent_checked(&label))? {
+                Some(parent) => Ok(format!("OK {}", proto::fmt_label(&parent))),
+                None => Ok("OK none".into()),
+            }
         }
         Request::Query { doc, xpath, engine } => {
             let loaded = timed(trace, Span::Lookup, || fetch(catalog, doc))?;
@@ -1503,6 +1553,22 @@ pub fn run_query(
                     &loaded.doc,
                     &loaded.index,
                 ),
+            );
+            let hits = ev.query(xpath)?;
+            Ok((hits, ev.step_stats()))
+        }
+        Engine::Interval => {
+            let ev = Evaluator::new(
+                &loaded.doc,
+                SpanAxes::with_order(loaded.interval.span_index(), "interval", &loaded.order),
+            );
+            let hits = ev.query(xpath)?;
+            Ok((hits, ev.step_stats()))
+        }
+        Engine::Ancestry => {
+            let ev = Evaluator::new(
+                &loaded.doc,
+                SpanAxes::with_order(loaded.ancestry.span_index(), "ancestry", &loaded.order),
             );
             let hits = ev.query(xpath)?;
             Ok((hits, ev.step_stats()))

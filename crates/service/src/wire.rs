@@ -40,8 +40,10 @@
 //! | 0x0B | `REPL TAIL`     | `generation:u64 \| offset:u64 \| max:u32`     |
 //! | 0x0C | `REPL ACK`      | `generation:u64 \| seq:u64 \| bye:u8 \|`      |
 //! |      |                 | `follower:utf8…`                              |
+//! | 0x0D | `LOADSTREAM`    | `name_len:u32 \| name:utf8 \| events:utf8…`   |
 //!
-//! Engine codes: 0 = planned (default), 1 = tree, 2 = ruid, 3 = indexed.
+//! Engine codes: 0 = planned (default), 1 = tree, 2 = ruid, 3 = indexed,
+//! 4 = interval, 5 = ancestry.
 //!
 //! The `REPL` verbs are the replication channel: a follower greets the
 //! leader (`HELLO`, answered with a [`repl::HelloInfo`] blob), pulls the
@@ -165,6 +167,14 @@ pub enum WireRequest {
         /// Upper bound on shipped data bytes in one answer.
         max_bytes: u32,
     },
+    /// `LOADSTREAM <name> <event>...`: build a document from
+    /// interval-encoded flat events without materializing XML text.
+    LoadStream {
+        /// Display name the document is catalogued under.
+        name: String,
+        /// Whitespace-separated `start:end:content` event tokens.
+        events: String,
+    },
     /// `REPL ACK`: the follower reports its applied position so the
     /// leader can compute per-follower lag; `bye` marks a clean detach
     /// (the follower is shutting down, not crashing).
@@ -254,6 +264,8 @@ fn engine_code(engine: Engine) -> u8 {
         Engine::Tree => 1,
         Engine::Ruid => 2,
         Engine::Indexed => 3,
+        Engine::Interval => 4,
+        Engine::Ancestry => 5,
     }
 }
 
@@ -263,6 +275,8 @@ fn engine_from(code: u8) -> Option<Engine> {
         1 => Some(Engine::Tree),
         2 => Some(Engine::Ruid),
         3 => Some(Engine::Indexed),
+        4 => Some(Engine::Interval),
+        5 => Some(Engine::Ancestry),
         _ => None,
     }
 }
@@ -338,6 +352,12 @@ pub fn encode_request(id: u64, request: &WireRequest, out: &mut Vec<u8>) {
             out.extend_from_slice(&generation.to_le_bytes());
             out.extend_from_slice(&offset.to_le_bytes());
             out.extend_from_slice(&max_bytes.to_le_bytes());
+        }
+        WireRequest::LoadStream { name, events } => {
+            out.push(0x0D);
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(events.as_bytes());
         }
         WireRequest::ReplAck { generation, seq, bye, follower } => {
             out.push(0x0C);
@@ -508,7 +528,7 @@ pub fn decode_request(buf: &[u8], cap: usize) -> Decoded<RequestFrame> {
             0x02 => {
                 let doc = c.take_u64("document id")?;
                 let engine = engine_from(c.take_u8("engine code")?)
-                    .ok_or("bad engine code (want 0..=3)")?;
+                    .ok_or("bad engine code (want 0..=5)")?;
                 WireRequest::Query { doc, engine, xpath: c.take_str_rest("xpath")? }
             }
             0x03 => {
@@ -563,6 +583,13 @@ pub fn decode_request(buf: &[u8], cap: usize) -> Decoded<RequestFrame> {
                 };
                 let follower = c.take_str_rest("follower name")?;
                 WireRequest::ReplAck { generation, seq, bye, follower }
+            }
+            0x0D => {
+                let name_len = c.take_u32("name length")? as usize;
+                let name = std::str::from_utf8(c.take(name_len, "document name")?)
+                    .map_err(|_| "document name is not valid utf-8")?
+                    .to_owned();
+                WireRequest::LoadStream { name, events: c.take_str_rest("event stream")? }
             }
             other => return Err(format!("unknown verb 0x{other:02x}")),
         };
@@ -633,6 +660,27 @@ mod tests {
             bye: true,
             follower: "replica-1".into(),
         });
+        roundtrip(WireRequest::Query { doc: 3, engine: Engine::Interval, xpath: "//a".into() });
+        roundtrip(WireRequest::Query { doc: 3, engine: Engine::Ancestry, xpath: "//a".into() });
+        roundtrip(WireRequest::LoadStream {
+            name: "feed".into(),
+            events: "1:6:a 2:5:b 3:4:=hi".into(),
+        });
+        roundtrip(WireRequest::LoadStream { name: String::new(), events: String::new() });
+    }
+
+    #[test]
+    fn loadstream_name_length_is_bounds_checked() {
+        let mut buf = Vec::new();
+        encode_request(
+            9,
+            &WireRequest::LoadStream { name: "feed".into(), events: "1:2:a".into() },
+            &mut buf,
+        );
+        // Forge a name length pointing past the payload.
+        let len_at = HEADER_BYTES + MIN_BODY;
+        buf[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_request(&buf, 1024), Decoded::Malformed { id: 9, .. }));
     }
 
     #[test]

@@ -358,6 +358,74 @@ fn kill_the_leader_failover_sweep() {
     }
 }
 
+/// A `PROMOTE` that lands while the follower is mid-bootstrap (snapshot
+/// fetched but not yet installed) must win: the follower thread exits
+/// without swapping the old leader's snapshot into the catalog, so the
+/// newly promoted node's state can never be clobbered by a stale image
+/// arriving after the operator's failover decision.
+#[test]
+fn promote_during_bootstrap_does_not_install_the_snapshot() {
+    use ruid_service::{Fault, FaultPlan};
+
+    let dir = scratch("promote-mid-bootstrap");
+    let corpus = dir.join("corpus.xml");
+    std::fs::write(&corpus, corpus_xml()).unwrap();
+
+    // Leader request indices are deterministic: 0 = LOAD, 1 = SNAPSHOT
+    // (both text, below), 2 = the follower's REPL HELLO, 3 = its REPL
+    // SNAPSHOT fetch. Stalling index 3 freezes the follower *inside*
+    // bootstrap, after the catalog-install decision point is armed.
+    let plan = FaultPlan::new().inject(3, Fault::StallHandler { ms: 4_000 });
+    let config = ServerConfig {
+        data_dir: Some(dir.join("leader")),
+        fsync: FsyncPolicy::Always,
+        fault_plan: Some(std::sync::Arc::new(plan)),
+        ..ServerConfig::default()
+    };
+    let leader = Server::start(config).unwrap();
+    let mut lc = Client::connect(leader.addr()).unwrap();
+    assert!(lc.request(&format!("LOAD {}", corpus.display())).unwrap().starts_with("OK id=1"));
+    // A materialized snapshot is what makes the follower's bootstrap
+    // fetch one (and hit the stalled request) instead of starting empty.
+    assert!(lc.request("SNAPSHOT").unwrap().starts_with("OK"));
+
+    let (follower, mut fc) = start_follower(leader.addr(), None, 5);
+    wait_until("bootstrap underway", Duration::from_secs(5), || {
+        follower.repl().sample().bootstraps >= 1
+    });
+
+    // The follower is now blocked in the 4s-stalled snapshot fetch.
+    // Promote it: the request must complete well inside its own 10s
+    // deadline — the follower observes the stop as soon as the fetch
+    // returns — and the fetched image must be discarded, not installed.
+    let resp = fc.request("PROMOTE").unwrap();
+    assert_eq!(resp, "OK role=leader promoted=true");
+    let m = fc.request("METRICS").unwrap();
+    assert_eq!(metrics_field(&m, "repl_role").as_deref(), Some("leader"), "{m}");
+    assert_eq!(metrics_field(&m, "repl_promotions").as_deref(), Some("1"), "{m}");
+    assert!(
+        fc.request("QUERY 1 /a").unwrap().starts_with("ERR no document"),
+        "the old leader's snapshot must not be installed after promotion"
+    );
+
+    // Give the stalled bootstrap ample time to have unwound, then check
+    // again: the image must not land late either.
+    std::thread::sleep(Duration::from_millis(1_500));
+    assert!(
+        fc.request("QUERY 1 /a").unwrap().starts_with("ERR no document"),
+        "the fetched snapshot leaked into the catalog after the stall elapsed"
+    );
+
+    // The promoted node is a real leader: local writes flow again.
+    let resp = fc.request(&format!("LOAD {}", corpus.display())).unwrap();
+    assert!(resp.starts_with("OK id="), "{resp}");
+    let id = resp["OK id=".len()..].split_whitespace().next().unwrap().to_owned();
+    let resp = fc.request(&format!("QUERY {id} //b")).unwrap();
+    assert!(resp.starts_with("OK") && !resp.starts_with("OK 0"), "{resp}");
+    follower.stop();
+    leader.stop();
+}
+
 /// A forged sequence number on the replication channel (Fault::ForgeSeq)
 /// must be refused by the follower's record validation, forcing a clean
 /// re-bootstrap that converges back to the leader's state.

@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 
 use ruid_core::Ruid2Scheme;
+use schemes::interval::SpanIndex;
 use schemes::uid::UidScheme;
 use schemes::{kary, NumberingScheme};
 use ubig::Uint;
@@ -343,6 +344,132 @@ impl AxisProvider for UidAxes<'_> {
 
     fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
         self.scheme.cmp_order(&self.label(a), &self.label(b))
+    }
+
+    fn order(&self) -> Option<&DocOrder> {
+        self.order
+    }
+}
+
+// --- Interval / ancestry (position tables) ---------------------------------
+
+/// Axis provider over a [`SpanIndex`] — the flat pre-order position tables
+/// both the interval and the ancestry engines reconstruct from their
+/// labels. Every axis is pure position arithmetic: `children` hops
+/// `last(child) + 1`, `descendants` is the slice `(pos, last]`, ordering
+/// is position comparison.
+pub struct SpanAxes<'a> {
+    idx: &'a SpanIndex,
+    name: &'static str,
+    order: Option<&'a DocOrder>,
+}
+
+impl<'a> SpanAxes<'a> {
+    /// Wraps the position tables of an interval-family scheme under the
+    /// provider name the reports use ("interval" / "ancestry").
+    pub fn new(idx: &'a SpanIndex, name: &'static str) -> Self {
+        SpanAxes { idx, name, order: None }
+    }
+
+    /// Like [`SpanAxes::new`], with a precomputed order-key cache for
+    /// O(1) document-order sorts.
+    pub fn with_order(idx: &'a SpanIndex, name: &'static str, order: &'a DocOrder) -> Self {
+        SpanAxes { idx, name, order: Some(order) }
+    }
+
+    fn pos(&self, n: NodeId) -> u32 {
+        self.idx.pos_of(n).expect("axis node must be labelled")
+    }
+}
+
+impl AxisProvider for SpanAxes<'_> {
+    fn provider_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn children(&self, n: NodeId) -> Vec<NodeId> {
+        let pos = self.pos(n);
+        let last = self.idx.last_of(pos);
+        let mut out = Vec::new();
+        let mut c = pos + 1;
+        while c <= last {
+            out.push(self.idx.node_at(c));
+            c = self.idx.last_of(c) + 1;
+        }
+        out
+    }
+
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        Some(self.idx.node_at(self.idx.parent_of(self.pos(n))?))
+    }
+
+    fn descendants(&self, n: NodeId) -> Vec<NodeId> {
+        let pos = self.pos(n);
+        let last = self.idx.last_of(pos);
+        if pos == last {
+            return Vec::new();
+        }
+        self.idx.slice(pos + 1, last).to_vec()
+    }
+
+    fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.pos(n);
+        while let Some(p) = self.idx.parent_of(cur) {
+            out.push(self.idx.node_at(p));
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+
+    fn following_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        let pos = self.pos(n);
+        let Some(parent) = self.idx.parent_of(pos) else { return Vec::new() };
+        let parent_last = self.idx.last_of(parent);
+        let mut out = Vec::new();
+        let mut c = self.idx.last_of(pos) + 1;
+        while c <= parent_last {
+            out.push(self.idx.node_at(c));
+            c = self.idx.last_of(c) + 1;
+        }
+        out
+    }
+
+    fn preceding_siblings(&self, n: NodeId) -> Vec<NodeId> {
+        let pos = self.pos(n);
+        let Some(parent) = self.idx.parent_of(pos) else { return Vec::new() };
+        let mut out = Vec::new();
+        let mut c = parent + 1;
+        while c < pos {
+            out.push(self.idx.node_at(c));
+            c = self.idx.last_of(c) + 1;
+        }
+        out
+    }
+
+    fn following(&self, n: NodeId) -> Vec<NodeId> {
+        let after = self.idx.last_of(self.pos(n)) + 1;
+        if after as usize >= self.idx.len() {
+            return Vec::new();
+        }
+        self.idx.slice(after, self.idx.len() as u32 - 1).to_vec()
+    }
+
+    fn preceding(&self, n: NodeId) -> Vec<NodeId> {
+        // Everything strictly before `pos` that is not an ancestor: the
+        // positions whose subtree closes before `pos` opens.
+        let pos = self.pos(n);
+        (0..pos).filter(|&p| self.idx.last_of(p) < pos).map(|p| self.idx.node_at(p)).collect()
+    }
+
+    fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let (pa, pb) = (self.pos(a), self.pos(b));
+        pa < pb && pb <= self.idx.last_of(pa)
+    }
+
+    fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.pos(a).cmp(&self.pos(b))
     }
 
     fn order(&self) -> Option<&DocOrder> {

@@ -16,10 +16,17 @@ if grep -rn '#\[ignore' crates/service/; then
     exit 1
 fi
 cargo test -q --offline -p ruid-service --test fault_tests
+cargo test -q --offline -p ruid-service --test fuzz_labels
 cargo test -q --offline -p xpath --test differential_tests
 cargo test -q --offline -p ruid --test exhaustive_small_trees
+cargo test -q --offline -p ruid --test cross_scheme
 cargo test -q --offline -p ruid-core --test update_tests
 cargo test -q --offline -p ruid --test parallel_equivalence
+
+# Scheme frontier: the interval and ancestry engines must stay
+# byte-identical to from-scratch rebuilds through the MVCC commit path,
+# and LOADSTREAM documents must survive restart + replication.
+cargo test -q --offline -p ruid-service --test scheme_mvcc_identity
 
 # Planner: planned answers must be byte-identical to every engine on the
 # exhaustive shape sweep and the XMark corpus, and the service-level
@@ -325,6 +332,37 @@ if command -v jq >/dev/null; then
            and (.failover_p99_ms < 5000)' \
         BENCH_pr9.json >/dev/null \
         || { echo "ci: BENCH_pr9.json fails the failover gate" >&2; exit 1; }
+fi
+
+# E18 smoke: the interval/ancestry engines' incremental maintenance must
+# stay byte-identical to rebuilds, and the report must carry label costs
+# and per-axis throughput for all three engines.
+cargo run --release --offline -p bench --bin report_e18_schemes -- \
+    --smoke --out target/bench_e18_smoke.json
+if command -v jq >/dev/null; then
+    jq -e '.experiment == "E18"
+           and .byte_identity.interval
+           and .byte_identity.ancestry
+           and (.label_bytes_per_node
+                | .interval > 0 and .ancestry > 0 and .ruid > 0)
+           and (.axes | length >= 24 and all(.calls_per_s > 0))' \
+        target/bench_e18_smoke.json >/dev/null \
+        || { echo "ci: E18 smoke report malformed" >&2; exit 1; }
+    # The checked-in full-mode report gates the PR 10 scheme-frontier
+    # claim: byte identity after hundreds of seeded updates, and all
+    # three engines measured on every axis family.
+    jq -e '.experiment == "E18"
+           and .mode == "full"
+           and (.update_rounds >= 100)
+           and .byte_identity.interval
+           and .byte_identity.ancestry
+           and (.label_bytes_per_node
+                | .interval > 0 and .ancestry > 0 and .ruid > 0)
+           and ([.axes[].provider] | unique | sort
+                == ["ancestry", "interval", "ruid"])
+           and (.axes | all(.calls_per_s > 0))' \
+        BENCH_pr10.json >/dev/null \
+        || { echo "ci: BENCH_pr10.json fails the scheme-frontier gate" >&2; exit 1; }
 fi
 
 # Replication smoke: boot a leader and a follower as real processes,

@@ -5,7 +5,8 @@
 
 use ruid::prelude::*;
 use ruid::{
-    ContainmentScheme, DeweyScheme, PartitionConfig as Pc, PrePostScheme, UidScheme,
+    AncestryScheme, ContainmentScheme, DeweyScheme, IntervalScheme, PartitionConfig as Pc,
+    PrePostScheme, UidScheme,
 };
 
 fn sample_docs() -> Vec<Document> {
@@ -41,6 +42,8 @@ fn all_schemes_agree_on_relations() {
         let dewey = DeweyScheme::build(doc);
         let prepost = PrePostScheme::build(doc);
         let containment = ContainmentScheme::build(doc);
+        let interval = IntervalScheme::build(doc);
+        let ancestry = AncestryScheme::build(doc);
         let ruid2 = Ruid2Scheme::build(doc, &Pc::by_depth(2));
         let nodes: Vec<NodeId> = doc.descendants(root).collect();
         let step = (nodes.len() / 30).max(1);
@@ -81,6 +84,18 @@ fn all_schemes_agree_on_relations() {
                     pair("containment", "is_ancestor")
                 );
                 assert_eq!(
+                    interval.is_ancestor(&interval.label_of(a), &interval.label_of(b)),
+                    anc,
+                    "{}",
+                    pair("interval", "is_ancestor")
+                );
+                assert_eq!(
+                    ancestry.is_ancestor(&ancestry.label_of(a), &ancestry.label_of(b)),
+                    anc,
+                    "{}",
+                    pair("ancestry", "is_ancestor")
+                );
+                assert_eq!(
                     ruid2.is_ancestor(&ruid2.label_of(a), &ruid2.label_of(b)),
                     anc,
                     "{}",
@@ -110,6 +125,18 @@ fn all_schemes_agree_on_relations() {
                     ord,
                     "{}",
                     pair("containment", "cmp_order")
+                );
+                assert_eq!(
+                    interval.cmp_order(&interval.label_of(a), &interval.label_of(b)),
+                    ord,
+                    "{}",
+                    pair("interval", "cmp_order")
+                );
+                assert_eq!(
+                    ancestry.cmp_order(&ancestry.label_of(a), &ancestry.label_of(b)),
+                    ord,
+                    "{}",
+                    pair("ancestry", "cmp_order")
                 );
                 assert_eq!(
                     ruid2.cmp_order(&ruid2.label_of(a), &ruid2.label_of(b)),
@@ -162,6 +189,8 @@ fn update_sequence_keeps_schemes_consistent() {
     let root = doc.root_element().unwrap();
     let mut uid = UidScheme::build(&doc);
     let mut dewey = DeweyScheme::build(&doc);
+    let mut interval = IntervalScheme::build(&doc);
+    let mut ancestry = AncestryScheme::build(&doc);
     let mut ruid2 = Ruid2Scheme::build(&doc, &Pc::by_depth(2));
     let mut total_uid = 0usize;
     let mut total_dewey = 0usize;
@@ -176,8 +205,12 @@ fn update_sequence_keeps_schemes_consistent() {
         total_uid += uid.on_insert(&doc, new).relabeled;
         total_dewey += dewey.on_insert(&doc, new).relabeled;
         total_ruid += ruid2.on_insert(&doc, new).relabeled;
+        interval.on_insert(&doc, new);
+        ancestry.on_insert(&doc, new);
         uid.check_consistency(&doc).unwrap();
         dewey.check_consistency(&doc).unwrap();
+        interval.check_consistency(&doc).unwrap();
+        ancestry.check_consistency(&doc).unwrap();
         ruid2.check_consistency(&doc).unwrap();
     }
     for _ in 0..3 {
@@ -186,9 +219,13 @@ fn update_sequence_keeps_schemes_consistent() {
         doc.detach(victim);
         uid.on_delete(&doc, parent, victim);
         dewey.on_delete(&doc, parent, victim);
+        interval.on_delete(&doc, parent, victim);
+        ancestry.on_delete(&doc, parent, victim);
         ruid2.on_delete(&doc, parent, victim);
         uid.check_consistency(&doc).unwrap();
         dewey.check_consistency(&doc).unwrap();
+        interval.check_consistency(&doc).unwrap();
+        ancestry.check_consistency(&doc).unwrap();
         ruid2.check_consistency(&doc).unwrap();
     }
     assert!(

@@ -13,7 +13,8 @@ use std::cmp::Ordering;
 
 use ruid::prelude::*;
 use ruid::{
-    ContainmentScheme, DeweyScheme, PartitionConfig as Pc, PrePostScheme, UidScheme,
+    AncestryScheme, ContainmentScheme, DeweyScheme, IntervalScheme, PartitionConfig as Pc,
+    PrePostScheme, UidScheme,
 };
 
 /// All forests (ordered sequences of subtrees) with exactly `m` nodes,
@@ -201,6 +202,30 @@ fn check_all_schemes(doc: &Document) {
         &|a, b| containment.cmp_order(a, b),
     );
 
+    let interval = IntervalScheme::build(doc);
+    check_relations(
+        "interval",
+        doc,
+        &truth,
+        &|n| interval.label_of(n),
+        &|l| interval.node_of(l),
+        None,
+        &|a, b| interval.is_ancestor(a, b),
+        &|a, b| interval.cmp_order(a, b),
+    );
+
+    let ancestry = AncestryScheme::build(doc);
+    check_relations(
+        "ancestry",
+        doc,
+        &truth,
+        &|n| ancestry.label_of(n),
+        &|l| ancestry.node_of(l),
+        None,
+        &|a, b| ancestry.is_ancestor(a, b),
+        &|a, b| ancestry.cmp_order(a, b),
+    );
+
     for (tag, config) in [
         ("ruid2:depth2", Pc::by_depth(2)),
         ("ruid2:depth3", Pc::by_depth(3)),
@@ -257,18 +282,24 @@ fn enumeration_matches_catalan_numbers() {
 /// `sort_unstable_by_key(rank)`.
 #[test]
 fn order_keys_agree_with_every_oracle_on_every_small_tree() {
-    use ruid::{AxisProvider, DocOrder, NameIndex, NameIndexed, RuidAxes, TreeAxes, UidAxes};
+    use ruid::{
+        AxisProvider, DocOrder, NameIndex, NameIndexed, RuidAxes, SpanAxes, TreeAxes, UidAxes,
+    };
     for n in 1..=7 {
         for xml in trees(n) {
             let doc = Document::parse(&xml).unwrap();
             let order = DocOrder::build(&doc);
             let uid = UidScheme::build(&doc);
             let ruid2 = Ruid2Scheme::build(&doc, &Pc::by_depth(2));
+            let interval = IntervalScheme::build(&doc);
+            let ancestry = AncestryScheme::build(&doc);
             let index = NameIndex::build(&doc);
             let providers: Vec<Box<dyn AxisProvider>> = vec![
                 Box::new(TreeAxes::with_order(&doc, &order)),
                 Box::new(UidAxes::with_order(&uid, &order)),
                 Box::new(RuidAxes::with_order(&ruid2, &order)),
+                Box::new(SpanAxes::with_order(interval.span_index(), "interval", &order)),
+                Box::new(SpanAxes::with_order(ancestry.span_index(), "ancestry", &order)),
                 Box::new(NameIndexed::new(
                     RuidAxes::with_order(&ruid2, &order),
                     &doc,

@@ -14,8 +14,8 @@
 
 use ruid::prelude::*;
 use ruid::{
-    planned_query, xmark, DocOrder, NameIndex, NameIndexed, NodeId, PartitionConfig as Pc,
-    PathSummary, SplitMix64, UidScheme,
+    planned_query, xmark, AncestryScheme, DocOrder, IntervalScheme, NameIndex, NameIndexed,
+    NodeId, PartitionConfig as Pc, PathSummary, SpanAxes, SplitMix64, UidScheme,
 };
 
 /// All forests (ordered sequences of subtrees) with exactly `m` nodes
@@ -87,6 +87,8 @@ fn assert_engines_agree(
     doc: &Document,
     summary: &PathSummary,
     ruid2: &Ruid2Scheme,
+    interval: &IntervalScheme,
+    ancestry: &AncestryScheme,
     ctx: &str,
     queries: &[&str],
 ) {
@@ -97,6 +99,10 @@ fn assert_engines_agree(
     let tree_eval = Evaluator::new(doc, TreeAxes::with_order(doc, &order));
     let uid_eval = Evaluator::new(doc, UidAxes::with_order(&uid, &order));
     let ruid_eval = Evaluator::new(doc, RuidAxes::with_order(ruid2, &order));
+    let span_eval =
+        Evaluator::new(doc, SpanAxes::with_order(interval.span_index(), "interval", &order));
+    let anc_eval =
+        Evaluator::new(doc, SpanAxes::with_order(ancestry.span_index(), "ancestry", &order));
     let idx_eval = Evaluator::new(
         doc,
         NameIndexed::new(TreeAxes::with_order(doc, &order), doc, &index),
@@ -127,6 +133,16 @@ fn assert_engines_agree(
                     &idx_got, expect,
                     "indexed engine drifted for query {q} {ctx}\n  indexed: {idx_got:?}\n  tree:    {expect:?}"
                 );
+                let span_got = span_eval.query(q).unwrap();
+                assert_eq!(
+                    &span_got, expect,
+                    "interval engine drifted for query {q} {ctx}\n  interval: {span_got:?}\n  tree:     {expect:?}"
+                );
+                let anc_got = anc_eval.query(q).unwrap();
+                assert_eq!(
+                    &anc_got, expect,
+                    "ancestry engine drifted for query {q} {ctx}\n  ancestry: {anc_got:?}\n  tree:     {expect:?}"
+                );
             }
             (Err(_), Err(_)) => {} // both reject — fine, as long as they agree
             (Ok(_), Err(e)) => panic!("planner rejected {q} the evaluator accepts ({ctx}): {e}"),
@@ -140,7 +156,17 @@ fn assert_engines_agree(
 fn assert_planner_agrees(doc: &Document, xml: &str, queries: &[&str]) {
     let summary = PathSummary::build(doc);
     let ruid2 = Ruid2Scheme::build(doc, &Pc::by_depth(2));
-    assert_engines_agree(doc, &summary, &ruid2, &format!("on {xml}"), queries);
+    let interval = IntervalScheme::build(doc);
+    let ancestry = AncestryScheme::build(doc);
+    assert_engines_agree(
+        doc,
+        &summary,
+        &ruid2,
+        &interval,
+        &ancestry,
+        &format!("on {xml}"),
+        queries,
+    );
 }
 
 /// The depth-cycled enumeration still follows the Catalan numbers, so the
@@ -169,13 +195,42 @@ fn planner_agrees_with_every_engine_on_every_small_tree() {
     assert_eq!(total, 197, "full Catalan sweep: 1+1+2+5+14+42+132 shapes");
 }
 
+/// Asserts the incrementally maintained interval + ancestry numberings
+/// are **byte-identical** to from-scratch rebuilds: same label for every
+/// node and the same encoded bytes — the property that makes their
+/// `on_insert`/`on_delete` hooks trustworthy inside the MVCC commit path.
+fn assert_span_schemes_match_rebuild(
+    doc: &Document,
+    interval: &IntervalScheme,
+    ancestry: &AncestryScheme,
+    ctx: &str,
+) {
+    let fresh_interval = IntervalScheme::build(doc);
+    let fresh_ancestry = AncestryScheme::build(doc);
+    let root = doc.root_element().expect("document has a root element");
+    let (mut live_bytes, mut fresh_bytes) = (0usize, 0usize);
+    for node in doc.descendants(root) {
+        let (live, fresh) = (interval.label_of(node), fresh_interval.label_of(node));
+        assert_eq!(live, fresh, "incremental interval label drifted from rebuild {ctx}");
+        live_bytes += interval.encoded_bytes(&live);
+        fresh_bytes += fresh_interval.encoded_bytes(&fresh);
+        let (live, fresh) = (ancestry.label_of(node), fresh_ancestry.label_of(node));
+        assert_eq!(live, fresh, "incremental ancestry label drifted from rebuild {ctx}");
+        live_bytes += ancestry.encoded_bytes(&live);
+        fresh_bytes += fresh_ancestry.encoded_bytes(&fresh);
+    }
+    assert_eq!(live_bytes, fresh_bytes, "encoded sizes diverged from rebuild {ctx}");
+}
+
 /// The update dimension over the same 197 shapes: a seeded insert then
 /// (where a non-root victim exists) a seeded delete, renumbering
 /// incrementally through the scheme's own `on_insert`/`on_delete` and
 /// patching the path summary in place exactly as the serving catalog's
 /// copy-on-write commit path does (with the same rebuild fallback). After
 /// each mutation the patched summary must canonically equal a from-scratch
-/// rebuild, and all four engines must stay node-identical on the corpus.
+/// rebuild, every engine must stay node-identical on the corpus, and the
+/// incrementally maintained interval/ancestry labels must be byte-identical
+/// to rebuilds.
 #[test]
 fn updates_preserve_engine_agreement_on_every_small_tree() {
     const SEED: u64 = 0x5EED_2026;
@@ -186,6 +241,8 @@ fn updates_preserve_engine_agreement_on_every_small_tree() {
             let mut doc = Document::parse(&xml)
                 .unwrap_or_else(|e| panic!("generated XML {xml} must parse: {e}"));
             let mut scheme = Ruid2Scheme::build(&doc, &Pc::by_depth(2));
+            let mut interval = IntervalScheme::build(&doc);
+            let mut ancestry = AncestryScheme::build(&doc);
             let mut summary = PathSummary::build(&doc);
             let mut rng = SplitMix64::seed_from_u64(SEED ^ shape as u64);
             let root = doc.root_element().expect("generated trees have a root element");
@@ -208,6 +265,8 @@ fn updates_preserve_engine_agreement_on_every_small_tree() {
                 None => doc.append_child(parent, new_node),
             }
             scheme.on_insert(&doc, new_node);
+            interval.on_insert(&doc, new_node);
+            ancestry.on_insert(&doc, new_node);
             let order = DocOrder::build(&doc);
             if !summary.patch_insert(&doc, &order, new_node) {
                 summary = PathSummary::build(&doc);
@@ -219,7 +278,10 @@ fn updates_preserve_engine_agreement_on_every_small_tree() {
                  shape #{shape} seed {SEED:#x} on {xml}"
             );
             let ctx = format!("shape #{shape} seed {SEED:#x} after insert (from {xml})");
-            assert_engines_agree(&doc, &summary, &scheme, &ctx, SMALL_TREE_QUERIES);
+            assert_span_schemes_match_rebuild(&doc, &interval, &ancestry, &ctx);
+            assert_engines_agree(
+                &doc, &summary, &scheme, &interval, &ancestry, &ctx, SMALL_TREE_QUERIES,
+            );
 
             // Seeded delete of a random non-root subtree, when one exists.
             let victims: Vec<NodeId> = doc
@@ -236,6 +298,8 @@ fn updates_preserve_engine_agreement_on_every_small_tree() {
                 let parent = doc.parent(victim).expect("non-root victim has a parent");
                 doc.detach(victim);
                 scheme.on_delete(&doc, parent, victim);
+                interval.on_delete(&doc, parent, victim);
+                ancestry.on_delete(&doc, parent, victim);
                 if !summary.patch_delete(&removed) {
                     summary = PathSummary::build(&doc);
                 }
@@ -247,7 +311,10 @@ fn updates_preserve_engine_agreement_on_every_small_tree() {
                 );
                 let ctx =
                     format!("shape #{shape} seed {SEED:#x} after insert+delete (from {xml})");
-                assert_engines_agree(&doc, &summary, &scheme, &ctx, SMALL_TREE_QUERIES);
+                assert_span_schemes_match_rebuild(&doc, &interval, &ancestry, &ctx);
+                assert_engines_agree(
+                    &doc, &summary, &scheme, &interval, &ancestry, &ctx, SMALL_TREE_QUERIES,
+                );
                 deletes += 1;
             }
             shape += 1;
